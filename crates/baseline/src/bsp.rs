@@ -1,0 +1,197 @@
+//! A miniature vertex-centric BSP engine in the style of Pregel \[17\].
+//!
+//! The engine executes supersteps over a road network whose vertices are
+//! distributed across fragments (machines). Within a superstep, every
+//! vertex with pending messages runs a user `compute` function that may
+//! update its state and emit messages along edges; messages destined for a
+//! vertex in a *different* fragment are counted as inter-worker traffic —
+//! the communication the NPD-index eliminates.
+//!
+//! The simulation executes supersteps sequentially and deterministically
+//! (message combining per target vertex, targets processed in id order), so
+//! baseline measurements are exactly reproducible. The *cost accounting* —
+//! supersteps (communication rounds) and inter-fragment message bytes — is
+//! what the experiments consume; wall-clock of the simulated engine is
+//! reported too but is secondary.
+
+use std::collections::HashMap;
+
+use disks_partition::Partitioning;
+use disks_roadnet::{NodeId, RoadNetwork};
+
+/// Safety cap on supersteps (a correct SSSP converges long before this on
+/// any graph the harness generates).
+pub const MAX_SUPERSTEPS: usize = 100_000;
+
+/// Accounting for one BSP run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BspRun {
+    /// Supersteps executed (= communication rounds in a real deployment).
+    pub supersteps: usize,
+    /// All messages sent.
+    pub total_messages: u64,
+    /// Messages crossing a fragment boundary.
+    pub inter_fragment_messages: u64,
+    /// Bytes of those messages (at `message_bytes` each).
+    pub inter_fragment_bytes: u64,
+    /// Vertex-compute invocations.
+    pub computes: u64,
+}
+
+/// Run a BSP computation.
+///
+/// * `state` — per-vertex mutable state.
+/// * `initial` — seed messages delivered at superstep 0.
+/// * `combine` — associative/commutative combiner applied to messages with
+///   the same target (Pregel's combiner optimization; without it the
+///   message counts would only be larger, so the comparison stays fair).
+/// * `compute(v, state_v, msg, send)` — vertex program; `send(u, m)` emits a
+///   message to vertex `u` for the next superstep.
+/// * `message_bytes` — wire size of one message, for byte accounting.
+pub fn run_bsp<M: Clone, S>(
+    net: &RoadNetwork,
+    partitioning: &Partitioning,
+    state: &mut [S],
+    initial: Vec<(u32, M)>,
+    combine: impl Fn(&M, &M) -> M,
+    mut compute: impl FnMut(u32, &mut S, M, &mut dyn FnMut(u32, M)),
+    message_bytes: usize,
+) -> BspRun {
+    assert_eq!(state.len(), net.num_nodes(), "one state per vertex required");
+    let assignment = partitioning.assignment();
+    let mut run = BspRun::default();
+    let mut inbox: HashMap<u32, M> = HashMap::new();
+    for (target, msg) in initial {
+        merge(&mut inbox, target, msg, &combine);
+    }
+    while !inbox.is_empty() && run.supersteps < MAX_SUPERSTEPS {
+        run.supersteps += 1;
+        let mut outbox: HashMap<u32, M> = HashMap::new();
+        // Deterministic vertex order.
+        let mut targets: Vec<u32> = inbox.keys().copied().collect();
+        targets.sort_unstable();
+        for v in targets {
+            let msg = inbox.remove(&v).expect("target present");
+            run.computes += 1;
+            let vs = &mut state[v as usize];
+            let mut send = |u: u32, m: M| {
+                run.total_messages += 1;
+                if assignment[u as usize] != assignment[v as usize] {
+                    run.inter_fragment_messages += 1;
+                    run.inter_fragment_bytes += message_bytes as u64;
+                }
+                merge(&mut outbox, u, m, &combine);
+            };
+            compute(v, vs, msg, &mut send);
+        }
+        inbox = outbox;
+    }
+    run
+}
+
+fn merge<M: Clone>(
+    inbox: &mut HashMap<u32, M>,
+    target: u32,
+    msg: M,
+    combine: &impl Fn(&M, &M) -> M,
+) {
+    match inbox.entry(target) {
+        std::collections::hash_map::Entry::Occupied(mut e) => {
+            let merged = combine(e.get(), &msg);
+            e.insert(merged);
+        }
+        std::collections::hash_map::Entry::Vacant(e) => {
+            e.insert(msg);
+        }
+    }
+}
+
+/// Convenience: node ids of a coverage result.
+pub fn coverage_nodes(dist: &[u64], radius: u64) -> Vec<NodeId> {
+    dist.iter()
+        .enumerate()
+        .filter(|&(_, &d)| d <= radius)
+        .map(|(i, _)| NodeId(i as u32))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use disks_partition::{MultilevelPartitioner, Partitioner};
+    use disks_roadnet::generator::GridNetworkConfig;
+    use disks_roadnet::INF;
+
+    /// A trivial "propagate max" program: floods the maximum seed value.
+    #[test]
+    fn bsp_flood_reaches_every_vertex() {
+        let net = GridNetworkConfig::tiny(90).generate();
+        let p = MultilevelPartitioner::default().partition(&net, 3);
+        let mut state = vec![0u64; net.num_nodes()];
+        let run = run_bsp(
+            &net,
+            &p,
+            &mut state,
+            vec![(0, 42u64)],
+            |a, b| *a.max(b),
+            |v, s, msg, send| {
+                if msg > *s {
+                    *s = msg;
+                    let mut nbrs = Vec::new();
+                    for (u, _) in net.neighbors(NodeId(v)) {
+                        nbrs.push(u.0);
+                    }
+                    for u in nbrs {
+                        send(u, msg);
+                    }
+                }
+            },
+            8,
+        );
+        assert!(state.iter().all(|&s| s == 42), "flood must reach all vertices");
+        assert!(run.supersteps > 1, "multi-round by nature");
+        assert!(run.inter_fragment_messages > 0, "crossing fragments costs messages");
+        assert_eq!(run.inter_fragment_bytes, run.inter_fragment_messages * 8);
+    }
+
+    #[test]
+    fn empty_initial_messages_terminate_immediately() {
+        let net = GridNetworkConfig::tiny(91).generate();
+        let p = MultilevelPartitioner::default().partition(&net, 2);
+        let mut state = vec![INF; net.num_nodes()];
+        let run = run_bsp(
+            &net,
+            &p,
+            &mut state,
+            Vec::<(u32, u64)>::new(),
+            |a, b| *a.min(b),
+            |_, _, _, _| {},
+            12,
+        );
+        assert_eq!(run.supersteps, 0);
+        assert_eq!(run.total_messages, 0);
+    }
+
+    #[test]
+    fn combiner_collapses_messages_per_target() {
+        // Two seeds to the same vertex: compute must be called once with the
+        // combined value.
+        let net = GridNetworkConfig::tiny(92).generate();
+        let p = MultilevelPartitioner::default().partition(&net, 2);
+        let mut state = vec![INF; net.num_nodes()];
+        let mut seen: Vec<u64> = Vec::new();
+        run_bsp(
+            &net,
+            &p,
+            &mut state,
+            vec![(5, 10u64), (5, 3u64)],
+            |a, b| *a.min(b),
+            |v, _, msg, _| {
+                assert_eq!(v, 5);
+                seen.push(msg);
+            },
+            12,
+        );
+        assert_eq!(seen, vec![3]);
+    }
+}

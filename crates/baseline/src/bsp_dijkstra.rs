@@ -1,0 +1,178 @@
+//! Distributed SSSP and spatial-keyword queries on the BSP engine.
+//!
+//! This is the Pregel-style alternative of §2.3: correct, general, but
+//! paying one communication round per shortest-path "wavefront" hop and an
+//! inter-fragment message per cut-edge relaxation. The experiment harness
+//! contrasts its `supersteps` / `inter_fragment_bytes` with the NPD-index's
+//! 1 round / 0 bytes.
+
+use disks_partition::Partitioning;
+use disks_roadnet::{KeywordId, NodeId, RoadNetwork, INF};
+
+use crate::bsp::{run_bsp, BspRun};
+
+/// Wire size of one SSSP message (target vertex u32 + distance u64).
+pub const SSSP_MESSAGE_BYTES: usize = 12;
+
+/// Multi-source bounded SSSP on the BSP engine. Returns the distance vector
+/// (INF = unreached / beyond `bound`) and the run accounting.
+pub fn bsp_sssp(
+    net: &RoadNetwork,
+    partitioning: &Partitioning,
+    sources: &[(u32, u64)],
+    bound: u64,
+) -> (Vec<u64>, BspRun) {
+    let mut dist = vec![INF; net.num_nodes()];
+    let initial: Vec<(u32, u64)> =
+        sources.iter().filter(|&&(_, d)| d <= bound).map(|&(s, d)| (s, d)).collect();
+    let run = run_bsp(
+        net,
+        partitioning,
+        &mut dist,
+        initial,
+        |a, b| *a.min(b),
+        |v, dv, msg, send| {
+            if msg < *dv {
+                *dv = msg;
+                for (u, w) in net.neighbors(NodeId(v)) {
+                    let nd = msg.saturating_add(u64::from(w));
+                    if nd <= bound {
+                        send(u.0, nd);
+                    }
+                }
+            }
+        },
+        SSSP_MESSAGE_BYTES,
+    );
+    (dist, run)
+}
+
+/// Keyword coverage `R(ω, r)` on the BSP engine.
+pub fn bsp_keyword_coverage(
+    net: &RoadNetwork,
+    partitioning: &Partitioning,
+    keyword: KeywordId,
+    radius: u64,
+) -> (Vec<NodeId>, BspRun) {
+    let sources: Vec<(u32, u64)> =
+        net.nodes_with_keyword(keyword).iter().map(|n| (n.0, 0)).collect();
+    let (dist, run) = bsp_sssp(net, partitioning, &sources, radius);
+    let nodes = crate::bsp::coverage_nodes(&dist, radius);
+    (nodes, run)
+}
+
+/// SGKQ on the BSP engine: one SSSP per keyword, then intersection.
+/// Accounting is summed over the per-keyword runs.
+pub fn bsp_sgkq(
+    net: &RoadNetwork,
+    partitioning: &Partitioning,
+    keywords: &[KeywordId],
+    radius: u64,
+) -> (Vec<NodeId>, BspRun) {
+    assert!(!keywords.is_empty(), "at least one keyword required");
+    let mut total = BspRun::default();
+    let mut acc: Option<Vec<NodeId>> = None;
+    for &kw in keywords {
+        let (nodes, run) = bsp_keyword_coverage(net, partitioning, kw, radius);
+        total.supersteps += run.supersteps;
+        total.total_messages += run.total_messages;
+        total.inter_fragment_messages += run.inter_fragment_messages;
+        total.inter_fragment_bytes += run.inter_fragment_bytes;
+        total.computes += run.computes;
+        acc = Some(match acc {
+            None => nodes,
+            Some(prev) => intersect_sorted(&prev, &nodes),
+        });
+    }
+    (acc.unwrap_or_default(), total)
+}
+
+fn intersect_sorted(a: &[NodeId], b: &[NodeId]) -> Vec<NodeId> {
+    let mut out = Vec::new();
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use disks_core::{CentralizedCoverage, SgkQuery, Term};
+    use disks_partition::{MultilevelPartitioner, Partitioner};
+    use disks_roadnet::generator::GridNetworkConfig;
+    use disks_roadnet::DijkstraWorkspace;
+
+    fn top_keywords(net: &RoadNetwork, n: usize) -> Vec<KeywordId> {
+        let freqs = net.keyword_frequencies();
+        let mut ranked: Vec<usize> = (0..freqs.len()).filter(|&k| freqs[k] > 0).collect();
+        ranked.sort_unstable_by_key(|&k| std::cmp::Reverse(freqs[k]));
+        ranked.into_iter().take(n).map(|k| KeywordId(k as u32)).collect()
+    }
+
+    #[test]
+    fn bsp_sssp_matches_dijkstra() {
+        let net = GridNetworkConfig::tiny(93).generate();
+        let p = MultilevelPartitioner::default().partition(&net, 3);
+        let source = 0u32;
+        let (dist, run) = bsp_sssp(&net, &p, &[(source, 0)], INF - 1);
+        let mut ws = DijkstraWorkspace::new(net.num_nodes());
+        let expect = ws.distances_from(&net, source, INF - 1);
+        for (n, d) in expect {
+            assert_eq!(dist[n as usize], d, "node {n}");
+        }
+        assert!(run.supersteps > 1);
+    }
+
+    #[test]
+    fn bsp_coverage_matches_centralized() {
+        let net = GridNetworkConfig::tiny(94).generate();
+        let p = MultilevelPartitioner::default().partition(&net, 4);
+        let kw = top_keywords(&net, 1)[0];
+        let r = 4 * net.avg_edge_weight();
+        let (nodes, run) = bsp_keyword_coverage(&net, &p, kw, r);
+        let mut central = CentralizedCoverage::new(&net);
+        let expect: Vec<NodeId> = central
+            .coverage(Term::Keyword(kw), r)
+            .iter()
+            .map(|i| NodeId(i as u32))
+            .collect();
+        assert_eq!(nodes, expect);
+        assert!(
+            run.inter_fragment_messages > 0,
+            "a multi-fragment coverage must cross boundaries"
+        );
+    }
+
+    #[test]
+    fn bsp_sgkq_matches_centralized() {
+        let net = GridNetworkConfig::tiny(95).generate();
+        let p = MultilevelPartitioner::default().partition(&net, 3);
+        let kws = top_keywords(&net, 2);
+        let r = 5 * net.avg_edge_weight();
+        let (nodes, run) = bsp_sgkq(&net, &p, &kws, r);
+        let mut central = CentralizedCoverage::new(&net);
+        let expect = central.sgkq(&SgkQuery::new(kws, r)).unwrap();
+        assert_eq!(nodes, expect);
+        assert!(run.supersteps >= 2, "one round per wavefront hop per keyword");
+    }
+
+    #[test]
+    fn single_fragment_has_no_inter_fragment_traffic() {
+        let net = GridNetworkConfig::tiny(96).generate();
+        let p = Partitioning::single_fragment(&net);
+        let kw = top_keywords(&net, 1)[0];
+        let (_, run) = bsp_keyword_coverage(&net, &p, kw, 4 * net.avg_edge_weight());
+        assert_eq!(run.inter_fragment_messages, 0);
+        assert!(run.total_messages > 0);
+    }
+}

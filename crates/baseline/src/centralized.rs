@@ -1,0 +1,68 @@
+//! The centralized "1 fragment" reference engine.
+//!
+//! This is exactly the computation the paper plots as the single-machine
+//! reference in Figs. 10/11: evaluate every keyword coverage with a
+//! multi-source Dijkstra over the entire network and combine with the
+//! D-function — no partitioning, no index, no communication.
+
+use std::time::{Duration, Instant};
+
+use disks_core::{CentralizedCoverage, DFunction, QueryError, RangeKeywordQuery, SgkQuery};
+use disks_roadnet::{NodeId, RoadNetwork};
+
+/// A timed centralized evaluator.
+pub struct CentralizedEngine<'a> {
+    inner: CentralizedCoverage<'a>,
+}
+
+impl<'a> CentralizedEngine<'a> {
+    pub fn new(net: &'a RoadNetwork) -> Self {
+        CentralizedEngine { inner: CentralizedCoverage::new(net) }
+    }
+
+    /// Evaluate a D-function, returning results and elapsed wall-clock.
+    pub fn run(&mut self, f: &DFunction) -> Result<(Vec<NodeId>, Duration), QueryError> {
+        let start = Instant::now();
+        let results = self.inner.evaluate(f)?;
+        Ok((results, start.elapsed()))
+    }
+
+    pub fn run_sgkq(&mut self, q: &SgkQuery) -> Result<(Vec<NodeId>, Duration), QueryError> {
+        let f = q.to_dfunction_checked().ok_or(QueryError::EmptyQuery)?;
+        self.run(&f)
+    }
+
+    pub fn run_rkq(
+        &mut self,
+        q: &RangeKeywordQuery,
+    ) -> Result<(Vec<NodeId>, Duration), QueryError> {
+        self.run(&q.to_dfunction())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use disks_roadnet::generator::GridNetworkConfig;
+    use disks_roadnet::KeywordId;
+
+    #[test]
+    fn centralized_engine_times_queries() {
+        let net = GridNetworkConfig::tiny(80).generate();
+        let freqs = net.keyword_frequencies();
+        let top = KeywordId((0..freqs.len()).max_by_key(|&k| freqs[k]).unwrap() as u32);
+        let mut engine = CentralizedEngine::new(&net);
+        let q = SgkQuery::new(vec![top], 4 * net.avg_edge_weight());
+        let (results, elapsed) = engine.run_sgkq(&q).unwrap();
+        assert!(!results.is_empty());
+        assert!(elapsed > Duration::ZERO);
+    }
+
+    #[test]
+    fn empty_query_rejected() {
+        let net = GridNetworkConfig::tiny(81).generate();
+        let mut engine = CentralizedEngine::new(&net);
+        let q = SgkQuery { keywords: vec![], radius: 1 };
+        assert!(matches!(engine.run_sgkq(&q), Err(QueryError::EmptyQuery)));
+    }
+}

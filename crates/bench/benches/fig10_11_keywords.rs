@@ -1,0 +1,56 @@
+//! Criterion bench for Figures 10/11: SGKQ cost vs #keywords on both
+//! datasets. NOTE: criterion measures the *total fan-out work* of the
+//! distributed arm (all 8 fragment tasks run sequentially on one host), so
+//! `distributed` here tracks total work, not response time; the
+//! response-time comparison (slowest task + modeled network) is produced by
+//! `repro --exp fig10,fig11`. The shapes to read off this bench are the
+//! slopes in #keywords.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use disks_baseline::CentralizedEngine;
+use disks_bench::datasets::{load, DatasetId, Scale};
+use disks_bench::experiments::Deployment;
+use disks_bench::queries::QueryGenerator;
+use disks_core::{DFunction, IndexConfig};
+
+fn bench_keywords(c: &mut Criterion) {
+    for id in [DatasetId::Bri, DatasetId::Aus] {
+        let ds = load(id, Scale::Bench);
+        let e = ds.net.avg_edge_weight();
+        let max_r = 40 * e;
+        let mut dep = Deployment::prepare(&ds.net, 8, &IndexConfig::with_max_r(max_r));
+        let mut group = c.benchmark_group(format!("fig10_11_keywords_{}", id.name()));
+        group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.measurement_time(std::time::Duration::from_secs(2));
+        for nk in [3usize, 7, 11] {
+            let fs: Vec<DFunction> = QueryGenerator::new(&ds.net, 0xA0 + nk as u64)
+                .sgkq_batch(3, nk, max_r)
+                .iter()
+                .map(|q| q.to_dfunction())
+                .collect();
+            if fs.is_empty() {
+                continue;
+            }
+            group.bench_with_input(BenchmarkId::new("distributed", nk), &nk, |b, _| {
+                b.iter(|| {
+                    for f in &fs {
+                        std::hint::black_box(dep.evaluate(f));
+                    }
+                });
+            });
+            group.bench_with_input(BenchmarkId::new("one_fragment", nk), &nk, |b, _| {
+                b.iter(|| {
+                    let mut central = CentralizedEngine::new(&ds.net);
+                    for f in &fs {
+                        std::hint::black_box(central.run(f).unwrap());
+                    }
+                });
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_keywords);
+criterion_main!(benches);

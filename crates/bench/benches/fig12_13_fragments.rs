@@ -1,0 +1,41 @@
+//! Criterion bench for Figures 12/13: total per-query fan-out work vs
+//! #fragments (all fragment tasks run sequentially under criterion). The
+//! paper's halving response-time trend is measured by `repro --exp
+//! fig12,fig13`, which takes the slowest task; this bench tracks how the
+//! *total* work stays roughly constant while being split across more
+//! fragments.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use disks_bench::datasets::{load, DatasetId, Scale};
+use disks_bench::experiments::Deployment;
+use disks_bench::queries::QueryGenerator;
+use disks_core::{DFunction, IndexConfig};
+
+fn bench_fragments(c: &mut Criterion) {
+    let ds = load(DatasetId::Aus, Scale::Bench);
+    let e = ds.net.avg_edge_weight();
+    let max_r = 40 * e;
+    let fs: Vec<DFunction> = QueryGenerator::new(&ds.net, 0xC)
+        .sgkq_batch(3, 5, max_r)
+        .iter()
+        .map(|q| q.to_dfunction())
+        .collect();
+    let mut group = c.benchmark_group("fig12_13_fragments");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for k in [2usize, 8, 16] {
+        let mut dep = Deployment::prepare(&ds.net, k, &IndexConfig::with_max_r(max_r));
+        group.bench_with_input(BenchmarkId::new("fanout_work", k), &k, |b, _| {
+            b.iter(|| {
+                for f in &fs {
+                    std::hint::black_box(dep.response_time(f));
+                }
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fragments);
+criterion_main!(benches);

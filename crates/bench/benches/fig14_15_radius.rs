@@ -1,0 +1,37 @@
+//! Criterion bench for Figures 14/15: SGKQ time vs query radius r.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use disks_bench::datasets::{load, DatasetId, Scale};
+use disks_bench::experiments::Deployment;
+use disks_bench::queries::QueryGenerator;
+use disks_core::{DFunction, IndexConfig};
+
+fn bench_radius(c: &mut Criterion) {
+    let ds = load(DatasetId::Aus, Scale::Bench);
+    let e = ds.net.avg_edge_weight();
+    let max_r = 40 * e;
+    let mut dep = Deployment::prepare(&ds.net, 8, &IndexConfig::with_max_r(max_r));
+    let mut group = c.benchmark_group("fig14_15_radius");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for div in [4u64, 2, 1] {
+        let r = max_r / div;
+        let fs: Vec<DFunction> = QueryGenerator::new(&ds.net, 0xD0 + div)
+            .sgkq_batch(3, 5, r)
+            .iter()
+            .map(|q| q.to_dfunction())
+            .collect();
+        group.bench_with_input(BenchmarkId::new("maxR_div", div), &div, |b, _| {
+            b.iter(|| {
+                for f in &fs {
+                    std::hint::black_box(dep.evaluate(f));
+                }
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_radius);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Criterion bench for Figure 16: D-function operator mix (7 keywords,
+//! 0/3/5 subtraction operators) — mixes should perform alike.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use disks_bench::datasets::{load, DatasetId, Scale};
+use disks_bench::experiments::Deployment;
+use disks_bench::queries::QueryGenerator;
+use disks_core::{DFunction, IndexConfig, SetOp, Term};
+
+fn bench_dfunc(c: &mut Criterion) {
+    let ds = load(DatasetId::Aus, Scale::Bench);
+    let e = ds.net.avg_edge_weight();
+    let max_r = 40 * e;
+    let mut dep = Deployment::prepare(&ds.net, 8, &IndexConfig::with_max_r(max_r));
+    let queries = QueryGenerator::new(&ds.net, 0xF1).sgkq_batch(3, 7, max_r);
+    let mut group = c.benchmark_group("fig16_dfunc_mix");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for subs in [0usize, 3, 5] {
+        let fs: Vec<DFunction> = queries
+            .iter()
+            .map(|q| {
+                let mut f = DFunction::single(Term::Keyword(q.keywords[0]), max_r);
+                for (i, &k) in q.keywords[1..].iter().enumerate() {
+                    let op = if i < subs { SetOp::Subtract } else { SetOp::Intersect };
+                    f = f.then(op, Term::Keyword(k), max_r);
+                }
+                f
+            })
+            .collect();
+        group.bench_with_input(BenchmarkId::new("subtractions", subs), &subs, |b, _| {
+            b.iter(|| {
+                for f in &fs {
+                    std::hint::black_box(dep.evaluate(f));
+                }
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_dfunc);
+criterion_main!(benches);

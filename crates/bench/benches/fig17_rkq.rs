@@ -1,0 +1,39 @@
+//! Criterion bench for Figure 17: RKQ evaluation time vs #keywords.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use disks_bench::datasets::{load, DatasetId, Scale};
+use disks_bench::experiments::Deployment;
+use disks_bench::queries::QueryGenerator;
+use disks_core::{DFunction, IndexConfig};
+
+fn bench_rkq(c: &mut Criterion) {
+    let ds = load(DatasetId::Aus, Scale::Bench);
+    let e = ds.net.avg_edge_weight();
+    let max_r = 40 * e;
+    let mut dep = Deployment::prepare(&ds.net, 8, &IndexConfig::with_max_r(max_r));
+    let mut group = c.benchmark_group("fig17_rkq");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for nk in [3usize, 7, 11] {
+        let fs: Vec<DFunction> = QueryGenerator::new(&ds.net, 0xF7 + nk as u64)
+            .rkq_batch(3, nk, max_r)
+            .iter()
+            .map(|q| q.to_dfunction())
+            .collect();
+        if fs.is_empty() {
+            continue;
+        }
+        group.bench_with_input(BenchmarkId::new("keywords", nk), &nk, |b, _| {
+            b.iter(|| {
+                for f in &fs {
+                    std::hint::black_box(dep.evaluate(f));
+                }
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_rkq);
+criterion_main!(benches);

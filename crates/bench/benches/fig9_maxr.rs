@@ -1,0 +1,38 @@
+//! Criterion bench for Figure 9: SGKQ evaluation time vs the index maxR
+//! (query radius fixed at 5ē) — maxR should have very limited effect.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use disks_bench::datasets::{load, DatasetId, Scale};
+use disks_bench::experiments::Deployment;
+use disks_bench::queries::QueryGenerator;
+use disks_core::{DFunction, IndexConfig};
+use disks_roadnet::INF;
+
+fn bench_maxr(c: &mut Criterion) {
+    let ds = load(DatasetId::Aus, Scale::Bench);
+    let e = ds.net.avg_edge_weight();
+    let r = 5 * e;
+    let fs: Vec<DFunction> = QueryGenerator::new(&ds.net, 0x9)
+        .sgkq_batch(5, 5, r)
+        .iter()
+        .map(|q| q.to_dfunction())
+        .collect();
+    let mut group = c.benchmark_group("fig9_query_vs_maxr");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for (label, max_r) in [("5e", 5 * e), ("40e", 40 * e), ("inf", INF)] {
+        let mut dep = Deployment::prepare(&ds.net, 8, &IndexConfig::with_max_r(max_r));
+        group.bench_with_input(BenchmarkId::new("maxR", label), &label, |b, _| {
+            b.iter(|| {
+                for f in &fs {
+                    std::hint::black_box(dep.evaluate(f));
+                }
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_maxr);
+criterion_main!(benches);

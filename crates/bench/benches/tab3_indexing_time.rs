@@ -1,0 +1,27 @@
+//! Criterion bench for Table 3: NPD-index construction time per fragment,
+//! varying maxR (AUS-like, bench scale, k = 8).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use disks_bench::datasets::{load, DatasetId, Scale};
+use disks_core::{build_all_indexes, IndexConfig};
+use disks_partition::{MultilevelPartitioner, Partitioner};
+
+fn bench_indexing(c: &mut Criterion) {
+    let ds = load(DatasetId::Aus, Scale::Bench);
+    let e = ds.net.avg_edge_weight();
+    let partitioning = MultilevelPartitioner::default().partition(&ds.net, 8);
+    let mut group = c.benchmark_group("tab3_indexing_time");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for factor in [10u64, 20, 40] {
+        group.bench_with_input(BenchmarkId::new("maxR_factor", factor), &factor, |b, &f| {
+            let cfg = IndexConfig::with_max_r(f * e);
+            b.iter(|| build_all_indexes(&ds.net, &partitioning, &cfg));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_indexing);
+criterion_main!(benches);

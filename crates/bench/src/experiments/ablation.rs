@@ -1,0 +1,257 @@
+//! Ablation experiments for the design choices DESIGN.md calls out.
+//!
+//! 1. **Minimality (Theorems 2/4)** — rule-based SC/DL vs the naive
+//!    standard index (§3.3/§3.4 strawman: all portal-pair shortcuts, all
+//!    `(external, portal)` pairs). Measures the size gap and the query-time
+//!    effect through the Theorem 5 α/β terms.
+//! 2. **Partitioner choice** — multilevel vs geometric vs region-growing:
+//!    cut edges → portals → index size → query time.
+//! 3. **Keyword aggregation (§3.7)** — per-keyword portal minima vs
+//!    scanning node-keyed DL entries at query time.
+
+use std::time::Duration;
+
+use disks_core::{
+    build_all_indexes, build_naive_index, DFunction, FragmentEngine, IndexConfig, NpdIndex,
+};
+use disks_partition::{
+    BfsPartitioner, GridPartitioner, MultilevelPartitioner, PartitionMetrics, Partitioner,
+    Partitioning,
+};
+use disks_roadnet::RoadNetwork;
+
+use crate::datasets::Dataset;
+use crate::params::Params;
+use crate::queries::QueryGenerator;
+use crate::report::{fmt_bytes, fmt_duration, median_duration, Table};
+
+fn total_bytes(indexes: &[NpdIndex]) -> u64 {
+    indexes.iter().map(|i| i.stats().encoded_bytes as u64).sum()
+}
+
+fn total_distances(indexes: &[NpdIndex]) -> usize {
+    indexes.iter().map(NpdIndex::distances_recorded).sum()
+}
+
+fn median_response(
+    net: &RoadNetwork,
+    partitioning: &Partitioning,
+    indexes: &[NpdIndex],
+    fs: &[DFunction],
+) -> Duration {
+    let mut engines: Vec<FragmentEngine> =
+        indexes.iter().map(|i| FragmentEngine::new(net, partitioning, i).expect("engine")).collect();
+    // Warmup.
+    for f in fs {
+        for e in &mut engines {
+            let _ = e.evaluate(f).expect("within maxR");
+        }
+    }
+    let times: Vec<Duration> = fs
+        .iter()
+        .map(|f| {
+            engines
+                .iter_mut()
+                .map(|e| e.evaluate(f).expect("within maxR").1.elapsed)
+                .max()
+                .unwrap_or(Duration::ZERO)
+        })
+        .collect();
+    median_duration(&times)
+}
+
+/// Ablation 1: rule-based (minimal) vs naive standard index.
+pub fn ablation_minimality(ds: &Dataset, params: &Params) -> Table {
+    let e = ds.net.avg_edge_weight();
+    let max_r = params.max_r(e);
+    let cfg = IndexConfig::with_max_r(max_r);
+    let k = params.num_fragments;
+    let partitioning = MultilevelPartitioner::default().partition(&ds.net, k);
+
+    let minimal: Vec<NpdIndex> = build_all_indexes(&ds.net, &partitioning, &cfg);
+    let naive: Vec<NpdIndex> = partitioning
+        .fragment_ids()
+        .map(|f| build_naive_index(&ds.net, &partitioning, f, &cfg))
+        .collect();
+
+    let mut gen = QueryGenerator::new(&ds.net, 0xAB1);
+    let fs: Vec<DFunction> = gen
+        .sgkq_batch(params.queries_per_point, params.num_keywords, params.r(e).min(max_r))
+        .iter()
+        .map(|q| q.to_dfunction())
+        .collect();
+    let t_min = median_response(&ds.net, &partitioning, &minimal, &fs);
+    let t_naive = median_response(&ds.net, &partitioning, &naive, &fs);
+
+    let mut t = Table::new(
+        format!("Ablation: Rule 1/2 minimal index vs naive standard index, {} k={k}", ds.id.name()),
+        vec![
+            "variant".into(),
+            "distances".into(),
+            "bytes".into(),
+            "avg |SC| (β)".into(),
+            "median response".into(),
+        ],
+    );
+    for (name, indexes, time) in
+        [("minimal (Thm 2/4)", &minimal, t_min), ("naive standard", &naive, t_naive)]
+    {
+        let beta: usize = indexes.iter().map(|i| i.shortcuts().len()).sum::<usize>() / k;
+        t.push(vec![
+            name.into(),
+            total_distances(indexes).to_string(),
+            fmt_bytes(total_bytes(indexes)),
+            beta.to_string(),
+            fmt_duration(time),
+        ]);
+    }
+    t
+}
+
+/// Ablation 2: effect of the partitioner on cut, index size, and query time.
+pub fn ablation_partitioner(ds: &Dataset, params: &Params) -> Table {
+    let e = ds.net.avg_edge_weight();
+    let max_r = params.max_r(e);
+    let cfg = IndexConfig::with_max_r(max_r);
+    let k = params.num_fragments;
+    let mut gen = QueryGenerator::new(&ds.net, 0xAB2);
+    let fs: Vec<DFunction> = gen
+        .sgkq_batch(params.queries_per_point, params.num_keywords, params.r(e).min(max_r))
+        .iter()
+        .map(|q| q.to_dfunction())
+        .collect();
+
+    let mut t = Table::new(
+        format!("Ablation: partitioner choice, {} k={k}", ds.id.name()),
+        vec![
+            "partitioner".into(),
+            "cut edges".into(),
+            "portals".into(),
+            "balance".into(),
+            "index bytes".into(),
+            "median response".into(),
+        ],
+    );
+    let partitionings: Vec<(&str, Partitioning)> = vec![
+        ("multilevel (ours)", MultilevelPartitioner::default().partition(&ds.net, k)),
+        ("geometric kd", GridPartitioner.partition(&ds.net, k)),
+        ("region growing", BfsPartitioner::default().partition(&ds.net, k)),
+    ];
+    for (name, partitioning) in &partitionings {
+        let metrics = PartitionMetrics::compute(&ds.net, partitioning);
+        let indexes = build_all_indexes(&ds.net, partitioning, &cfg);
+        let time = median_response(&ds.net, partitioning, &indexes, &fs);
+        t.push(vec![
+            (*name).into(),
+            metrics.cut_edges.to_string(),
+            metrics.total_portals.to_string(),
+            format!("{:.3}", metrics.balance),
+            fmt_bytes(total_bytes(&indexes)),
+            fmt_duration(time),
+        ]);
+    }
+    t
+}
+
+/// Ablation 3: §3.7 keyword aggregation vs scanning node-keyed DL entries.
+/// Reported as the per-query α (pairs touched) and lookup time of the two
+/// access paths over the same index.
+pub fn ablation_keyword_aggregation(ds: &Dataset, params: &Params) -> Table {
+    let e = ds.net.avg_edge_weight();
+    let max_r = params.max_r(e);
+    let k = params.num_fragments;
+    let partitioning = MultilevelPartitioner::default().partition(&ds.net, k);
+    let indexes = build_all_indexes(&ds.net, &partitioning, &IndexConfig::with_max_r(max_r));
+
+    let mut gen = QueryGenerator::new(&ds.net, 0xAB3);
+    let queries = gen.sgkq_batch(params.queries_per_point, params.num_keywords, max_r);
+
+    // Aggregated path: α = keyword-portal pairs with d ≤ r (what the engine
+    // uses). Scan path: walk every node-keyed entry, test its keywords,
+    // and collect the same seeds — the cost without the §3.7 materialization.
+    let mut agg_pairs = 0u64;
+    let mut scan_pairs = 0u64;
+    let mut agg_time = Duration::ZERO;
+    let mut scan_time = Duration::ZERO;
+    for q in &queries {
+        for idx in &indexes {
+            for &kw in &q.keywords {
+                let t0 = std::time::Instant::now();
+                let list = idx.keyword_portal_list(kw);
+                let mut n = 0u64;
+                for &(_, d) in list {
+                    if d > q.radius {
+                        break;
+                    }
+                    n += 1;
+                }
+                agg_time += t0.elapsed();
+                agg_pairs += n;
+
+                let t0 = std::time::Instant::now();
+                let mut m = 0u64;
+                for (node, pairs) in idx.dl_entries() {
+                    if ds.net.contains_keyword(node, kw) {
+                        for &(_, d) in pairs {
+                            if d <= q.radius {
+                                m += 1;
+                            }
+                        }
+                    }
+                }
+                scan_time += t0.elapsed();
+                scan_pairs += m;
+            }
+        }
+    }
+    let nq = queries.len().max(1) as u64;
+    let mut t = Table::new(
+        format!("Ablation: §3.7 keyword aggregation vs DL-entry scan, {} k={k}", ds.id.name()),
+        vec!["access path".into(), "pairs touched/query".into(), "lookup time/query".into()],
+    );
+    t.push(vec![
+        "keyword→portal minima (§3.7)".into(),
+        (agg_pairs / nq).to_string(),
+        fmt_duration(agg_time / nq as u32),
+    ]);
+    t.push(vec![
+        "scan node-keyed DL".into(),
+        (scan_pairs / nq).to_string(),
+        fmt_duration(scan_time / nq as u32),
+    ]);
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datasets::{load, DatasetId, Scale};
+
+    fn smoke_params() -> Params {
+        Params { num_fragments: 3, queries_per_point: 2, num_keywords: 3, ..Params::default() }
+    }
+
+    #[test]
+    fn minimality_ablation_shows_smaller_minimal_index() {
+        let ds = load(DatasetId::Aus, Scale::Smoke);
+        let t = ablation_minimality(&ds, &smoke_params());
+        assert_eq!(t.rows.len(), 2);
+        let minimal: usize = t.rows[0][1].parse().unwrap();
+        let naive: usize = t.rows[1][1].parse().unwrap();
+        assert!(minimal <= naive, "minimal {minimal} must not exceed naive {naive}");
+    }
+
+    #[test]
+    fn partitioner_ablation_covers_all_three() {
+        let ds = load(DatasetId::Aus, Scale::Smoke);
+        let t = ablation_partitioner(&ds, &smoke_params());
+        assert_eq!(t.rows.len(), 3);
+    }
+
+    #[test]
+    fn aggregation_ablation_touches_fewer_pairs() {
+        let ds = load(DatasetId::Aus, Scale::Smoke);
+        let t = ablation_keyword_aggregation(&ds, &smoke_params());
+        assert_eq!(t.rows.len(), 2);
+    }
+}

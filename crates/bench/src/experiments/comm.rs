@@ -1,0 +1,120 @@
+//! Communication-cost contrast (the §2.3 claim).
+//!
+//! The paper's core architectural argument: general distributed graph
+//! processing (Pregel-style BSP, or partitioned Dijkstra with iterative
+//! correcting) needs *many rounds* of inter-machine communication per
+//! query, while the NPD-index answers in **one** round with **zero**
+//! inter-worker bytes. This experiment measures all three on the same
+//! query workload.
+
+use disks_baseline::{bsp_sgkq, iterative_coverage, IterativeStats};
+use disks_cluster::{Cluster, ClusterConfig};
+use disks_core::{build_all_indexes, IndexConfig, SgkQuery};
+use disks_partition::{MultilevelPartitioner, Partitioner};
+
+use crate::datasets::Dataset;
+use crate::params::Params;
+use crate::queries::QueryGenerator;
+use crate::report::{fmt_bytes, Table};
+
+/// Compare NPD vs BSP vs iterative-correcting on SGKQ workloads.
+pub fn comm_contrast(ds: &Dataset, params: &Params) -> Table {
+    let e = ds.net.avg_edge_weight();
+    let max_r = params.max_r(e);
+    let r = (params.r(e) / 4).max(e); // moderate radius keeps BSP tractable
+    let k = params.num_fragments;
+    let partitioning = MultilevelPartitioner::default().partition(&ds.net, k);
+    let indexes = build_all_indexes(&ds.net, &partitioning, &IndexConfig::with_max_r(max_r));
+    let cluster = Cluster::build(&ds.net, &partitioning, indexes, ClusterConfig::default());
+
+    let mut gen = QueryGenerator::new(&ds.net, 0xC0C0);
+    let queries: Vec<SgkQuery> = gen.sgkq_batch(params.queries_per_point, 3, r);
+
+    let mut npd_rounds = 0u64;
+    let mut npd_inter_bytes = 0u64;
+    let mut npd_coord_bytes = 0u64;
+    let mut bsp_rounds = 0u64;
+    let mut bsp_inter_bytes = 0u64;
+    let mut iter_rounds = 0u64;
+    let mut iter_inter_bytes = 0u64;
+    let count = queries.len().max(1) as u64;
+
+    for q in &queries {
+        let outcome = cluster.run_sgkq(q).expect("NPD query");
+        npd_rounds += u64::from(outcome.stats.rounds);
+        npd_inter_bytes += outcome.stats.inter_worker_bytes;
+        npd_coord_bytes += outcome.stats.coordinator_to_worker_bytes
+            + outcome.stats.worker_to_coordinator_bytes;
+
+        let (bsp_nodes, bsp_run) = bsp_sgkq(&ds.net, &partitioning, &q.keywords, q.radius);
+        assert_eq!(bsp_nodes, outcome.results, "BSP baseline must agree with NPD");
+        bsp_rounds += bsp_run.supersteps as u64;
+        bsp_inter_bytes += bsp_run.inter_fragment_bytes;
+
+        let mut it_total = IterativeStats::default();
+        for &kw in &q.keywords {
+            let (_, stats) = iterative_coverage(&ds.net, &partitioning, kw, q.radius);
+            it_total.rounds += stats.rounds;
+            it_total.boundary_bytes += stats.boundary_bytes;
+        }
+        iter_rounds += it_total.rounds as u64;
+        iter_inter_bytes += it_total.boundary_bytes;
+    }
+    cluster.shutdown();
+
+    let mut t = Table::new(
+        format!(
+            "Communication per SGKQ (3 keywords, r={}e, k={}), {}",
+            r / e,
+            k,
+            ds.id.name()
+        ),
+        vec![
+            "method".into(),
+            "rounds/query".into(),
+            "inter-worker bytes/query".into(),
+            "coordinator bytes/query".into(),
+        ],
+    );
+    t.push(vec![
+        "NPD-index (ours)".into(),
+        format!("{:.1}", npd_rounds as f64 / count as f64),
+        fmt_bytes(npd_inter_bytes / count),
+        fmt_bytes(npd_coord_bytes / count),
+    ]);
+    t.push(vec![
+        "BSP (Pregel-style)".into(),
+        format!("{:.1}", bsp_rounds as f64 / count as f64),
+        fmt_bytes(bsp_inter_bytes / count),
+        "-".into(),
+    ]);
+    t.push(vec![
+        "iterative correcting [23]".into(),
+        format!("{:.1}", iter_rounds as f64 / count as f64),
+        fmt_bytes(iter_inter_bytes / count),
+        "-".into(),
+    ]);
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datasets::{load, DatasetId, Scale};
+
+    #[test]
+    fn npd_wins_on_rounds_and_bytes() {
+        let ds = load(DatasetId::Aus, Scale::Smoke);
+        let params = Params { num_fragments: 3, queries_per_point: 2, ..Params::default() };
+        let t = comm_contrast(&ds, &params);
+        assert_eq!(t.rows.len(), 3);
+        // NPD: exactly 1 round, 0 inter-worker bytes.
+        assert_eq!(t.rows[0][1], "1.0");
+        assert_eq!(t.rows[0][2], "0B");
+        // Baselines: strictly more rounds.
+        let bsp_rounds: f64 = t.rows[1][1].parse().unwrap();
+        let iter_rounds: f64 = t.rows[2][1].parse().unwrap();
+        assert!(bsp_rounds > 1.0, "BSP should need multiple rounds: {bsp_rounds}");
+        assert!(iter_rounds > 1.0, "iterative correcting needs multiple rounds: {iter_rounds}");
+    }
+}

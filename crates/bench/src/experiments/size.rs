@@ -1,0 +1,139 @@
+//! Storage-cost and indexing-time experiments: Table 1, Figure 7, Figure 8,
+//! Table 3 (EXP 1 and EXP 2 of the paper).
+
+use disks_core::{build_all_indexes, IndexConfig};
+use disks_partition::{MultilevelPartitioner, Partitioner};
+use disks_roadnet::{RoadNetwork, INF};
+
+use crate::datasets::{load, Dataset, DatasetId, Scale};
+use crate::params::Params;
+use crate::report::{fmt_bytes, Table};
+
+/// Table 1: dataset summary statistics.
+pub fn tab1_datasets(scale: Scale) -> Table {
+    let mut t = Table::new(
+        "Table 1: Datasets",
+        vec!["name".into(), "nodes".into(), "objects".into(), "edges".into(), "keywords".into()],
+    );
+    for id in [DatasetId::Bri, DatasetId::Aus] {
+        let ds = load(id, scale);
+        let s = ds.net.stats();
+        t.push(vec![
+            id.name().into(),
+            s.nodes.to_string(),
+            s.objects.to_string(),
+            s.edges.to_string(),
+            s.keywords.to_string(),
+        ]);
+    }
+    t
+}
+
+/// Average per-machine index size for one (maxR, #fragments) point.
+fn avg_index_bytes(net: &RoadNetwork, k: usize, max_r: u64) -> u64 {
+    let partitioning = MultilevelPartitioner::default().partition(net, k);
+    let indexes = build_all_indexes(net, &partitioning, &IndexConfig::with_max_r(max_r));
+    let total: u64 = indexes.iter().map(|i| i.stats().encoded_bytes as u64).sum();
+    total / k as u64
+}
+
+/// Figure 7 (a)/(b): average per-machine index size, maxR × #fragments.
+pub fn fig7_index_size(ds: &Dataset) -> Table {
+    let e = ds.net.avg_edge_weight();
+    let mut headers = vec!["maxR/e".to_string()];
+    headers.extend(Params::FRAGMENT_COUNTS.iter().map(|k| format!("k={k}")));
+    let mut t = Table::new(
+        format!("Figure 7: avg index size per machine, {} ({:?})", ds.id.name(), ds.scale),
+        headers,
+    );
+    for &factor in &Params::MAX_R_FACTORS {
+        let mut row = vec![factor.to_string()];
+        for &k in &Params::FRAGMENT_COUNTS {
+            row.push(fmt_bytes(avg_index_bytes(&ds.net, k, factor * e)));
+        }
+        t.push(row);
+    }
+    t
+}
+
+/// Figure 8: index size vs maxR including maxR = ∞ (AUS, default k = 16).
+pub fn fig8_index_size_unbounded(ds: &Dataset, k: usize) -> Table {
+    let e = ds.net.avg_edge_weight();
+    let mut t = Table::new(
+        format!("Figure 8: avg index size vs maxR incl. ∞, {} k={k}", ds.id.name()),
+        vec!["maxR/e".into(), "avg bytes/machine".into()],
+    );
+    for &factor in &Params::MAX_R_FACTORS {
+        t.push(vec![factor.to_string(), fmt_bytes(avg_index_bytes(&ds.net, k, factor * e))]);
+    }
+    t.push(vec!["inf".into(), fmt_bytes(avg_index_bytes(&ds.net, k, INF))]);
+    t
+}
+
+/// Table 3: per-fragment indexing time (seconds), #fragments × maxR (AUS).
+pub fn tab3_indexing_time(ds: &Dataset) -> Table {
+    let e = ds.net.avg_edge_weight();
+    let factors = [10u64, 20, 40];
+    let mut headers = vec!["#fragments".to_string()];
+    headers.extend(factors.iter().map(|f| format!("maxR={f}e")));
+    let mut t = Table::new(
+        format!("Table 3: indexing time per fragment, {} ({:?})", ds.id.name(), ds.scale),
+        headers,
+    );
+    for &k in &[4usize, 8, 12, 16] {
+        let mut row = vec![k.to_string()];
+        let partitioning = MultilevelPartitioner::default().partition(&ds.net, k);
+        for &factor in &factors {
+            let indexes =
+                build_all_indexes(&ds.net, &partitioning, &IndexConfig::with_max_r(factor * e));
+            // "Per-fragment indexing time": the mean across fragments (each
+            // fragment is built by one machine in the paper's deployment).
+            let total: std::time::Duration = indexes.iter().map(|i| i.stats().build_time).sum();
+            let mean = total / k as u32;
+            row.push(crate::report::fmt_duration(mean));
+        }
+        t.push(row);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tab1_has_both_datasets() {
+        let t = tab1_datasets(Scale::Smoke);
+        assert_eq!(t.rows.len(), 2);
+        assert_eq!(t.rows[0][0], "BRI");
+        let bri_nodes: usize = t.rows[0][1].parse().unwrap();
+        let aus_nodes: usize = t.rows[1][1].parse().unwrap();
+        assert!(bri_nodes > 0 && aus_nodes > 0);
+    }
+
+    #[test]
+    fn fig7_grows_with_max_r() {
+        let ds = load(DatasetId::Aus, Scale::Smoke);
+        let e = ds.net.avg_edge_weight();
+        let small = avg_index_bytes(&ds.net, 4, 5 * e);
+        let large = avg_index_bytes(&ds.net, 4, 40 * e);
+        assert!(large >= small, "index must not shrink as maxR grows: {small} vs {large}");
+        let t = fig7_index_size(&ds);
+        assert_eq!(t.rows.len(), Params::MAX_R_FACTORS.len());
+    }
+
+    #[test]
+    fn fig8_includes_infinity_row() {
+        let ds = load(DatasetId::Aus, Scale::Smoke);
+        let t = fig8_index_size_unbounded(&ds, 4);
+        assert_eq!(t.rows.last().unwrap()[0], "inf");
+    }
+
+    #[test]
+    fn tab3_renders_grid() {
+        let ds = load(DatasetId::Aus, Scale::Smoke);
+        let t = tab3_indexing_time(&ds);
+        assert_eq!(t.rows.len(), 4);
+        assert_eq!(t.headers.len(), 4);
+    }
+}

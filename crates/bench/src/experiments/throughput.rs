@@ -1,0 +1,87 @@
+//! Throughput experiment — the introduction's second motivation: "it will
+//! improve the throughput of query processing".
+//!
+//! A batch of SGKQs is pushed through the threaded cluster *pipelined*
+//! (all requests dispatched before gathering), so worker machines drain
+//! their queues concurrently. Throughput = queries / batch wall-clock, per
+//! machine count.
+
+use disks_core::{build_all_indexes, DFunction, IndexConfig};
+use disks_cluster::{Cluster, ClusterConfig, NetworkModel};
+use disks_partition::{MultilevelPartitioner, Partitioner};
+
+use crate::datasets::Dataset;
+use crate::params::Params;
+use crate::queries::QueryGenerator;
+use crate::report::Table;
+
+/// Pipelined throughput vs number of machines.
+pub fn throughput(ds: &Dataset, params: &Params) -> Table {
+    let e = ds.net.avg_edge_weight();
+    let max_r = params.max_r(e);
+    let r = params.r(e).min(max_r);
+    let batch = (params.queries_per_point * 10).max(20);
+    let mut gen = QueryGenerator::new(&ds.net, 0x7890);
+    let fs: Vec<DFunction> = gen
+        .sgkq_batch(batch, params.num_keywords, r)
+        .iter()
+        .map(|q| q.to_dfunction())
+        .collect();
+
+    let mut t = Table::new(
+        format!(
+            "Throughput: pipelined SGKQ batch of {} queries (#kw={}), {}",
+            fs.len(),
+            params.num_keywords,
+            ds.id.name()
+        ),
+        vec!["machines".into(), "batch wall".into(), "queries/sec".into()],
+    );
+    // Fragment count fixed at the default; machines vary (the §5.2
+    // fewer-machines-than-fragments schedule kicks in below k).
+    let k = params.num_fragments;
+    let partitioning = MultilevelPartitioner::default().partition(&ds.net, k);
+    let indexes = build_all_indexes(&ds.net, &partitioning, &IndexConfig::with_max_r(max_r));
+    for &machines in &[1usize, 2, 4, 8, 16] {
+        if machines > k {
+            continue;
+        }
+        let cluster = Cluster::build(
+            &ds.net,
+            &partitioning,
+            indexes.clone(),
+            ClusterConfig { machines: Some(machines), network: NetworkModel::instant() },
+        );
+        // Warmup pass.
+        let _ = cluster.run_pipelined(&fs).expect("warmup batch");
+        let (results, elapsed) = cluster.run_pipelined(&fs).expect("batch");
+        assert_eq!(results.len(), fs.len());
+        let qps = fs.len() as f64 / elapsed.as_secs_f64().max(1e-9);
+        t.push(vec![
+            machines.to_string(),
+            crate::report::fmt_duration(elapsed),
+            format!("{qps:.0}"),
+        ]);
+        cluster.shutdown();
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datasets::{load, DatasetId, Scale};
+
+    #[test]
+    fn throughput_table_has_machine_sweep() {
+        let ds = load(DatasetId::Aus, Scale::Smoke);
+        let params =
+            Params { num_fragments: 4, queries_per_point: 2, num_keywords: 3, ..Params::default() };
+        let t = throughput(&ds, &params);
+        assert!(t.rows.len() >= 3); // 1, 2, 4 machines
+        for row in &t.rows {
+            let qps: f64 = row[2].parse().unwrap();
+            assert!(qps > 0.0);
+        }
+    }
+}

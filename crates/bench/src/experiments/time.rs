@@ -1,0 +1,166 @@
+//! Query-time experiments: Figures 9–15 (EXP 3–6 of the paper).
+
+use disks_core::{DFunction, IndexConfig};
+use disks_roadnet::INF;
+
+use crate::datasets::Dataset;
+use crate::params::Params;
+use crate::queries::QueryGenerator;
+use crate::report::{fmt_duration, Table};
+
+use super::{mean_centralized, Deployment};
+
+fn sgkq_dfunctions(
+    ds: &Dataset,
+    seed: u64,
+    count: usize,
+    num_keywords: usize,
+    r: u64,
+) -> Vec<DFunction> {
+    let mut gen = QueryGenerator::new(&ds.net, seed);
+    gen.sgkq_batch(count, num_keywords, r).iter().map(|q| q.to_dfunction()).collect()
+}
+
+/// Figure 9 (EXP 5): query time vs maxR (including ∞) — the maxR value
+/// should have very limited effect on query time.
+pub fn fig9_query_time_vs_maxr(ds: &Dataset, params: &Params) -> Table {
+    let e = ds.net.avg_edge_weight();
+    // r must be servable by the smallest index: use the smallest maxR.
+    let r = Params::MAX_R_FACTORS[0] * e;
+    let fs = sgkq_dfunctions(ds, 0x9001, params.queries_per_point, params.num_keywords, r);
+    let mut t = Table::new(
+        format!("Figure 9: query time vs maxR, {} (r={}e, k={})",
+            ds.id.name(), Params::MAX_R_FACTORS[0], params.num_fragments),
+        vec!["maxR/e".into(), "avg response".into()],
+    );
+    for &factor in &Params::MAX_R_FACTORS {
+        let mut dep =
+            Deployment::prepare(&ds.net, params.num_fragments, &IndexConfig::with_max_r(factor * e));
+        t.push(vec![factor.to_string(), fmt_duration(dep.mean_response(&fs))]);
+    }
+    let mut dep = Deployment::prepare(&ds.net, params.num_fragments, &IndexConfig::unbounded());
+    t.push(vec!["inf".into(), fmt_duration(dep.mean_response(&fs))]);
+    let _ = INF;
+    t
+}
+
+/// Figures 10/11 (EXP 3): query time vs #keywords, distributed vs the
+/// "1 fragment" centralized reference.
+pub fn fig10_11_keywords(ds: &Dataset, params: &Params) -> Table {
+    let e = ds.net.avg_edge_weight();
+    let max_r = params.max_r(e);
+    let r = params.r(e).min(max_r);
+    let mut dep = Deployment::prepare(&ds.net, params.num_fragments, &IndexConfig::with_max_r(max_r));
+    let mut t = Table::new(
+        format!(
+            "Figure 10/11: query time vs #keywords, {} (k={}, r=maxR)",
+            ds.id.name(),
+            params.num_fragments
+        ),
+        vec!["#keywords".into(), "distributed".into(), "1 fragment".into()],
+    );
+    for &nk in &Params::KEYWORD_COUNTS {
+        let fs = sgkq_dfunctions(ds, 0xA000 + nk as u64, params.queries_per_point, nk, r);
+        if fs.is_empty() {
+            continue;
+        }
+        let dist = dep.mean_response(&fs);
+        let central = mean_centralized(&ds.net, &fs);
+        t.push(vec![nk.to_string(), fmt_duration(dist), fmt_duration(central)]);
+    }
+    t
+}
+
+/// Figures 12/13 (EXP 6): query time vs #fragments — response time should
+/// roughly halve when fragments double.
+pub fn fig12_13_fragments(ds: &Dataset, params: &Params) -> Table {
+    let e = ds.net.avg_edge_weight();
+    let max_r = params.max_r(e);
+    let r = params.r(e).min(max_r);
+    let fs = sgkq_dfunctions(ds, 0xC000, params.queries_per_point, params.num_keywords, r);
+    let mut t = Table::new(
+        format!(
+            "Figure 12/13: query time vs #fragments, {} (#kw={}, r=maxR)",
+            ds.id.name(),
+            params.num_keywords
+        ),
+        vec!["#fragments".into(), "avg response".into()],
+    );
+    for &k in &Params::FRAGMENT_COUNTS {
+        let mut dep = Deployment::prepare(&ds.net, k, &IndexConfig::with_max_r(max_r));
+        t.push(vec![k.to_string(), fmt_duration(dep.mean_response(&fs))]);
+    }
+    t
+}
+
+/// Figures 14/15 (EXP 4): query time vs r ∈ {maxR/4, maxR/3, maxR/2, maxR},
+/// distributed vs centralized.
+pub fn fig14_15_radius(ds: &Dataset, params: &Params) -> Table {
+    let e = ds.net.avg_edge_weight();
+    let max_r = params.max_r(e);
+    let mut dep = Deployment::prepare(&ds.net, params.num_fragments, &IndexConfig::with_max_r(max_r));
+    let mut t = Table::new(
+        format!(
+            "Figure 14/15: query time vs r, {} (#kw={}, k={})",
+            ds.id.name(),
+            params.num_keywords,
+            params.num_fragments
+        ),
+        vec!["r".into(), "distributed".into(), "1 fragment".into()],
+    );
+    // R_DIVISORS is [4, 3, 2, 1]: iterating in order gives ascending radii.
+    for &div in Params::R_DIVISORS.iter() {
+        let r = max_r / div;
+        let fs =
+            sgkq_dfunctions(ds, 0xD000 + div, params.queries_per_point, params.num_keywords, r);
+        if fs.is_empty() {
+            continue;
+        }
+        let dist = dep.mean_response(&fs);
+        let central = mean_centralized(&ds.net, &fs);
+        let label = if div == 1 { "maxR".to_string() } else { format!("maxR/{div}") };
+        t.push(vec![label, fmt_duration(dist), fmt_duration(central)]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datasets::{load, DatasetId, Scale};
+
+    fn smoke_params() -> Params {
+        Params { num_fragments: 4, queries_per_point: 2, num_keywords: 3, ..Params::default() }
+    }
+
+    #[test]
+    fn fig9_covers_all_maxr_points() {
+        let ds = load(DatasetId::Aus, Scale::Smoke);
+        let t = fig9_query_time_vs_maxr(&ds, &smoke_params());
+        assert_eq!(t.rows.len(), Params::MAX_R_FACTORS.len() + 1);
+        assert_eq!(t.rows.last().unwrap()[0], "inf");
+    }
+
+    #[test]
+    fn fig10_has_distributed_and_central_columns() {
+        let ds = load(DatasetId::Aus, Scale::Smoke);
+        let t = fig10_11_keywords(&ds, &smoke_params());
+        assert!(!t.rows.is_empty());
+        assert_eq!(t.headers.len(), 3);
+    }
+
+    #[test]
+    fn fig12_covers_fragment_sweep() {
+        let ds = load(DatasetId::Aus, Scale::Smoke);
+        let t = fig12_13_fragments(&ds, &smoke_params());
+        assert_eq!(t.rows.len(), Params::FRAGMENT_COUNTS.len());
+    }
+
+    #[test]
+    fn fig14_orders_radii_ascending() {
+        let ds = load(DatasetId::Aus, Scale::Smoke);
+        let t = fig14_15_radius(&ds, &smoke_params());
+        assert_eq!(t.rows.first().unwrap()[0], "maxR/4");
+        assert_eq!(t.rows.last().unwrap()[0], "maxR");
+    }
+}

@@ -1,0 +1,34 @@
+//! Experiment harness reproducing the paper's evaluation (§6).
+//!
+//! Every table and figure of the paper has a runner here (see the
+//! per-experiment index in `DESIGN.md` §3 and the recorded outcomes in
+//! `EXPERIMENTS.md`):
+//!
+//! | Paper artifact | Runner |
+//! |----------------|--------|
+//! | Tab. 1 (datasets) | [`experiments::tab1_datasets`] |
+//! | Tab. 2 (parameters) | [`params::parameter_table`] |
+//! | Tab. 3 (indexing time) | [`experiments::tab3_indexing_time`] |
+//! | Fig. 7 (index size vs maxR, #fragments) | [`experiments::fig7_index_size`] |
+//! | Fig. 8 (index size incl. maxR = ∞) | [`experiments::fig8_index_size_unbounded`] |
+//! | Fig. 9 (query time vs maxR) | [`experiments::fig9_query_time_vs_maxr`] |
+//! | Figs. 10/11 (vs #keywords) | [`experiments::fig10_11_keywords`] |
+//! | Figs. 12/13 (vs #fragments) | [`experiments::fig12_13_fragments`] |
+//! | Figs. 14/15 (vs r) | [`experiments::fig14_15_radius`] |
+//! | Fig. 16 (D-function mix) | [`experiments::fig16_dfunctions`] |
+//! | Fig. 17 (RKQ) | [`experiments::fig17_rkq`] |
+//! | §2.3 communication claim | [`experiments::comm_contrast`] |
+//!
+//! The `repro` binary runs them all and writes paper-style tables under
+//! `results/`.
+
+pub mod datasets;
+pub mod experiments;
+pub mod params;
+pub mod queries;
+pub mod report;
+
+pub use datasets::{Dataset, DatasetId, Scale};
+pub use params::Params;
+pub use queries::QueryGenerator;
+pub use report::Table;

@@ -1,0 +1,98 @@
+//! The paper's parameter grid (Table 2). Bold values in the paper are the
+//! defaults used when a factor is not the one being varied.
+
+use crate::report::Table;
+
+/// Experiment parameters, paper Table 2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Params {
+    /// `maxR = λ·ē` factor λ (default 40).
+    pub max_r_factor: u64,
+    /// Number of query keywords (default 7).
+    pub num_keywords: usize,
+    /// Number of fragments = machines (default 16).
+    pub num_fragments: usize,
+    /// Query radius as a λ-style factor of the average edge length; the
+    /// paper's default is `r = maxR` (= 40ē).
+    pub r_factor: u64,
+    /// Queries per measured point.
+    pub queries_per_point: usize,
+}
+
+impl Default for Params {
+    fn default() -> Self {
+        Params {
+            max_r_factor: 40,
+            num_keywords: 7,
+            num_fragments: 16,
+            r_factor: 40,
+            queries_per_point: 10,
+        }
+    }
+}
+
+impl Params {
+    /// Table 2's maxR sweep (×ē).
+    pub const MAX_R_FACTORS: [u64; 4] = [5, 10, 20, 40];
+    /// Table 2's #keywords sweep.
+    pub const KEYWORD_COUNTS: [usize; 5] = [3, 5, 7, 9, 11];
+    /// Table 2's #fragments sweep.
+    pub const FRAGMENT_COUNTS: [usize; 5] = [2, 4, 8, 12, 16];
+    /// Table 2's r sweep as fractions of maxR: maxR/4, maxR/3, maxR/2, maxR
+    /// (plus 40ē = maxR at the default λ).
+    pub const R_DIVISORS: [u64; 4] = [4, 3, 2, 1];
+
+    /// Resolve `maxR` in weight units for a network with average edge
+    /// weight `avg_edge`.
+    pub fn max_r(&self, avg_edge: u64) -> u64 {
+        self.max_r_factor * avg_edge
+    }
+
+    /// Resolve the query radius in weight units.
+    pub fn r(&self, avg_edge: u64) -> u64 {
+        self.r_factor * avg_edge
+    }
+}
+
+/// Render the paper's Table 2.
+pub fn parameter_table() -> Table {
+    let mut t = Table::new(
+        "Table 2: Parameters (defaults in [brackets])",
+        vec!["parameter".into(), "values".into()],
+    );
+    t.push(vec!["maxR / avg edge".into(), "5, 10, 20, [40]".into()]);
+    t.push(vec!["#keywords".into(), "3, 5, [7], 9, 11".into()]);
+    t.push(vec!["#fragments".into(), "2, 4, 8, 12, [16]".into()]);
+    t.push(vec!["r".into(), "40e, [maxR], maxR/2, maxR/3, maxR/4".into()]);
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper_bold_values() {
+        let p = Params::default();
+        assert_eq!(p.max_r_factor, 40);
+        assert_eq!(p.num_keywords, 7);
+        assert_eq!(p.num_fragments, 16);
+        assert_eq!(p.max_r(1200), 48_000);
+        assert_eq!(p.r(1200), 48_000);
+    }
+
+    #[test]
+    fn sweeps_match_table2() {
+        assert_eq!(Params::MAX_R_FACTORS, [5, 10, 20, 40]);
+        assert_eq!(Params::KEYWORD_COUNTS, [3, 5, 7, 9, 11]);
+        assert_eq!(Params::FRAGMENT_COUNTS, [2, 4, 8, 12, 16]);
+    }
+
+    #[test]
+    fn parameter_table_renders() {
+        let t = parameter_table();
+        let s = t.to_string();
+        assert!(s.contains("maxR"));
+        assert!(s.contains("[16]"));
+    }
+}

@@ -1,0 +1,242 @@
+//! The paper's query generator (§6, "Generating queries").
+//!
+//! > "We first select a circle range centered by a random node. Then, within
+//! > the range we choose the keywords according to their frequency. Keywords
+//! > with higher frequency have a larger chance to be chosen."
+//!
+//! We reproduce that literally: a random center node, a coordinate circle
+//! around it, the keyword multiset of the objects inside, and
+//! frequency-weighted sampling without replacement. If a circle does not
+//! contain enough distinct keywords it is enlarged, and after a few attempts
+//! a fresh center is drawn.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use disks_core::{RangeKeywordQuery, SgkQuery};
+use disks_roadnet::{KeywordId, NodeId, RoadNetwork};
+
+/// Frequency-weighted, spatially correlated query generator.
+pub struct QueryGenerator<'a> {
+    net: &'a RoadNetwork,
+    rng: StdRng,
+    /// Initial circle radius as a fraction of the coordinate extent.
+    range_frac: f32,
+    extent: (f32, f32, f32, f32), // min_x, min_y, max_x, max_y
+    /// Object nodes (keyword carriers), cached.
+    objects: Vec<NodeId>,
+}
+
+impl<'a> QueryGenerator<'a> {
+    pub fn new(net: &'a RoadNetwork, seed: u64) -> Self {
+        let mut extent = (f32::INFINITY, f32::INFINITY, f32::NEG_INFINITY, f32::NEG_INFINITY);
+        for n in net.node_ids() {
+            let (x, y) = net.coord(n);
+            extent.0 = extent.0.min(x);
+            extent.1 = extent.1.min(y);
+            extent.2 = extent.2.max(x);
+            extent.3 = extent.3.max(y);
+        }
+        let objects = net.node_ids().filter(|&n| net.is_object(n)).collect();
+        QueryGenerator { net, rng: StdRng::seed_from_u64(seed), range_frac: 0.15, extent, objects }
+    }
+
+    /// Keyword occurrences among objects within the circle of `radius`
+    /// (coordinate units) around `center`.
+    fn keywords_in_circle(&self, center: (f32, f32), radius: f32) -> Vec<(KeywordId, usize)> {
+        use std::collections::HashMap;
+        let mut counts: HashMap<KeywordId, usize> = HashMap::new();
+        let r2 = radius * radius;
+        for &obj in &self.objects {
+            let (x, y) = self.net.coord(obj);
+            let (dx, dy) = (x - center.0, y - center.1);
+            if dx * dx + dy * dy <= r2 {
+                for &k in self.net.keywords(obj) {
+                    *counts.entry(k).or_insert(0) += 1;
+                }
+            }
+        }
+        let mut out: Vec<(KeywordId, usize)> = counts.into_iter().collect();
+        out.sort_unstable(); // deterministic order before weighted sampling
+        out
+    }
+
+    /// Frequency-weighted sampling of `k` distinct keywords.
+    fn sample_keywords(&mut self, pool: &[(KeywordId, usize)], k: usize) -> Vec<KeywordId> {
+        let mut remaining: Vec<(KeywordId, usize)> = pool.to_vec();
+        let mut chosen = Vec::with_capacity(k);
+        for _ in 0..k {
+            let total: usize = remaining.iter().map(|&(_, c)| c).sum();
+            if total == 0 || remaining.is_empty() {
+                break;
+            }
+            let mut pick = self.rng.gen_range(0..total);
+            let mut idx = 0;
+            for (i, &(_, c)) in remaining.iter().enumerate() {
+                if pick < c {
+                    idx = i;
+                    break;
+                }
+                pick -= c;
+            }
+            chosen.push(remaining.swap_remove(idx).0);
+        }
+        chosen
+    }
+
+    /// Pick a circle containing at least `k` distinct keywords; enlarges and
+    /// recenters as needed. Returns the center node and the keyword pool.
+    fn pick_circle(&mut self, k: usize) -> Option<(NodeId, Vec<(KeywordId, usize)>)> {
+        let extent_radius =
+            ((self.extent.2 - self.extent.0).max(self.extent.3 - self.extent.1)).max(1.0);
+        for _attempt in 0..64 {
+            let center = NodeId(self.rng.gen_range(0..self.net.num_nodes() as u32));
+            let mut radius = extent_radius * self.range_frac;
+            for _ in 0..4 {
+                let pool = self.keywords_in_circle(self.net.coord(center), radius);
+                if pool.len() >= k {
+                    return Some((center, pool));
+                }
+                radius *= 2.0;
+            }
+        }
+        None
+    }
+
+    /// Generate an SGKQ with `num_keywords` keywords and radius `r`.
+    pub fn gen_sgkq(&mut self, num_keywords: usize, r: u64) -> Option<SgkQuery> {
+        let (_, pool) = self.pick_circle(num_keywords)?;
+        let keywords = self.sample_keywords(&pool, num_keywords);
+        if keywords.len() < num_keywords {
+            return None;
+        }
+        Some(SgkQuery::new(keywords, r))
+    }
+
+    /// Generate an RKQ: the query location is a random *object* node inside
+    /// the circle (objects are DL-indexed under the paper's §3.7 pruning).
+    pub fn gen_rkq(&mut self, num_keywords: usize, r: u64) -> Option<RangeKeywordQuery> {
+        let (center, pool) = self.pick_circle(num_keywords)?;
+        let keywords = self.sample_keywords(&pool, num_keywords);
+        if keywords.len() < num_keywords {
+            return None;
+        }
+        // Nearest object to the center (coordinate distance) as location.
+        let (cx, cy) = self.net.coord(center);
+        let location = self
+            .objects
+            .iter()
+            .copied()
+            .min_by(|&a, &b| {
+                let da = coord_dist2(self.net.coord(a), (cx, cy));
+                let db = coord_dist2(self.net.coord(b), (cx, cy));
+                da.partial_cmp(&db).expect("finite coords")
+            })?;
+        Some(RangeKeywordQuery::new(location, keywords, r))
+    }
+
+    /// Generate a batch of SGKQs (skipping failed draws).
+    pub fn sgkq_batch(&mut self, count: usize, num_keywords: usize, r: u64) -> Vec<SgkQuery> {
+        (0..count * 4)
+            .filter_map(|_| self.gen_sgkq(num_keywords, r))
+            .take(count)
+            .collect()
+    }
+
+    /// Generate a batch of RKQs.
+    pub fn rkq_batch(
+        &mut self,
+        count: usize,
+        num_keywords: usize,
+        r: u64,
+    ) -> Vec<RangeKeywordQuery> {
+        (0..count * 4)
+            .filter_map(|_| self.gen_rkq(num_keywords, r))
+            .take(count)
+            .collect()
+    }
+}
+
+fn coord_dist2(a: (f32, f32), b: (f32, f32)) -> f32 {
+    let (dx, dy) = (a.0 - b.0, a.1 - b.1);
+    dx * dx + dy * dy
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datasets::{load, DatasetId, Scale};
+
+    #[test]
+    fn generates_requested_keyword_counts() {
+        let ds = load(DatasetId::Aus, Scale::Smoke);
+        let mut gen = QueryGenerator::new(&ds.net, 1);
+        for k in [1, 3, 5, 7] {
+            let q = gen.gen_sgkq(k, 100).expect("query");
+            assert_eq!(q.keywords.len(), k, "k={k}");
+        }
+    }
+
+    #[test]
+    fn keywords_are_distinct_and_exist() {
+        let ds = load(DatasetId::Aus, Scale::Smoke);
+        let mut gen = QueryGenerator::new(&ds.net, 2);
+        let q = gen.gen_sgkq(5, 100).unwrap();
+        let mut sorted = q.keywords.clone();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 5);
+        for k in &q.keywords {
+            assert!(
+                !ds.net.nodes_with_keyword(*k).is_empty(),
+                "sampled keyword must occur in the network"
+            );
+        }
+    }
+
+    #[test]
+    fn frequency_bias_prefers_frequent_keywords() {
+        let ds = load(DatasetId::Aus, Scale::Smoke);
+        let freqs = ds.net.keyword_frequencies();
+        let mut gen = QueryGenerator::new(&ds.net, 3);
+        let mut picked: Vec<usize> = Vec::new();
+        for _ in 0..200 {
+            if let Some(q) = gen.gen_sgkq(1, 10) {
+                picked.push(freqs[q.keywords[0].index()]);
+            }
+        }
+        let avg_picked = picked.iter().sum::<usize>() as f64 / picked.len() as f64;
+        let nonzero: Vec<usize> = freqs.iter().copied().filter(|&f| f > 0).collect();
+        let avg_all = nonzero.iter().sum::<usize>() as f64 / nonzero.len() as f64;
+        assert!(
+            avg_picked > avg_all,
+            "picked avg frequency {avg_picked} should exceed population avg {avg_all}"
+        );
+    }
+
+    #[test]
+    fn rkq_locations_are_objects() {
+        let ds = load(DatasetId::Bri, Scale::Smoke);
+        let mut gen = QueryGenerator::new(&ds.net, 4);
+        for _ in 0..10 {
+            let q = gen.gen_rkq(2, 50).unwrap();
+            assert!(ds.net.is_object(q.location));
+            assert_eq!(q.keywords.len(), 2);
+        }
+    }
+
+    #[test]
+    fn batches_are_deterministic_per_seed() {
+        let ds = load(DatasetId::Aus, Scale::Smoke);
+        let a = QueryGenerator::new(&ds.net, 9).sgkq_batch(5, 3, 77);
+        let b = QueryGenerator::new(&ds.net, 9).sgkq_batch(5, 3, 77);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 5);
+    }
+
+    #[test]
+    fn impossible_keyword_count_returns_none() {
+        let ds = load(DatasetId::Aus, Scale::Smoke);
+        let mut gen = QueryGenerator::new(&ds.net, 5);
+        assert!(gen.gen_sgkq(10_000, 10).is_none());
+    }
+}

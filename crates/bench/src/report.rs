@@ -1,0 +1,180 @@
+//! Table rendering and result persistence for the experiment harness.
+
+use std::fmt;
+use std::path::Path;
+
+/// A simple aligned text table, the output unit of every experiment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Table {
+    pub title: String,
+    pub headers: Vec<String>,
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    pub fn new(title: impl Into<String>, headers: Vec<String>) -> Self {
+        Table { title: title.into(), headers, rows: Vec::new() }
+    }
+
+    /// Append a row.
+    ///
+    /// # Panics
+    /// Panics if the row width does not match the header width.
+    pub fn push(&mut self, row: Vec<String>) {
+        assert_eq!(row.len(), self.headers.len(), "row width must match headers");
+        self.rows.push(row);
+    }
+
+    /// Tab-separated form for machine consumption.
+    pub fn to_tsv(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&self.headers.join("\t"));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.join("\t"));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Write both the aligned and TSV forms under `dir` as
+    /// `<name>.txt` / `<name>.tsv`.
+    pub fn save(&self, dir: impl AsRef<Path>, name: &str) -> std::io::Result<()> {
+        let dir = dir.as_ref();
+        std::fs::create_dir_all(dir)?;
+        std::fs::write(dir.join(format!("{name}.txt")), self.to_string())?;
+        std::fs::write(dir.join(format!("{name}.tsv")), self.to_tsv())?;
+        Ok(())
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        writeln!(f, "{}", self.title)?;
+        let line = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            let mut rendered = Vec::with_capacity(cells.len());
+            for (i, cell) in cells.iter().enumerate() {
+                rendered.push(format!("{cell:>width$}", width = widths[i]));
+            }
+            writeln!(f, "  {}", rendered.join("  "))
+        };
+        line(f, &self.headers)?;
+        let total: usize = widths.iter().sum::<usize>() + 2 * widths.len();
+        writeln!(f, "  {}", "-".repeat(total))?;
+        for row in &self.rows {
+            line(f, row)?;
+        }
+        Ok(())
+    }
+}
+
+/// Format a `Duration` in adaptive units.
+pub fn fmt_duration(d: std::time::Duration) -> String {
+    let micros = d.as_micros();
+    if micros < 1_000 {
+        format!("{micros}us")
+    } else if micros < 1_000_000 {
+        format!("{:.2}ms", micros as f64 / 1_000.0)
+    } else {
+        format!("{:.2}s", micros as f64 / 1_000_000.0)
+    }
+}
+
+/// Format bytes in adaptive units.
+pub fn fmt_bytes(b: u64) -> String {
+    if b < 1024 {
+        format!("{b}B")
+    } else if b < 1024 * 1024 {
+        format!("{:.1}KB", b as f64 / 1024.0)
+    } else {
+        format!("{:.2}MB", b as f64 / (1024.0 * 1024.0))
+    }
+}
+
+/// Mean of a slice of durations.
+pub fn mean_duration(xs: &[std::time::Duration]) -> std::time::Duration {
+    if xs.is_empty() {
+        return std::time::Duration::ZERO;
+    }
+    let total: u128 = xs.iter().map(|d| d.as_nanos()).sum();
+    std::time::Duration::from_nanos((total / xs.len() as u128) as u64)
+}
+
+/// Median of a slice of durations — robust against one-off scheduling
+/// stragglers, which matters because the distributed response time is a
+/// max over machines and inherits any single outlier.
+pub fn median_duration(xs: &[std::time::Duration]) -> std::time::Duration {
+    if xs.is_empty() {
+        return std::time::Duration::ZERO;
+    }
+    let mut sorted: Vec<std::time::Duration> = xs.to_vec();
+    sorted.sort_unstable();
+    sorted[sorted.len() / 2]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new("demo", vec!["a".into(), "long_header".into()]);
+        t.push(vec!["1".into(), "2".into()]);
+        t.push(vec!["333".into(), "4444".into()]);
+        let s = t.to_string();
+        assert!(s.contains("demo"));
+        assert!(s.lines().count() >= 4);
+        let tsv = t.to_tsv();
+        assert_eq!(tsv.lines().count(), 3);
+        assert!(tsv.starts_with("a\tlong_header"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn mismatched_row_rejected() {
+        let mut t = Table::new("demo", vec!["a".into()]);
+        t.push(vec!["1".into(), "2".into()]);
+    }
+
+    #[test]
+    fn save_writes_both_forms() {
+        let mut t = Table::new("demo", vec!["x".into()]);
+        t.push(vec!["1".into()]);
+        let dir = std::env::temp_dir().join(format!("disks-report-{}", std::process::id()));
+        t.save(&dir, "demo").unwrap();
+        assert!(dir.join("demo.txt").exists());
+        assert!(dir.join("demo.tsv").exists());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(fmt_duration(Duration::from_micros(10)), "10us");
+        assert_eq!(fmt_duration(Duration::from_millis(5)), "5.00ms");
+        assert_eq!(fmt_duration(Duration::from_secs(2)), "2.00s");
+        assert_eq!(fmt_bytes(10), "10B");
+        assert_eq!(fmt_bytes(2048), "2.0KB");
+        assert_eq!(fmt_bytes(3 * 1024 * 1024), "3.00MB");
+        assert_eq!(
+            mean_duration(&[Duration::from_secs(1), Duration::from_secs(3)]),
+            Duration::from_secs(2)
+        );
+        assert_eq!(mean_duration(&[]), Duration::ZERO);
+        assert_eq!(
+            median_duration(&[
+                Duration::from_secs(1),
+                Duration::from_secs(100),
+                Duration::from_secs(2)
+            ]),
+            Duration::from_secs(2)
+        );
+        assert_eq!(median_duration(&[]), Duration::ZERO);
+    }
+}

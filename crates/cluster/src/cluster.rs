@@ -1,0 +1,669 @@
+//! The coordinator and cluster lifecycle.
+//!
+//! `Cluster::build` partitions responsibility: each worker thread receives
+//! the [`FragmentEngine`]s of its assigned fragments (built from the global
+//! network **once**, here — after that the global network is no longer
+//! consulted by any worker), plus a request channel and a counted response
+//! link. Queries fan out as one `Evaluate` frame per busy machine and gather
+//! one `Results` frame per hosted fragment; the final result is the union of
+//! per-fragment results (Lemma 1).
+
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use crossbeam::channel::{Receiver, Sender};
+
+use bytes::Bytes;
+use disks_core::{
+    DFunction, DlScope, FragmentEngine, NpdIndex, QClassQuery, QueryError, RangeKeywordQuery,
+    SgkQuery, Term,
+};
+use disks_partition::Partitioning;
+use disks_roadnet::{NodeId, RoadNetwork};
+
+use crate::message::{decode_frame, encode_frame, Request, Response};
+use crate::scheduler::Assignment;
+use crate::stats::{MachineCost, QueryStats};
+use crate::transport::{counted_link, LinkCounters, NetworkModel};
+use crate::worker::{worker_loop, WorkerEngine};
+
+/// Cluster construction parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct ClusterConfig {
+    /// Number of worker machines; `None` = one per fragment (the paper's
+    /// default deployment).
+    pub machines: Option<usize>,
+    /// Network model for modeled response times.
+    pub network: NetworkModel,
+}
+
+impl Default for ClusterConfig {
+    // NetworkModel::default() is switch_100mbps(), but spelling it out here
+    // documents the paper's setting; silence the derivable-impls lint.
+    #[allow(clippy::derivable_impls)]
+    fn default() -> Self {
+        ClusterConfig { machines: None, network: NetworkModel::switch_100mbps() }
+    }
+}
+
+/// Result + statistics of one distributed query.
+#[derive(Debug, Clone)]
+pub struct QueryOutcome {
+    /// Union of per-fragment results, sorted by node id.
+    pub results: Vec<NodeId>,
+    pub stats: QueryStats,
+}
+
+struct WorkerHandle {
+    requests: Sender<Bytes>,
+    to_worker: Arc<LinkCounters>,
+    join: Option<JoinHandle<()>>,
+}
+
+/// A running share-nothing cluster.
+pub struct Cluster {
+    workers: Vec<WorkerHandle>,
+    responses: Receiver<Bytes>,
+    from_workers: Arc<LinkCounters>,
+    assignment: Assignment,
+    network: NetworkModel,
+    /// DL scope of the indexes, for query-location validation.
+    dl_scope: DlScope,
+    /// Global object bitmap: the coordinator validates RKQ locations before
+    /// dispatch (workers cannot — they are share-nothing; see
+    /// `FragmentEngine::coverage`).
+    is_object: Vec<bool>,
+    query_counter: std::cell::Cell<u64>,
+}
+
+impl Cluster {
+    /// Build engines from `indexes` and spawn the worker machines.
+    ///
+    /// # Panics
+    /// Panics if `indexes` does not contain exactly one index per fragment
+    /// of `partitioning`, in fragment order (as produced by
+    /// [`disks_core::build_all_indexes`]).
+    pub fn build(
+        net: &RoadNetwork,
+        partitioning: &Partitioning,
+        indexes: Vec<NpdIndex>,
+        config: ClusterConfig,
+    ) -> Cluster {
+        let k = partitioning.num_fragments();
+        assert_eq!(indexes.len(), k, "one index per fragment required");
+        for (i, idx) in indexes.iter().enumerate() {
+            assert_eq!(idx.fragment().index(), i, "indexes must be in fragment order");
+        }
+        let dl_scope = indexes.first().map(|i| i.dl_scope()).unwrap_or(DlScope::ObjectsOnly);
+        // Build each fragment's engine, then distribute them to machines.
+        let engines: Vec<WorkerEngine> = indexes
+            .iter()
+            .map(|idx| {
+                WorkerEngine::Single(
+                    FragmentEngine::new(net, partitioning, idx).expect("engine build"),
+                )
+            })
+            .collect();
+        Self::build_with_engines(net, partitioning, engines, dl_scope, config)
+    }
+
+    /// Build a §5.5 **bi-level** cluster: every machine holds a bounded
+    /// primary index (`config_primary.max_r`, which must be finite) plus an
+    /// unbounded secondary, and routes each query by its largest radius —
+    /// so queries with `r > maxR` are served instead of rejected.
+    pub fn build_bilevel(
+        net: &RoadNetwork,
+        partitioning: &Partitioning,
+        config_primary: &disks_core::IndexConfig,
+        config: ClusterConfig,
+    ) -> Cluster {
+        let engines: Vec<WorkerEngine> = partitioning
+            .fragment_ids()
+            .map(|f| {
+                WorkerEngine::BiLevel(
+                    disks_core::BiLevelIndex::build(net, partitioning, f, config_primary)
+                        .expect("bilevel build"),
+                )
+            })
+            .collect();
+        Self::build_with_engines(net, partitioning, engines, config_primary.dl_scope, config)
+    }
+
+    fn build_with_engines(
+        net: &RoadNetwork,
+        partitioning: &Partitioning,
+        engines: Vec<WorkerEngine>,
+        dl_scope: DlScope,
+        config: ClusterConfig,
+    ) -> Cluster {
+        let k = partitioning.num_fragments();
+        let machines = config.machines.unwrap_or(k).max(1);
+        let assignment = Assignment::round_robin(k, machines);
+        let mut engines: Vec<Option<WorkerEngine>> = engines.into_iter().map(Some).collect();
+
+        let (resp_tx, resp_rx, from_workers) = counted_link();
+        let mut workers = Vec::with_capacity(machines);
+        for m in 0..machines {
+            let my_engines: Vec<WorkerEngine> = assignment
+                .fragments_of(m)
+                .iter()
+                .map(|f| engines[f.index()].take().expect("engine assigned once"))
+                .collect();
+            let (req_tx, req_rx) = crossbeam::channel::unbounded();
+            let to_worker = Arc::new(LinkCounters::default());
+            let responses = resp_tx.clone();
+            let join = std::thread::Builder::new()
+                .name(format!("disks-worker-{m}"))
+                .spawn(move || worker_loop(m, my_engines, req_rx, responses))
+                .expect("spawn worker");
+            workers.push(WorkerHandle { requests: req_tx, to_worker, join: Some(join) });
+        }
+
+        let is_object = net.node_ids().map(|n| net.is_object(n)).collect();
+        Cluster {
+            workers,
+            responses: resp_rx,
+            from_workers,
+            assignment,
+            network: config.network,
+            dl_scope,
+            is_object,
+            query_counter: std::cell::Cell::new(0),
+        }
+    }
+
+    /// Number of worker machines.
+    pub fn num_machines(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// The fragment → machine assignment in effect.
+    pub fn assignment(&self) -> &Assignment {
+        &self.assignment
+    }
+
+    /// Validate a D-function before dispatch (coordinator-side checks the
+    /// share-nothing workers cannot perform).
+    fn validate(&self, f: &DFunction) -> Result<(), QueryError> {
+        for t in f.terms() {
+            if let Term::Node(l) = t.term {
+                if l.index() >= self.is_object.len() {
+                    return Err(QueryError::UnindexedQueryLocation(l));
+                }
+                if self.dl_scope == DlScope::ObjectsOnly && !self.is_object[l.index()] {
+                    return Err(QueryError::UnindexedQueryLocation(l));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Run a D-function distributedly: dispatch to busy machines, gather one
+    /// response per fragment, union the results (Lemma 1).
+    pub fn run(&self, f: &DFunction) -> Result<QueryOutcome, QueryError> {
+        self.validate(f)?;
+        let start = Instant::now();
+        let query_id = self.query_counter.get() + 1;
+        self.query_counter.set(query_id);
+
+        let c2w_before: u64 = self.workers.iter().map(|w| w.to_worker.bytes()).sum();
+        let w2c_before = self.from_workers.bytes();
+
+        let request = encode_frame(&Request::Evaluate { query_id, dfunction: f.clone() });
+        let request_bytes = request.len() as u64;
+        let mut expected = 0usize;
+        for m in self.assignment.busy_machines() {
+            self.workers[m].requests.send(request.clone()).expect("worker alive");
+            self.workers[m].to_worker.record_send(request_bytes);
+            expected += self.assignment.fragments_of(m).len();
+        }
+
+        let mut per_machine: Vec<MachineCost> =
+            vec![MachineCost::default(); self.workers.len()];
+        let mut results: Vec<NodeId> = Vec::new();
+        let mut failure: Option<String> = None;
+        for _ in 0..expected {
+            let frame = self.responses.recv().expect("workers alive");
+            let bytes = frame.len() as u64;
+            match decode_frame::<Response>(frame).expect("well-formed response") {
+                Response::Results { query_id: qid, fragment, nodes, cost } => {
+                    debug_assert_eq!(qid, query_id);
+                    let m = self.assignment.machine_of(disks_partition::FragmentId(fragment));
+                    per_machine[m].absorb(fragment, &cost, nodes.len() as u64, bytes);
+                    results.extend(nodes);
+                }
+                Response::Failed { error, .. } => {
+                    failure.get_or_insert(error);
+                }
+                other @ Response::TopKResults { .. } => {
+                    unreachable!("TopK response to an Evaluate request: {other:?}")
+                }
+            }
+        }
+        if let Some(error) = failure {
+            // Surface the typed radius error when recognizable.
+            return Err(if error.contains("maxR") {
+                QueryError::RadiusExceedsMaxR { r: f.max_radius(), max_r: 0 }
+            } else {
+                QueryError::EmptyQuery
+            });
+        }
+        results.sort_unstable();
+
+        let c2w_after: u64 = self.workers.iter().map(|w| w.to_worker.bytes()).sum();
+        let w2c_after = self.from_workers.bytes();
+        let stats = QueryStats {
+            wall_time: start.elapsed(),
+            per_machine,
+            coordinator_to_worker_bytes: c2w_after - c2w_before,
+            worker_to_coordinator_bytes: w2c_after - w2c_before,
+            inter_worker_bytes: 0, // no worker↔worker links exist (Theorem 3)
+            rounds: 1,
+            results: results.len(),
+            ..QueryStats::default()
+        }
+        .finalize(&self.network, request_bytes);
+        Ok(QueryOutcome { results, stats })
+    }
+
+    /// Run a batch of D-functions *pipelined*: all requests are dispatched
+    /// before any response is gathered, so worker machines process their
+    /// queues concurrently — the throughput mode the paper's introduction
+    /// motivates ("it will improve query throughput"). Returns the sorted
+    /// result set per query plus the batch wall-clock.
+    pub fn run_pipelined(
+        &self,
+        fs: &[DFunction],
+    ) -> Result<(Vec<Vec<NodeId>>, std::time::Duration), QueryError> {
+        for f in fs {
+            self.validate(f)?;
+        }
+        let start = Instant::now();
+        let base = self.query_counter.get();
+        self.query_counter.set(base + fs.len() as u64);
+        let mut expected = 0usize;
+        for (i, f) in fs.iter().enumerate() {
+            let query_id = base + 1 + i as u64;
+            let request = encode_frame(&Request::Evaluate { query_id, dfunction: f.clone() });
+            for m in self.assignment.busy_machines() {
+                self.workers[m].requests.send(request.clone()).expect("worker alive");
+                self.workers[m].to_worker.record_send(request.len() as u64);
+                expected += self.assignment.fragments_of(m).len();
+            }
+        }
+        let mut results: Vec<Vec<NodeId>> = vec![Vec::new(); fs.len()];
+        let mut failure: Option<String> = None;
+        for _ in 0..expected {
+            let frame = self.responses.recv().expect("workers alive");
+            match decode_frame::<Response>(frame).expect("well-formed response") {
+                Response::Results { query_id, nodes, .. } => {
+                    let slot = (query_id - base - 1) as usize;
+                    results[slot].extend(nodes);
+                }
+                Response::Failed { error, .. } => {
+                    failure.get_or_insert(error);
+                }
+                other @ Response::TopKResults { .. } => {
+                    unreachable!("TopK response to a pipelined Evaluate batch: {other:?}")
+                }
+            }
+        }
+        if let Some(error) = failure {
+            return Err(if error.contains("maxR") {
+                QueryError::RadiusExceedsMaxR { r: 0, max_r: 0 }
+            } else {
+                QueryError::EmptyQuery
+            });
+        }
+        for r in &mut results {
+            r.sort_unstable();
+        }
+        Ok((results, start.elapsed()))
+    }
+
+    /// Run a top-k group keyword query distributedly: every fragment ships
+    /// its local top-k, the coordinator merges (exact within the horizon).
+    pub fn run_topk(
+        &self,
+        q: &disks_core::TopKQuery,
+    ) -> Result<(Vec<disks_core::Ranked>, QueryStats), QueryError> {
+        if q.keywords.is_empty() {
+            return Err(QueryError::EmptyQuery);
+        }
+        let start = Instant::now();
+        let query_id = self.query_counter.get() + 1;
+        self.query_counter.set(query_id);
+        let c2w_before: u64 = self.workers.iter().map(|w| w.to_worker.bytes()).sum();
+        let w2c_before = self.from_workers.bytes();
+
+        let request = encode_frame(&Request::TopK { query_id, query: q.clone() });
+        let request_bytes = request.len() as u64;
+        let mut expected = 0usize;
+        for m in self.assignment.busy_machines() {
+            self.workers[m].requests.send(request.clone()).expect("worker alive");
+            self.workers[m].to_worker.record_send(request_bytes);
+            expected += self.assignment.fragments_of(m).len();
+        }
+        let mut per_machine: Vec<MachineCost> = vec![MachineCost::default(); self.workers.len()];
+        let mut lists: Vec<Vec<disks_core::Ranked>> = Vec::with_capacity(expected);
+        let mut failure: Option<String> = None;
+        for _ in 0..expected {
+            let frame = self.responses.recv().expect("workers alive");
+            let bytes = frame.len() as u64;
+            match decode_frame::<Response>(frame).expect("well-formed response") {
+                Response::TopKResults { query_id: qid, fragment, ranked, cost } => {
+                    debug_assert_eq!(qid, query_id);
+                    let m = self.assignment.machine_of(disks_partition::FragmentId(fragment));
+                    per_machine[m].absorb(fragment, &cost, ranked.len() as u64, bytes);
+                    lists.push(ranked);
+                }
+                Response::Failed { error, .. } => {
+                    failure.get_or_insert(error);
+                }
+                other => panic!("unexpected response to TopK: {other:?}"),
+            }
+        }
+        if let Some(error) = failure {
+            return Err(if error.contains("maxR") {
+                QueryError::RadiusExceedsMaxR { r: q.horizon, max_r: 0 }
+            } else {
+                QueryError::EmptyQuery
+            });
+        }
+        let merged = disks_core::merge_topk(lists, q.k);
+        let c2w_after: u64 = self.workers.iter().map(|w| w.to_worker.bytes()).sum();
+        let w2c_after = self.from_workers.bytes();
+        let stats = QueryStats {
+            wall_time: start.elapsed(),
+            per_machine,
+            coordinator_to_worker_bytes: c2w_after - c2w_before,
+            worker_to_coordinator_bytes: w2c_after - w2c_before,
+            inter_worker_bytes: 0,
+            rounds: 1,
+            results: merged.len(),
+            ..QueryStats::default()
+        }
+        .finalize(&self.network, request_bytes);
+        Ok((merged, stats))
+    }
+
+    /// Run an SGKQ (Definition 2).
+    pub fn run_sgkq(&self, q: &SgkQuery) -> Result<QueryOutcome, QueryError> {
+        let f = q.to_dfunction_checked().ok_or(QueryError::EmptyQuery)?;
+        self.run(&f)
+    }
+
+    /// Run an RKQ (Definition 3).
+    pub fn run_rkq(&self, q: &RangeKeywordQuery) -> Result<QueryOutcome, QueryError> {
+        self.run(&q.to_dfunction())
+    }
+
+    /// Run a Q-class query (Definition 8).
+    pub fn run_qclass(&self, q: &QClassQuery) -> Result<QueryOutcome, QueryError> {
+        self.run(&q.to_dfunction())
+    }
+
+    /// Shut down all workers and join their threads.
+    pub fn shutdown(mut self) {
+        let frame = encode_frame(&Request::Shutdown);
+        for w in &self.workers {
+            let _ = w.requests.send(frame.clone());
+        }
+        for w in &mut self.workers {
+            if let Some(join) = w.join.take() {
+                let _ = join.join();
+            }
+        }
+    }
+}
+
+impl Drop for Cluster {
+    fn drop(&mut self) {
+        let frame = encode_frame(&Request::Shutdown);
+        for w in &self.workers {
+            let _ = w.requests.send(frame.clone());
+        }
+        for w in &mut self.workers {
+            if let Some(join) = w.join.take() {
+                let _ = join.join();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use disks_core::{build_all_indexes, CentralizedCoverage, IndexConfig, SetOp};
+    use disks_partition::{MultilevelPartitioner, Partitioner};
+    use disks_roadnet::generator::GridNetworkConfig;
+    use disks_roadnet::KeywordId;
+
+    fn setup(
+        seed: u64,
+        k: usize,
+        cfg: &IndexConfig,
+    ) -> (RoadNetwork, Partitioning, Cluster) {
+        let net = GridNetworkConfig::tiny(seed).generate();
+        let p = MultilevelPartitioner::default().partition(&net, k);
+        let indexes = build_all_indexes(&net, &p, cfg);
+        let cluster = Cluster::build(&net, &p, indexes, ClusterConfig::default());
+        (net, p, cluster)
+    }
+
+    fn top_keywords(net: &RoadNetwork, n: usize) -> Vec<KeywordId> {
+        let freqs = net.keyword_frequencies();
+        let mut ranked: Vec<usize> = (0..freqs.len()).filter(|&k| freqs[k] > 0).collect();
+        ranked.sort_unstable_by_key(|&k| std::cmp::Reverse(freqs[k]));
+        ranked.into_iter().take(n).map(|k| KeywordId(k as u32)).collect()
+    }
+
+    #[test]
+    fn distributed_sgkq_matches_centralized_with_zero_inter_worker_bytes() {
+        let (net, _, cluster) = setup(70, 3, &IndexConfig::unbounded());
+        let kws = top_keywords(&net, 2);
+        let q = SgkQuery::new(kws, 4 * net.avg_edge_weight());
+        let outcome = cluster.run_sgkq(&q).unwrap();
+        let mut central = CentralizedCoverage::new(&net);
+        assert_eq!(outcome.results, central.sgkq(&q).unwrap());
+        assert_eq!(outcome.stats.inter_worker_bytes, 0);
+        assert_eq!(outcome.stats.rounds, 1);
+        assert!(outcome.stats.coordinator_to_worker_bytes > 0);
+        assert!(outcome.stats.worker_to_coordinator_bytes > 0);
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn rkq_and_qclass_match_centralized() {
+        let (net, _, cluster) = setup(71, 4, &IndexConfig::unbounded());
+        let mut central = CentralizedCoverage::new(&net);
+        let obj = net.node_ids().find(|&n| net.is_object(n)).unwrap();
+        let kw = net.keywords(obj)[0];
+        let rkq = RangeKeywordQuery::new(obj, vec![kw], 6 * net.avg_edge_weight());
+        assert_eq!(cluster.run_rkq(&rkq).unwrap().results, central.rkq(&rkq).unwrap());
+
+        let kws = top_keywords(&net, 3);
+        let f = DFunction::single(Term::Keyword(kws[0]), 4 * net.avg_edge_weight())
+            .then(SetOp::Subtract, Term::Keyword(kws[1]), 2 * net.avg_edge_weight())
+            .then(SetOp::Union, Term::Keyword(kws[2]), net.avg_edge_weight());
+        let q = QClassQuery::new(f);
+        assert_eq!(cluster.run_qclass(&q).unwrap().results, central.qclass(&q).unwrap());
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn fewer_machines_than_fragments_still_correct() {
+        let net = GridNetworkConfig::tiny(72).generate();
+        let p = MultilevelPartitioner::default().partition(&net, 6);
+        let indexes = build_all_indexes(&net, &p, &IndexConfig::unbounded());
+        let cluster = Cluster::build(
+            &net,
+            &p,
+            indexes,
+            ClusterConfig { machines: Some(2), network: NetworkModel::instant() },
+        );
+        assert_eq!(cluster.num_machines(), 2);
+        let kws = top_keywords(&net, 2);
+        let q = SgkQuery::new(kws, 3 * net.avg_edge_weight());
+        let outcome = cluster.run_sgkq(&q).unwrap();
+        let mut central = CentralizedCoverage::new(&net);
+        assert_eq!(outcome.results, central.sgkq(&q).unwrap());
+        // Each busy machine hosts 3 fragments.
+        let busy: Vec<_> =
+            outcome.stats.per_machine.iter().filter(|m| !m.fragments.is_empty()).collect();
+        assert_eq!(busy.len(), 2);
+        assert_eq!(busy[0].fragments.len(), 3);
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn unindexed_rkq_location_rejected_by_coordinator() {
+        let (net, _, cluster) = setup(73, 2, &IndexConfig::unbounded());
+        // A junction node is not DL-indexed under ObjectsOnly scope.
+        let junction = net.node_ids().find(|&n| !net.is_object(n)).unwrap();
+        let rkq = RangeKeywordQuery::new(junction, vec![KeywordId(0)], 10);
+        assert!(matches!(
+            cluster.run_rkq(&rkq),
+            Err(QueryError::UnindexedQueryLocation(_))
+        ));
+        // With AllNodes scope the same query is served.
+        let p = MultilevelPartitioner::default().partition(&net, 2);
+        let cfg = IndexConfig::unbounded().with_scope(DlScope::AllNodes);
+        let indexes = build_all_indexes(&net, &p, &cfg);
+        let cluster2 = Cluster::build(&net, &p, indexes, ClusterConfig::default());
+        let mut central = CentralizedCoverage::new(&net);
+        // Use a keyword that exists so intersection may be non-trivial.
+        let kw = top_keywords(&net, 1)[0];
+        let rkq2 = RangeKeywordQuery::new(junction, vec![kw], 8 * net.avg_edge_weight());
+        assert_eq!(cluster2.run_rkq(&rkq2).unwrap().results, central.rkq(&rkq2).unwrap());
+        cluster2.shutdown();
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn radius_over_max_r_propagates_error() {
+        let net = GridNetworkConfig::tiny(74).generate();
+        let p = MultilevelPartitioner::default().partition(&net, 2);
+        let cfg = IndexConfig::with_max_r(2 * net.avg_edge_weight());
+        let indexes = build_all_indexes(&net, &p, &cfg);
+        let cluster = Cluster::build(&net, &p, indexes, ClusterConfig::default());
+        let q = SgkQuery::new(vec![KeywordId(0)], 100 * net.avg_edge_weight());
+        assert!(matches!(
+            cluster.run_sgkq(&q),
+            Err(QueryError::RadiusExceedsMaxR { .. })
+        ));
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn stats_report_load_balance() {
+        let (net, _, cluster) = setup(75, 4, &IndexConfig::unbounded());
+        let kws = top_keywords(&net, 2);
+        let q = SgkQuery::new(kws, 5 * net.avg_edge_weight());
+        let outcome = cluster.run_sgkq(&q).unwrap();
+        assert!(outcome.stats.unbalance_factor >= 1.0);
+        assert_eq!(outcome.stats.per_machine.len(), 4);
+        assert!(outcome.stats.modeled_response_time >= outcome.stats.slowest_task);
+        assert_eq!(
+            outcome.stats.results,
+            outcome.results.len()
+        );
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn pipelined_batch_matches_sequential_runs() {
+        let (net, _, cluster) = setup(78, 3, &IndexConfig::unbounded());
+        let kws = top_keywords(&net, 3);
+        let e = net.avg_edge_weight();
+        let fs: Vec<DFunction> = (1..=6)
+            .map(|i| {
+                SgkQuery::new(vec![kws[i % kws.len()]], (i as u64) * e).to_dfunction()
+            })
+            .collect();
+        let (batch, elapsed) = cluster.run_pipelined(&fs).unwrap();
+        assert_eq!(batch.len(), fs.len());
+        assert!(elapsed > std::time::Duration::ZERO);
+        for (f, nodes) in fs.iter().zip(&batch) {
+            let solo = cluster.run(f).unwrap();
+            assert_eq!(&solo.results, nodes, "query {f}");
+        }
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn empty_sgkq_rejected() {
+        let (_, _, cluster) = setup(76, 2, &IndexConfig::unbounded());
+        let q = SgkQuery { keywords: vec![], radius: 5 };
+        assert!(matches!(cluster.run_sgkq(&q), Err(QueryError::EmptyQuery)));
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn distributed_topk_matches_centralized() {
+        use disks_core::{centralized_topk, ScoreCombine, TopKQuery};
+        let (net, _, cluster) = setup(80, 4, &IndexConfig::unbounded());
+        let kws = top_keywords(&net, 2);
+        let e = net.avg_edge_weight();
+        for combine in [ScoreCombine::Max, ScoreCombine::Sum] {
+            for k in [1usize, 5, 25, 10_000] {
+                let q = TopKQuery::new(kws.clone(), k, 8 * e, combine);
+                let (ranked, stats) = cluster.run_topk(&q).unwrap();
+                let expect = centralized_topk(&net, &q).unwrap();
+                assert_eq!(ranked, expect, "combine={combine:?} k={k}");
+                assert_eq!(stats.inter_worker_bytes, 0);
+            }
+        }
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn topk_horizon_above_max_r_rejected() {
+        let net = GridNetworkConfig::tiny(81).generate();
+        let p = MultilevelPartitioner::default().partition(&net, 2);
+        let cfg = IndexConfig::with_max_r(net.avg_edge_weight());
+        let indexes = build_all_indexes(&net, &p, &cfg);
+        let cluster = Cluster::build(&net, &p, indexes, ClusterConfig::default());
+        let q = disks_core::TopKQuery::new(
+            vec![KeywordId(0)],
+            5,
+            100 * net.avg_edge_weight(),
+            disks_core::ScoreCombine::Max,
+        );
+        assert!(cluster.run_topk(&q).is_err());
+        // A bi-level cluster serves the same query.
+        let bilevel = Cluster::build_bilevel(&net, &p, &cfg, ClusterConfig::default());
+        let (ranked, _) = bilevel.run_topk(&q).unwrap();
+        let expect = disks_core::centralized_topk(&net, &q).unwrap();
+        assert_eq!(ranked, expect);
+        bilevel.shutdown();
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn bilevel_cluster_serves_radii_beyond_max_r() {
+        let net = GridNetworkConfig::tiny(79).generate();
+        let p = MultilevelPartitioner::default().partition(&net, 3);
+        let e = net.avg_edge_weight();
+        let cfg = IndexConfig::with_max_r(3 * e);
+        let cluster = Cluster::build_bilevel(&net, &p, &cfg, ClusterConfig::default());
+        let mut central = CentralizedCoverage::new(&net);
+        let kw = top_keywords(&net, 1)[0];
+        // Small radius → primary; large radius → secondary; both exact.
+        for r in [e, 2 * e, 10 * e, 30 * e] {
+            let q = SgkQuery::new(vec![kw], r);
+            let outcome = cluster.run_sgkq(&q).expect("bilevel query");
+            assert_eq!(outcome.results, central.sgkq(&q).unwrap(), "r={r}");
+        }
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn drop_without_shutdown_joins_workers() {
+        let (net, _, cluster) = setup(77, 2, &IndexConfig::unbounded());
+        let kws = top_keywords(&net, 1);
+        let _ = cluster.run_sgkq(&SgkQuery::new(kws, net.avg_edge_weight())).unwrap();
+        drop(cluster); // must not hang or leak threads
+    }
+}

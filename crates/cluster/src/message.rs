@@ -1,0 +1,280 @@
+//! Wire protocol between the coordinator and the workers.
+//!
+//! Messages are encoded with the hand-written binary codec so the byte
+//! counts reported in the communication experiments are exactly what a TCP
+//! implementation would put on the wire (minus transport framing).
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use disks_core::{DFunction, QueryCost, QueryError, Ranked, TopKQuery};
+use disks_roadnet::codec::{Decode, Encode};
+use disks_roadnet::{DecodeError, NodeId};
+
+/// Coordinator → worker.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Evaluate a D-function on every fragment the worker hosts.
+    Evaluate { query_id: u64, dfunction: DFunction },
+    /// Evaluate a top-k group keyword query on every hosted fragment.
+    TopK { query_id: u64, query: TopKQuery },
+    /// Terminate the worker loop.
+    Shutdown,
+}
+
+/// The encodable subset of [`QueryCost`] shipped back to the coordinator.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WireCost {
+    pub alpha: u64,
+    pub beta: u64,
+    pub settled: u64,
+    pub pushed: u64,
+    pub coverage_nodes: u64,
+    pub elapsed_micros: u64,
+}
+
+impl From<&QueryCost> for WireCost {
+    fn from(c: &QueryCost) -> Self {
+        WireCost {
+            alpha: c.alpha as u64,
+            beta: c.beta as u64,
+            settled: c.settled as u64,
+            pushed: c.pushed as u64,
+            coverage_nodes: c.coverage_nodes as u64,
+            elapsed_micros: c.elapsed.as_micros() as u64,
+        }
+    }
+}
+
+/// Worker → coordinator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Response {
+    /// Results for one fragment hosted by the worker.
+    Results { query_id: u64, fragment: u32, nodes: Vec<NodeId>, cost: WireCost },
+    /// Locally ranked top-k results for one fragment.
+    TopKResults { query_id: u64, fragment: u32, ranked: Vec<Ranked>, cost: WireCost },
+    /// The query failed on this worker.
+    Failed { query_id: u64, fragment: u32, error: String },
+}
+
+impl Encode for WireCost {
+    fn encode(&self, buf: &mut impl BufMut) {
+        self.alpha.encode(buf);
+        self.beta.encode(buf);
+        self.settled.encode(buf);
+        self.pushed.encode(buf);
+        self.coverage_nodes.encode(buf);
+        self.elapsed_micros.encode(buf);
+    }
+}
+impl Decode for WireCost {
+    fn decode(buf: &mut impl Buf) -> Result<Self, DecodeError> {
+        Ok(WireCost {
+            alpha: u64::decode(buf)?,
+            beta: u64::decode(buf)?,
+            settled: u64::decode(buf)?,
+            pushed: u64::decode(buf)?,
+            coverage_nodes: u64::decode(buf)?,
+            elapsed_micros: u64::decode(buf)?,
+        })
+    }
+}
+
+impl Encode for Request {
+    fn encode(&self, buf: &mut impl BufMut) {
+        match self {
+            Request::Evaluate { query_id, dfunction } => {
+                0u8.encode(buf);
+                query_id.encode(buf);
+                dfunction.encode(buf);
+            }
+            Request::Shutdown => 1u8.encode(buf),
+            Request::TopK { query_id, query } => {
+                2u8.encode(buf);
+                query_id.encode(buf);
+                query.encode(buf);
+            }
+        }
+    }
+}
+impl Decode for Request {
+    fn decode(buf: &mut impl Buf) -> Result<Self, DecodeError> {
+        match u8::decode(buf)? {
+            0 => Ok(Request::Evaluate {
+                query_id: u64::decode(buf)?,
+                dfunction: DFunction::decode(buf)?,
+            }),
+            1 => Ok(Request::Shutdown),
+            2 => Ok(Request::TopK {
+                query_id: u64::decode(buf)?,
+                query: TopKQuery::decode(buf)?,
+            }),
+            tag => Err(DecodeError::BadTag { context: "Request", tag }),
+        }
+    }
+}
+
+impl Encode for Response {
+    fn encode(&self, buf: &mut impl BufMut) {
+        match self {
+            Response::Results { query_id, fragment, nodes, cost } => {
+                0u8.encode(buf);
+                query_id.encode(buf);
+                fragment.encode(buf);
+                nodes.encode(buf);
+                cost.encode(buf);
+            }
+            Response::Failed { query_id, fragment, error } => {
+                1u8.encode(buf);
+                query_id.encode(buf);
+                fragment.encode(buf);
+                error.encode(buf);
+            }
+            Response::TopKResults { query_id, fragment, ranked, cost } => {
+                2u8.encode(buf);
+                query_id.encode(buf);
+                fragment.encode(buf);
+                ranked.encode(buf);
+                cost.encode(buf);
+            }
+        }
+    }
+}
+impl Decode for Response {
+    fn decode(buf: &mut impl Buf) -> Result<Self, DecodeError> {
+        match u8::decode(buf)? {
+            0 => Ok(Response::Results {
+                query_id: u64::decode(buf)?,
+                fragment: u32::decode(buf)?,
+                nodes: Vec::decode(buf)?,
+                cost: WireCost::decode(buf)?,
+            }),
+            1 => Ok(Response::Failed {
+                query_id: u64::decode(buf)?,
+                fragment: u32::decode(buf)?,
+                error: String::decode(buf)?,
+            }),
+            2 => Ok(Response::TopKResults {
+                query_id: u64::decode(buf)?,
+                fragment: u32::decode(buf)?,
+                ranked: Vec::decode(buf)?,
+                cost: WireCost::decode(buf)?,
+            }),
+            tag => Err(DecodeError::BadTag { context: "Response", tag }),
+        }
+    }
+}
+
+/// Encode a message to a frame.
+pub fn encode_frame<T: Encode>(msg: &T) -> Bytes {
+    let mut buf = BytesMut::new();
+    msg.encode(&mut buf);
+    buf.freeze()
+}
+
+/// Decode a message from a frame, requiring full consumption.
+pub fn decode_frame<T: Decode>(mut bytes: Bytes) -> Result<T, DecodeError> {
+    let msg = T::decode(&mut bytes)?;
+    if bytes.has_remaining() {
+        return Err(DecodeError::LengthOutOfRange {
+            context: "trailing bytes after frame",
+            len: bytes.remaining() as u64,
+        });
+    }
+    Ok(msg)
+}
+
+/// Render a [`QueryError`] for the `Failed` response (workers cannot ship
+/// the typed error across the simulated wire without widening the protocol;
+/// the string form is what a production RPC would log).
+pub fn render_error(e: &QueryError) -> String {
+    e.to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use disks_core::Term;
+    use disks_roadnet::KeywordId;
+
+    #[test]
+    fn request_round_trip() {
+        let f = DFunction::single(Term::Keyword(KeywordId(3)), 42);
+        let req = Request::Evaluate { query_id: 7, dfunction: f };
+        let frame = encode_frame(&req);
+        assert_eq!(decode_frame::<Request>(frame).unwrap(), req);
+        let frame = encode_frame(&Request::Shutdown);
+        assert_eq!(decode_frame::<Request>(frame).unwrap(), Request::Shutdown);
+    }
+
+    #[test]
+    fn response_round_trip() {
+        let resp = Response::Results {
+            query_id: 9,
+            fragment: 2,
+            nodes: vec![NodeId(1), NodeId(5)],
+            cost: WireCost { alpha: 1, beta: 2, settled: 3, pushed: 4, coverage_nodes: 5, elapsed_micros: 6 },
+        };
+        let frame = encode_frame(&resp);
+        assert_eq!(decode_frame::<Response>(frame).unwrap(), resp);
+        let fail =
+            Response::Failed { query_id: 9, fragment: 1, error: "radius too large".into() };
+        let frame = encode_frame(&fail);
+        assert_eq!(decode_frame::<Response>(frame).unwrap(), fail);
+    }
+
+    #[test]
+    fn topk_round_trip() {
+        use disks_core::{ScoreCombine, TopKQuery};
+        let req = Request::TopK {
+            query_id: 4,
+            query: TopKQuery::new(vec![KeywordId(1)], 5, 40, ScoreCombine::Max),
+        };
+        let frame = encode_frame(&req);
+        assert_eq!(decode_frame::<Request>(frame).unwrap(), req);
+        let resp = Response::TopKResults {
+            query_id: 4,
+            fragment: 1,
+            ranked: vec![(3, NodeId(7)), (9, NodeId(2))],
+            cost: WireCost::default(),
+        };
+        let frame = encode_frame(&resp);
+        assert_eq!(decode_frame::<Response>(frame).unwrap(), resp);
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        let frame = encode_frame(&Request::Shutdown);
+        let mut extended = BytesMut::from(&frame[..]);
+        extended.put_u8(0xff);
+        assert!(decode_frame::<Request>(extended.freeze()).is_err());
+    }
+
+    #[test]
+    fn bad_tag_rejected() {
+        let mut buf = BytesMut::new();
+        buf.put_u8(250);
+        assert!(decode_frame::<Request>(buf.freeze()).is_err());
+        let mut buf = BytesMut::new();
+        buf.put_u8(250);
+        assert!(decode_frame::<Response>(buf.freeze()).is_err());
+    }
+
+    #[test]
+    fn result_frame_size_scales_with_result_count() {
+        let small = Response::Results {
+            query_id: 1,
+            fragment: 0,
+            nodes: vec![NodeId(1)],
+            cost: WireCost::default(),
+        };
+        let large = Response::Results {
+            query_id: 1,
+            fragment: 0,
+            nodes: (0..1000).map(NodeId).collect(),
+            cost: WireCost::default(),
+        };
+        let s = encode_frame(&small).len();
+        let l = encode_frame(&large).len();
+        assert_eq!(l - s, 999 * 4, "4 bytes per extra node id");
+    }
+}

@@ -1,0 +1,97 @@
+//! Fragment → machine assignment (§5.2).
+//!
+//! The paper's default deployment pins one fragment per machine. When fewer
+//! machines than fragments are available, the §5.2 strategy ("an unassigned
+//! task must be assigned to an idle machine") degenerates — for a static
+//! homogeneous pipeline — to spreading fragments evenly; we implement the
+//! static even spread here and keep per-machine cost accounting so the
+//! Theorem 6 unbalance factor can be measured under any assignment.
+
+use disks_partition::FragmentId;
+
+/// A static fragment → machine assignment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Assignment {
+    /// `machine_of[f]` = machine hosting fragment `f`.
+    machine_of: Vec<usize>,
+    /// `fragments_of[m]` = fragments hosted by machine `m`.
+    fragments_of: Vec<Vec<FragmentId>>,
+}
+
+impl Assignment {
+    /// Spread `num_fragments` fragments over `machines` machines round-robin
+    /// (the even static assignment; with `machines == num_fragments` this is
+    /// the paper's one-fragment-per-machine default).
+    pub fn round_robin(num_fragments: usize, machines: usize) -> Self {
+        assert!(machines > 0, "at least one machine required");
+        let mut machine_of = Vec::with_capacity(num_fragments);
+        let mut fragments_of: Vec<Vec<FragmentId>> = vec![Vec::new(); machines];
+        for f in 0..num_fragments {
+            let m = f % machines;
+            machine_of.push(m);
+            fragments_of[m].push(FragmentId(f as u32));
+        }
+        Assignment { machine_of, fragments_of }
+    }
+
+    pub fn num_machines(&self) -> usize {
+        self.fragments_of.len()
+    }
+
+    pub fn num_fragments(&self) -> usize {
+        self.machine_of.len()
+    }
+
+    /// Machine hosting fragment `f`.
+    pub fn machine_of(&self, f: FragmentId) -> usize {
+        self.machine_of[f.index()]
+    }
+
+    /// Fragments hosted by machine `m`.
+    pub fn fragments_of(&self, m: usize) -> &[FragmentId] {
+        &self.fragments_of[m]
+    }
+
+    /// Machines that host at least one fragment.
+    pub fn busy_machines(&self) -> impl Iterator<Item = usize> + '_ {
+        (0..self.num_machines()).filter(|&m| !self.fragments_of[m].is_empty())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_fragment_per_machine_default() {
+        let a = Assignment::round_robin(4, 4);
+        for f in 0..4 {
+            assert_eq!(a.machine_of(FragmentId(f)), f as usize);
+            assert_eq!(a.fragments_of(f as usize), &[FragmentId(f)]);
+        }
+    }
+
+    #[test]
+    fn fewer_machines_spread_evenly() {
+        let a = Assignment::round_robin(10, 3);
+        let sizes: Vec<usize> = (0..3).map(|m| a.fragments_of(m).len()).collect();
+        assert_eq!(sizes.iter().sum::<usize>(), 10);
+        assert!(sizes.iter().max().unwrap() - sizes.iter().min().unwrap() <= 1);
+        for f in 0..10 {
+            let m = a.machine_of(FragmentId(f));
+            assert!(a.fragments_of(m).contains(&FragmentId(f)));
+        }
+    }
+
+    #[test]
+    fn more_machines_than_fragments_leaves_idle_machines() {
+        let a = Assignment::round_robin(2, 5);
+        assert_eq!(a.busy_machines().count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one machine")]
+    fn zero_machines_rejected() {
+        let _ = Assignment::round_robin(3, 0);
+    }
+}

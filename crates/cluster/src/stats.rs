@@ -1,0 +1,157 @@
+//! Per-query distributed statistics: communication, load balance (Thm. 6),
+//! and the Theorem 5 cost-model aggregates.
+
+use std::time::Duration;
+
+use crate::message::WireCost;
+use crate::transport::NetworkModel;
+
+/// Cost incurred by one machine for one query (summed over the fragments it
+/// hosts).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MachineCost {
+    /// Fragments this machine evaluated for the query.
+    pub fragments: Vec<u32>,
+    /// Compute time (sum of task times on this machine).
+    pub compute: Duration,
+    /// Aggregated Theorem 5 counters.
+    pub alpha: u64,
+    pub beta: u64,
+    pub settled: u64,
+    pub coverage_nodes: u64,
+    /// Result nodes this machine produced.
+    pub results: u64,
+    /// Bytes this machine sent back to the coordinator.
+    pub response_bytes: u64,
+}
+
+impl MachineCost {
+    pub(crate) fn absorb(&mut self, fragment: u32, cost: &WireCost, results: u64, bytes: u64) {
+        self.fragments.push(fragment);
+        self.compute += Duration::from_micros(cost.elapsed_micros);
+        self.alpha += cost.alpha;
+        self.beta += cost.beta;
+        self.settled += cost.settled;
+        self.coverage_nodes += cost.coverage_nodes;
+        self.results += results;
+        self.response_bytes += bytes;
+    }
+}
+
+/// Statistics for one distributed query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryStats {
+    /// End-to-end wall-clock observed by the coordinator.
+    pub wall_time: Duration,
+    /// Per-machine costs (only machines that hosted ≥1 fragment).
+    pub per_machine: Vec<MachineCost>,
+    /// The slowest machine's compute time — the paper's response-time
+    /// determinant ("the response time is determined by the slowest task").
+    pub slowest_task: Duration,
+    /// Theorem 6 unbalance factor `U = max cost / min cost` over busy
+    /// machines (1.0 = perfect balance).
+    pub unbalance_factor: f64,
+    /// Bytes coordinator → workers (task assignment).
+    pub coordinator_to_worker_bytes: u64,
+    /// Bytes workers → coordinator (results).
+    pub worker_to_coordinator_bytes: u64,
+    /// Bytes exchanged between workers. Always 0 for the NPD-index runtime —
+    /// no worker↔worker links exist (Theorem 3); the BSP baseline reports
+    /// nonzero values here for contrast.
+    pub inter_worker_bytes: u64,
+    /// Communication rounds (coordinator dispatch + gather = 1).
+    pub rounds: u32,
+    /// Modeled response time under the configured [`NetworkModel`]:
+    /// dispatch latency + slowest compute + slowest result transfer.
+    pub modeled_response_time: Duration,
+    /// Total result nodes.
+    pub results: usize,
+}
+
+impl QueryStats {
+    /// Compute the derived fields from per-machine costs.
+    pub(crate) fn finalize(
+        mut self,
+        network: &NetworkModel,
+        request_bytes: u64,
+    ) -> QueryStats {
+        let busy: Vec<&MachineCost> =
+            self.per_machine.iter().filter(|m| !m.fragments.is_empty()).collect();
+        self.slowest_task = busy.iter().map(|m| m.compute).max().unwrap_or(Duration::ZERO);
+        let max = busy.iter().map(|m| m.compute.as_nanos()).max().unwrap_or(0);
+        let min = busy.iter().map(|m| m.compute.as_nanos()).min().unwrap_or(0);
+        self.unbalance_factor = if min == 0 { 1.0 } else { max as f64 / min as f64 };
+        let slowest_response =
+            busy.iter().map(|m| network.transfer_time(m.response_bytes)).max().unwrap_or(Duration::ZERO);
+        self.modeled_response_time =
+            network.transfer_time(request_bytes) + self.slowest_task + slowest_response;
+        self
+    }
+
+    /// Aggregate α across machines (Theorem 5).
+    pub fn total_alpha(&self) -> u64 {
+        self.per_machine.iter().map(|m| m.alpha).sum()
+    }
+
+    /// Aggregate settled nodes across machines.
+    pub fn total_settled(&self) -> u64 {
+        self.per_machine.iter().map(|m| m.settled).sum()
+    }
+}
+
+impl Default for QueryStats {
+    fn default() -> Self {
+        QueryStats {
+            wall_time: Duration::ZERO,
+            per_machine: Vec::new(),
+            slowest_task: Duration::ZERO,
+            unbalance_factor: 1.0,
+            coordinator_to_worker_bytes: 0,
+            worker_to_coordinator_bytes: 0,
+            inter_worker_bytes: 0,
+            rounds: 1,
+            modeled_response_time: Duration::ZERO,
+            results: 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finalize_computes_unbalance_and_slowest() {
+        let mut stats = QueryStats::default();
+        let mut m1 = MachineCost::default();
+        m1.absorb(0, &WireCost { elapsed_micros: 100, ..Default::default() }, 5, 50);
+        let mut m2 = MachineCost::default();
+        m2.absorb(1, &WireCost { elapsed_micros: 400, ..Default::default() }, 1, 10);
+        stats.per_machine = vec![m1, m2];
+        let out = stats.finalize(&NetworkModel::instant(), 32);
+        assert_eq!(out.slowest_task, Duration::from_micros(400));
+        assert!((out.unbalance_factor - 4.0).abs() < 1e-9);
+        assert_eq!(out.modeled_response_time, Duration::from_micros(400));
+    }
+
+    #[test]
+    fn idle_machines_excluded_from_unbalance() {
+        let mut stats = QueryStats::default();
+        let mut m1 = MachineCost::default();
+        m1.absorb(0, &WireCost { elapsed_micros: 100, ..Default::default() }, 0, 8);
+        stats.per_machine = vec![m1, MachineCost::default()];
+        let out = stats.finalize(&NetworkModel::instant(), 0);
+        assert!((out.unbalance_factor - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn modeled_time_includes_network() {
+        let mut stats = QueryStats::default();
+        let mut m1 = MachineCost::default();
+        m1.absorb(0, &WireCost { elapsed_micros: 0, ..Default::default() }, 0, 12_500_000);
+        stats.per_machine = vec![m1];
+        let out = stats.finalize(&NetworkModel::switch_100mbps(), 0);
+        // 12.5 MB at 12.5 MB/s ≈ 1 s dominated by the response transfer.
+        assert!(out.modeled_response_time >= Duration::from_secs(1));
+    }
+}

@@ -1,0 +1,150 @@
+//! Simulated network links with exact byte accounting.
+//!
+//! Every coordinator↔worker link is a crossbeam channel of encoded frames
+//! plus an atomic byte/message counter. There are deliberately **no**
+//! worker↔worker links anywhere in this crate — the type system enforces the
+//! paper's zero-inter-worker-communication property, and [`QueryStats`]
+//! reports it as a measured 0 rather than an assumption.
+//!
+//! [`QueryStats`]: crate::stats::QueryStats
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use bytes::Bytes;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+
+/// Latency/bandwidth model converting message bytes into modeled wire time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NetworkModel {
+    /// One-way message latency.
+    pub latency: Duration,
+    /// Link bandwidth in bytes per second.
+    pub bandwidth_bytes_per_sec: u64,
+}
+
+impl NetworkModel {
+    /// The paper's setup: a 100 Mb TP-LINK switch (~12.5 MB/s) with typical
+    /// LAN latency.
+    pub fn switch_100mbps() -> Self {
+        NetworkModel { latency: Duration::from_micros(200), bandwidth_bytes_per_sec: 12_500_000 }
+    }
+
+    /// An idealized zero-cost network (isolates pure compute time).
+    pub fn instant() -> Self {
+        NetworkModel { latency: Duration::ZERO, bandwidth_bytes_per_sec: u64::MAX }
+    }
+
+    /// Modeled time to move `bytes` over the link (latency + serialization).
+    pub fn transfer_time(&self, bytes: u64) -> Duration {
+        if self.bandwidth_bytes_per_sec == u64::MAX {
+            return self.latency;
+        }
+        let secs = bytes as f64 / self.bandwidth_bytes_per_sec as f64;
+        self.latency + Duration::from_secs_f64(secs)
+    }
+}
+
+impl Default for NetworkModel {
+    fn default() -> Self {
+        NetworkModel::switch_100mbps()
+    }
+}
+
+/// Byte/message counters for one direction of a link.
+#[derive(Debug, Default)]
+pub struct LinkCounters {
+    bytes: AtomicU64,
+    messages: AtomicU64,
+}
+
+impl LinkCounters {
+    pub fn bytes(&self) -> u64 {
+        self.bytes.load(Ordering::Relaxed)
+    }
+
+    pub fn messages(&self) -> u64 {
+        self.messages.load(Ordering::Relaxed)
+    }
+
+    fn record(&self, bytes: u64) {
+        self.bytes.fetch_add(bytes, Ordering::Relaxed);
+        self.messages.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record a message sent over a link whose sender does not hold the
+    /// counted [`LinkSender`] half (the coordinator's request channels).
+    pub fn record_send(&self, bytes: u64) {
+        self.record(bytes);
+    }
+}
+
+/// The sending half of a counted link.
+#[derive(Debug, Clone)]
+pub struct LinkSender {
+    tx: Sender<Bytes>,
+    counters: Arc<LinkCounters>,
+}
+
+impl LinkSender {
+    /// Send a frame, counting its bytes. Returns false if the peer is gone.
+    pub fn send(&self, frame: Bytes) -> bool {
+        self.counters.record(frame.len() as u64);
+        self.tx.send(frame).is_ok()
+    }
+
+    pub fn counters(&self) -> &Arc<LinkCounters> {
+        &self.counters
+    }
+}
+
+/// Create a counted link; returns the sender, the raw receiver, and the
+/// shared counters.
+pub fn counted_link() -> (LinkSender, Receiver<Bytes>, Arc<LinkCounters>) {
+    let (tx, rx) = unbounded();
+    let counters = Arc::new(LinkCounters::default());
+    (LinkSender { tx, counters: Arc::clone(&counters) }, rx, counters)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_track_bytes_and_messages() {
+        let (tx, rx, counters) = counted_link();
+        assert!(tx.send(Bytes::from_static(b"hello")));
+        assert!(tx.send(Bytes::from_static(b"world!!")));
+        assert_eq!(counters.bytes(), 12);
+        assert_eq!(counters.messages(), 2);
+        assert_eq!(rx.recv().unwrap(), Bytes::from_static(b"hello"));
+        assert_eq!(rx.recv().unwrap(), Bytes::from_static(b"world!!"));
+    }
+
+    #[test]
+    fn send_to_dropped_receiver_reports_failure_but_counts() {
+        let (tx, rx, counters) = counted_link();
+        drop(rx);
+        assert!(!tx.send(Bytes::from_static(b"x")));
+        assert_eq!(counters.bytes(), 1);
+    }
+
+    #[test]
+    fn network_model_transfer_time() {
+        let m = NetworkModel { latency: Duration::from_millis(1), bandwidth_bytes_per_sec: 1000 };
+        assert_eq!(m.transfer_time(0), Duration::from_millis(1));
+        assert_eq!(m.transfer_time(1000), Duration::from_millis(1) + Duration::from_secs(1));
+        let fast = NetworkModel::instant();
+        assert_eq!(fast.transfer_time(u64::MAX / 2), Duration::ZERO);
+    }
+
+    #[test]
+    fn paper_switch_is_12_5_mbytes() {
+        let m = NetworkModel::switch_100mbps();
+        // 12.5 MB should take ~1 second plus latency.
+        let t = m.transfer_time(12_500_000);
+        assert!(t >= Duration::from_secs(1));
+        assert!(t < Duration::from_millis(1100));
+    }
+}

@@ -1,0 +1,214 @@
+//! Worker machines.
+//!
+//! A worker is an OS thread that owns the [`FragmentEngine`]s of the
+//! fragments assigned to it — and nothing else. Its only I/O is the request
+//! channel from the coordinator and the counted response link back. Tasks
+//! for the fragments a machine hosts are processed sequentially, modeling
+//! one CPU per machine (the paper's machines evaluate their fragment's task
+//! in a single process).
+
+use bytes::Bytes;
+use crossbeam::channel::Receiver;
+
+use disks_core::{BiLevelIndex, DFunction, FragmentEngine, QueryCost, QueryError};
+use disks_roadnet::NodeId;
+
+use crate::message::{decode_frame, encode_frame, render_error, Request, Response};
+use crate::transport::LinkSender;
+
+/// The engine a worker hosts for one fragment: a plain bounded/unbounded
+/// [`FragmentEngine`], or a §5.5 [`BiLevelIndex`] pair that routes by the
+/// query radius.
+#[allow(clippy::large_enum_variant)] // one engine per fragment lives for the
+// worker's lifetime; boxing would only add indirection on the hot path
+pub enum WorkerEngine {
+    Single(FragmentEngine),
+    BiLevel(BiLevelIndex),
+}
+
+impl WorkerEngine {
+    /// The fragment this engine serves.
+    pub fn fragment(&self) -> disks_partition::FragmentId {
+        match self {
+            WorkerEngine::Single(e) => e.fragment(),
+            WorkerEngine::BiLevel(b) => b.fragment(),
+        }
+    }
+
+    /// Evaluate a D-function on the hosted fragment.
+    pub fn evaluate(&mut self, f: &DFunction) -> Result<(Vec<NodeId>, QueryCost), QueryError> {
+        match self {
+            WorkerEngine::Single(e) => e.evaluate(f),
+            WorkerEngine::BiLevel(b) => b.evaluate(f).map(|(n, c, _served)| (n, c)),
+        }
+    }
+
+    /// Local top-k on the hosted fragment.
+    pub fn topk_local(
+        &mut self,
+        q: &disks_core::TopKQuery,
+    ) -> Result<(Vec<disks_core::Ranked>, QueryCost), QueryError> {
+        match self {
+            WorkerEngine::Single(e) => e.topk_local(q),
+            WorkerEngine::BiLevel(b) => b.topk_local(q),
+        }
+    }
+}
+
+/// Run the worker loop until a `Shutdown` request or channel closure.
+pub fn worker_loop(
+    machine_id: usize,
+    mut engines: Vec<WorkerEngine>,
+    requests: Receiver<Bytes>,
+    responses: LinkSender,
+) {
+    let _ = machine_id;
+    while let Ok(frame) = requests.recv() {
+        let request = match decode_frame::<Request>(frame) {
+            Ok(r) => r,
+            Err(_) => continue, // malformed frame: drop, as a server would
+        };
+        match request {
+            Request::Shutdown => break,
+            Request::TopK { query_id, query } => {
+                for engine in &mut engines {
+                    let fragment = engine.fragment().0;
+                    let frame = match engine.topk_local(&query) {
+                        Ok((ranked, cost)) => encode_frame(&Response::TopKResults {
+                            query_id,
+                            fragment,
+                            ranked,
+                            cost: (&cost).into(),
+                        }),
+                        Err(e) => encode_frame(&Response::Failed {
+                            query_id,
+                            fragment,
+                            error: render_error(&e),
+                        }),
+                    };
+                    if !responses.send(frame) {
+                        return;
+                    }
+                }
+            }
+            Request::Evaluate { query_id, dfunction } => {
+                for engine in &mut engines {
+                    let fragment = engine.fragment().0;
+                    let frame = match engine.evaluate(&dfunction) {
+                        Ok((nodes, cost)) => encode_frame(&Response::Results {
+                            query_id,
+                            fragment,
+                            nodes,
+                            cost: (&cost).into(),
+                        }),
+                        Err(e) => encode_frame(&Response::Failed {
+                            query_id,
+                            fragment,
+                            error: render_error(&e),
+                        }),
+                    };
+                    if !responses.send(frame) {
+                        return; // coordinator gone
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::WireCost;
+    use crate::transport::counted_link;
+    use crossbeam::channel::unbounded;
+    use disks_core::{build_all_indexes, DFunction, IndexConfig, Term};
+    use disks_partition::{MultilevelPartitioner, Partitioner};
+    use disks_roadnet::generator::GridNetworkConfig;
+    use disks_roadnet::KeywordId;
+
+    #[test]
+    fn worker_answers_and_shuts_down() {
+        let net = GridNetworkConfig::tiny(60).generate();
+        let p = MultilevelPartitioner::default().partition(&net, 2);
+        let indexes = build_all_indexes(&net, &p, &IndexConfig::unbounded());
+        let engines: Vec<WorkerEngine> = indexes
+            .iter()
+            .map(|i| WorkerEngine::Single(FragmentEngine::new(&net, &p, i).unwrap()))
+            .collect();
+
+        let (req_tx, req_rx) = unbounded();
+        let (resp_tx, resp_rx, counters) = counted_link();
+        let handle = std::thread::spawn(move || worker_loop(0, engines, req_rx, resp_tx));
+
+        let freqs = net.keyword_frequencies();
+        let top = KeywordId((0..freqs.len()).max_by_key(|&k| freqs[k]).unwrap() as u32);
+        let f = DFunction::single(Term::Keyword(top), 3 * net.avg_edge_weight());
+        req_tx.send(encode_frame(&Request::Evaluate { query_id: 1, dfunction: f })).unwrap();
+
+        // Two fragments hosted → two responses.
+        let mut fragments = Vec::new();
+        for _ in 0..2 {
+            let frame = resp_rx.recv().unwrap();
+            match decode_frame::<Response>(frame).unwrap() {
+                Response::Results { query_id, fragment, cost, .. } => {
+                    assert_eq!(query_id, 1);
+                    assert_ne!(cost, WireCost::default());
+                    fragments.push(fragment);
+                }
+                other => panic!("unexpected response: {other:?}"),
+            }
+        }
+        fragments.sort_unstable();
+        assert_eq!(fragments, vec![0, 1]);
+        assert!(counters.bytes() > 0);
+
+        req_tx.send(encode_frame(&Request::Shutdown)).unwrap();
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn worker_reports_query_errors() {
+        let net = GridNetworkConfig::tiny(61).generate();
+        let p = MultilevelPartitioner::default().partition(&net, 1);
+        let cfg = IndexConfig::with_max_r(net.avg_edge_weight());
+        let indexes = build_all_indexes(&net, &p, &cfg);
+        let engines: Vec<WorkerEngine> = indexes
+            .iter()
+            .map(|i| WorkerEngine::Single(FragmentEngine::new(&net, &p, i).unwrap()))
+            .collect();
+        let (req_tx, req_rx) = unbounded();
+        let (resp_tx, resp_rx, _) = counted_link();
+        let handle = std::thread::spawn(move || worker_loop(0, engines, req_rx, resp_tx));
+        let f = DFunction::single(Term::Keyword(KeywordId(0)), 1_000_000_000);
+        req_tx.send(encode_frame(&Request::Evaluate { query_id: 2, dfunction: f })).unwrap();
+        match decode_frame::<Response>(resp_rx.recv().unwrap()).unwrap() {
+            Response::Failed { query_id, error, .. } => {
+                assert_eq!(query_id, 2);
+                assert!(error.contains("maxR"));
+            }
+            other => panic!("expected failure, got {other:?}"),
+        }
+        drop(req_tx); // channel closure also terminates the worker
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn malformed_frames_are_dropped() {
+        let net = GridNetworkConfig::tiny(62).generate();
+        let p = MultilevelPartitioner::default().partition(&net, 1);
+        let indexes = build_all_indexes(&net, &p, &IndexConfig::unbounded());
+        let engines: Vec<WorkerEngine> = indexes
+            .iter()
+            .map(|i| WorkerEngine::Single(FragmentEngine::new(&net, &p, i).unwrap()))
+            .collect();
+        let (req_tx, req_rx) = unbounded();
+        let (resp_tx, resp_rx, _) = counted_link();
+        let handle = std::thread::spawn(move || worker_loop(0, engines, req_rx, resp_tx));
+        req_tx.send(Bytes::from_static(&[0xde, 0xad])).unwrap();
+        // Worker survives; a valid shutdown still works.
+        req_tx.send(encode_frame(&Request::Shutdown)).unwrap();
+        handle.join().unwrap();
+        assert!(resp_rx.try_recv().is_err(), "no response to garbage");
+    }
+}

@@ -1,0 +1,169 @@
+//! Centralized whole-graph evaluation.
+//!
+//! Serves two roles:
+//!
+//! 1. **Ground truth** for every distributed test: keyword coverage by
+//!    multi-source Dijkstra over the entire network, straight from
+//!    Definition 4.
+//! 2. The paper's **"1 fragment" reference** configuration (Figs. 10/11):
+//!    the whole query evaluated on a single machine without any index.
+
+use std::collections::HashMap;
+
+use disks_roadnet::dijkstra::Control;
+use disks_roadnet::{DijkstraWorkspace, NodeId, RoadNetwork, INF};
+
+use crate::bitset::BitSet;
+use crate::dfunc::{DFunction, Term};
+use crate::error::QueryError;
+use crate::query::{QClassQuery, RangeKeywordQuery, SgkQuery};
+
+/// Centralized coverage evaluator over a full road network.
+pub struct CentralizedCoverage<'a> {
+    net: &'a RoadNetwork,
+    ws: DijkstraWorkspace,
+}
+
+impl<'a> CentralizedCoverage<'a> {
+    pub fn new(net: &'a RoadNetwork) -> Self {
+        CentralizedCoverage { net, ws: DijkstraWorkspace::new(net.num_nodes()) }
+    }
+
+    /// The keyword coverage `R(term, radius)` (Definition 4) as a bitset
+    /// over all node ids.
+    pub fn coverage(&mut self, term: Term, radius: u64) -> BitSet {
+        let sources: Vec<u32> = match term {
+            Term::Keyword(k) => self.net.nodes_with_keyword(k).iter().map(|n| n.0).collect(),
+            Term::Node(l) => vec![l.0],
+        };
+        let mut out = BitSet::new(self.net.num_nodes());
+        let seeded: Vec<(u32, u64)> = sources.iter().map(|&s| (s, 0)).collect();
+        self.ws.run(self.net, &seeded, radius, |n, _| {
+            out.insert(n as usize);
+            Control::Continue
+        });
+        out
+    }
+
+    /// Evaluate a D-function centrally. Node ids are returned sorted.
+    pub fn evaluate(&mut self, f: &DFunction) -> Result<Vec<NodeId>, QueryError> {
+        if f.num_terms() == 0 {
+            return Err(QueryError::EmptyQuery);
+        }
+        let coverages: Vec<BitSet> =
+            f.terms().map(|t| self.coverage(t.term, t.radius)).collect();
+        let combined = f.combine(&coverages);
+        Ok(combined.iter().map(|i| NodeId(i as u32)).collect())
+    }
+
+    /// SGKQ (Definition 2) evaluated centrally.
+    pub fn sgkq(&mut self, q: &SgkQuery) -> Result<Vec<NodeId>, QueryError> {
+        self.evaluate(&q.to_dfunction())
+    }
+
+    /// RKQ (Definition 3) evaluated centrally.
+    pub fn rkq(&mut self, q: &RangeKeywordQuery) -> Result<Vec<NodeId>, QueryError> {
+        self.evaluate(&q.to_dfunction())
+    }
+
+    /// Q-class query evaluated centrally.
+    pub fn qclass(&mut self, q: &QClassQuery) -> Result<Vec<NodeId>, QueryError> {
+        self.evaluate(&q.to_dfunction())
+    }
+
+    /// Per-node distance table `d(·, term)` — an O(n log n) oracle used by
+    /// tests to validate coverage against Definition 4 literally.
+    pub fn distance_table(&mut self, term: Term) -> HashMap<NodeId, u64> {
+        let sources: Vec<(u32, u64)> = match term {
+            Term::Keyword(k) => {
+                self.net.nodes_with_keyword(k).iter().map(|n| (n.0, 0)).collect()
+            }
+            Term::Node(l) => vec![(l.0, 0)],
+        };
+        let mut out = HashMap::new();
+        self.ws.run(self.net, &sources, INF - 1, |n, d| {
+            out.insert(NodeId(n), d);
+            Control::Continue
+        });
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use disks_roadnet::graph::figure1_network;
+
+    #[test]
+    fn example1_sgkq_from_paper() {
+        // SGKQ({museum, school}, 3) on Fig. 1 returns {B, E}.
+        let (net, names) = figure1_network();
+        let museum = net.vocab().get("museum").unwrap();
+        let school = net.vocab().get("school").unwrap();
+        let mut eval = CentralizedCoverage::new(&net);
+        let mut res = eval.sgkq(&SgkQuery::new(vec![museum, school], 3)).unwrap();
+        res.sort_unstable();
+        let mut expect = vec![names["B"], names["E"]];
+        expect.sort_unstable();
+        assert_eq!(res, expect);
+    }
+
+    #[test]
+    fn example3_keyword_coverage_from_paper() {
+        // R(school, 3) = {A, B, E}.
+        let (net, names) = figure1_network();
+        let school = net.vocab().get("school").unwrap();
+        let mut eval = CentralizedCoverage::new(&net);
+        let cov = eval.coverage(Term::Keyword(school), 3);
+        let got: Vec<u32> = cov.iter().map(|i| i as u32).collect();
+        let mut expect = vec![names["A"].0, names["B"].0, names["E"].0];
+        expect.sort_unstable();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn example2_rkq_from_paper() {
+        // RKQ(B, {museum}, 4) returns {D}.
+        let (net, names) = figure1_network();
+        let museum = net.vocab().get("museum").unwrap();
+        let mut eval = CentralizedCoverage::new(&net);
+        let res = eval.rkq(&RangeKeywordQuery::new(names["B"], vec![museum], 4)).unwrap();
+        assert_eq!(res, vec![names["D"]]);
+    }
+
+    #[test]
+    fn coverage_matches_distance_table_definition() {
+        let (net, _) = figure1_network();
+        let school = net.vocab().get("school").unwrap();
+        let mut eval = CentralizedCoverage::new(&net);
+        let table = eval.distance_table(Term::Keyword(school));
+        for r in 0..6 {
+            let cov = eval.coverage(Term::Keyword(school), r);
+            for n in net.node_ids() {
+                let in_cov = cov.contains(n.index());
+                let within = table.get(&n).is_some_and(|&d| d <= r);
+                assert_eq!(in_cov, within, "node {n} radius {r}");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_query_rejected() {
+        let (net, _) = figure1_network();
+        let eval = CentralizedCoverage::new(&net);
+        // DFunction cannot be constructed empty through the public API, so
+        // exercise the SGKQ path with zero keywords via direct construction.
+        let q = SgkQuery { keywords: vec![], radius: 1 };
+        assert!(q.to_dfunction_checked().is_none());
+        drop(eval); // evaluator unused further; DFunction is total otherwise
+    }
+
+    #[test]
+    fn unknown_keyword_coverage_is_empty() {
+        let (net, _) = figure1_network();
+        let mut eval = CentralizedCoverage::new(&net);
+        // A keyword id beyond the vocabulary has no nodes.
+        let cov = eval.coverage(Term::Keyword(disks_roadnet::KeywordId(999)), 10);
+        assert!(cov.is_empty());
+    }
+}

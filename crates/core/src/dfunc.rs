@@ -1,0 +1,299 @@
+//! Keyword coverage terms and **D-functions** (§3.1).
+//!
+//! A D-function is a left-associated chain
+//! `F(X₁,…,X_k) = X₁ θ₁ X₂ θ₂ … θ_{k-1} X_k` where each `Xᵢ` is a keyword
+//! coverage `R(termᵢ, rᵢ)` and each `θᵢ ∈ {∪, ∩, −}`. Lemma 1 shows `F`
+//! distributes over fragments: `F(X₁,…) = ⋃ᵢ F(X₁ ∩ Uᵢ, …)` — the basis of
+//! zero-communication distributed evaluation.
+
+use bytes::{Buf, BufMut};
+
+use disks_roadnet::codec::{Decode, Encode};
+use disks_roadnet::{DecodeError, KeywordId, NodeId};
+
+use crate::bitset::BitSet;
+
+/// A set operator `θ`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SetOp {
+    Union,
+    Intersect,
+    Subtract,
+}
+
+impl std::fmt::Display for SetOp {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SetOp::Union => write!(f, "∪"),
+            SetOp::Intersect => write!(f, "∩"),
+            SetOp::Subtract => write!(f, "−"),
+        }
+    }
+}
+
+impl Encode for SetOp {
+    fn encode(&self, buf: &mut impl BufMut) {
+        let tag: u8 = match self {
+            SetOp::Union => 0,
+            SetOp::Intersect => 1,
+            SetOp::Subtract => 2,
+        };
+        tag.encode(buf);
+    }
+}
+impl Decode for SetOp {
+    fn decode(buf: &mut impl Buf) -> Result<Self, DecodeError> {
+        match u8::decode(buf)? {
+            0 => Ok(SetOp::Union),
+            1 => Ok(SetOp::Intersect),
+            2 => Ok(SetOp::Subtract),
+            tag => Err(DecodeError::BadTag { context: "SetOp", tag }),
+        }
+    }
+}
+
+/// What a coverage is computed *from*: a keyword, or a node id treated as a
+/// keyword (§3.1 uses node-id terms to express RKQ query locations).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Term {
+    Keyword(KeywordId),
+    Node(NodeId),
+}
+
+impl std::fmt::Display for Term {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Term::Keyword(k) => write!(f, "{k}"),
+            Term::Node(n) => write!(f, "{n}"),
+        }
+    }
+}
+
+impl Encode for Term {
+    fn encode(&self, buf: &mut impl BufMut) {
+        match self {
+            Term::Keyword(k) => {
+                0u8.encode(buf);
+                k.encode(buf);
+            }
+            Term::Node(n) => {
+                1u8.encode(buf);
+                n.encode(buf);
+            }
+        }
+    }
+}
+impl Decode for Term {
+    fn decode(buf: &mut impl Buf) -> Result<Self, DecodeError> {
+        match u8::decode(buf)? {
+            0 => Ok(Term::Keyword(KeywordId::decode(buf)?)),
+            1 => Ok(Term::Node(NodeId::decode(buf)?)),
+            tag => Err(DecodeError::BadTag { context: "Term", tag }),
+        }
+    }
+}
+
+/// One coverage variable `Xᵢ = R(term, radius)` of a D-function.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DTerm {
+    pub term: Term,
+    pub radius: u64,
+}
+
+impl Encode for DTerm {
+    fn encode(&self, buf: &mut impl BufMut) {
+        self.term.encode(buf);
+        self.radius.encode(buf);
+    }
+}
+impl Decode for DTerm {
+    fn decode(buf: &mut impl Buf) -> Result<Self, DecodeError> {
+        Ok(DTerm { term: Term::decode(buf)?, radius: u64::decode(buf)? })
+    }
+}
+
+/// A D-function: `first θ₁ rest[0] θ₂ rest[1] …`, evaluated left to right.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DFunction {
+    pub first: DTerm,
+    pub rest: Vec<(SetOp, DTerm)>,
+}
+
+impl DFunction {
+    /// A single-term function `R(term, radius)`.
+    pub fn single(term: Term, radius: u64) -> Self {
+        DFunction { first: DTerm { term, radius }, rest: Vec::new() }
+    }
+
+    /// Chain another coverage onto the function.
+    pub fn then(mut self, op: SetOp, term: Term, radius: u64) -> Self {
+        self.rest.push((op, DTerm { term, radius }));
+        self
+    }
+
+    /// The intersection of equal-radius keyword coverages — the plain SGKQ
+    /// lowering `⋂ᵢ R(ωᵢ, r)`.
+    pub fn intersection_of(keywords: &[KeywordId], radius: u64) -> Self {
+        assert!(!keywords.is_empty(), "at least one keyword required");
+        let mut f = DFunction::single(Term::Keyword(keywords[0]), radius);
+        for &k in &keywords[1..] {
+            f = f.then(SetOp::Intersect, Term::Keyword(k), radius);
+        }
+        f
+    }
+
+    /// All terms, in order.
+    pub fn terms(&self) -> impl Iterator<Item = &DTerm> {
+        std::iter::once(&self.first).chain(self.rest.iter().map(|(_, t)| t))
+    }
+
+    /// Number of coverage variables `k`.
+    pub fn num_terms(&self) -> usize {
+        1 + self.rest.len()
+    }
+
+    /// Largest radius across terms (used for `maxR` routing, §5.5).
+    pub fn max_radius(&self) -> u64 {
+        self.terms().map(|t| t.radius).max().unwrap_or(0)
+    }
+
+    /// Evaluate the operator chain over already-computed coverages, in term
+    /// order. `coverages.len()` must equal `num_terms()` and all bitsets
+    /// must share a capacity.
+    pub fn combine(&self, coverages: &[BitSet]) -> BitSet {
+        assert_eq!(coverages.len(), self.num_terms(), "one coverage per term required");
+        let mut acc = coverages[0].clone();
+        for (i, (op, _)) in self.rest.iter().enumerate() {
+            let rhs = &coverages[i + 1];
+            match op {
+                SetOp::Union => acc.union_with(rhs),
+                SetOp::Intersect => acc.intersect_with(rhs),
+                SetOp::Subtract => acc.subtract(rhs),
+            }
+        }
+        acc
+    }
+}
+
+impl std::fmt::Display for DFunction {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "R({}, {})", self.first.term, self.first.radius)?;
+        for (op, t) in &self.rest {
+            write!(f, " {op} R({}, {})", t.term, t.radius)?;
+        }
+        Ok(())
+    }
+}
+
+impl Encode for DFunction {
+    fn encode(&self, buf: &mut impl BufMut) {
+        self.first.encode(buf);
+        self.rest.encode(buf);
+    }
+}
+impl Decode for DFunction {
+    fn decode(buf: &mut impl Buf) -> Result<Self, DecodeError> {
+        Ok(DFunction { first: DTerm::decode(buf)?, rest: Vec::<(SetOp, DTerm)>::decode(buf)? })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set(cap: usize, elems: &[usize]) -> BitSet {
+        let mut s = BitSet::new(cap);
+        for &e in elems {
+            s.insert(e);
+        }
+        s
+    }
+
+    #[test]
+    fn combine_left_associates() {
+        // (X1 ∪ X2) ∩ X3 with X1={0}, X2={1,2}, X3={2,3} → {2}
+        let f = DFunction::single(Term::Keyword(KeywordId(0)), 1)
+            .then(SetOp::Union, Term::Keyword(KeywordId(1)), 1)
+            .then(SetOp::Intersect, Term::Keyword(KeywordId(2)), 1);
+        let out = f.combine(&[set(5, &[0]), set(5, &[1, 2]), set(5, &[2, 3])]);
+        assert_eq!(out.iter().collect::<Vec<_>>(), vec![2]);
+    }
+
+    #[test]
+    fn subtraction_expresses_far_away_queries() {
+        // Paper Q2: R(mall, 0) − R(pizza, 1km).
+        let f = DFunction::single(Term::Keyword(KeywordId(0)), 0).then(
+            SetOp::Subtract,
+            Term::Keyword(KeywordId(1)),
+            1000,
+        );
+        let out = f.combine(&[set(4, &[0, 1, 2]), set(4, &[1])]);
+        assert_eq!(out.iter().collect::<Vec<_>>(), vec![0, 2]);
+        assert_eq!(f.max_radius(), 1000);
+    }
+
+    #[test]
+    fn intersection_of_builds_sgkq_chain() {
+        let ks = [KeywordId(3), KeywordId(1), KeywordId(4)];
+        let f = DFunction::intersection_of(&ks, 7);
+        assert_eq!(f.num_terms(), 3);
+        assert!(f.rest.iter().all(|(op, _)| *op == SetOp::Intersect));
+        assert!(f.terms().all(|t| t.radius == 7));
+    }
+
+    #[test]
+    fn lemma1_distributivity_on_explicit_sets() {
+        // Paper Example 4: U = {A..E}=0..5, U1={0,1}, U2={2,3,4},
+        // X1={0,1,2,3}, X2={1,2,3,4}, F = X1 ∩ X2.
+        let f = DFunction::single(Term::Keyword(KeywordId(0)), 1).then(
+            SetOp::Intersect,
+            Term::Keyword(KeywordId(1)),
+            1,
+        );
+        let x1 = set(5, &[0, 1, 2, 3]);
+        let x2 = set(5, &[1, 2, 3, 4]);
+        let whole = f.combine(&[x1.clone(), x2.clone()]);
+
+        let u1 = set(5, &[0, 1]);
+        let u2 = set(5, &[2, 3, 4]);
+        let mut per_fragment = BitSet::new(5);
+        for u in [&u1, &u2] {
+            let mut x1f = x1.clone();
+            x1f.intersect_with(u);
+            let mut x2f = x2.clone();
+            x2f.intersect_with(u);
+            per_fragment.union_with(&f.combine(&[x1f, x2f]));
+        }
+        assert_eq!(whole, per_fragment);
+        assert_eq!(whole.iter().collect::<Vec<_>>(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let f = DFunction::single(Term::Keyword(KeywordId(0)), 3).then(
+            SetOp::Subtract,
+            Term::Node(NodeId(9)),
+            5,
+        );
+        assert_eq!(f.to_string(), "R(kw#0, 3) − R(n9, 5)");
+    }
+
+    #[test]
+    fn codec_round_trip() {
+        use bytes::BytesMut;
+        let f = DFunction::single(Term::Keyword(KeywordId(2)), 10)
+            .then(SetOp::Union, Term::Node(NodeId(5)), 0)
+            .then(SetOp::Subtract, Term::Keyword(KeywordId(7)), 99);
+        let mut buf = BytesMut::new();
+        f.encode(&mut buf);
+        let mut bytes = buf.freeze();
+        assert_eq!(DFunction::decode(&mut bytes).unwrap(), f);
+    }
+
+    #[test]
+    #[should_panic(expected = "one coverage per term")]
+    fn combine_arity_mismatch_panics() {
+        let f = DFunction::intersection_of(&[KeywordId(0), KeywordId(1)], 1);
+        let _ = f.combine(&[set(3, &[0])]);
+    }
+}

@@ -1,0 +1,559 @@
+//! The per-fragment query engine — Algorithm 2.
+//!
+//! A [`FragmentEngine`] is the state one machine keeps for its fragment `P`:
+//!
+//! * the *extended fragment* `P' = P ∪ SC(P)` as a local CSR graph (Step 1),
+//! * the DL component for seeding cross-fragment distances (Steps 2–3),
+//! * a local inverted keyword index (sources of the virtual keyword nodes).
+//!
+//! The paper's "virtual node `Vᵢ` connected by directed 0-weight edges" is
+//! realized as multi-source Dijkstra seeding, which is the same computation
+//! without materializing the node (seeds cannot be re-entered, exactly like
+//! the paper's directed virtual edges). Per query term the engine seeds:
+//!
+//! * every local node containing the term's keyword at distance 0,
+//! * every portal `N` with an aggregated DL distance `d(ω, N) ≤ r` at
+//!   distance `d` (Step 3's added shortcut edges),
+//!
+//! then runs a Dijkstra bounded by `r` over `P'`. The resulting coverage
+//! `R(ω, r) ∩ P` feeds the D-function combiner (Lemma 1). No information
+//! from any other machine is consulted — Theorem 3's zero-communication
+//! property, which the cluster layer asserts at runtime.
+//!
+//! The engine is **share-nothing by construction**: after `new` returns it
+//! holds copies of exactly `P ∪ SC(P) ∪ DL(P)` plus local keywords, never a
+//! reference to the global network.
+
+use std::collections::HashMap;
+use std::time::Duration;
+
+use disks_partition::{FragmentId, Partitioning};
+use disks_roadnet::dijkstra::{Control, Graph};
+use disks_roadnet::{DijkstraWorkspace, KeywordId, NodeId, RoadNetwork, Weight};
+
+use crate::bitset::BitSet;
+use crate::dfunc::{DFunction, Term};
+use crate::error::{IndexError, QueryError};
+use crate::index::{DlScope, NpdIndex};
+
+/// Local sentinel for "not reached this term" in the top-k scorer.
+const INF_LOCAL: u64 = u64::MAX;
+
+/// Theorem 5 cost-model instrumentation for one query on one fragment.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QueryCost {
+    /// Σ αⱼ — DL pairs inspected across terms.
+    pub alpha: usize,
+    /// β = |SC(P)| (constant per engine, counted once per query).
+    pub beta: usize,
+    /// Nodes settled across the coverage searches.
+    pub settled: usize,
+    /// Heap pushes across the coverage searches.
+    pub pushed: usize,
+    /// Σ |P ∩ R(ωⱼ, r)| — total coverage sizes.
+    pub coverage_nodes: usize,
+    /// Result nodes produced.
+    pub results: usize,
+    /// Wall-clock spent.
+    pub elapsed: Duration,
+}
+
+impl QueryCost {
+    fn absorb(&mut self, other: &QueryCost) {
+        self.alpha += other.alpha;
+        self.settled += other.settled;
+        self.pushed += other.pushed;
+        self.coverage_nodes += other.coverage_nodes;
+    }
+}
+
+/// One machine's query-evaluation state for its fragment.
+pub struct FragmentEngine {
+    fragment: FragmentId,
+    max_r: u64,
+    dl_scope: DlScope,
+    /// local id → global id.
+    globals: Vec<NodeId>,
+    /// global id → local id.
+    local_of: HashMap<u32, u32>,
+    /// Local CSR over `P ∪ SC(P)` (both arcs for every undirected edge).
+    adj_offsets: Vec<u32>,
+    adj_node: Vec<u32>,
+    adj_weight: Vec<Weight>,
+    /// Local inverted index: keyword → local node ids containing it.
+    kw_nodes: HashMap<KeywordId, Vec<u32>>,
+    /// §3.7 aggregation with portals translated to local ids:
+    /// keyword → (local portal, distance), sorted by distance.
+    keyword_portals: HashMap<KeywordId, Vec<(u32, u64)>>,
+    /// Node-keyed DL with local portal ids, for `Term::Node` seeds.
+    dl_node_entries: HashMap<u32, Vec<(u32, u64)>>,
+    /// |SC(P)| — β of Theorem 5.
+    sc_size: usize,
+    ws: DijkstraWorkspace,
+}
+
+impl Graph for FragmentEngine {
+    fn num_nodes(&self) -> usize {
+        self.globals.len()
+    }
+
+    #[inline]
+    fn for_each_neighbor(&self, node: u32, f: &mut dyn FnMut(u32, Weight)) {
+        let lo = self.adj_offsets[node as usize] as usize;
+        let hi = self.adj_offsets[node as usize + 1] as usize;
+        for i in lo..hi {
+            f(self.adj_node[i], self.adj_weight[i]);
+        }
+    }
+}
+
+impl FragmentEngine {
+    /// Materialize the engine for `index.fragment()` from the global network
+    /// and partitioning. This is the *loading* phase; afterwards the engine
+    /// is self-contained.
+    pub fn new(
+        net: &RoadNetwork,
+        partitioning: &Partitioning,
+        index: &NpdIndex,
+    ) -> Result<Self, IndexError> {
+        let fragment = index.fragment();
+        let members = partitioning.nodes(fragment);
+        let globals: Vec<NodeId> = members.to_vec();
+        let mut local_of = HashMap::with_capacity(globals.len());
+        for (i, &g) in globals.iter().enumerate() {
+            local_of.insert(g.0, i as u32);
+        }
+        // Local adjacency: intra-fragment original edges + SC shortcuts.
+        let mut adj: Vec<Vec<(u32, Weight)>> = vec![Vec::new(); globals.len()];
+        for (i, &g) in globals.iter().enumerate() {
+            for (nb, w) in net.neighbors(g) {
+                if let Some(&ln) = local_of.get(&nb.0) {
+                    adj[i].push((ln, w));
+                }
+            }
+        }
+        for &(a, b, d) in index.shortcuts() {
+            let w = Weight::try_from(d).map_err(|_| IndexError::WeightOverflow { distance: d })?;
+            let (la, lb) = (local_of[&a.0], local_of[&b.0]);
+            adj[la as usize].push((lb, w));
+            adj[lb as usize].push((la, w));
+        }
+        let mut adj_offsets = Vec::with_capacity(globals.len() + 1);
+        adj_offsets.push(0u32);
+        let mut adj_node = Vec::new();
+        let mut adj_weight = Vec::new();
+        for list in &adj {
+            for &(n, w) in list {
+                adj_node.push(n);
+                adj_weight.push(w);
+            }
+            adj_offsets.push(adj_node.len() as u32);
+        }
+        // Local keyword inverted index.
+        let mut kw_nodes: HashMap<KeywordId, Vec<u32>> = HashMap::new();
+        for (i, &g) in globals.iter().enumerate() {
+            for &k in net.keywords(g) {
+                kw_nodes.entry(k).or_default().push(i as u32);
+            }
+        }
+        // DL with local portal ids.
+        let mut keyword_portals = HashMap::new();
+        for (&kw, list) in &index.keyword_portals {
+            let translated: Vec<(u32, u64)> =
+                list.iter().map(|&(p, d)| (local_of[&p.0], d)).collect();
+            keyword_portals.insert(kw, translated);
+        }
+        let mut dl_node_entries = HashMap::new();
+        for (node, list) in index.dl_entries() {
+            let translated: Vec<(u32, u64)> =
+                list.iter().map(|&(p, d)| (local_of[&p.0], d)).collect();
+            dl_node_entries.insert(node.0, translated);
+        }
+        let num_local = globals.len();
+        Ok(FragmentEngine {
+            fragment,
+            max_r: index.max_r(),
+            dl_scope: index.dl_scope(),
+            globals,
+            local_of,
+            adj_offsets,
+            adj_node,
+            adj_weight,
+            kw_nodes,
+            keyword_portals,
+            dl_node_entries,
+            sc_size: index.shortcuts().len(),
+            ws: DijkstraWorkspace::new(num_local),
+        })
+    }
+
+    pub fn fragment(&self) -> FragmentId {
+        self.fragment
+    }
+
+    /// Number of nodes in the fragment.
+    pub fn num_local_nodes(&self) -> usize {
+        self.globals.len()
+    }
+
+    /// The `maxR` the underlying index supports.
+    pub fn max_r(&self) -> u64 {
+        self.max_r
+    }
+
+    /// DL scope of the underlying index.
+    pub fn dl_scope(&self) -> DlScope {
+        self.dl_scope
+    }
+
+    /// Approximate resident bytes of the engine's state.
+    pub fn memory_bytes(&self) -> usize {
+        self.globals.len() * 4
+            + self.local_of.len() * 8
+            + self.adj_offsets.len() * 4
+            + self.adj_node.len() * 4
+            + self.adj_weight.len() * 4
+            + self.kw_nodes.values().map(|v| v.len() * 4 + 8).sum::<usize>()
+            + self.keyword_portals.values().map(|v| v.len() * 12 + 8).sum::<usize>()
+            + self.dl_node_entries.values().map(|v| v.len() * 12 + 8).sum::<usize>()
+    }
+
+    /// Compute the local keyword coverage `R(term, radius) ∩ P` (Steps 1–3
+    /// of Alg. 2 plus the coverage Dijkstra).
+    pub fn coverage(&mut self, term: Term, radius: u64) -> Result<(BitSet, QueryCost), QueryError> {
+        if radius > self.max_r {
+            return Err(QueryError::RadiusExceedsMaxR { r: radius, max_r: self.max_r });
+        }
+        let mut cost = QueryCost::default();
+        let mut seeds: Vec<(u32, u64)> = Vec::new();
+        match term {
+            Term::Keyword(k) => {
+                if let Some(locals) = self.kw_nodes.get(&k) {
+                    seeds.extend(locals.iter().map(|&n| (n, 0)));
+                }
+                if let Some(pairs) = self.keyword_portals.get(&k) {
+                    // Sorted by distance → early break at radius (Step 2's
+                    // "retain pairs with distance at most r").
+                    for &(portal, d) in pairs {
+                        if d > radius {
+                            break;
+                        }
+                        cost.alpha += 1;
+                        seeds.push((portal, d));
+                    }
+                }
+            }
+            Term::Node(l) => {
+                if let Some(&local) = self.local_of.get(&l.0) {
+                    seeds.push((local, 0));
+                } else if let Some(pairs) = self.dl_node_entries.get(&l.0) {
+                    for &(portal, d) in pairs {
+                        if d > radius {
+                            break;
+                        }
+                        cost.alpha += 1;
+                        seeds.push((portal, d));
+                    }
+                }
+                // No entry: either the location is farther than `radius`
+                // from every portal of P (empty local coverage — correct),
+                // or it is not DL-indexed under ObjectsOnly scope. The
+                // coordinator validates locations against the scope; the
+                // engine itself cannot distinguish the two cases without
+                // global data (see `DlScope`).
+            }
+        }
+        let mut cov = BitSet::new(self.globals.len());
+        // Split borrows: the search mutates `ws` while reading `self`'s CSR.
+        let mut ws = std::mem::replace(&mut self.ws, DijkstraWorkspace::new(0));
+        let stats = ws.run(&*self, &seeds, radius, |n, _| {
+            cov.insert(n as usize);
+            Control::Continue
+        });
+        self.ws = ws;
+        cost.settled = stats.settled;
+        cost.pushed = stats.pushed;
+        cost.coverage_nodes = cov.count();
+        Ok((cov, cost))
+    }
+
+    /// Local per-node distances for one term: `(local id, d(node, term))`
+    /// for every local node within `bound` (the coverage Dijkstra of Alg. 2
+    /// with distances kept). Exact for `bound ≤ maxR` (Theorem 3).
+    pub fn distance_table(
+        &mut self,
+        term: Term,
+        bound: u64,
+    ) -> Result<(Vec<(u32, u64)>, QueryCost), QueryError> {
+        if bound > self.max_r {
+            return Err(QueryError::RadiusExceedsMaxR { r: bound, max_r: self.max_r });
+        }
+        let mut cost = QueryCost::default();
+        let mut seeds: Vec<(u32, u64)> = Vec::new();
+        match term {
+            Term::Keyword(k) => {
+                if let Some(locals) = self.kw_nodes.get(&k) {
+                    seeds.extend(locals.iter().map(|&n| (n, 0)));
+                }
+                if let Some(pairs) = self.keyword_portals.get(&k) {
+                    for &(portal, d) in pairs {
+                        if d > bound {
+                            break;
+                        }
+                        cost.alpha += 1;
+                        seeds.push((portal, d));
+                    }
+                }
+            }
+            Term::Node(l) => {
+                if let Some(&local) = self.local_of.get(&l.0) {
+                    seeds.push((local, 0));
+                } else if let Some(pairs) = self.dl_node_entries.get(&l.0) {
+                    for &(portal, d) in pairs {
+                        if d > bound {
+                            break;
+                        }
+                        cost.alpha += 1;
+                        seeds.push((portal, d));
+                    }
+                }
+            }
+        }
+        let mut table = Vec::new();
+        let mut ws = std::mem::replace(&mut self.ws, DijkstraWorkspace::new(0));
+        let stats = ws.run(&*self, &seeds, bound, |n, d| {
+            table.push((n, d));
+            Control::Continue
+        });
+        self.ws = ws;
+        cost.settled = stats.settled;
+        cost.pushed = stats.pushed;
+        cost.coverage_nodes = table.len();
+        Ok((table, cost))
+    }
+
+    /// The fragment's local contribution to a top-k query: its best `k`
+    /// `(score, global node)` pairs, exact within the query horizon.
+    pub fn topk_local(
+        &mut self,
+        q: &crate::topk::TopKQuery,
+    ) -> Result<(Vec<crate::topk::Ranked>, QueryCost), QueryError> {
+        if q.keywords.is_empty() {
+            return Err(QueryError::EmptyQuery);
+        }
+        let start = std::time::Instant::now();
+        let mut total = QueryCost { beta: self.sc_size, ..QueryCost::default() };
+        // score[i] = Some(partial aggregate) while node i is within the
+        // horizon of every term processed so far.
+        let mut scores: Vec<Option<u64>> = vec![Some(0); self.globals.len()];
+        let mut this_term = vec![INF_LOCAL; self.globals.len()];
+        for &kw in &q.keywords {
+            let (table, cost) = self.distance_table(Term::Keyword(kw), q.horizon)?;
+            total.absorb(&cost);
+            for &(n, d) in &table {
+                this_term[n as usize] = d;
+            }
+            for (i, slot) in scores.iter_mut().enumerate() {
+                if let Some(acc) = *slot {
+                    let d = this_term[i];
+                    *slot = if d == INF_LOCAL { None } else { Some(q.combine.fold(acc, d)) };
+                }
+            }
+            for &(n, _) in &table {
+                this_term[n as usize] = INF_LOCAL;
+            }
+        }
+        let mut ranked: Vec<crate::topk::Ranked> = scores
+            .into_iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.map(|score| (score, self.globals[i])))
+            .collect();
+        ranked.sort_unstable();
+        ranked.truncate(q.k);
+        total.results = ranked.len();
+        total.elapsed = start.elapsed();
+        Ok((ranked, total))
+    }
+
+    /// Evaluate a D-function on this fragment (Alg. 2), returning the local
+    /// result nodes as **global** ids (sorted) plus the cost breakdown.
+    pub fn evaluate(&mut self, f: &DFunction) -> Result<(Vec<NodeId>, QueryCost), QueryError> {
+        let start = std::time::Instant::now();
+        let mut total = QueryCost { beta: self.sc_size, ..QueryCost::default() };
+        let mut coverages = Vec::with_capacity(f.num_terms());
+        for t in f.terms() {
+            let (cov, cost) = self.coverage(t.term, t.radius)?;
+            total.absorb(&cost);
+            coverages.push(cov);
+        }
+        let combined = f.combine(&coverages);
+        let mut result: Vec<NodeId> =
+            combined.iter().map(|i| self.globals[i]).collect();
+        result.sort_unstable();
+        total.results = result.len();
+        total.elapsed = start.elapsed();
+        Ok((result, total))
+    }
+
+    /// Translate a local coverage bitset to global node ids (test helper).
+    pub fn to_global(&self, cov: &BitSet) -> Vec<NodeId> {
+        let mut v: Vec<NodeId> = cov.iter().map(|i| self.globals[i]).collect();
+        v.sort_unstable();
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coverage::CentralizedCoverage;
+    use crate::index::{build_all_indexes, IndexConfig};
+    use crate::query::{RangeKeywordQuery, SgkQuery};
+    use disks_partition::{MultilevelPartitioner, Partitioner};
+    use disks_roadnet::generator::GridNetworkConfig;
+    use disks_roadnet::graph::figure1_network;
+
+    /// Distributed evaluation = union of fragment evaluations (Lemma 1);
+    /// compare against centralized ground truth (Theorem 3 end-to-end).
+    fn assert_distributed_matches_centralized(
+        net: &RoadNetwork,
+        k: usize,
+        cfg: &IndexConfig,
+        f: &DFunction,
+    ) {
+        let p = MultilevelPartitioner::default().partition(net, k);
+        let indexes = build_all_indexes(net, &p, cfg);
+        let mut distributed: Vec<NodeId> = Vec::new();
+        for idx in &indexes {
+            let mut engine = FragmentEngine::new(net, &p, idx).unwrap();
+            let (local, _) = engine.evaluate(f).unwrap();
+            distributed.extend(local);
+        }
+        distributed.sort_unstable();
+        let mut central = CentralizedCoverage::new(net);
+        let expect = central.evaluate(f).unwrap();
+        assert_eq!(distributed, expect, "query {f}");
+    }
+
+    #[test]
+    fn figure1_sgkq_distributed_matches_example1() {
+        let (net, names) = figure1_network();
+        let museum = net.vocab().get("museum").unwrap();
+        let school = net.vocab().get("school").unwrap();
+        let f = SgkQuery::new(vec![museum, school], 3).to_dfunction();
+        assert_distributed_matches_centralized(&net, 2, &IndexConfig::unbounded(), &f);
+        let _ = names;
+    }
+
+    #[test]
+    fn generated_network_sgkq_matches_centralized_for_all_radii() {
+        let net = GridNetworkConfig::tiny(42).generate();
+        let freqs = net.keyword_frequencies();
+        // Pick the two most frequent keywords so coverages are non-trivial.
+        let mut ranked: Vec<usize> = (0..freqs.len()).collect();
+        ranked.sort_unstable_by_key(|&k| std::cmp::Reverse(freqs[k]));
+        let k1 = KeywordId(ranked[0] as u32);
+        let k2 = KeywordId(ranked[1] as u32);
+        let e = net.avg_edge_weight();
+        for r in [0, e, 3 * e, 10 * e] {
+            let f = SgkQuery::new(vec![k1, k2], r).to_dfunction();
+            assert_distributed_matches_centralized(&net, 3, &IndexConfig::unbounded(), &f);
+        }
+    }
+
+    #[test]
+    fn rkq_distributed_matches_centralized() {
+        let net = GridNetworkConfig::tiny(43).generate();
+        // Query location: some object node; keyword: its first keyword →
+        // non-empty result guaranteed (the node itself at distance 0).
+        let obj = net.node_ids().find(|&n| net.is_object(n)).unwrap();
+        let kw = net.keywords(obj)[0];
+        let f = RangeKeywordQuery::new(obj, vec![kw], 5 * net.avg_edge_weight()).to_dfunction();
+        assert_distributed_matches_centralized(&net, 3, &IndexConfig::unbounded(), &f);
+    }
+
+    #[test]
+    fn bounded_max_r_still_exact_within_bound() {
+        let net = GridNetworkConfig::tiny(44).generate();
+        let e = net.avg_edge_weight();
+        let cfg = IndexConfig::with_max_r(8 * e);
+        let freqs = net.keyword_frequencies();
+        let top = KeywordId(
+            (0..freqs.len()).max_by_key(|&k| freqs[k]).unwrap() as u32
+        );
+        for r in [e, 4 * e, 8 * e] {
+            let f = DFunction::single(Term::Keyword(top), r);
+            assert_distributed_matches_centralized(&net, 4, &cfg, &f);
+        }
+    }
+
+    #[test]
+    fn radius_above_max_r_is_rejected() {
+        let net = GridNetworkConfig::tiny(45).generate();
+        let p = MultilevelPartitioner::default().partition(&net, 2);
+        let cfg = IndexConfig::with_max_r(net.avg_edge_weight());
+        let indexes = build_all_indexes(&net, &p, &cfg);
+        let mut engine = FragmentEngine::new(&net, &p, &indexes[0]).unwrap();
+        let f = DFunction::single(Term::Keyword(KeywordId(0)), 100 * net.avg_edge_weight());
+        assert!(matches!(
+            engine.evaluate(&f),
+            Err(QueryError::RadiusExceedsMaxR { .. })
+        ));
+    }
+
+    #[test]
+    fn subtraction_and_union_dfunctions_match() {
+        let net = GridNetworkConfig::tiny(46).generate();
+        let freqs = net.keyword_frequencies();
+        let mut ranked: Vec<usize> = (0..freqs.len()).collect();
+        ranked.sort_unstable_by_key(|&k| std::cmp::Reverse(freqs[k]));
+        let (a, b, c) =
+            (KeywordId(ranked[0] as u32), KeywordId(ranked[1] as u32), KeywordId(ranked[2] as u32));
+        let e = net.avg_edge_weight();
+        // (R(a, 4e) − R(b, 2e)) ∪ R(c, 3e)
+        let f = DFunction::single(Term::Keyword(a), 4 * e)
+            .then(crate::dfunc::SetOp::Subtract, Term::Keyword(b), 2 * e)
+            .then(crate::dfunc::SetOp::Union, Term::Keyword(c), 3 * e);
+        assert_distributed_matches_centralized(&net, 3, &IndexConfig::unbounded(), &f);
+    }
+
+    #[test]
+    fn cost_model_reports_theorem5_quantities() {
+        let net = GridNetworkConfig::tiny(47).generate();
+        let p = MultilevelPartitioner::default().partition(&net, 3);
+        let indexes = build_all_indexes(&net, &p, &IndexConfig::unbounded());
+        let mut engine = FragmentEngine::new(&net, &p, &indexes[1]).unwrap();
+        let freqs = net.keyword_frequencies();
+        let top = KeywordId((0..freqs.len()).max_by_key(|&k| freqs[k]).unwrap() as u32);
+        let f = DFunction::single(Term::Keyword(top), 6 * net.avg_edge_weight());
+        let (_, cost) = engine.evaluate(&f).unwrap();
+        assert_eq!(cost.beta, indexes[1].shortcuts().len());
+        assert!(cost.settled > 0);
+        assert!(cost.coverage_nodes >= cost.results);
+    }
+
+    #[test]
+    fn engine_is_self_contained_after_construction() {
+        // The engine must answer queries correctly even after the global
+        // network and index are dropped (share-nothing property).
+        let net = GridNetworkConfig::tiny(48).generate();
+        let freqs = net.keyword_frequencies();
+        let top = KeywordId((0..freqs.len()).max_by_key(|&k| freqs[k]).unwrap() as u32);
+        let e = net.avg_edge_weight();
+        let f = DFunction::single(Term::Keyword(top), 4 * e);
+        let mut central = CentralizedCoverage::new(&net);
+        let expect = central.evaluate(&f).unwrap();
+
+        let p = MultilevelPartitioner::default().partition(&net, 2);
+        let mut engines: Vec<FragmentEngine> = {
+            let indexes = build_all_indexes(&net, &p, &IndexConfig::unbounded());
+            indexes.iter().map(|i| FragmentEngine::new(&net, &p, i).unwrap()).collect()
+        }; // indexes dropped here
+        let mut got: Vec<NodeId> = Vec::new();
+        for engine in &mut engines {
+            got.extend(engine.evaluate(&f).unwrap().0);
+        }
+        got.sort_unstable();
+        assert_eq!(got, expect);
+    }
+}

@@ -1,0 +1,89 @@
+//! Error types for NPD-index construction and querying.
+
+use std::fmt;
+
+use disks_roadnet::{DecodeError, NodeId};
+
+/// Errors raised while building or loading an NPD-index.
+#[derive(Debug)]
+pub enum IndexError {
+    /// A shortcut distance overflowed the fragment-graph weight width.
+    WeightOverflow { distance: u64 },
+    /// Binary decoding of a persisted index failed.
+    Decode(DecodeError),
+    /// The persisted index does not match the partitioning it is loaded for.
+    FragmentMismatch { expected: u32, found: u32 },
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for IndexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IndexError::WeightOverflow { distance } => {
+                write!(f, "shortcut distance {distance} exceeds the u32 weight width")
+            }
+            IndexError::Decode(e) => write!(f, "index decode error: {e}"),
+            IndexError::FragmentMismatch { expected, found } => {
+                write!(f, "index is for fragment {found}, expected {expected}")
+            }
+            IndexError::Io(e) => write!(f, "i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for IndexError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            IndexError::Decode(e) => Some(e),
+            IndexError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<DecodeError> for IndexError {
+    fn from(e: DecodeError) -> Self {
+        IndexError::Decode(e)
+    }
+}
+
+impl From<std::io::Error> for IndexError {
+    fn from(e: std::io::Error) -> Self {
+        IndexError::Io(e)
+    }
+}
+
+/// Errors raised at query time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QueryError {
+    /// The query radius exceeds the index `maxR` (route through a
+    /// [`crate::BiLevelIndex`] instead, §5.5).
+    RadiusExceedsMaxR { r: u64, max_r: u64 },
+    /// A D-function with no terms.
+    EmptyQuery,
+    /// A `Term::Node` query location that the DL component does not index
+    /// (it is neither in this fragment nor an indexed external node under
+    /// the configured [`crate::DlScope`]).
+    UnindexedQueryLocation(NodeId),
+    /// Engine materialization failed (e.g. a shortcut weight overflow) while
+    /// serving the query.
+    Engine(String),
+}
+
+impl fmt::Display for QueryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryError::RadiusExceedsMaxR { r, max_r } => {
+                write!(f, "query radius {r} exceeds index maxR {max_r}")
+            }
+            QueryError::EmptyQuery => write!(f, "query has no terms"),
+            QueryError::UnindexedQueryLocation(n) => {
+                write!(f, "query location {n} is not indexed by the DL component")
+            }
+            QueryError::Engine(msg) => write!(f, "engine error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}

@@ -1,0 +1,217 @@
+//! Binary persistence for NPD-indexes.
+//!
+//! In the paper's deployment each machine stores "an SC file and a DL file"
+//! per fragment; storage cost (EXP 1 / Figs. 7–8) is measured on these
+//! files. We persist both components (plus the §3.7 keyword aggregation) in
+//! one binary blob per fragment and report its size as the storage cost.
+
+use std::collections::HashMap;
+use std::io::Write;
+use std::path::Path;
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use disks_partition::FragmentId;
+use disks_roadnet::codec::{decode_header, decode_len, encode_header, encode_len, Decode, Encode};
+use disks_roadnet::{DecodeError, KeywordId, NodeId};
+
+use super::{DlScope, NpdIndex};
+use crate::error::IndexError;
+
+/// Magic header for the binary index format ("DSKI" + version 1).
+pub const INDEX_MAGIC: u32 = 0x4453_4B11;
+
+impl Encode for DlScope {
+    fn encode(&self, buf: &mut impl BufMut) {
+        let tag: u8 = match self {
+            DlScope::ObjectsOnly => 0,
+            DlScope::AllNodes => 1,
+        };
+        tag.encode(buf);
+    }
+}
+impl Decode for DlScope {
+    fn decode(buf: &mut impl Buf) -> Result<Self, DecodeError> {
+        match u8::decode(buf)? {
+            0 => Ok(DlScope::ObjectsOnly),
+            1 => Ok(DlScope::AllNodes),
+            tag => Err(DecodeError::BadTag { context: "DlScope", tag }),
+        }
+    }
+}
+
+fn encode_pairs(pairs: &[(NodeId, u64)], buf: &mut impl BufMut) {
+    encode_len(pairs.len(), buf);
+    for &(n, d) in pairs {
+        n.encode(buf);
+        d.encode(buf);
+    }
+}
+
+fn decode_pairs(buf: &mut impl Buf) -> Result<Vec<(NodeId, u64)>, DecodeError> {
+    let len = decode_len(buf, "dl pairs")?;
+    let mut out = Vec::with_capacity(len.min(1 << 20));
+    for _ in 0..len {
+        out.push((NodeId::decode(buf)?, u64::decode(buf)?));
+    }
+    Ok(out)
+}
+
+/// Encode an index to bytes.
+pub fn to_binary(index: &NpdIndex) -> Bytes {
+    let mut buf = BytesMut::new();
+    encode_header(INDEX_MAGIC, &mut buf);
+    index.fragment.0.encode(&mut buf);
+    index.max_r.encode(&mut buf);
+    index.dl_scope.encode(&mut buf);
+    encode_len(index.sc.len(), &mut buf);
+    for &(a, b, d) in &index.sc {
+        a.encode(&mut buf);
+        b.encode(&mut buf);
+        d.encode(&mut buf);
+    }
+    // Deterministic order for reproducible files.
+    let mut entries: Vec<(&NodeId, &Vec<(NodeId, u64)>)> = index.dl_entries.iter().collect();
+    entries.sort_unstable_by_key(|(n, _)| n.0);
+    encode_len(entries.len(), &mut buf);
+    for (n, list) in entries {
+        n.encode(&mut buf);
+        encode_pairs(list, &mut buf);
+    }
+    let mut kws: Vec<(&KeywordId, &Vec<(NodeId, u64)>)> = index.keyword_portals.iter().collect();
+    kws.sort_unstable_by_key(|(k, _)| k.0);
+    encode_len(kws.len(), &mut buf);
+    for (k, list) in kws {
+        k.encode(&mut buf);
+        encode_pairs(list, &mut buf);
+    }
+    buf.freeze()
+}
+
+/// Decode an index from bytes.
+pub fn from_binary(mut bytes: Bytes) -> Result<NpdIndex, IndexError> {
+    decode_header(&mut bytes, INDEX_MAGIC)?;
+    let fragment = FragmentId(u32::decode(&mut bytes)?);
+    let max_r = u64::decode(&mut bytes)?;
+    let dl_scope = DlScope::decode(&mut bytes)?;
+    let sc_len = decode_len(&mut bytes, "sc")?;
+    let mut sc = Vec::with_capacity(sc_len.min(1 << 20));
+    for _ in 0..sc_len {
+        sc.push((NodeId::decode(&mut bytes)?, NodeId::decode(&mut bytes)?, u64::decode(&mut bytes)?));
+    }
+    let entry_len = decode_len(&mut bytes, "dl entries")?;
+    let mut dl_entries = HashMap::with_capacity(entry_len.min(1 << 20));
+    for _ in 0..entry_len {
+        let n = NodeId::decode(&mut bytes)?;
+        dl_entries.insert(n, decode_pairs(&mut bytes)?);
+    }
+    let kw_len = decode_len(&mut bytes, "keyword portals")?;
+    let mut keyword_portals = HashMap::with_capacity(kw_len.min(1 << 20));
+    for _ in 0..kw_len {
+        let k = KeywordId::decode(&mut bytes)?;
+        keyword_portals.insert(k, decode_pairs(&mut bytes)?);
+    }
+    Ok(NpdIndex {
+        fragment,
+        max_r,
+        dl_scope,
+        sc,
+        dl_entries,
+        keyword_portals,
+        build_time: std::time::Duration::ZERO,
+        build_settled: 0,
+    })
+}
+
+/// Size of the persisted form in bytes (the EXP 1 storage-cost measure).
+pub fn encoded_size(index: &NpdIndex) -> usize {
+    to_binary(index).len()
+}
+
+/// Save an index file.
+pub fn save_index(index: &NpdIndex, path: impl AsRef<Path>) -> Result<(), IndexError> {
+    let bytes = to_binary(index);
+    let mut f = std::io::BufWriter::new(std::fs::File::create(path)?);
+    f.write_all(&bytes)?;
+    Ok(())
+}
+
+/// Load an index file, checking it belongs to `expected` fragment.
+pub fn load_index(path: impl AsRef<Path>, expected: FragmentId) -> Result<NpdIndex, IndexError> {
+    let data = std::fs::read(path)?;
+    let index = from_binary(Bytes::from(data))?;
+    if index.fragment != expected {
+        return Err(IndexError::FragmentMismatch { expected: expected.0, found: index.fragment.0 });
+    }
+    Ok(index)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::index::{build_index, IndexConfig};
+    use disks_partition::{MultilevelPartitioner, Partitioner};
+    use disks_roadnet::generator::GridNetworkConfig;
+
+    fn sample_index() -> NpdIndex {
+        let net = GridNetworkConfig::tiny(8).generate();
+        let p = MultilevelPartitioner::default().partition(&net, 3);
+        build_index(&net, &p, FragmentId(1), &IndexConfig::unbounded())
+    }
+
+    #[test]
+    fn binary_round_trip() {
+        let idx = sample_index();
+        let back = from_binary(to_binary(&idx)).unwrap();
+        assert_eq!(back.fragment, idx.fragment);
+        assert_eq!(back.max_r, idx.max_r);
+        assert_eq!(back.sc, idx.sc);
+        assert_eq!(back.dl_entries, idx.dl_entries);
+        assert_eq!(back.keyword_portals, idx.keyword_portals);
+    }
+
+    #[test]
+    fn encoding_is_deterministic() {
+        let idx = sample_index();
+        assert_eq!(to_binary(&idx), to_binary(&idx));
+    }
+
+    #[test]
+    fn truncated_input_rejected() {
+        let idx = sample_index();
+        let raw = to_binary(&idx);
+        let cut = raw.slice(0..raw.len() - 3);
+        assert!(from_binary(cut).is_err());
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let idx = sample_index();
+        let mut raw = to_binary(&idx).to_vec();
+        raw[1] ^= 0x55;
+        assert!(from_binary(Bytes::from(raw)).is_err());
+    }
+
+    #[test]
+    fn file_round_trip_and_fragment_check() {
+        let idx = sample_index();
+        let dir = std::env::temp_dir().join(format!("disks-idx-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("frag1.npd");
+        save_index(&idx, &path).unwrap();
+        let back = load_index(&path, FragmentId(1)).unwrap();
+        assert_eq!(back.distances_recorded(), idx.distances_recorded());
+        assert!(matches!(
+            load_index(&path, FragmentId(0)),
+            Err(IndexError::FragmentMismatch { expected: 0, found: 1 })
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn encoded_size_matches_blob() {
+        let idx = sample_index();
+        assert_eq!(encoded_size(&idx), to_binary(&idx).len());
+        assert!(encoded_size(&idx) > 0);
+    }
+}

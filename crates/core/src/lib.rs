@@ -1,0 +1,48 @@
+//! # The NPD-index and query engine — the paper's primary contribution.
+//!
+//! This crate implements Sections 3–5 of *"Distributed Spatial Keyword
+//! Querying on Road Networks"* (EDBT 2014):
+//!
+//! * [`dfunc`] — the *keyword coverage* operation `R(ω, r)` and
+//!   **D-functions** `F(X₁,…,X_k) = X₁ θ₁ … θ_{k-1} X_k` over coverages
+//!   (θ ∈ {∪, ∩, −}), including Lemma 1 (distributed evaluation).
+//! * [`query`] — Spatial Group Keyword Queries (SGKQ), Range Keyword Queries
+//!   (RKQ), and the generalized Q-class (Definition 8), each lowered to a
+//!   D-function.
+//! * [`index`] — the **NPD-index** per fragment: the `SC` shortcut component
+//!   (Rules 1/3, Theorems 1–2) and the `DL` distance-list component
+//!   (Rules 2/4, Theorems 3–4), built with the backward portal-source search
+//!   of Algorithm 1, with `maxR` pruning (§3.7) and persistence.
+//! * [`engine`] — the per-fragment query engine of Algorithm 2: extended
+//!   fragment construction and per-term coverage Dijkstra, instrumented with
+//!   the Theorem 5 cost model.
+//! * [`coverage`] — centralized whole-graph evaluation used as ground truth
+//!   and as the "1 fragment" baseline.
+//! * [`bilevel`] — the §5.5 bi-level index that routes queries with
+//!   `r > maxR` to an unbounded secondary index.
+
+pub mod bilevel;
+pub mod bitset;
+pub mod coverage;
+pub mod dfunc;
+pub mod directed;
+pub mod engine;
+pub mod error;
+pub mod index;
+pub mod query;
+pub mod topk;
+
+pub use bilevel::BiLevelIndex;
+pub use coverage::CentralizedCoverage;
+pub use dfunc::{DFunction, DTerm, SetOp, Term};
+pub use engine::{FragmentEngine, QueryCost};
+pub use error::{IndexError, QueryError};
+pub use index::{
+    build_all_indexes, build_index, build_naive_index, DlScope, IndexConfig, IndexStats, NpdIndex,
+};
+pub use query::{QClassQuery, RangeKeywordQuery, SgkQuery};
+pub use directed::{
+    build_directed_index, directed_sgkq_centralized, directed_sgkq_distributed,
+    DirectedFragmentEngine, DirectedNpdIndex, DirectedPartition,
+};
+pub use topk::{centralized_topk, merge_topk, Ranked, ScoreCombine, TopKQuery};

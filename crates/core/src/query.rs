@@ -1,0 +1,207 @@
+//! The paper's query types and their lowering to D-functions.
+//!
+//! * [`SgkQuery`] — Spatial Group Keyword Query (Definition 2): node `A` is a
+//!   result iff `d(A, ωᵢ) ≤ r` for every query keyword `ωᵢ`. Lowered to
+//!   `⋂ᵢ R(ωᵢ, r)`.
+//! * [`RangeKeywordQuery`] — Range Keyword Query (Definition 3): `A` is a
+//!   result iff `d(l, A) ≤ r` and `A` contains every `ωᵢ`. Lowered to
+//!   `R(l, r) ∩ ⋂ᵢ R(ωᵢ, 0)` — the paper's Example 2 treatment, where the
+//!   query location's node id is used as a term and radius 0 forces
+//!   containment.
+//! * [`QClassQuery`] — the general Q-class (Definition 8): any D-function
+//!   over coverages with per-term radii.
+
+use bytes::{Buf, BufMut};
+
+use disks_roadnet::codec::{Decode, Encode};
+use disks_roadnet::{DecodeError, KeywordId, NodeId};
+
+use crate::dfunc::{DFunction, SetOp, Term};
+
+/// Spatial Group Keyword Query (Definition 2).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SgkQuery {
+    pub keywords: Vec<KeywordId>,
+    pub radius: u64,
+}
+
+impl SgkQuery {
+    /// Build a query; duplicate keywords are removed (they cannot change the
+    /// intersection).
+    pub fn new(mut keywords: Vec<KeywordId>, radius: u64) -> Self {
+        keywords.sort_unstable();
+        keywords.dedup();
+        SgkQuery { keywords, radius }
+    }
+
+    /// Lower to the D-function `⋂ᵢ R(ωᵢ, r)`.
+    ///
+    /// # Panics
+    /// Panics if the query has no keywords; use [`Self::to_dfunction_checked`]
+    /// for fallible lowering.
+    pub fn to_dfunction(&self) -> DFunction {
+        DFunction::intersection_of(&self.keywords, self.radius)
+    }
+
+    /// Fallible lowering: `None` when the query has no keywords.
+    pub fn to_dfunction_checked(&self) -> Option<DFunction> {
+        if self.keywords.is_empty() {
+            None
+        } else {
+            Some(self.to_dfunction())
+        }
+    }
+}
+
+/// Range Keyword Query (Definition 3).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RangeKeywordQuery {
+    pub location: NodeId,
+    pub keywords: Vec<KeywordId>,
+    pub radius: u64,
+}
+
+impl RangeKeywordQuery {
+    pub fn new(location: NodeId, mut keywords: Vec<KeywordId>, radius: u64) -> Self {
+        keywords.sort_unstable();
+        keywords.dedup();
+        RangeKeywordQuery { location, keywords, radius }
+    }
+
+    /// Lower to `R(l, r) ∩ ⋂ᵢ R(ωᵢ, 0)` (paper Example 2 / §3.1).
+    pub fn to_dfunction(&self) -> DFunction {
+        let mut f = DFunction::single(Term::Node(self.location), self.radius);
+        for &k in &self.keywords {
+            f = f.then(SetOp::Intersect, Term::Keyword(k), 0);
+        }
+        f
+    }
+}
+
+/// A general Q-class query (Definition 8): an arbitrary D-function.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QClassQuery {
+    pub dfunction: DFunction,
+}
+
+impl QClassQuery {
+    pub fn new(dfunction: DFunction) -> Self {
+        QClassQuery { dfunction }
+    }
+
+    /// The paper's extended SGKQ Q5: union of coverages,
+    /// "within r of *either* keyword".
+    pub fn any_of(keywords: &[KeywordId], radius: u64) -> Self {
+        assert!(!keywords.is_empty(), "at least one keyword required");
+        let mut f = DFunction::single(Term::Keyword(keywords[0]), radius);
+        for &k in &keywords[1..] {
+            f = f.then(SetOp::Union, Term::Keyword(k), radius);
+        }
+        QClassQuery { dfunction: f }
+    }
+
+    /// The paper's extended SGKQ Q2: "contains `target`, at least `radius`
+    /// away from every `avoid` node": `R(target, 0) − R(avoid, r)`.
+    pub fn near_but_far(target: KeywordId, avoid: KeywordId, radius: u64) -> Self {
+        let f = DFunction::single(Term::Keyword(target), 0).then(
+            SetOp::Subtract,
+            Term::Keyword(avoid),
+            radius,
+        );
+        QClassQuery { dfunction: f }
+    }
+
+    pub fn to_dfunction(&self) -> DFunction {
+        self.dfunction.clone()
+    }
+}
+
+impl Encode for SgkQuery {
+    fn encode(&self, buf: &mut impl BufMut) {
+        self.keywords.encode(buf);
+        self.radius.encode(buf);
+    }
+}
+impl Decode for SgkQuery {
+    fn decode(buf: &mut impl Buf) -> Result<Self, DecodeError> {
+        Ok(SgkQuery { keywords: Vec::decode(buf)?, radius: u64::decode(buf)? })
+    }
+}
+
+impl Encode for RangeKeywordQuery {
+    fn encode(&self, buf: &mut impl BufMut) {
+        self.location.encode(buf);
+        self.keywords.encode(buf);
+        self.radius.encode(buf);
+    }
+}
+impl Decode for RangeKeywordQuery {
+    fn decode(buf: &mut impl Buf) -> Result<Self, DecodeError> {
+        Ok(RangeKeywordQuery {
+            location: NodeId::decode(buf)?,
+            keywords: Vec::decode(buf)?,
+            radius: u64::decode(buf)?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sgkq_dedupes_keywords() {
+        let q = SgkQuery::new(vec![KeywordId(2), KeywordId(1), KeywordId(2)], 5);
+        assert_eq!(q.keywords, vec![KeywordId(1), KeywordId(2)]);
+        let f = q.to_dfunction();
+        assert_eq!(f.num_terms(), 2);
+        assert!(f.rest.iter().all(|(op, _)| *op == SetOp::Intersect));
+    }
+
+    #[test]
+    fn rkq_lowering_matches_paper_example2() {
+        // RKQ(B, {museum}, 4) → R(B, 4) ∩ R(museum, 0).
+        let q = RangeKeywordQuery::new(NodeId(1), vec![KeywordId(3)], 4);
+        let f = q.to_dfunction();
+        assert_eq!(f.first.term, Term::Node(NodeId(1)));
+        assert_eq!(f.first.radius, 4);
+        assert_eq!(f.rest.len(), 1);
+        assert_eq!(f.rest[0], (SetOp::Intersect, crate::dfunc::DTerm {
+            term: Term::Keyword(KeywordId(3)),
+            radius: 0
+        }));
+    }
+
+    #[test]
+    fn q5_any_of_uses_unions() {
+        let q = QClassQuery::any_of(&[KeywordId(0), KeywordId(1)], 500);
+        let f = q.to_dfunction();
+        assert_eq!(f.rest[0].0, SetOp::Union);
+        assert_eq!(f.max_radius(), 500);
+    }
+
+    #[test]
+    fn q2_near_but_far_uses_subtraction() {
+        let q = QClassQuery::near_but_far(KeywordId(0), KeywordId(1), 1000);
+        let f = q.to_dfunction();
+        assert_eq!(f.first.radius, 0);
+        assert_eq!(f.rest[0].0, SetOp::Subtract);
+        assert_eq!(f.rest[0].1.radius, 1000);
+    }
+
+    #[test]
+    fn query_codecs_round_trip() {
+        use bytes::BytesMut;
+        let q = SgkQuery::new(vec![KeywordId(4), KeywordId(9)], 77);
+        let mut buf = BytesMut::new();
+        q.encode(&mut buf);
+        let mut bytes = buf.freeze();
+        assert_eq!(SgkQuery::decode(&mut bytes).unwrap(), q);
+
+        let rq = RangeKeywordQuery::new(NodeId(11), vec![KeywordId(2)], 6);
+        let mut buf = BytesMut::new();
+        rq.encode(&mut buf);
+        let mut bytes = buf.freeze();
+        assert_eq!(RangeKeywordQuery::decode(&mut bytes).unwrap(), rq);
+    }
+}

@@ -1,0 +1,169 @@
+//! Multi-seed region-growing partitioner.
+//!
+//! Picks `k` seeds spread out by a farthest-point (k-center style) sweep of
+//! BFS distances, then grows all regions simultaneously: at each step the
+//! currently smallest fragment claims its next frontier node. This keeps
+//! fragments balanced while following the graph topology (unlike the
+//! geometric splitter, it never cuts across a bridge it could avoid).
+
+use std::collections::VecDeque;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use disks_roadnet::{NodeId, RoadNetwork};
+
+use crate::fragment::Partitioning;
+use crate::Partitioner;
+
+/// Region-growing partitioner with deterministic seeding.
+#[derive(Debug, Clone, Copy)]
+pub struct BfsPartitioner {
+    /// RNG seed used to pick the first region seed.
+    pub seed: u64,
+}
+
+impl Default for BfsPartitioner {
+    fn default() -> Self {
+        BfsPartitioner { seed: 0xBF5 }
+    }
+}
+
+impl Partitioner for BfsPartitioner {
+    fn partition(&self, net: &RoadNetwork, k: usize) -> Partitioning {
+        assert!(k > 0, "k must be positive");
+        let n = net.num_nodes();
+        if n == 0 {
+            return Partitioning::from_assignment(net, Vec::new(), k);
+        }
+        let seeds = pick_seeds(net, k, self.seed);
+        let mut assignment = vec![u32::MAX; n];
+        let mut frontiers: Vec<VecDeque<u32>> = vec![VecDeque::new(); k];
+        let mut sizes = vec![0usize; k];
+        for (f, &s) in seeds.iter().enumerate() {
+            if assignment[s as usize] == u32::MAX {
+                assignment[s as usize] = f as u32;
+                sizes[f] += 1;
+                frontiers[f].push_back(s);
+            }
+        }
+        // Grow: smallest fragment with a non-empty frontier claims next.
+        loop {
+            let mut best: Option<usize> = None;
+            for f in 0..k {
+                if frontiers[f].is_empty() {
+                    continue;
+                }
+                if best.is_none_or(|b| sizes[f] < sizes[b]) {
+                    best = Some(f);
+                }
+            }
+            let Some(f) = best else { break };
+            let Some(u) = frontiers[f].pop_front() else { continue };
+            for (v, _) in net.neighbors(NodeId(u)) {
+                if assignment[v.index()] == u32::MAX {
+                    assignment[v.index()] = f as u32;
+                    sizes[f] += 1;
+                    frontiers[f].push_back(v.0);
+                }
+            }
+        }
+        // Disconnected leftovers (other components): round-robin to the
+        // smallest fragments to preserve balance.
+        for a in assignment.iter_mut() {
+            if *a == u32::MAX {
+                let f = (0..k).min_by_key(|&f| sizes[f]).unwrap_or(0);
+                *a = f as u32;
+                sizes[f] += 1;
+            }
+        }
+        Partitioning::from_assignment(net, assignment, k)
+    }
+}
+
+/// Farthest-point seed selection: first seed random (seeded RNG), each
+/// subsequent seed maximizes hop distance to all chosen seeds.
+fn pick_seeds(net: &RoadNetwork, k: usize, seed: u64) -> Vec<u32> {
+    let n = net.num_nodes();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut seeds = vec![rng.gen_range(0..n) as u32];
+    let mut dist = vec![u32::MAX; n];
+    let mut queue = VecDeque::new();
+    // Incremental multi-source BFS: after adding a seed, relax distances.
+    let relax_from = |s: u32, dist: &mut Vec<u32>, queue: &mut VecDeque<u32>| {
+        dist[s as usize] = 0;
+        queue.push_back(s);
+        while let Some(u) = queue.pop_front() {
+            let du = dist[u as usize];
+            for (v, _) in net.neighbors(NodeId(u)) {
+                if dist[v.index()] > du + 1 {
+                    dist[v.index()] = du + 1;
+                    queue.push_back(v.0);
+                }
+            }
+        }
+    };
+    relax_from(seeds[0], &mut dist, &mut queue);
+    while seeds.len() < k.min(n) {
+        let far = (0..n)
+            .filter(|&i| dist[i] != u32::MAX) // stay in the same component
+            .max_by_key(|&i| dist[i])
+            .unwrap_or(0) as u32;
+        if dist[far as usize] == 0 {
+            // Everything is a seed already (tiny component); pick any
+            // unused node.
+            let unused = (0..n as u32).find(|u| !seeds.contains(u));
+            match unused {
+                Some(u) => {
+                    seeds.push(u);
+                    relax_from(u, &mut dist, &mut queue);
+                }
+                None => break,
+            }
+        } else {
+            seeds.push(far);
+            relax_from(far, &mut dist, &mut queue);
+        }
+    }
+    seeds
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use disks_roadnet::generator::GridNetworkConfig;
+
+    #[test]
+    fn produces_valid_balanced_partitions() {
+        let net = GridNetworkConfig::small(7).generate();
+        for k in [2, 4, 8, 16] {
+            let p = BfsPartitioner::default().partition(&net, k);
+            p.validate(&net).unwrap();
+            assert_eq!(p.num_fragments(), k);
+            assert!(p.balance() < 1.6, "k={k} balance={}", p.balance());
+        }
+    }
+
+    #[test]
+    fn regions_follow_topology() {
+        let net = GridNetworkConfig::small(8).generate();
+        let p = BfsPartitioner::default().partition(&net, 8);
+        let cut_frac = p.cut_edges() as f64 / net.num_edges() as f64;
+        assert!(cut_frac < 0.3, "cut fraction too high: {cut_frac}");
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let net = GridNetworkConfig::small(9).generate();
+        let a = BfsPartitioner { seed: 5 }.partition(&net, 4);
+        let b = BfsPartitioner { seed: 5 }.partition(&net, 4);
+        assert_eq!(a.assignment(), b.assignment());
+    }
+
+    #[test]
+    fn handles_k_larger_than_tiny_component_count() {
+        let net = GridNetworkConfig::tiny(10).generate();
+        let p = BfsPartitioner::default().partition(&net, 6);
+        p.validate(&net).unwrap();
+    }
+}

@@ -1,0 +1,231 @@
+//! Fragments, assignments, and portal nodes.
+
+use disks_roadnet::{NodeId, RoadNetwork};
+
+/// Dense fragment identifier (a fragment ≙ one machine in the paper's
+/// default deployment).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct FragmentId(pub u32);
+
+impl FragmentId {
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for FragmentId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "P{}", self.0)
+    }
+}
+
+/// A `k`-way node-disjoint partitioning of a road network.
+///
+/// Holds the node → fragment assignment, per-fragment node lists, and the
+/// per-fragment *portal* sets: a node is a portal of its fragment iff it is
+/// an endpoint of a cross-fragment edge (§3.2).
+#[derive(Debug, Clone)]
+pub struct Partitioning {
+    assignment: Vec<u32>,
+    fragments: Vec<Vec<NodeId>>,
+    portals: Vec<Vec<NodeId>>,
+    cut_edges: usize,
+}
+
+impl Partitioning {
+    /// Build from a raw node → fragment assignment. Fragment ids must be
+    /// `< k`; `assignment.len()` must equal `net.num_nodes()`.
+    ///
+    /// # Panics
+    /// Panics on malformed input — partitioners are internal producers and a
+    /// bad assignment is a programming error, not a runtime condition.
+    pub fn from_assignment(net: &RoadNetwork, assignment: Vec<u32>, k: usize) -> Self {
+        assert_eq!(
+            assignment.len(),
+            net.num_nodes(),
+            "assignment must label every node"
+        );
+        assert!(k > 0, "at least one fragment required");
+        let mut fragments: Vec<Vec<NodeId>> = vec![Vec::new(); k];
+        for (i, &f) in assignment.iter().enumerate() {
+            assert!((f as usize) < k, "fragment id {f} out of range (k = {k})");
+            fragments[f as usize].push(NodeId(i as u32));
+        }
+        let mut is_portal = vec![false; net.num_nodes()];
+        let mut cut_edges = 0usize;
+        for (a, b, _) in net.edges() {
+            if assignment[a.index()] != assignment[b.index()] {
+                is_portal[a.index()] = true;
+                is_portal[b.index()] = true;
+                cut_edges += 1;
+            }
+        }
+        let mut portals: Vec<Vec<NodeId>> = vec![Vec::new(); k];
+        for (i, &p) in is_portal.iter().enumerate() {
+            if p {
+                portals[assignment[i] as usize].push(NodeId(i as u32));
+            }
+        }
+        Partitioning { assignment, fragments, portals, cut_edges }
+    }
+
+    /// Everything in one fragment — the paper's "1 fragment" centralized
+    /// reference configuration.
+    pub fn single_fragment(net: &RoadNetwork) -> Self {
+        Partitioning::from_assignment(net, vec![0; net.num_nodes()], 1)
+    }
+
+    /// Number of fragments `k`.
+    pub fn num_fragments(&self) -> usize {
+        self.fragments.len()
+    }
+
+    /// `part(node)` — the fragment containing `node`.
+    #[inline]
+    pub fn fragment_of(&self, node: NodeId) -> FragmentId {
+        FragmentId(self.assignment[node.index()])
+    }
+
+    /// Raw assignment slice (node index → fragment id).
+    pub fn assignment(&self) -> &[u32] {
+        &self.assignment
+    }
+
+    /// Nodes of fragment `f`.
+    pub fn nodes(&self, f: FragmentId) -> &[NodeId] {
+        &self.fragments[f.index()]
+    }
+
+    /// `port(P)` — portal nodes of fragment `f`.
+    pub fn portals(&self, f: FragmentId) -> &[NodeId] {
+        &self.portals[f.index()]
+    }
+
+    /// Number of cross-fragment edges.
+    pub fn cut_edges(&self) -> usize {
+        self.cut_edges
+    }
+
+    /// Iterate fragment ids.
+    pub fn fragment_ids(&self) -> impl Iterator<Item = FragmentId> {
+        (0..self.fragments.len() as u32).map(FragmentId)
+    }
+
+    /// True iff `a` and `b` are in the same fragment.
+    #[inline]
+    pub fn same_fragment(&self, a: NodeId, b: NodeId) -> bool {
+        self.assignment[a.index()] == self.assignment[b.index()]
+    }
+
+    /// Fragment-size balance: `max size / ideal size` (1.0 = perfect).
+    pub fn balance(&self) -> f64 {
+        let n: usize = self.fragments.iter().map(Vec::len).sum();
+        if n == 0 {
+            return 1.0;
+        }
+        let ideal = n as f64 / self.fragments.len() as f64;
+        let max = self.fragments.iter().map(Vec::len).max().unwrap_or(0) as f64;
+        max / ideal
+    }
+
+    /// Validate internal consistency against `net` (used by proptests).
+    pub fn validate(&self, net: &RoadNetwork) -> Result<(), String> {
+        if self.assignment.len() != net.num_nodes() {
+            return Err("assignment length mismatch".into());
+        }
+        let total: usize = self.fragments.iter().map(Vec::len).sum();
+        if total != net.num_nodes() {
+            return Err("fragments do not cover all nodes".into());
+        }
+        for f in self.fragment_ids() {
+            for &n in self.nodes(f) {
+                if self.fragment_of(n) != f {
+                    return Err(format!("node {n} listed in wrong fragment {f}"));
+                }
+            }
+            for &p in self.portals(f) {
+                if self.fragment_of(p) != f {
+                    return Err(format!("portal {p} not inside its fragment {f}"));
+                }
+                let crosses =
+                    net.neighbors(p).any(|(q, _)| self.fragment_of(q) != f);
+                if !crosses {
+                    return Err(format!("portal {p} has no cross edge"));
+                }
+            }
+        }
+        // Every endpoint of every cut edge must be listed as a portal.
+        for (a, b, _) in net.edges() {
+            if !self.same_fragment(a, b) {
+                if !self.portals(self.fragment_of(a)).contains(&a) {
+                    return Err(format!("missing portal {a}"));
+                }
+                if !self.portals(self.fragment_of(b)).contains(&b) {
+                    return Err(format!("missing portal {b}"));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use disks_roadnet::graph::figure1_network;
+
+    #[test]
+    fn from_assignment_computes_portals_and_cut() {
+        let (g, names) = figure1_network();
+        // Paper Example 4 fragments: U1 = {A, B}, U2 = {C, D, E}.
+        let mut assignment = vec![0u32; 5];
+        assignment[names["C"].index()] = 1;
+        assignment[names["D"].index()] = 1;
+        assignment[names["E"].index()] = 1;
+        let p = Partitioning::from_assignment(&g, assignment, 2);
+        p.validate(&g).unwrap();
+        assert_eq!(p.num_fragments(), 2);
+        assert_eq!(p.nodes(FragmentId(0)).len(), 2);
+        assert_eq!(p.nodes(FragmentId(1)).len(), 3);
+        // Cut edges: (B,C), (A,E), (B,D) → 3.
+        assert_eq!(p.cut_edges(), 3);
+        let p0: Vec<_> = p.portals(FragmentId(0)).to_vec();
+        assert!(p0.contains(&names["A"]) && p0.contains(&names["B"]));
+        let p1: Vec<_> = p.portals(FragmentId(1)).to_vec();
+        assert!(p1.contains(&names["C"]) && p1.contains(&names["D"]) && p1.contains(&names["E"]));
+    }
+
+    #[test]
+    fn single_fragment_has_no_portals() {
+        let (g, _) = figure1_network();
+        let p = Partitioning::single_fragment(&g);
+        assert_eq!(p.num_fragments(), 1);
+        assert_eq!(p.cut_edges(), 0);
+        assert!(p.portals(FragmentId(0)).is_empty());
+        assert!((p.balance() - 1.0).abs() < 1e-9);
+        p.validate(&g).unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_fragment_rejected() {
+        let (g, _) = figure1_network();
+        let _ = Partitioning::from_assignment(&g, vec![0, 0, 0, 0, 7], 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "label every node")]
+    fn short_assignment_rejected() {
+        let (g, _) = figure1_network();
+        let _ = Partitioning::from_assignment(&g, vec![0, 0], 2);
+    }
+
+    #[test]
+    fn balance_reflects_skew() {
+        let (g, _) = figure1_network();
+        let p = Partitioning::from_assignment(&g, vec![0, 0, 0, 0, 1], 2);
+        // sizes 4 and 1, ideal 2.5 → balance 1.6
+        assert!((p.balance() - 1.6).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,422 @@
+//! Reusable Dijkstra toolkit.
+//!
+//! Every shortest-path computation in the system — NPD-index construction
+//! (Alg. 1), fragment query evaluation (Alg. 2), centralized ground truth,
+//! and the baselines — goes through [`DijkstraWorkspace`]. The workspace owns
+//! the distance array and the heap and is reused across runs with epoch
+//! stamping, so repeated searches on a large graph do not pay O(n)
+//! re-initialization (a pattern recommended by the Rust perf guides for hot
+//! database loops).
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::graph::Weight;
+use crate::INF;
+
+/// Minimal directed-graph abstraction used by the Dijkstra toolkit.
+///
+/// Implementations include [`crate::RoadNetwork`] (undirected: both arcs) and
+/// the query engine's extended fragment graph (mixed directed/undirected).
+pub trait Graph {
+    /// Number of nodes; node ids are `0..num_nodes()`.
+    fn num_nodes(&self) -> usize;
+    /// Invoke `f(neighbor, weight)` for every outgoing arc of `node`.
+    fn for_each_neighbor(&self, node: u32, f: &mut dyn FnMut(u32, Weight));
+}
+
+/// What the settle callback tells the search to do next.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Control {
+    /// Keep relaxing this node's edges and continue.
+    Continue,
+    /// Do not relax this node's edges, but continue the search. Useful for
+    /// pruned expansions (e.g. virtual keyword nodes must not be re-entered).
+    SkipNeighbors,
+    /// Stop the whole search now.
+    Stop,
+}
+
+/// Per-run statistics, used by the Theorem 5 cost-model instrumentation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SearchStats {
+    /// Nodes settled (popped with their final distance).
+    pub settled: usize,
+    /// Heap pushes performed (relaxations that improved a distance).
+    pub pushed: usize,
+}
+
+/// A reusable single-source / multi-source Dijkstra workspace.
+///
+/// Distances are valid only for nodes whose stamp equals the current epoch;
+/// `reset` is O(1) (bumps the epoch) except on epoch wrap, where it clears in
+/// O(n) (happens once every ~4 billion runs).
+#[derive(Debug)]
+pub struct DijkstraWorkspace {
+    dist: Vec<u64>,
+    stamp: Vec<u32>,
+    epoch: u32,
+    heap: BinaryHeap<Reverse<(u64, u32)>>,
+}
+
+impl DijkstraWorkspace {
+    /// Create a workspace able to address `num_nodes` nodes.
+    pub fn new(num_nodes: usize) -> Self {
+        DijkstraWorkspace {
+            dist: vec![INF; num_nodes],
+            stamp: vec![0; num_nodes],
+            epoch: 0,
+            heap: BinaryHeap::new(),
+        }
+    }
+
+    /// Grow to accommodate `num_nodes` nodes (no-op if already large enough).
+    pub fn ensure_capacity(&mut self, num_nodes: usize) {
+        if self.dist.len() < num_nodes {
+            self.dist.resize(num_nodes, INF);
+            self.stamp.resize(num_nodes, 0);
+        }
+    }
+
+    fn begin_epoch(&mut self) {
+        self.heap.clear();
+        if self.epoch == u32::MAX {
+            self.stamp.fill(0);
+            self.epoch = 1;
+        } else {
+            self.epoch += 1;
+        }
+    }
+
+    #[inline]
+    fn current_dist(&self, node: u32) -> u64 {
+        if self.stamp[node as usize] == self.epoch {
+            self.dist[node as usize]
+        } else {
+            INF
+        }
+    }
+
+    #[inline]
+    fn set_dist(&mut self, node: u32, d: u64) {
+        self.dist[node as usize] = d;
+        self.stamp[node as usize] = self.epoch;
+    }
+
+    /// Distance computed by the **last** run for `node` (INF if untouched).
+    /// Only settled nodes have final distances; unsettled stamped nodes hold
+    /// tentative values that are still upper bounds.
+    pub fn last_dist(&self, node: u32) -> u64 {
+        self.current_dist(node)
+    }
+
+    /// Run Dijkstra from `sources` (each with an initial distance), bounded
+    /// by `bound` (nodes farther than `bound` are neither settled nor
+    /// reported). `on_settle(node, dist)` fires exactly once per settled node
+    /// in nondecreasing distance order and steers the search via [`Control`].
+    pub fn run<G: Graph + ?Sized>(
+        &mut self,
+        graph: &G,
+        sources: &[(u32, u64)],
+        bound: u64,
+        mut on_settle: impl FnMut(u32, u64) -> Control,
+    ) -> SearchStats {
+        self.ensure_capacity(graph.num_nodes());
+        self.begin_epoch();
+        let mut stats = SearchStats::default();
+        for &(s, d0) in sources {
+            if d0 <= bound && d0 < self.current_dist(s) {
+                self.set_dist(s, d0);
+                self.heap.push(Reverse((d0, s)));
+                stats.pushed += 1;
+            }
+        }
+        while let Some(Reverse((d, u))) = self.heap.pop() {
+            if d > self.current_dist(u) {
+                continue; // stale heap entry
+            }
+            stats.settled += 1;
+            match on_settle(u, d) {
+                Control::Stop => break,
+                Control::SkipNeighbors => continue,
+                Control::Continue => {}
+            }
+            // Relax in place: split borrows so the adjacency closure can
+            // update the distance arrays without a temporary allocation.
+            let (dist, stamp, heap) = (&mut self.dist, &mut self.stamp, &mut self.heap);
+            let epoch = self.epoch;
+            let pushed = &mut stats.pushed;
+            graph.for_each_neighbor(u, &mut |v, w| {
+                let nd = d.saturating_add(u64::from(w));
+                if nd <= bound {
+                    let vi = v as usize;
+                    let cur = if stamp[vi] == epoch { dist[vi] } else { INF };
+                    if nd < cur {
+                        dist[vi] = nd;
+                        stamp[vi] = epoch;
+                        heap.push(Reverse((nd, v)));
+                        *pushed += 1;
+                    }
+                }
+            });
+        }
+        stats
+    }
+
+    /// All-destinations distances from a single source, bounded by `bound`.
+    /// Returns `(node, dist)` pairs for every reachable node within the
+    /// bound, in nondecreasing distance order.
+    pub fn distances_from<G: Graph + ?Sized>(
+        &mut self,
+        graph: &G,
+        source: u32,
+        bound: u64,
+    ) -> Vec<(u32, u64)> {
+        let mut out = Vec::new();
+        self.run(graph, &[(source, 0)], bound, |n, d| {
+            out.push((n, d));
+            Control::Continue
+        });
+        out
+    }
+
+    /// Point-to-point distance with early termination.
+    pub fn distance<G: Graph + ?Sized>(&mut self, graph: &G, source: u32, target: u32) -> u64 {
+        let mut found = INF;
+        self.run(graph, &[(source, 0)], INF - 1, |n, d| {
+            if n == target {
+                found = d;
+                Control::Stop
+            } else {
+                Control::Continue
+            }
+        });
+        found
+    }
+
+    /// Distance from `source` to the nearest member of `targets`.
+    pub fn distance_to_any<G: Graph + ?Sized>(
+        &mut self,
+        graph: &G,
+        source: u32,
+        targets: &[u32],
+    ) -> u64 {
+        if targets.is_empty() {
+            return INF;
+        }
+        let mut marks = std::collections::HashSet::with_capacity(targets.len());
+        marks.extend(targets.iter().copied());
+        let mut found = INF;
+        self.run(graph, &[(source, 0)], INF - 1, |n, d| {
+            if marks.contains(&n) {
+                found = d;
+                Control::Stop
+            } else {
+                Control::Continue
+            }
+        });
+        found
+    }
+
+    /// Multi-source coverage: all nodes within `radius` of any source
+    /// (sources seeded at distance 0). This is the direct form of the
+    /// paper's *keyword coverage* when sources are the nodes containing the
+    /// keyword.
+    pub fn coverage<G: Graph + ?Sized>(
+        &mut self,
+        graph: &G,
+        sources: &[u32],
+        radius: u64,
+    ) -> Vec<(u32, u64)> {
+        let seeded: Vec<(u32, u64)> = sources.iter().map(|&s| (s, 0)).collect();
+        let mut out = Vec::new();
+        self.run(graph, &seeded, radius, |n, d| {
+            out.push((n, d));
+            Control::Continue
+        });
+        out
+    }
+}
+
+/// Dijkstra with predecessor tracking, for extracting actual shortest paths.
+/// Kept separate from [`DijkstraWorkspace`] because predecessor arrays are
+/// only needed in tests, diagnostics and the generator.
+pub fn shortest_path<G: Graph + ?Sized>(graph: &G, source: u32, target: u32) -> Option<(Vec<u32>, u64)> {
+    let n = graph.num_nodes();
+    let mut dist = vec![INF; n];
+    let mut pred = vec![u32::MAX; n];
+    let mut heap = BinaryHeap::new();
+    dist[source as usize] = 0;
+    heap.push(Reverse((0u64, source)));
+    while let Some(Reverse((d, u))) = heap.pop() {
+        if d > dist[u as usize] {
+            continue;
+        }
+        if u == target {
+            break;
+        }
+        let mut relaxed = Vec::new();
+        graph.for_each_neighbor(u, &mut |v, w| {
+            relaxed.push((v, d.saturating_add(u64::from(w))));
+        });
+        for (v, nd) in relaxed {
+            if nd < dist[v as usize] {
+                dist[v as usize] = nd;
+                pred[v as usize] = u;
+                heap.push(Reverse((nd, v)));
+            }
+        }
+    }
+    if dist[target as usize] == INF {
+        return None;
+    }
+    let mut path = vec![target];
+    let mut cur = target;
+    while cur != source {
+        cur = pred[cur as usize];
+        path.push(cur);
+    }
+    path.reverse();
+    Some((path, dist[target as usize]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::figure1_network;
+
+    #[test]
+    fn figure1_distances_match_paper() {
+        let (g, names) = figure1_network();
+        let mut ws = DijkstraWorkspace::new(g.num_nodes());
+        // Paper Example 1 geometry: B and E are within 3 of both "museum"
+        // (node D) and "school" (node A), while A, C, D are not.
+        let d_a = |t: &str, ws: &mut DijkstraWorkspace| ws.distance(&g, names["A"].0, names[t].0);
+        assert_eq!(d_a("B", &mut ws), 2);
+        assert_eq!(d_a("E", &mut ws), 1);
+        assert_eq!(d_a("D", &mut ws), 4);
+        assert_eq!(d_a("C", &mut ws), 4);
+        let d_d = |t: &str, ws: &mut DijkstraWorkspace| ws.distance(&g, names["D"].0, names[t].0);
+        assert_eq!(d_d("B", &mut ws), 2);
+        assert_eq!(d_d("E", &mut ws), 3);
+        assert_eq!(d_d("C", &mut ws), 4);
+    }
+
+    #[test]
+    fn bounded_search_respects_radius() {
+        let (g, names) = figure1_network();
+        let mut ws = DijkstraWorkspace::new(g.num_nodes());
+        let within_2: Vec<u32> =
+            ws.distances_from(&g, names["A"].0, 2).into_iter().map(|(n, _)| n).collect();
+        // A(0), E(1), B(2) — D is at 3, C at 4.
+        assert_eq!(within_2.len(), 3);
+        assert!(within_2.contains(&names["A"].0));
+        assert!(within_2.contains(&names["E"].0));
+        assert!(within_2.contains(&names["B"].0));
+    }
+
+    #[test]
+    fn settle_order_is_nondecreasing() {
+        let (g, names) = figure1_network();
+        let mut ws = DijkstraWorkspace::new(g.num_nodes());
+        let mut last = 0u64;
+        ws.run(&g, &[(names["A"].0, 0)], INF - 1, |_, d| {
+            assert!(d >= last);
+            last = d;
+            Control::Continue
+        });
+    }
+
+    #[test]
+    fn multi_source_coverage_matches_definition() {
+        let (g, names) = figure1_network();
+        let mut ws = DijkstraWorkspace::new(g.num_nodes());
+        // Coverage of {A, D} (school ∪ museum sources) with radius 1:
+        // A(0), D(0), E(1 via A).
+        let cov = ws.coverage(&g, &[names["A"].0, names["D"].0], 1);
+        let nodes: std::collections::HashSet<u32> = cov.iter().map(|&(n, _)| n).collect();
+        assert_eq!(
+            nodes,
+            [names["A"].0, names["D"].0, names["E"].0].into_iter().collect()
+        );
+    }
+
+    #[test]
+    fn workspace_reuse_across_epochs_is_correct() {
+        let (g, names) = figure1_network();
+        let mut ws = DijkstraWorkspace::new(g.num_nodes());
+        for _ in 0..100 {
+            assert_eq!(ws.distance(&g, names["A"].0, names["C"].0), 4);
+            assert_eq!(ws.distance(&g, names["C"].0, names["A"].0), 4);
+        }
+    }
+
+    #[test]
+    fn stop_control_halts_search() {
+        let (g, names) = figure1_network();
+        let mut ws = DijkstraWorkspace::new(g.num_nodes());
+        let mut settled = 0;
+        ws.run(&g, &[(names["A"].0, 0)], INF - 1, |_, _| {
+            settled += 1;
+            Control::Stop
+        });
+        assert_eq!(settled, 1);
+    }
+
+    #[test]
+    fn skip_neighbors_prunes_expansion() {
+        let (g, names) = figure1_network();
+        let mut ws = DijkstraWorkspace::new(g.num_nodes());
+        // Refuse to expand anything: only sources get settled.
+        let mut settled = Vec::new();
+        ws.run(&g, &[(names["A"].0, 0), (names["D"].0, 0)], INF - 1, |n, _| {
+            settled.push(n);
+            Control::SkipNeighbors
+        });
+        settled.sort_unstable();
+        let mut expect = vec![names["A"].0, names["D"].0];
+        expect.sort_unstable();
+        assert_eq!(settled, expect);
+    }
+
+    #[test]
+    fn distance_to_any_picks_nearest_target() {
+        let (g, names) = figure1_network();
+        let mut ws = DijkstraWorkspace::new(g.num_nodes());
+        let d = ws.distance_to_any(&g, names["E"].0, &[names["C"].0, names["B"].0]);
+        // E→B = E→A→B(3) or E→D→B(3); C is farther.
+        assert_eq!(d, 3);
+        assert_eq!(ws.distance_to_any(&g, names["E"].0, &[]), INF);
+    }
+
+    #[test]
+    fn unreachable_distance_is_inf() {
+        use crate::graph::RoadNetworkBuilder;
+        let mut b = RoadNetworkBuilder::new();
+        let x = b.add_node(0.0, 0.0, &[]);
+        let y = b.add_node(1.0, 0.0, &[]);
+        let z = b.add_node(9.0, 9.0, &[]);
+        b.add_edge(x, y, 1).unwrap();
+        let g = b.build().unwrap();
+        let mut ws = DijkstraWorkspace::new(g.num_nodes());
+        assert_eq!(ws.distance(&g, x.0, z.0), INF);
+    }
+
+    #[test]
+    fn shortest_path_extraction() {
+        let (g, names) = figure1_network();
+        let (path, d) = shortest_path(&g, names["A"].0, names["C"].0).unwrap();
+        assert_eq!(d, 4);
+        assert_eq!(path, vec![names["A"].0, names["B"].0, names["C"].0]);
+        assert!(shortest_path(&g, names["A"].0, names["A"].0).is_some());
+    }
+
+    #[test]
+    fn stats_count_settles_and_pushes() {
+        let (g, names) = figure1_network();
+        let mut ws = DijkstraWorkspace::new(g.num_nodes());
+        let stats = ws.run(&g, &[(names["A"].0, 0)], INF - 1, |_, _| Control::Continue);
+        assert_eq!(stats.settled, 5);
+        assert!(stats.pushed >= 5);
+    }
+}

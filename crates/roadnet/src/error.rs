@@ -1,0 +1,87 @@
+//! Error types for the road-network substrate.
+
+use std::fmt;
+
+/// Errors raised while building, loading, or validating a road network.
+#[derive(Debug)]
+pub enum RoadNetError {
+    /// An edge referenced a node id that was never added.
+    UnknownNode(u32),
+    /// An edge weight of zero (or otherwise invalid) was supplied.
+    InvalidWeight { a: u32, b: u32, weight: u32 },
+    /// A self-loop `(a, a)` was supplied.
+    SelfLoop(u32),
+    /// The graph failed a structural validation check.
+    Validation(String),
+    /// Text or binary input could not be parsed.
+    Parse(String),
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for RoadNetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RoadNetError::UnknownNode(n) => write!(f, "unknown node id {n}"),
+            RoadNetError::InvalidWeight { a, b, weight } => {
+                write!(f, "invalid weight {weight} on edge ({a}, {b}); weights must be positive")
+            }
+            RoadNetError::SelfLoop(n) => write!(f, "self-loop on node {n} is not allowed"),
+            RoadNetError::Validation(msg) => write!(f, "graph validation failed: {msg}"),
+            RoadNetError::Parse(msg) => write!(f, "parse error: {msg}"),
+            RoadNetError::Io(e) => write!(f, "i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RoadNetError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RoadNetError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for RoadNetError {
+    fn from(e: std::io::Error) -> Self {
+        RoadNetError::Io(e)
+    }
+}
+
+/// Errors raised while decoding the hand-written binary formats.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// Fewer bytes remained than the decoder needed.
+    UnexpectedEof { needed: usize, remaining: usize },
+    /// A tag byte did not correspond to any known variant.
+    BadTag { context: &'static str, tag: u8 },
+    /// A length prefix exceeded a sanity bound.
+    LengthOutOfRange { context: &'static str, len: u64 },
+    /// Bytes were not valid UTF-8 where a string was expected.
+    BadUtf8,
+    /// A magic header or version did not match.
+    BadHeader { expected: u32, found: u32 },
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::UnexpectedEof { needed, remaining } => {
+                write!(f, "unexpected end of input: needed {needed} bytes, {remaining} remain")
+            }
+            DecodeError::BadTag { context, tag } => {
+                write!(f, "invalid tag byte {tag:#04x} while decoding {context}")
+            }
+            DecodeError::LengthOutOfRange { context, len } => {
+                write!(f, "length {len} out of range while decoding {context}")
+            }
+            DecodeError::BadUtf8 => write!(f, "invalid utf-8 in encoded string"),
+            DecodeError::BadHeader { expected, found } => {
+                write!(f, "bad magic/version header: expected {expected:#010x}, found {found:#010x}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}

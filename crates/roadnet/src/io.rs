@@ -1,0 +1,216 @@
+//! Text and binary persistence for road networks.
+//!
+//! The text format is line oriented and diff-friendly:
+//!
+//! ```text
+//! # disks road network v1
+//! nodes 3
+//! 0 0.5 1.5 school,park
+//! 1 2.0 1.0 -
+//! 2 0.0 0.0 museum
+//! edges 2
+//! 0 1 150
+//! 1 2 75
+//! ```
+//!
+//! `-` marks a junction (no keywords). The binary format reuses the
+//! [`crate::codec`] encoding of [`RoadNetwork`] behind a magic header.
+
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+use bytes::{Bytes, BytesMut};
+
+use crate::codec::{decode_header, encode_header, Decode, Encode};
+use crate::error::RoadNetError;
+use crate::graph::{NodeId, RoadNetwork, RoadNetworkBuilder};
+
+/// Magic header for the binary network format ("DSKN" + version 1).
+pub const NETWORK_MAGIC: u32 = 0x4453_4B01;
+
+/// Write the text format.
+pub fn write_text(net: &RoadNetwork, mut out: impl Write) -> Result<(), RoadNetError> {
+    writeln!(out, "# disks road network v1")?;
+    writeln!(out, "nodes {}", net.num_nodes())?;
+    for n in net.node_ids() {
+        let (x, y) = net.coord(n);
+        let kws = net.keywords(n);
+        if kws.is_empty() {
+            writeln!(out, "{} {} {} -", n.0, x, y)?;
+        } else {
+            let words: Vec<&str> =
+                kws.iter().map(|&k| net.vocab().word(k).unwrap_or("?")).collect();
+            writeln!(out, "{} {} {} {}", n.0, x, y, words.join(","))?;
+        }
+    }
+    writeln!(out, "edges {}", net.num_edges())?;
+    for (a, b, w) in net.edges() {
+        writeln!(out, "{} {} {}", a.0, b.0, w)?;
+    }
+    Ok(())
+}
+
+/// Read the text format.
+pub fn read_text(input: impl Read) -> Result<RoadNetwork, RoadNetError> {
+    let reader = BufReader::new(input);
+    let mut lines = reader.lines();
+    let mut next_line = || -> Result<Option<String>, RoadNetError> {
+        for line in lines.by_ref() {
+            let line = line?;
+            let trimmed = line.trim();
+            if trimmed.is_empty() || trimmed.starts_with('#') {
+                continue;
+            }
+            return Ok(Some(trimmed.to_string()));
+        }
+        Ok(None)
+    };
+
+    let header = next_line()?.ok_or_else(|| RoadNetError::Parse("empty input".into()))?;
+    let n: usize = parse_counted(&header, "nodes")?;
+    let mut builder = RoadNetworkBuilder::new();
+    for i in 0..n {
+        let line = next_line()?
+            .ok_or_else(|| RoadNetError::Parse(format!("expected {n} node lines, got {i}")))?;
+        let mut parts = line.split_whitespace();
+        let id: u32 = parse_field(parts.next(), "node id")?;
+        if id as usize != i {
+            return Err(RoadNetError::Parse(format!("node ids must be dense: expected {i}, got {id}")));
+        }
+        let x: f32 = parse_field(parts.next(), "x coordinate")?;
+        let y: f32 = parse_field(parts.next(), "y coordinate")?;
+        let kw_field = parts
+            .next()
+            .ok_or_else(|| RoadNetError::Parse(format!("node {id}: missing keyword field")))?;
+        if kw_field == "-" {
+            builder.add_node(x, y, &[]);
+        } else {
+            let words: Vec<&str> = kw_field.split(',').filter(|s| !s.is_empty()).collect();
+            builder.add_node(x, y, &words);
+        }
+    }
+    let edge_header =
+        next_line()?.ok_or_else(|| RoadNetError::Parse("missing edges header".into()))?;
+    let m: usize = parse_counted(&edge_header, "edges")?;
+    for i in 0..m {
+        let line = next_line()?
+            .ok_or_else(|| RoadNetError::Parse(format!("expected {m} edge lines, got {i}")))?;
+        let mut parts = line.split_whitespace();
+        let a: u32 = parse_field(parts.next(), "edge endpoint a")?;
+        let b: u32 = parse_field(parts.next(), "edge endpoint b")?;
+        let w: u32 = parse_field(parts.next(), "edge weight")?;
+        builder.add_edge(NodeId(a), NodeId(b), w)?;
+    }
+    builder.build()
+}
+
+fn parse_counted(line: &str, expected_tag: &str) -> Result<usize, RoadNetError> {
+    let mut parts = line.split_whitespace();
+    let tag = parts.next().unwrap_or("");
+    if tag != expected_tag {
+        return Err(RoadNetError::Parse(format!("expected '{expected_tag} <count>', got '{line}'")));
+    }
+    parse_field(parts.next(), "count")
+}
+
+fn parse_field<T: std::str::FromStr>(
+    field: Option<&str>,
+    what: &str,
+) -> Result<T, RoadNetError> {
+    field
+        .ok_or_else(|| RoadNetError::Parse(format!("missing {what}")))?
+        .parse()
+        .map_err(|_| RoadNetError::Parse(format!("invalid {what}")))
+}
+
+/// Encode to the binary format.
+pub fn to_binary(net: &RoadNetwork) -> Bytes {
+    let mut buf = BytesMut::new();
+    encode_header(NETWORK_MAGIC, &mut buf);
+    net.encode(&mut buf);
+    buf.freeze()
+}
+
+/// Decode from the binary format.
+pub fn from_binary(mut bytes: Bytes) -> Result<RoadNetwork, RoadNetError> {
+    decode_header(&mut bytes, NETWORK_MAGIC)
+        .map_err(|e| RoadNetError::Parse(e.to_string()))?;
+    RoadNetwork::decode(&mut bytes).map_err(|e| RoadNetError::Parse(e.to_string()))
+}
+
+/// Save the binary format to a file.
+pub fn save_binary(net: &RoadNetwork, path: impl AsRef<Path>) -> Result<(), RoadNetError> {
+    let bytes = to_binary(net);
+    let mut f = BufWriter::new(std::fs::File::create(path)?);
+    f.write_all(&bytes)?;
+    Ok(())
+}
+
+/// Load the binary format from a file.
+pub fn load_binary(path: impl AsRef<Path>) -> Result<RoadNetwork, RoadNetError> {
+    let data = std::fs::read(path)?;
+    from_binary(Bytes::from(data))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::figure1_network;
+
+    #[test]
+    fn text_round_trip() {
+        let (g, names) = figure1_network();
+        let mut out = Vec::new();
+        write_text(&g, &mut out).unwrap();
+        let back = read_text(out.as_slice()).unwrap();
+        assert_eq!(back.num_nodes(), g.num_nodes());
+        assert_eq!(back.num_edges(), g.num_edges());
+        assert_eq!(back.edge_weight(names["A"], names["B"]), Some(2));
+        let school = back.vocab().get("school").unwrap();
+        assert!(back.contains_keyword(names["A"], school));
+        back.validate().unwrap();
+    }
+
+    #[test]
+    fn binary_round_trip() {
+        let g = crate::generator::GridNetworkConfig::tiny(4).generate();
+        let bytes = to_binary(&g);
+        let back = from_binary(bytes).unwrap();
+        assert_eq!(back.num_nodes(), g.num_nodes());
+        assert_eq!(back.num_edges(), g.num_edges());
+        back.validate().unwrap();
+    }
+
+    #[test]
+    fn text_rejects_garbage() {
+        assert!(read_text("not a network".as_bytes()).is_err());
+        assert!(read_text("".as_bytes()).is_err());
+        assert!(read_text("nodes 1\n0 0 0 -\nedges 1\n0 0 5".as_bytes()).is_err()); // self-loop
+        assert!(read_text("nodes 2\n0 0 0 -\n5 1 1 -\n".as_bytes()).is_err()); // non-dense ids
+        assert!(read_text("nodes 1\n0 0 0 -\nedges 1\n".as_bytes()).is_err()); // missing edge line
+    }
+
+    #[test]
+    fn binary_rejects_bad_magic() {
+        let g = crate::generator::GridNetworkConfig::tiny(4).generate();
+        let mut raw = to_binary(&g).to_vec();
+        raw[0] ^= 0xff;
+        assert!(from_binary(Bytes::from(raw)).is_err());
+    }
+
+    #[test]
+    fn binary_rejects_truncation() {
+        let g = crate::generator::GridNetworkConfig::tiny(4).generate();
+        let raw = to_binary(&g);
+        let cut = raw.slice(0..raw.len() / 2);
+        assert!(from_binary(cut).is_err());
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let text = "# header\n\nnodes 2\n0 0 0 cafe\n# middle comment\n1 1 1 -\nedges 1\n0 1 3\n";
+        let net = read_text(text.as_bytes()).unwrap();
+        assert_eq!(net.num_nodes(), 2);
+        assert_eq!(net.num_edges(), 1);
+    }
+}

@@ -1,0 +1,161 @@
+//! Keyword vocabulary `K` (Definition 1): an interning table mapping keyword
+//! strings to dense [`KeywordId`]s and back.
+
+use std::collections::HashMap;
+
+use bytes::{Buf, BufMut};
+
+use crate::codec::{Decode, Encode};
+use crate::error::DecodeError;
+
+/// Dense identifier of a keyword in the vocabulary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct KeywordId(pub u32);
+
+impl KeywordId {
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for KeywordId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "kw#{}", self.0)
+    }
+}
+
+impl Encode for KeywordId {
+    fn encode(&self, buf: &mut impl BufMut) {
+        self.0.encode(buf);
+    }
+}
+impl Decode for KeywordId {
+    fn decode(buf: &mut impl Buf) -> Result<Self, DecodeError> {
+        Ok(KeywordId(u32::decode(buf)?))
+    }
+}
+
+/// An interning keyword vocabulary.
+///
+/// Keyword strings are normalized to lowercase on insert and lookup so
+/// `"Museum"` and `"museum"` are the same keyword, matching how the paper's
+/// example queries are phrased.
+#[derive(Debug, Clone, Default)]
+pub struct Vocabulary {
+    words: Vec<String>,
+    by_word: HashMap<String, KeywordId>,
+}
+
+impl Vocabulary {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of distinct keywords.
+    pub fn len(&self) -> usize {
+        self.words.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.words.is_empty()
+    }
+
+    /// Intern `word`, returning its id (existing or freshly assigned).
+    pub fn intern(&mut self, word: &str) -> KeywordId {
+        let normalized = word.to_lowercase();
+        if let Some(&id) = self.by_word.get(&normalized) {
+            return id;
+        }
+        let id = KeywordId(u32::try_from(self.words.len()).expect("vocabulary exceeds u32::MAX"));
+        self.by_word.insert(normalized.clone(), id);
+        self.words.push(normalized);
+        id
+    }
+
+    /// Look up an existing keyword without interning.
+    pub fn get(&self, word: &str) -> Option<KeywordId> {
+        self.by_word.get(&word.to_lowercase()).copied()
+    }
+
+    /// The string for `id`, if `id` is in range.
+    pub fn word(&self, id: KeywordId) -> Option<&str> {
+        self.words.get(id.index()).map(String::as_str)
+    }
+
+    /// Iterate `(id, word)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (KeywordId, &str)> {
+        self.words.iter().enumerate().map(|(i, w)| (KeywordId(i as u32), w.as_str()))
+    }
+}
+
+impl Encode for Vocabulary {
+    fn encode(&self, buf: &mut impl BufMut) {
+        self.words.encode(buf);
+    }
+}
+
+impl Decode for Vocabulary {
+    fn decode(buf: &mut impl Buf) -> Result<Self, DecodeError> {
+        let words = Vec::<String>::decode(buf)?;
+        let mut by_word = HashMap::with_capacity(words.len());
+        for (i, w) in words.iter().enumerate() {
+            by_word.insert(w.clone(), KeywordId(i as u32));
+        }
+        Ok(Vocabulary { words, by_word })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::BytesMut;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut v = Vocabulary::new();
+        let a = v.intern("museum");
+        let b = v.intern("museum");
+        assert_eq!(a, b);
+        assert_eq!(v.len(), 1);
+    }
+
+    #[test]
+    fn intern_normalizes_case() {
+        let mut v = Vocabulary::new();
+        let a = v.intern("Museum");
+        assert_eq!(v.get("mUsEuM"), Some(a));
+        assert_eq!(v.word(a), Some("museum"));
+    }
+
+    #[test]
+    fn ids_are_dense_and_ordered() {
+        let mut v = Vocabulary::new();
+        let ids: Vec<_> = ["school", "park", "hospital"].iter().map(|w| v.intern(w)).collect();
+        assert_eq!(ids, vec![KeywordId(0), KeywordId(1), KeywordId(2)]);
+        let collected: Vec<_> = v.iter().map(|(id, w)| (id, w.to_string())).collect();
+        assert_eq!(collected.len(), 3);
+        assert_eq!(collected[1], (KeywordId(1), "park".to_string()));
+    }
+
+    #[test]
+    fn unknown_lookup_is_none() {
+        let v = Vocabulary::new();
+        assert_eq!(v.get("nothing"), None);
+        assert_eq!(v.word(KeywordId(5)), None);
+    }
+
+    #[test]
+    fn codec_round_trip() {
+        let mut v = Vocabulary::new();
+        v.intern("supermarket");
+        v.intern("gym");
+        v.intern("hospital");
+        let mut buf = BytesMut::new();
+        v.encode(&mut buf);
+        let mut bytes = buf.freeze();
+        let back = Vocabulary::decode(&mut bytes).unwrap();
+        assert_eq!(back.len(), 3);
+        assert_eq!(back.get("gym"), Some(KeywordId(1)));
+    }
+}

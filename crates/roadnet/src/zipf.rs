@@ -1,0 +1,121 @@
+//! Zipf-distributed sampling for keyword frequencies.
+//!
+//! The paper's query generator "chooses keywords according to their
+//! frequency" and real keyword frequencies are heavily skewed; we model the
+//! keyword popularity distribution as Zipf(s) over ranks `1..=n`, sampled via
+//! a precomputed cumulative table with binary search (O(log n) per sample).
+
+use rand::Rng;
+
+/// A Zipf(s) sampler over `0..n` (rank 0 is the most frequent item).
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cumulative: Vec<f64>,
+}
+
+impl Zipf {
+    /// Create a sampler over `n` ranks with exponent `s` (s = 1.0 is the
+    /// classic Zipf law).
+    ///
+    /// # Panics
+    /// Panics if `n == 0` or `s` is not finite.
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "Zipf requires at least one rank");
+        assert!(s.is_finite(), "Zipf exponent must be finite");
+        let mut cumulative = Vec::with_capacity(n);
+        let mut acc = 0.0f64;
+        for rank in 1..=n {
+            acc += 1.0 / (rank as f64).powf(s);
+            cumulative.push(acc);
+        }
+        let total = acc;
+        for c in &mut cumulative {
+            *c /= total;
+        }
+        // Guard against floating point leaving the last bucket slightly <1.
+        if let Some(last) = cumulative.last_mut() {
+            *last = 1.0;
+        }
+        Zipf { cumulative }
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.cumulative.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.cumulative.is_empty()
+    }
+
+    /// Sample a rank in `0..n`.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen::<f64>();
+        match self.cumulative.binary_search_by(|c| c.partial_cmp(&u).expect("finite")) {
+            Ok(i) => i,
+            Err(i) => i.min(self.cumulative.len() - 1),
+        }
+    }
+
+    /// Probability mass of `rank`.
+    pub fn pmf(&self, rank: usize) -> f64 {
+        if rank >= self.cumulative.len() {
+            return 0.0;
+        }
+        if rank == 0 {
+            self.cumulative[0]
+        } else {
+            self.cumulative[rank] - self.cumulative[rank - 1]
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn pmf_sums_to_one() {
+        let z = Zipf::new(100, 1.0);
+        let total: f64 = (0..100).map(|r| z.pmf(r)).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rank_zero_is_most_frequent() {
+        let z = Zipf::new(50, 1.0);
+        for r in 1..50 {
+            assert!(z.pmf(0) >= z.pmf(r));
+        }
+    }
+
+    #[test]
+    fn samples_follow_skew() {
+        let z = Zipf::new(10, 1.0);
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut counts = [0usize; 10];
+        for _ in 0..20_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        // Rank 0 should dominate rank 9 by roughly 10x under Zipf(1).
+        assert!(counts[0] > counts[9] * 4, "counts: {counts:?}");
+        assert!(counts.iter().all(|&c| c > 0), "all ranks should appear: {counts:?}");
+    }
+
+    #[test]
+    fn single_rank_always_sampled() {
+        let z = Zipf::new(1, 1.2);
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(z.sample(&mut rng), 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one rank")]
+    fn zero_ranks_panics() {
+        let _ = Zipf::new(0, 1.0);
+    }
+}

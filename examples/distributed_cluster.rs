@@ -1,0 +1,71 @@
+//! Distributed-vs-centralized demonstration on a larger synthetic network:
+//! scaling with the number of machines, per-machine load balance
+//! (Theorem 6), and the communication contrast against the BSP baseline.
+//!
+//! ```text
+//! cargo run --release --example distributed_cluster
+//! ```
+
+use std::time::Instant;
+
+use disks::baseline::{bsp_sgkq, CentralizedEngine};
+use disks::prelude::*;
+
+fn main() {
+    let cfg = GridNetworkConfig {
+        width: 80,
+        height: 80,
+        vocab_size: 300,
+        ..GridNetworkConfig::small(2024)
+    };
+    let net = cfg.generate();
+    println!(
+        "network: {} nodes ({} objects), {} edges",
+        net.num_nodes(),
+        net.num_objects(),
+        net.num_edges()
+    );
+    let e = net.avg_edge_weight();
+    let max_r = 40 * e;
+
+    // A frequency-biased query: the 5 most frequent keywords within 10ē.
+    let freqs = net.keyword_frequencies();
+    let mut ranked: Vec<usize> = (0..freqs.len()).filter(|&k| freqs[k] > 0).collect();
+    ranked.sort_unstable_by_key(|&k| std::cmp::Reverse(freqs[k]));
+    let keywords: Vec<KeywordId> = ranked.iter().take(5).map(|&k| KeywordId(k as u32)).collect();
+    let query = SgkQuery::new(keywords, 10 * e);
+
+    let mut centralized = CentralizedEngine::new(&net);
+    let (expect, central_time) = centralized.run_sgkq(&query).expect("centralized");
+    println!("\ncentralized (no index, 1 machine): {central_time:?}, {} results", expect.len());
+
+    println!("\nmachines  index-build  slowest-task  modeled-response  U     speedup");
+    for k in [2usize, 4, 8, 16] {
+        let partitioning = MultilevelPartitioner::default().partition(&net, k);
+        let t0 = Instant::now();
+        let indexes = build_all_indexes(&net, &partitioning, &IndexConfig::with_max_r(max_r));
+        let build = t0.elapsed();
+        let cluster = Cluster::build(&net, &partitioning, indexes, ClusterConfig::default());
+        let outcome = cluster.run_sgkq(&query).expect("query");
+        assert_eq!(outcome.results, expect, "distributed must equal centralized");
+        let speedup =
+            central_time.as_secs_f64() / outcome.stats.slowest_task.as_secs_f64().max(1e-9);
+        println!(
+            "{k:>8}  {build:>11.2?}  {:>12.2?}  {:>16.2?}  {:<5.2} {speedup:>6.1}x",
+            outcome.stats.slowest_task,
+            outcome.stats.modeled_response_time,
+            outcome.stats.unbalance_factor,
+        );
+        cluster.shutdown();
+    }
+
+    // Communication contrast with the Pregel-style BSP baseline (§2.3).
+    let partitioning = MultilevelPartitioner::default().partition(&net, 8);
+    let (bsp_nodes, bsp_run) = bsp_sgkq(&net, &partitioning, &query.keywords, query.radius);
+    assert_eq!(bsp_nodes, expect);
+    println!(
+        "\nBSP baseline on 8 fragments: {} supersteps, {} inter-fragment messages \
+         ({} bytes) — the NPD-index needs 1 round and 0 inter-worker bytes.",
+        bsp_run.supersteps, bsp_run.inter_fragment_messages, bsp_run.inter_fragment_bytes
+    );
+}

@@ -1,0 +1,52 @@
+//! Paper query Q2 — competitive site selection with a *subtraction*
+//! D-function: *"open a new pizza shop in a shopping mall that must be at
+//! least 1 km away from any existing pizza shop."*
+//!
+//! ```text
+//! cargo run --release --example pizza_shop
+//! ```
+//!
+//! Lowered per §3.1 to `R("shopping mall", 0) − R("pizza shop", 1 km)`.
+
+use disks::demo::demo_city;
+use disks::prelude::*;
+
+fn main() {
+    let (net, names) = demo_city();
+    let partitioning = MultilevelPartitioner::default().partition(&net, 2);
+    let indexes = build_all_indexes(&net, &partitioning, &IndexConfig::unbounded());
+    let cluster = Cluster::build(&net, &partitioning, indexes, ClusterConfig::default());
+
+    let mall = net.vocab().get("shopping mall").expect("keyword");
+    let pizza = net.vocab().get("pizza").expect("keyword");
+    let query = QClassQuery::near_but_far(mall, pizza, 1000);
+    println!("Q2 as a D-function: {}", query.to_dfunction());
+
+    let outcome = cluster.run_qclass(&query).expect("query");
+    let poi_name = |n: NodeId| {
+        names
+            .iter()
+            .find(|&(_, &v)| v == n)
+            .map(|(k, _)| (*k).to_string())
+            .unwrap_or_else(|| format!("junction {n}"))
+    };
+    println!("\nmalls at least 1 km from every pizza shop ({}):", outcome.results.len());
+    for &node in &outcome.results {
+        println!("  - {}", poi_name(node));
+    }
+
+    // Show the rejected malls and why.
+    let mut central = disks::core::CentralizedCoverage::new(&net);
+    let all_malls = net.nodes_with_keyword(mall).to_vec();
+    let pizza_table = central.distance_table(disks::core::Term::Keyword(pizza));
+    println!("\nall malls with their distance to the nearest pizza shop:");
+    for m in all_malls {
+        let d = pizza_table.get(&m).copied().unwrap_or(u64::MAX);
+        let verdict = if outcome.results.contains(&m) { "OK" } else { "too close" };
+        println!("  - {:<10} d(pizza) = {:>5} m  [{verdict}]", poi_name(m), d);
+    }
+
+    assert_eq!(outcome.results, central.qclass(&query).expect("centralized"));
+    println!("\ncentralized cross-check: OK");
+    cluster.shutdown();
+}

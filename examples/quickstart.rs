@@ -1,0 +1,77 @@
+//! Quickstart: the full DISKS pipeline on a synthetic road network.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! Steps: generate a network → partition it → build the NPD-index per
+//! fragment → start the share-nothing cluster → run an SGKQ → inspect the
+//! communication and load-balance statistics.
+
+use disks::prelude::*;
+
+fn main() {
+    // 1. A synthetic road network (substitute for an OSM extract).
+    let net = GridNetworkConfig::small(7).generate();
+    println!(
+        "network: {} nodes ({} objects), {} edges, {} keywords",
+        net.num_nodes(),
+        net.num_objects(),
+        net.num_edges(),
+        net.vocab().len()
+    );
+
+    // 2. Partition into 4 fragments — one per simulated machine.
+    let partitioning = MultilevelPartitioner::default().partition(&net, 4);
+    println!(
+        "partitioning: {} fragments, {} cut edges, balance {:.3}",
+        partitioning.num_fragments(),
+        partitioning.cut_edges(),
+        partitioning.balance()
+    );
+
+    // 3. Build the NPD-index for every fragment (maxR = 40·ē, §3.7).
+    let max_r = 40 * net.avg_edge_weight();
+    let indexes = build_all_indexes(&net, &partitioning, &IndexConfig::with_max_r(max_r));
+    for idx in &indexes {
+        let s = idx.stats();
+        println!(
+            "  {}: |SC|={} DL entries={} distances={} ({} bytes)",
+            s.fragment, s.shortcuts, s.dl_entries, s.distances_recorded, s.encoded_bytes
+        );
+    }
+
+    // 4. Start the cluster and query it.
+    let cluster = Cluster::build(&net, &partitioning, indexes, ClusterConfig::default());
+    let freqs = net.keyword_frequencies();
+    let mut ranked: Vec<usize> = (0..freqs.len()).filter(|&k| freqs[k] > 0).collect();
+    ranked.sort_unstable_by_key(|&k| std::cmp::Reverse(freqs[k]));
+    let keywords: Vec<KeywordId> = ranked.iter().take(2).map(|&k| KeywordId(k as u32)).collect();
+    let query = SgkQuery::new(keywords.clone(), max_r / 4);
+    println!(
+        "\nSGKQ: nodes within {} of all of {:?}",
+        query.radius,
+        keywords.iter().map(|&k| net.vocab().word(k).unwrap_or("?")).collect::<Vec<_>>()
+    );
+
+    let outcome = cluster.run_sgkq(&query).expect("query");
+    println!("results: {} nodes", outcome.results.len());
+    println!("  wall time             : {:?}", outcome.stats.wall_time);
+    println!("  slowest task          : {:?}", outcome.stats.slowest_task);
+    println!("  modeled response      : {:?}", outcome.stats.modeled_response_time);
+    println!("  unbalance factor U    : {:.2}", outcome.stats.unbalance_factor);
+    println!("  coordinator→worker    : {} bytes", outcome.stats.coordinator_to_worker_bytes);
+    println!("  worker→coordinator    : {} bytes", outcome.stats.worker_to_coordinator_bytes);
+    println!(
+        "  inter-worker          : {} bytes (Theorem 3: always zero)",
+        outcome.stats.inter_worker_bytes
+    );
+
+    // 5. Cross-check against the centralized ground truth.
+    let mut central = disks::core::CentralizedCoverage::new(&net);
+    let expect = central.sgkq(&query).expect("centralized");
+    assert_eq!(outcome.results, expect, "distributed result must equal centralized");
+    println!("\ncentralized cross-check: OK ({} nodes)", expect.len());
+
+    cluster.shutdown();
+}

@@ -1,0 +1,63 @@
+//! Future-work extension from the paper's conclusion: *"it would be
+//! interesting to extend our method to handle other types of graphs such as
+//! relational database graphs and social networks."*
+//!
+//! ```text
+//! cargo run --release -p disks --example social_network
+//! ```
+//!
+//! The NPD-index only needs a positive-weight labelled graph, so it applies
+//! unchanged to a small-world "who-talks-to-whom" graph where edge weights
+//! are interaction distances and labels are user interests. This example
+//! runs a group-keyword query ("nodes within distance r of users interested
+//! in every one of these topics") distributed over 4 partitions and checks
+//! it against the centralized evaluation.
+
+use disks::prelude::*;
+use disks::roadnet::generator::SmallWorldConfig;
+
+fn main() {
+    let net = SmallWorldConfig { nodes: 2000, vocab_size: 60, ..Default::default() }.generate();
+    println!(
+        "small-world graph: {} nodes ({} labelled), {} edges, avg degree {:.1}",
+        net.num_nodes(),
+        net.num_objects(),
+        net.num_edges(),
+        2.0 * net.num_edges() as f64 / net.num_nodes() as f64
+    );
+
+    // Partition by topology (coordinates are synthetic here, so use the
+    // region-growing partitioner rather than the geometric one).
+    let partitioning = BfsPartitioner::default().partition(&net, 4);
+    println!(
+        "partitioning: 4 fragments, {} cut edges ({}% — small-world graphs cut badly!)",
+        partitioning.cut_edges(),
+        100 * partitioning.cut_edges() / net.num_edges()
+    );
+
+    let indexes = build_all_indexes(&net, &partitioning, &IndexConfig::unbounded());
+    for idx in &indexes {
+        let s = idx.stats();
+        println!("  {}: |SC|={} DL pairs={} ({} bytes)", s.fragment, s.shortcuts, s.dl_pairs, s.encoded_bytes);
+    }
+    let cluster = Cluster::build(&net, &partitioning, indexes, ClusterConfig::default());
+
+    let freqs = net.keyword_frequencies();
+    let mut ranked: Vec<usize> = (0..freqs.len()).filter(|&k| freqs[k] > 0).collect();
+    ranked.sort_unstable_by_key(|&k| std::cmp::Reverse(freqs[k]));
+    let topics: Vec<KeywordId> = ranked.iter().take(2).map(|&k| KeywordId(k as u32)).collect();
+    let query = SgkQuery::new(topics.clone(), 6);
+    let outcome = cluster.run_sgkq(&query).expect("query");
+    println!(
+        "\nnodes within 6 of users interested in each of {:?}: {} results \
+         (1 round, {} inter-worker bytes)",
+        topics.iter().map(|&k| net.vocab().word(k).unwrap_or("?")).collect::<Vec<_>>(),
+        outcome.results.len(),
+        outcome.stats.inter_worker_bytes
+    );
+
+    let mut central = disks::core::CentralizedCoverage::new(&net);
+    assert_eq!(outcome.results, central.sgkq(&query).expect("centralized"));
+    println!("centralized cross-check: OK");
+    cluster.shutdown();
+}

@@ -1,0 +1,53 @@
+//! Paper query Q3 — a Range Keyword Query: *"find a restaurant offering
+//! both seafood and Chinese food within 500 meters from my hotel."*
+//!
+//! ```text
+//! cargo run --release --example tourist_rkq
+//! ```
+//!
+//! Lowered per §3.1 (Example 2): the hotel's node id becomes a term with
+//! radius r; each keyword gets radius 0 to force containment:
+//! `R(hotel, r) ∩ R(restaurant, 0) ∩ R(seafood, 0) ∩ R(chinese food, 0)`.
+
+use disks::demo::demo_city;
+use disks::prelude::*;
+
+fn main() {
+    let (net, names) = demo_city();
+    let partitioning = MultilevelPartitioner::default().partition(&net, 2);
+    let indexes = build_all_indexes(&net, &partitioning, &IndexConfig::unbounded());
+    let cluster = Cluster::build(&net, &partitioning, indexes, ClusterConfig::default());
+
+    let hotel = names["hotel"];
+    let keywords = vec![
+        net.vocab().get("restaurant").expect("keyword"),
+        net.vocab().get("seafood").expect("keyword"),
+        net.vocab().get("chinese food").expect("keyword"),
+    ];
+    let poi_name = |n: NodeId| {
+        names
+            .iter()
+            .find(|&(_, &v)| v == n)
+            .map(|(k, _)| (*k).to_string())
+            .unwrap_or_else(|| format!("junction {n}"))
+    };
+
+    for radius in [500u64, 600, 1500] {
+        let query = RangeKeywordQuery::new(hotel, keywords.clone(), radius);
+        println!("Q3 with r = {radius} m: {}", query.to_dfunction());
+        let outcome = cluster.run_rkq(&query).expect("query");
+        if outcome.results.is_empty() {
+            println!("  no seafood+chinese restaurant within {radius} m — widen the search\n");
+        } else {
+            for &node in &outcome.results {
+                println!("  - {}", poi_name(node));
+            }
+            println!();
+        }
+        let mut central = disks::core::CentralizedCoverage::new(&net);
+        assert_eq!(outcome.results, central.rkq(&query).expect("centralized"));
+    }
+
+    println!("all radii cross-checked against the centralized evaluation: OK");
+    cluster.shutdown();
+}

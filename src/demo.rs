@@ -1,0 +1,104 @@
+//! A small hand-built demo city used by the runnable examples.
+//!
+//! The layout is a 6×4 street grid with points of interest attached to
+//! junctions, carrying the keywords of the paper's motivating queries Q1–Q3
+//! (supermarket / gym / hospital, pizza / shopping mall, hotel / restaurant
+//! / seafood / chinese food).
+
+use std::collections::HashMap;
+
+use disks_roadnet::{NodeId, RoadNetwork, RoadNetworkBuilder};
+
+/// Build the demo city. Returns the network and a name → node map for the
+/// points of interest (e.g. `"hotel"`, `"mall_west"`).
+pub fn demo_city() -> (RoadNetwork, HashMap<&'static str, NodeId>) {
+    let mut b = RoadNetworkBuilder::new();
+    // 6 columns × 4 rows of junctions, 300–500 m blocks.
+    let mut junction = [[NodeId(0); 6]; 4];
+    for (y, row) in junction.iter_mut().enumerate() {
+        for (x, cell) in row.iter_mut().enumerate() {
+            *cell = b.add_node(x as f32, y as f32, &[]);
+        }
+    }
+    let mut weights = [300u32, 350, 400, 450, 500].iter().cycle().copied();
+    for y in 0..4 {
+        for x in 0..6 {
+            if x + 1 < 6 {
+                let w = weights.next().expect("cycle");
+                b.add_edge(junction[y][x], junction[y][x + 1], w).expect("grid edge");
+            }
+            if y + 1 < 4 {
+                let w = weights.next().expect("cycle");
+                b.add_edge(junction[y][x], junction[y + 1][x], w).expect("grid edge");
+            }
+        }
+    }
+    let mut names = HashMap::new();
+    let poi = |b: &mut RoadNetworkBuilder,
+                   names: &mut HashMap<&'static str, NodeId>,
+                   name: &'static str,
+                   at: NodeId,
+                   kws: &[&str]| {
+        let (x, y) = (0.1f32, 0.1f32);
+        let node = b.add_node(x, y, kws);
+        b.add_edge(at, node, 50).expect("poi edge");
+        names.insert(name, node);
+    };
+    poi(&mut b, &mut names, "supermarket_ne", junction[0][4], &["supermarket"]);
+    poi(&mut b, &mut names, "supermarket_sw", junction[3][1], &["supermarket"]);
+    poi(&mut b, &mut names, "gym_central", junction[1][2], &["gym"]);
+    poi(&mut b, &mut names, "gym_east", junction[2][5], &["gym"]);
+    poi(&mut b, &mut names, "hospital", junction[1][3], &["hospital"]);
+    poi(&mut b, &mut names, "pizza_north", junction[0][2], &["pizza"]);
+    poi(&mut b, &mut names, "pizza_south", junction[3][3], &["pizza"]);
+    poi(&mut b, &mut names, "mall_west", junction[2][0], &["shopping mall"]);
+    poi(&mut b, &mut names, "mall_east", junction[1][4], &["shopping mall"]);
+    poi(&mut b, &mut names, "hotel", junction[2][2], &["hotel"]);
+    poi(&mut b, &mut names, "sea_dragon", junction[2][3], &[
+        "restaurant",
+        "seafood",
+        "chinese food",
+    ]);
+    poi(&mut b, &mut names, "trattoria", junction[3][4], &["restaurant"]);
+    poi(&mut b, &mut names, "noodle_bar", junction[0][1], &["restaurant", "chinese food"]);
+    poi(&mut b, &mut names, "school", junction[3][0], &["school"]);
+    poi(&mut b, &mut names, "museum", junction[0][5], &["museum"]);
+    poi(&mut b, &mut names, "park", junction[1][1], &["park"]);
+    let net = b.build().expect("demo city build");
+    debug_assert!(net.is_connected());
+    (net, names)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn demo_city_is_connected_and_labelled() {
+        let (net, names) = demo_city();
+        assert!(net.is_connected());
+        net.validate().unwrap();
+        assert!(names.len() >= 15);
+        let hotel = names["hotel"];
+        assert!(net.is_object(hotel));
+        assert!(net.vocab().get("seafood").is_some());
+        assert!(net.vocab().get("chinese food").is_some());
+    }
+
+    #[test]
+    fn demo_city_answers_paper_q3() {
+        // Q3: restaurants offering seafood AND chinese food within 500 m of
+        // the hotel → the Sea Dragon.
+        use disks_core::{CentralizedCoverage, RangeKeywordQuery};
+        let (net, names) = demo_city();
+        let kws = vec![
+            net.vocab().get("restaurant").unwrap(),
+            net.vocab().get("seafood").unwrap(),
+            net.vocab().get("chinese food").unwrap(),
+        ];
+        let q = RangeKeywordQuery::new(names["hotel"], kws, 600);
+        let mut central = CentralizedCoverage::new(&net);
+        let res = central.rkq(&q).unwrap();
+        assert_eq!(res, vec![names["sea_dragon"]]);
+    }
+}

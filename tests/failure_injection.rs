@@ -1,0 +1,166 @@
+//! Failure injection and edge cases: disconnected networks, unknown
+//! keywords, boundary radii, object-free fragments, degenerate queries.
+
+use disks::core::{
+    build_all_indexes, CentralizedCoverage, DFunction, IndexConfig, SgkQuery, Term,
+};
+use disks::cluster::{Cluster, ClusterConfig};
+use disks::partition::{MultilevelPartitioner, Partitioner, Partitioning};
+use disks::roadnet::generator::GridNetworkConfig;
+use disks::roadnet::{KeywordId, NodeId, RoadNetworkBuilder};
+
+/// Two islands: coverage must never leak across components.
+#[test]
+fn disconnected_network_is_served_exactly() {
+    let mut b = RoadNetworkBuilder::new();
+    // Island 1: a - c (a has the keyword)
+    let a = b.add_node(0.0, 0.0, &["cafe"]);
+    let c = b.add_node(1.0, 0.0, &[]);
+    b.add_edge(a, c, 2).unwrap();
+    // Island 2: d - e (no cafe anywhere)
+    let d = b.add_node(10.0, 10.0, &["bar"]);
+    let e = b.add_node(11.0, 10.0, &[]);
+    b.add_edge(d, e, 2).unwrap();
+    let net = b.build().unwrap();
+    assert!(!net.is_connected());
+
+    // Put each island in its own fragment AND also test a split that puts
+    // half of each island together (non-contiguous fragments).
+    for assignment in [vec![0u32, 0, 1, 1], vec![0u32, 1, 0, 1]] {
+        let p = Partitioning::from_assignment(&net, assignment.clone(), 2);
+        let indexes = build_all_indexes(&net, &p, &IndexConfig::unbounded());
+        let cluster = Cluster::build(&net, &p, indexes, ClusterConfig::default());
+        let cafe = net.vocab().get("cafe").unwrap();
+        let q = SgkQuery::new(vec![cafe], 100);
+        let outcome = cluster.run_sgkq(&q).unwrap();
+        let mut central = CentralizedCoverage::new(&net);
+        assert_eq!(outcome.results, central.sgkq(&q).unwrap(), "assignment {assignment:?}");
+        // The far island is unreachable at any radius.
+        assert!(!outcome.results.contains(&d));
+        assert!(!outcome.results.contains(&e));
+        cluster.shutdown();
+    }
+}
+
+/// Keyword ids beyond the vocabulary produce empty coverages, not errors.
+#[test]
+fn unknown_keywords_yield_empty_results() {
+    let net = GridNetworkConfig::tiny(900).generate();
+    let p = MultilevelPartitioner::default().partition(&net, 2);
+    let indexes = build_all_indexes(&net, &p, &IndexConfig::unbounded());
+    let cluster = Cluster::build(&net, &p, indexes, ClusterConfig::default());
+    let q = SgkQuery::new(vec![KeywordId(9_999_999)], 100);
+    let outcome = cluster.run_sgkq(&q).unwrap();
+    assert!(outcome.results.is_empty());
+    cluster.shutdown();
+}
+
+/// Radius exactly at maxR is servable; maxR + 1 is not.
+#[test]
+fn max_r_boundary_is_inclusive() {
+    let net = GridNetworkConfig::tiny(901).generate();
+    let e = net.avg_edge_weight();
+    let max_r = 7 * e;
+    let p = MultilevelPartitioner::default().partition(&net, 2);
+    let indexes = build_all_indexes(&net, &p, &IndexConfig::with_max_r(max_r));
+    let cluster = Cluster::build(&net, &p, indexes, ClusterConfig::default());
+    let freqs = net.keyword_frequencies();
+    let kw = KeywordId((0..freqs.len()).max_by_key(|&k| freqs[k]).unwrap() as u32);
+    let at = cluster.run_sgkq(&SgkQuery::new(vec![kw], max_r));
+    assert!(at.is_ok(), "r = maxR must be served");
+    let mut central = CentralizedCoverage::new(&net);
+    assert_eq!(at.unwrap().results, central.sgkq(&SgkQuery::new(vec![kw], max_r)).unwrap());
+    let over = cluster.run_sgkq(&SgkQuery::new(vec![kw], max_r + 1));
+    assert!(over.is_err(), "r = maxR + 1 must be rejected");
+    cluster.shutdown();
+}
+
+/// A fragment containing no objects at all still participates correctly.
+#[test]
+fn object_free_fragment_participates() {
+    let mut b = RoadNetworkBuilder::new();
+    // A line: kw-node — j1 — j2 — j3 (j* junctions; fragment 1 = {j2, j3}).
+    let kw_node = b.add_node(0.0, 0.0, &["shop"]);
+    let j1 = b.add_node(1.0, 0.0, &[]);
+    let j2 = b.add_node(2.0, 0.0, &[]);
+    let j3 = b.add_node(3.0, 0.0, &[]);
+    b.add_edge(kw_node, j1, 1).unwrap();
+    b.add_edge(j1, j2, 1).unwrap();
+    b.add_edge(j2, j3, 1).unwrap();
+    let net = b.build().unwrap();
+    let p = Partitioning::from_assignment(&net, vec![0, 0, 1, 1], 2);
+    let indexes = build_all_indexes(&net, &p, &IndexConfig::unbounded());
+    assert!(
+        indexes[1].dl_entry(kw_node).is_some(),
+        "fragment 1 must hold a DL entry for the external keyword node"
+    );
+    let cluster = Cluster::build(&net, &p, indexes, ClusterConfig::default());
+    let shop = net.vocab().get("shop").unwrap();
+    let outcome = cluster.run_sgkq(&SgkQuery::new(vec![shop], 3)).unwrap();
+    // kw(0), j1(1), j2(2), j3(3): radius 3 covers all four nodes.
+    assert_eq!(outcome.results, vec![kw_node, j1, j2, j3]);
+    cluster.shutdown();
+}
+
+/// Zero-radius SGKQ returns exactly the nodes containing every keyword.
+#[test]
+fn zero_radius_means_containment() {
+    let net = GridNetworkConfig::small(902).generate();
+    let p = MultilevelPartitioner::default().partition(&net, 4);
+    let indexes = build_all_indexes(&net, &p, &IndexConfig::unbounded());
+    let cluster = Cluster::build(&net, &p, indexes, ClusterConfig::default());
+    // Find a node with ≥2 keywords to make the intersection non-trivial.
+    let multi = net.node_ids().find(|&n| net.keywords(n).len() >= 2).expect("multi-kw node");
+    let kws: Vec<KeywordId> = net.keywords(multi).to_vec();
+    let q = SgkQuery::new(kws.clone(), 0);
+    let outcome = cluster.run_sgkq(&q).unwrap();
+    assert!(outcome.results.contains(&multi));
+    for &n in &outcome.results {
+        for &k in &kws {
+            assert!(net.contains_keyword(n, k), "{n} must contain {k}");
+        }
+    }
+    cluster.shutdown();
+}
+
+/// An empty fragment (possible under adversarial assignments when k > n
+/// would be needed; here forced directly) is harmless.
+#[test]
+fn empty_fragment_is_harmless() {
+    let net = GridNetworkConfig::tiny(903).generate();
+    // Everything in fragment 0; fragment 1 is empty.
+    let p = Partitioning::from_assignment(&net, vec![0; net.num_nodes()], 2);
+    let indexes = build_all_indexes(&net, &p, &IndexConfig::unbounded());
+    assert_eq!(indexes[1].distances_recorded(), 0);
+    let cluster = Cluster::build(&net, &p, indexes, ClusterConfig::default());
+    let freqs = net.keyword_frequencies();
+    let kw = KeywordId((0..freqs.len()).max_by_key(|&k| freqs[k]).unwrap() as u32);
+    let q = SgkQuery::new(vec![kw], 4 * net.avg_edge_weight());
+    let outcome = cluster.run_sgkq(&q).unwrap();
+    let mut central = CentralizedCoverage::new(&net);
+    assert_eq!(outcome.results, central.sgkq(&q).unwrap());
+    cluster.shutdown();
+}
+
+/// Node terms in a D-function can reference the same node as a keyword term
+/// covers — mixed-term functions compose.
+#[test]
+fn mixed_node_and_keyword_terms() {
+    let net = GridNetworkConfig::tiny(904).generate();
+    let e = net.avg_edge_weight();
+    let p = MultilevelPartitioner::default().partition(&net, 3);
+    let indexes = build_all_indexes(&net, &p, &IndexConfig::unbounded());
+    let cluster = Cluster::build(&net, &p, indexes, ClusterConfig::default());
+    let obj = net.node_ids().find(|&n| net.is_object(n)).unwrap();
+    let kw = net.keywords(obj)[0];
+    let f = DFunction::single(Term::Node(obj), 6 * e).then(
+        disks::core::SetOp::Union,
+        Term::Keyword(kw),
+        2 * e,
+    );
+    let outcome = cluster.run(&f).unwrap();
+    let mut central = CentralizedCoverage::new(&net);
+    assert_eq!(outcome.results, central.evaluate(&f).unwrap());
+    assert_eq!(NodeId(outcome.results[0].0), outcome.results[0]);
+    cluster.shutdown();
+}
