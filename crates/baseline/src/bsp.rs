@@ -108,11 +108,7 @@ fn merge<M: Clone>(
 
 /// Convenience: node ids of a coverage result.
 pub fn coverage_nodes(dist: &[u64], radius: u64) -> Vec<NodeId> {
-    dist.iter()
-        .enumerate()
-        .filter(|&(_, &d)| d <= radius)
-        .map(|(i, _)| NodeId(i as u32))
-        .collect()
+    dist.iter().enumerate().filter(|&(_, &d)| d <= radius).map(|(i, _)| NodeId(i as u32)).collect()
 }
 
 #[cfg(test)]

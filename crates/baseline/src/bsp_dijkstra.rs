@@ -141,16 +141,10 @@ mod tests {
         let r = 4 * net.avg_edge_weight();
         let (nodes, run) = bsp_keyword_coverage(&net, &p, kw, r);
         let mut central = CentralizedCoverage::new(&net);
-        let expect: Vec<NodeId> = central
-            .coverage(Term::Keyword(kw), r)
-            .iter()
-            .map(|i| NodeId(i as u32))
-            .collect();
+        let expect: Vec<NodeId> =
+            central.coverage(Term::Keyword(kw), r).iter().map(|i| NodeId(i as u32)).collect();
         assert_eq!(nodes, expect);
-        assert!(
-            run.inter_fragment_messages > 0,
-            "a multi-fragment coverage must cross boundaries"
-        );
+        assert!(run.inter_fragment_messages > 0, "a multi-fragment coverage must cross boundaries");
     }
 
     #[test]

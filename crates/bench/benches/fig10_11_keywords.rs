@@ -21,8 +21,8 @@ fn bench_keywords(c: &mut Criterion) {
         let mut dep = Deployment::prepare(&ds.net, 8, &IndexConfig::with_max_r(max_r));
         let mut group = c.benchmark_group(format!("fig10_11_keywords_{}", id.name()));
         group.sample_size(10);
-    group.warm_up_time(std::time::Duration::from_secs(1));
-    group.measurement_time(std::time::Duration::from_secs(2));
+        group.warm_up_time(std::time::Duration::from_secs(1));
+        group.measurement_time(std::time::Duration::from_secs(2));
         for nk in [3usize, 7, 11] {
             let fs: Vec<DFunction> = QueryGenerator::new(&ds.net, 0xA0 + nk as u64)
                 .sgkq_batch(3, nk, max_r)

@@ -55,9 +55,7 @@ fn parse_args() -> Args {
                 out = argv.get(i).cloned().unwrap_or(out);
             }
             "--help" | "-h" => {
-                println!(
-                    "repro [--scale paper|bench|smoke] [--exp tab1,fig7,...|all] [--out DIR]"
-                );
+                println!("repro [--scale paper|bench|smoke] [--exp tab1,fig7,...|all] [--out DIR]");
                 std::process::exit(0);
             }
             other => {
@@ -94,12 +92,9 @@ fn main() {
     let params = match args.scale {
         Scale::Paper => Params::default(),
         Scale::Bench => Params { num_fragments: 8, queries_per_point: 5, ..Params::default() },
-        Scale::Smoke => Params {
-            num_fragments: 4,
-            queries_per_point: 2,
-            num_keywords: 3,
-            ..Params::default()
-        },
+        Scale::Smoke => {
+            Params { num_fragments: 4, queries_per_point: 2, num_keywords: 3, ..Params::default() }
+        }
     };
 
     if wants("tab1") {
@@ -111,10 +106,23 @@ fn main() {
 
     // Lazily generated datasets (each generation is deterministic).
     let need_bri = ["fig7", "fig10", "fig12", "fig14"].iter().any(|e| wants(e));
-    let need_aus = ["fig7", "fig8", "tab3", "fig9", "fig11", "fig13", "fig15", "fig16", "fig17",
-        "comm", "ablation", "throughput", "topk"]
-        .iter()
-        .any(|e| wants(e));
+    let need_aus = [
+        "fig7",
+        "fig8",
+        "tab3",
+        "fig9",
+        "fig11",
+        "fig13",
+        "fig15",
+        "fig16",
+        "fig17",
+        "comm",
+        "ablation",
+        "throughput",
+        "topk",
+    ]
+    .iter()
+    .any(|e| wants(e));
     let bri = need_bri.then(|| {
         let t = Instant::now();
         let ds = load(DatasetId::Bri, args.scale);
@@ -148,7 +156,10 @@ fn main() {
     }
     if wants("fig8") {
         if let Some(ds) = &aus {
-            emit("fig8_index_size_unbounded_aus", exp::fig8_index_size_unbounded(ds, params.num_fragments));
+            emit(
+                "fig8_index_size_unbounded_aus",
+                exp::fig8_index_size_unbounded(ds, params.num_fragments),
+            );
         }
     }
     if wants("tab3") {

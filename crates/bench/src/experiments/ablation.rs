@@ -39,8 +39,10 @@ fn median_response(
     indexes: &[NpdIndex],
     fs: &[DFunction],
 ) -> Duration {
-    let mut engines: Vec<FragmentEngine> =
-        indexes.iter().map(|i| FragmentEngine::new(net, partitioning, i).expect("engine")).collect();
+    let mut engines: Vec<FragmentEngine> = indexes
+        .iter()
+        .map(|i| FragmentEngine::new(net, partitioning, i).expect("engine"))
+        .collect();
     // Warmup.
     for f in fs {
         for e in &mut engines {

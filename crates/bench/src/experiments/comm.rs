@@ -43,8 +43,8 @@ pub fn comm_contrast(ds: &Dataset, params: &Params) -> Table {
         let outcome = cluster.run_sgkq(q).expect("NPD query");
         npd_rounds += u64::from(outcome.stats.rounds);
         npd_inter_bytes += outcome.stats.inter_worker_bytes;
-        npd_coord_bytes += outcome.stats.coordinator_to_worker_bytes
-            + outcome.stats.worker_to_coordinator_bytes;
+        npd_coord_bytes +=
+            outcome.stats.coordinator_to_worker_bytes + outcome.stats.worker_to_coordinator_bytes;
 
         let (bsp_nodes, bsp_run) = bsp_sgkq(&ds.net, &partitioning, &q.keywords, q.radius);
         assert_eq!(bsp_nodes, outcome.results, "BSP baseline must agree with NPD");
@@ -63,12 +63,7 @@ pub fn comm_contrast(ds: &Dataset, params: &Params) -> Table {
     cluster.shutdown();
 
     let mut t = Table::new(
-        format!(
-            "Communication per SGKQ (3 keywords, r={}e, k={}), {}",
-            r / e,
-            k,
-            ds.id.name()
-        ),
+        format!("Communication per SGKQ (3 keywords, r={}e, k={}), {}", r / e, k, ds.id.name()),
         vec![
             "method".into(),
             "rounds/query".into(),

@@ -21,15 +21,13 @@ mod time;
 pub use ablation::{ablation_keyword_aggregation, ablation_minimality, ablation_partitioner};
 pub use comm::comm_contrast;
 pub use mix::{fig16_dfunctions, fig17_rkq, topk_extension};
-pub use throughput::throughput;
 pub use size::{fig7_index_size, fig8_index_size_unbounded, tab1_datasets, tab3_indexing_time};
+pub use throughput::throughput;
 pub use time::{fig10_11_keywords, fig12_13_fragments, fig14_15_radius, fig9_query_time_vs_maxr};
 
 use std::time::Duration;
 
-use disks_core::{
-    build_all_indexes, DFunction, FragmentEngine, IndexConfig, NpdIndex, QueryCost,
-};
+use disks_core::{build_all_indexes, DFunction, FragmentEngine, IndexConfig, NpdIndex, QueryCost};
 use disks_partition::{MultilevelPartitioner, Partitioner, Partitioning};
 use disks_roadnet::{NodeId, RoadNetwork};
 
@@ -78,12 +76,9 @@ impl Deployment {
         let network = disks_cluster::NetworkModel::switch_100mbps();
         // Request ≈ encoded D-function; response ≈ 4 bytes/node + header.
         let request_bytes = 16 * f.num_terms() as u64 + 16;
-        let largest_response =
-            costs.iter().map(|c| 4 * c.results as u64 + 32).max().unwrap_or(0);
+        let largest_response = costs.iter().map(|c| 4 * c.results as u64 + 32).max().unwrap_or(0);
         let _ = results;
-        network.transfer_time(request_bytes)
-            + slowest
-            + network.transfer_time(largest_response)
+        network.transfer_time(request_bytes) + slowest + network.transfer_time(largest_response)
     }
 
     /// Representative response time over a query batch: one warmup pass
@@ -106,8 +101,7 @@ pub fn mean_centralized(net: &RoadNetwork, fs: &[DFunction]) -> Duration {
     for f in fs {
         let _ = engine.run(f).expect("valid query");
     }
-    let times: Vec<Duration> =
-        fs.iter().map(|f| engine.run(f).expect("valid query").1).collect();
+    let times: Vec<Duration> = fs.iter().map(|f| engine.run(f).expect("valid query").1).collect();
     median_duration(&times)
 }
 

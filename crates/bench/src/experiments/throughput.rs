@@ -6,8 +6,8 @@
 //! their queues concurrently. Throughput = queries / batch wall-clock, per
 //! machine count.
 
-use disks_core::{build_all_indexes, DFunction, IndexConfig};
 use disks_cluster::{Cluster, ClusterConfig, NetworkModel};
+use disks_core::{build_all_indexes, DFunction, IndexConfig};
 use disks_partition::{MultilevelPartitioner, Partitioner};
 
 use crate::datasets::Dataset;
@@ -22,11 +22,8 @@ pub fn throughput(ds: &Dataset, params: &Params) -> Table {
     let r = params.r(e).min(max_r);
     let batch = (params.queries_per_point * 10).max(20);
     let mut gen = QueryGenerator::new(&ds.net, 0x7890);
-    let fs: Vec<DFunction> = gen
-        .sgkq_batch(batch, params.num_keywords, r)
-        .iter()
-        .map(|q| q.to_dfunction())
-        .collect();
+    let fs: Vec<DFunction> =
+        gen.sgkq_batch(batch, params.num_keywords, r).iter().map(|q| q.to_dfunction()).collect();
 
     let mut t = Table::new(
         format!(
@@ -50,7 +47,11 @@ pub fn throughput(ds: &Dataset, params: &Params) -> Table {
             &ds.net,
             &partitioning,
             indexes.clone(),
-            ClusterConfig { machines: Some(machines), network: NetworkModel::instant() },
+            ClusterConfig {
+                machines: Some(machines),
+                network: NetworkModel::instant(),
+                ..ClusterConfig::default()
+            },
         );
         // Warmup pass.
         let _ = cluster.run_pipelined(&fs).expect("warmup batch");

@@ -29,13 +29,20 @@ pub fn fig9_query_time_vs_maxr(ds: &Dataset, params: &Params) -> Table {
     let r = Params::MAX_R_FACTORS[0] * e;
     let fs = sgkq_dfunctions(ds, 0x9001, params.queries_per_point, params.num_keywords, r);
     let mut t = Table::new(
-        format!("Figure 9: query time vs maxR, {} (r={}e, k={})",
-            ds.id.name(), Params::MAX_R_FACTORS[0], params.num_fragments),
+        format!(
+            "Figure 9: query time vs maxR, {} (r={}e, k={})",
+            ds.id.name(),
+            Params::MAX_R_FACTORS[0],
+            params.num_fragments
+        ),
         vec!["maxR/e".into(), "avg response".into()],
     );
     for &factor in &Params::MAX_R_FACTORS {
-        let mut dep =
-            Deployment::prepare(&ds.net, params.num_fragments, &IndexConfig::with_max_r(factor * e));
+        let mut dep = Deployment::prepare(
+            &ds.net,
+            params.num_fragments,
+            &IndexConfig::with_max_r(factor * e),
+        );
         t.push(vec![factor.to_string(), fmt_duration(dep.mean_response(&fs))]);
     }
     let mut dep = Deployment::prepare(&ds.net, params.num_fragments, &IndexConfig::unbounded());
@@ -50,7 +57,8 @@ pub fn fig10_11_keywords(ds: &Dataset, params: &Params) -> Table {
     let e = ds.net.avg_edge_weight();
     let max_r = params.max_r(e);
     let r = params.r(e).min(max_r);
-    let mut dep = Deployment::prepare(&ds.net, params.num_fragments, &IndexConfig::with_max_r(max_r));
+    let mut dep =
+        Deployment::prepare(&ds.net, params.num_fragments, &IndexConfig::with_max_r(max_r));
     let mut t = Table::new(
         format!(
             "Figure 10/11: query time vs #keywords, {} (k={}, r=maxR)",
@@ -98,7 +106,8 @@ pub fn fig12_13_fragments(ds: &Dataset, params: &Params) -> Table {
 pub fn fig14_15_radius(ds: &Dataset, params: &Params) -> Table {
     let e = ds.net.avg_edge_weight();
     let max_r = params.max_r(e);
-    let mut dep = Deployment::prepare(&ds.net, params.num_fragments, &IndexConfig::with_max_r(max_r));
+    let mut dep =
+        Deployment::prepare(&ds.net, params.num_fragments, &IndexConfig::with_max_r(max_r));
     let mut t = Table::new(
         format!(
             "Figure 14/15: query time vs r, {} (#kw={}, k={})",

@@ -123,24 +123,17 @@ impl<'a> QueryGenerator<'a> {
         }
         // Nearest object to the center (coordinate distance) as location.
         let (cx, cy) = self.net.coord(center);
-        let location = self
-            .objects
-            .iter()
-            .copied()
-            .min_by(|&a, &b| {
-                let da = coord_dist2(self.net.coord(a), (cx, cy));
-                let db = coord_dist2(self.net.coord(b), (cx, cy));
-                da.partial_cmp(&db).expect("finite coords")
-            })?;
+        let location = self.objects.iter().copied().min_by(|&a, &b| {
+            let da = coord_dist2(self.net.coord(a), (cx, cy));
+            let db = coord_dist2(self.net.coord(b), (cx, cy));
+            da.partial_cmp(&db).expect("finite coords")
+        })?;
         Some(RangeKeywordQuery::new(location, keywords, r))
     }
 
     /// Generate a batch of SGKQs (skipping failed draws).
     pub fn sgkq_batch(&mut self, count: usize, num_keywords: usize, r: u64) -> Vec<SgkQuery> {
-        (0..count * 4)
-            .filter_map(|_| self.gen_sgkq(num_keywords, r))
-            .take(count)
-            .collect()
+        (0..count * 4).filter_map(|_| self.gen_sgkq(num_keywords, r)).take(count).collect()
     }
 
     /// Generate a batch of RKQs.
@@ -150,10 +143,7 @@ impl<'a> QueryGenerator<'a> {
         num_keywords: usize,
         r: u64,
     ) -> Vec<RangeKeywordQuery> {
-        (0..count * 4)
-            .filter_map(|_| self.gen_rkq(num_keywords, r))
-            .take(count)
-            .collect()
+        (0..count * 4).filter_map(|_| self.gen_rkq(num_keywords, r)).take(count).collect()
     }
 }
 

@@ -7,50 +7,89 @@
 //! link. Queries fan out as one `Evaluate` frame per busy machine and gather
 //! one `Results` frame per hosted fragment; the final result is the union of
 //! per-fragment results (Lemma 1).
+//!
+//! # Failure model
+//!
+//! The gather loop never blocks indefinitely: it tracks which `(query_id,
+//! fragment)` pairs have answered, treats prolonged silence as a stalled
+//! task, and re-dispatches a *narrowed* `Evaluate` listing only the missing
+//! fragments. Fragment tasks are stateless and idempotent, so retries and
+//! duplicate deliveries are safe — duplicates are deduplicated by
+//! `(query_id, fragment)` and Lemma 1's union is unchanged. A worker whose
+//! thread died (send failure or finished join handle) is respawned from a
+//! retained rebuild spec. After `max_attempts` dispatches a still-missing
+//! fragment either fails the query with a typed
+//! [`QueryError::WorkerTimeout`] or, under
+//! [`ClusterConfig::allow_partial`], degrades the result and lists the
+//! fragment in [`QueryStats::degraded_fragments`].
 
+use std::cell::{Cell, RefCell};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
-use crossbeam::channel::{Receiver, Sender};
+use crossbeam::channel::{Receiver, RecvTimeoutError, Sender};
 
 use bytes::Bytes;
 use disks_core::{
     DFunction, DlScope, FragmentEngine, NpdIndex, QClassQuery, QueryError, RangeKeywordQuery,
     SgkQuery, Term,
 };
-use disks_partition::Partitioning;
+use disks_partition::{FragmentId, Partitioning};
 use disks_roadnet::{NodeId, RoadNetwork};
 
 use crate::message::{decode_frame, encode_frame, Request, Response};
 use crate::scheduler::Assignment;
-use crate::stats::{MachineCost, QueryStats};
-use crate::transport::{counted_link, LinkCounters, NetworkModel};
-use crate::worker::{worker_loop, WorkerEngine};
+use crate::stats::{MachineCost, QueryStats, RecoveryCounters};
+use crate::transport::{
+    counted_link, FaultPlan, FrameFate, LinkCounters, LinkDirection, LinkSender, NetworkModel,
+};
+use crate::worker::{worker_loop, WorkerEngine, WorkerFaults};
 
 /// Cluster construction parameters.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct ClusterConfig {
     /// Number of worker machines; `None` = one per fragment (the paper's
     /// default deployment).
     pub machines: Option<usize>,
     /// Network model for modeled response times.
     pub network: NetworkModel,
+    /// Maximum silence (no worker progress) the gather loop tolerates
+    /// before declaring the outstanding fragments stalled and
+    /// re-dispatching them.
+    pub deadline: Duration,
+    /// Total dispatch attempts per fragment task (initial + retries); at
+    /// least 1.
+    pub max_attempts: u32,
+    /// When the retry budget is exhausted, return a degraded result listing
+    /// the unanswered fragments instead of failing with
+    /// [`QueryError::WorkerTimeout`].
+    pub allow_partial: bool,
+    /// Deterministic fault schedule injected into the links and workers
+    /// (the fault-tolerance test substrate; `None` in production).
+    pub faults: Option<FaultPlan>,
 }
 
 impl Default for ClusterConfig {
-    // NetworkModel::default() is switch_100mbps(), but spelling it out here
-    // documents the paper's setting; silence the derivable-impls lint.
-    #[allow(clippy::derivable_impls)]
     fn default() -> Self {
-        ClusterConfig { machines: None, network: NetworkModel::switch_100mbps() }
+        ClusterConfig {
+            machines: None,
+            // The paper's setting: a 100 Mb TP-LINK switch.
+            network: NetworkModel::switch_100mbps(),
+            deadline: Duration::from_secs(30),
+            max_attempts: 3,
+            allow_partial: false,
+            faults: None,
+        }
     }
 }
 
 /// Result + statistics of one distributed query.
 #[derive(Debug, Clone)]
 pub struct QueryOutcome {
-    /// Union of per-fragment results, sorted by node id.
+    /// Union of per-fragment results, sorted by node id. When
+    /// [`QueryStats::degraded_fragments`] is non-empty this is the union of
+    /// the fragments that *did* answer.
     pub results: Vec<NodeId>,
     pub stats: QueryStats,
 }
@@ -58,27 +97,82 @@ pub struct QueryOutcome {
 struct WorkerHandle {
     requests: Sender<Bytes>,
     to_worker: Arc<LinkCounters>,
+    to_faults: Option<Arc<crate::transport::FaultInjector>>,
+    from_faults: Option<Arc<crate::transport::FaultInjector>>,
     join: Option<JoinHandle<()>>,
+}
+
+/// Everything needed to rebuild a dead worker's engines: the global network
+/// and partitioning (cheap relative to the engines) plus the engine source.
+struct RespawnSpec {
+    net: RoadNetwork,
+    partitioning: Partitioning,
+    source: EngineSource,
+}
+
+enum EngineSource {
+    /// Retained per-fragment NPD-indexes (`Cluster::build`).
+    Indexes(Vec<NpdIndex>),
+    /// §5.5 bi-level deployment: rebuilt from the primary index config.
+    BiLevel(disks_core::IndexConfig),
+}
+
+impl RespawnSpec {
+    fn build_engine(&self, f: FragmentId) -> WorkerEngine {
+        match &self.source {
+            EngineSource::Indexes(v) => WorkerEngine::Single(
+                FragmentEngine::new(&self.net, &self.partitioning, &v[f.index()])
+                    .expect("engine rebuild"),
+            ),
+            EngineSource::BiLevel(cfg) => WorkerEngine::BiLevel(
+                disks_core::BiLevelIndex::build(&self.net, &self.partitioning, f, cfg)
+                    .expect("bilevel rebuild"),
+            ),
+        }
+    }
+}
+
+/// Bookkeeping for one gather: recovery events observed plus the
+/// `(slot, fragment)` pairs given up on under `allow_partial`.
+#[derive(Debug, Default)]
+struct GatherReport {
+    retries: u32,
+    timeouts: u32,
+    respawned_workers: u32,
+    duplicate_responses: u64,
+    corrupt_frames: u64,
+    out_of_window_responses: u64,
+    degraded: Vec<(usize, u32)>,
 }
 
 /// A running share-nothing cluster.
 pub struct Cluster {
-    workers: Vec<WorkerHandle>,
+    workers: RefCell<Vec<WorkerHandle>>,
     responses: Receiver<Bytes>,
+    /// A retained sender half so the response channel never disconnects
+    /// even if every worker is dead, and so respawned workers can be handed
+    /// a fresh counted link.
+    resp_tx: LinkSender,
     from_workers: Arc<LinkCounters>,
     assignment: Assignment,
     network: NetworkModel,
+    deadline: Duration,
+    max_attempts: u32,
+    allow_partial: bool,
     /// DL scope of the indexes, for query-location validation.
     dl_scope: DlScope,
     /// Global object bitmap: the coordinator validates RKQ locations before
     /// dispatch (workers cannot — they are share-nothing; see
     /// `FragmentEngine::coverage`).
     is_object: Vec<bool>,
-    query_counter: std::cell::Cell<u64>,
+    query_counter: Cell<u64>,
+    respawn: RespawnSpec,
+    recovery: Cell<RecoveryCounters>,
 }
 
 impl Cluster {
-    /// Build engines from `indexes` and spawn the worker machines.
+    /// Build engines from `indexes` and spawn the worker machines. The
+    /// indexes are retained as the rebuild spec for worker respawn.
     ///
     /// # Panics
     /// Panics if `indexes` does not contain exactly one index per fragment
@@ -96,16 +190,12 @@ impl Cluster {
             assert_eq!(idx.fragment().index(), i, "indexes must be in fragment order");
         }
         let dl_scope = indexes.first().map(|i| i.dl_scope()).unwrap_or(DlScope::ObjectsOnly);
-        // Build each fragment's engine, then distribute them to machines.
-        let engines: Vec<WorkerEngine> = indexes
-            .iter()
-            .map(|idx| {
-                WorkerEngine::Single(
-                    FragmentEngine::new(net, partitioning, idx).expect("engine build"),
-                )
-            })
-            .collect();
-        Self::build_with_engines(net, partitioning, engines, dl_scope, config)
+        let spec = RespawnSpec {
+            net: net.clone(),
+            partitioning: partitioning.clone(),
+            source: EngineSource::Indexes(indexes),
+        };
+        Self::build_from_spec(spec, dl_scope, config)
     }
 
     /// Build a §5.5 **bi-level** cluster: every machine holds a bounded
@@ -118,69 +208,82 @@ impl Cluster {
         config_primary: &disks_core::IndexConfig,
         config: ClusterConfig,
     ) -> Cluster {
-        let engines: Vec<WorkerEngine> = partitioning
-            .fragment_ids()
-            .map(|f| {
-                WorkerEngine::BiLevel(
-                    disks_core::BiLevelIndex::build(net, partitioning, f, config_primary)
-                        .expect("bilevel build"),
-                )
-            })
-            .collect();
-        Self::build_with_engines(net, partitioning, engines, config_primary.dl_scope, config)
+        let spec = RespawnSpec {
+            net: net.clone(),
+            partitioning: partitioning.clone(),
+            source: EngineSource::BiLevel(*config_primary),
+        };
+        Self::build_from_spec(spec, config_primary.dl_scope, config)
     }
 
-    fn build_with_engines(
-        net: &RoadNetwork,
-        partitioning: &Partitioning,
-        engines: Vec<WorkerEngine>,
-        dl_scope: DlScope,
-        config: ClusterConfig,
-    ) -> Cluster {
-        let k = partitioning.num_fragments();
+    fn build_from_spec(spec: RespawnSpec, dl_scope: DlScope, config: ClusterConfig) -> Cluster {
+        let k = spec.partitioning.num_fragments();
         let machines = config.machines.unwrap_or(k).max(1);
         let assignment = Assignment::round_robin(k, machines);
-        let mut engines: Vec<Option<WorkerEngine>> = engines.into_iter().map(Some).collect();
+        let plan = config.faults;
 
         let (resp_tx, resp_rx, from_workers) = counted_link();
         let mut workers = Vec::with_capacity(machines);
         for m in 0..machines {
-            let my_engines: Vec<WorkerEngine> = assignment
-                .fragments_of(m)
-                .iter()
-                .map(|f| engines[f.index()].take().expect("engine assigned once"))
-                .collect();
+            let engines: Vec<WorkerEngine> =
+                assignment.fragments_of(m).iter().map(|&f| spec.build_engine(f)).collect();
             let (req_tx, req_rx) = crossbeam::channel::unbounded();
             let to_worker = Arc::new(LinkCounters::default());
-            let responses = resp_tx.clone();
+            let to_faults =
+                plan.as_ref().and_then(|p| p.injector_for(m, LinkDirection::CoordinatorToWorker));
+            let from_faults =
+                plan.as_ref().and_then(|p| p.injector_for(m, LinkDirection::WorkerToCoordinator));
+            let worker_faults = WorkerFaults {
+                kill_on_request: plan.as_ref().and_then(|p| p.kill_request_for(m)),
+                panic_on_request: plan.as_ref().and_then(|p| p.panic_request_for(m)),
+            };
+            let responses = resp_tx.with_faults(from_faults.clone());
             let join = std::thread::Builder::new()
                 .name(format!("disks-worker-{m}"))
-                .spawn(move || worker_loop(m, my_engines, req_rx, responses))
+                .spawn(move || worker_loop(m, engines, req_rx, responses, worker_faults))
                 .expect("spawn worker");
-            workers.push(WorkerHandle { requests: req_tx, to_worker, join: Some(join) });
+            workers.push(WorkerHandle {
+                requests: req_tx,
+                to_worker,
+                to_faults,
+                from_faults,
+                join: Some(join),
+            });
         }
 
-        let is_object = net.node_ids().map(|n| net.is_object(n)).collect();
+        let is_object = spec.net.node_ids().map(|n| spec.net.is_object(n)).collect();
         Cluster {
-            workers,
+            workers: RefCell::new(workers),
             responses: resp_rx,
+            resp_tx,
             from_workers,
             assignment,
             network: config.network,
+            deadline: config.deadline,
+            max_attempts: config.max_attempts.max(1),
+            allow_partial: config.allow_partial,
             dl_scope,
             is_object,
-            query_counter: std::cell::Cell::new(0),
+            query_counter: Cell::new(0),
+            respawn: spec,
+            recovery: Cell::new(RecoveryCounters::default()),
         }
     }
 
     /// Number of worker machines.
     pub fn num_machines(&self) -> usize {
-        self.workers.len()
+        self.workers.borrow().len()
     }
 
     /// The fragment → machine assignment in effect.
     pub fn assignment(&self) -> &Assignment {
         &self.assignment
+    }
+
+    /// Cumulative recovery events observed over the cluster's lifetime
+    /// (all queries, including pipelined batches).
+    pub fn recovery_counters(&self) -> RecoveryCounters {
+        self.recovery.get()
     }
 
     /// Validate a D-function before dispatch (coordinator-side checks the
@@ -199,79 +302,327 @@ impl Cluster {
         Ok(())
     }
 
+    /// Whether machine `m`'s thread has terminated.
+    fn worker_is_dead(&self, m: usize) -> bool {
+        self.workers.borrow()[m].join.as_ref().is_none_or(|j| j.is_finished())
+    }
+
+    /// Tear down and relaunch machine `m` with freshly rebuilt engines.
+    /// Respawned workers keep their link fault injectors (the link
+    /// persists) but never inherit one-shot kill/panic faults.
+    fn respawn_worker(&self, m: usize) {
+        let engines: Vec<WorkerEngine> =
+            self.assignment.fragments_of(m).iter().map(|&f| self.respawn.build_engine(f)).collect();
+        let (req_tx, req_rx) = crossbeam::channel::unbounded();
+        let mut workers = self.workers.borrow_mut();
+        let w = &mut workers[m];
+        if let Some(join) = w.join.take() {
+            let _ = join.join(); // thread already finished; reap it
+        }
+        let responses = self.resp_tx.with_faults(w.from_faults.clone());
+        let join = std::thread::Builder::new()
+            .name(format!("disks-worker-{m}"))
+            .spawn(move || worker_loop(m, engines, req_rx, responses, WorkerFaults::default()))
+            .expect("respawn worker");
+        w.requests = req_tx;
+        w.join = Some(join);
+    }
+
+    /// Deliver one request frame to machine `m`, respawning it first if its
+    /// thread is dead and routing through the link's fault injector.
+    fn send_to_worker(&self, m: usize, frame: &Bytes, respawned: &mut u32) {
+        if self.worker_is_dead(m) {
+            self.respawn_worker(m);
+            *respawned += 1;
+        }
+        let frames = {
+            let workers = self.workers.borrow();
+            match &workers[m].to_faults {
+                Some(inj) => match inj.admit(frame.clone()) {
+                    FrameFate::Deliver(frames) => frames,
+                    FrameFate::Dropped(len) => {
+                        workers[m].to_worker.record_send(len);
+                        return;
+                    }
+                },
+                None => vec![frame.clone()],
+            }
+        };
+        for f in frames {
+            let sent = {
+                let workers = self.workers.borrow();
+                workers[m].to_worker.record_send(f.len() as u64);
+                workers[m].requests.send(f.clone()).is_ok()
+            };
+            if !sent {
+                // The worker died between the liveness check and the send:
+                // respawn once and re-deliver.
+                self.respawn_worker(m);
+                *respawned += 1;
+                let workers = self.workers.borrow();
+                let _ = workers[m].requests.send(f);
+            }
+        }
+    }
+
+    /// Re-dispatch narrowed requests for the given fragments of one query
+    /// slot, one request per hosting machine.
+    fn redispatch(
+        &self,
+        slot: usize,
+        fragments: &[u32],
+        make_request: &dyn Fn(usize, Vec<u32>) -> Request,
+        report: &mut GatherReport,
+    ) {
+        for (m, frags) in self.assignment.machines_hosting(fragments) {
+            let frame = encode_frame(&make_request(slot, frags));
+            self.send_to_worker(m, &frame, &mut report.respawned_workers);
+            report.retries += 1;
+        }
+    }
+
+    /// The shared deadline-aware gather: collect one response per fragment
+    /// for each of the `n` queries `base+1 ..= base+n`, retrying stalled or
+    /// transiently failed fragments with narrowed re-dispatches.
+    ///
+    /// `on_response` receives each first-seen in-window `Results` /
+    /// `TopKResults` payload along with its query slot and frame size.
+    fn gather(
+        &self,
+        base: u64,
+        n: usize,
+        make_request: &dyn Fn(usize, Vec<u32>) -> Request,
+        on_response: &mut dyn FnMut(usize, Response, u64),
+    ) -> Result<GatherReport, QueryError> {
+        let k = self.assignment.num_fragments();
+        let mut responded = vec![vec![false; k]; n];
+        let mut attempts = vec![vec![1u32; k]; n];
+        let mut report = GatherReport::default();
+        let mut missing = n * k;
+        // The deadline measures *silence*, not total time: any in-window
+        // frame resets it, so a long streak of slow-but-live responses is
+        // never mistaken for a stall.
+        let mut stall_deadline = Instant::now() + self.deadline;
+
+        let outcome = loop {
+            if missing == 0 {
+                break Ok(());
+            }
+            let timeout = stall_deadline.saturating_duration_since(Instant::now());
+            match self.responses.recv_timeout(timeout) {
+                Ok(frame) => {
+                    let bytes = frame.len() as u64;
+                    let response = match decode_frame::<Response>(frame) {
+                        Ok(r) => r,
+                        Err(_) => {
+                            report.corrupt_frames += 1;
+                            continue;
+                        }
+                    };
+                    let (qid, fragment) = match &response {
+                        Response::Results { query_id, fragment, .. }
+                        | Response::TopKResults { query_id, fragment, .. }
+                        | Response::Failed { query_id, fragment, .. } => (*query_id, *fragment),
+                    };
+                    if qid <= base || qid > base + n as u64 || fragment as usize >= k {
+                        report.out_of_window_responses += 1;
+                        continue;
+                    }
+                    let slot = (qid - base - 1) as usize;
+                    let f = fragment as usize;
+                    if responded[slot][f] {
+                        report.duplicate_responses += 1;
+                        continue;
+                    }
+                    stall_deadline = Instant::now() + self.deadline;
+                    match response {
+                        Response::Failed { error, .. } => {
+                            if !error.is_retryable() {
+                                break Err(error);
+                            }
+                            if attempts[slot][f] < self.max_attempts {
+                                attempts[slot][f] += 1;
+                                self.redispatch(slot, &[fragment], make_request, &mut report);
+                            } else if self.allow_partial {
+                                responded[slot][f] = true;
+                                missing -= 1;
+                                report.degraded.push((slot, fragment));
+                            } else {
+                                break Err(error);
+                            }
+                        }
+                        payload => {
+                            responded[slot][f] = true;
+                            missing -= 1;
+                            on_response(slot, payload, bytes);
+                        }
+                    }
+                }
+                Err(RecvTimeoutError::Timeout) => {
+                    report.timeouts += 1;
+                    let mut exhausted: Vec<u32> = Vec::new();
+                    let mut retry_by_slot: Vec<Vec<u32>> = vec![Vec::new(); n];
+                    for slot in 0..n {
+                        for f in 0..k {
+                            if responded[slot][f] {
+                                continue;
+                            }
+                            if attempts[slot][f] < self.max_attempts {
+                                attempts[slot][f] += 1;
+                                retry_by_slot[slot].push(f as u32);
+                            } else {
+                                exhausted.push(f as u32);
+                                if self.allow_partial {
+                                    responded[slot][f] = true;
+                                    missing -= 1;
+                                    report.degraded.push((slot, f as u32));
+                                }
+                            }
+                        }
+                    }
+                    if !exhausted.is_empty() && !self.allow_partial {
+                        exhausted.sort_unstable();
+                        exhausted.dedup();
+                        break Err(QueryError::WorkerTimeout {
+                            fragments: exhausted,
+                            attempts: self.max_attempts,
+                        });
+                    }
+                    for (slot, frags) in retry_by_slot.iter().enumerate() {
+                        if !frags.is_empty() {
+                            self.redispatch(slot, frags, make_request, &mut report);
+                        }
+                    }
+                    stall_deadline = Instant::now() + self.deadline;
+                }
+                Err(RecvTimeoutError::Disconnected) => {
+                    unreachable!("cluster retains a response sender half")
+                }
+            }
+        };
+        self.note_recovery(&report);
+        outcome.map(|()| report)
+    }
+
+    /// Fold one gather's recovery events into the lifetime counters.
+    fn note_recovery(&self, report: &GatherReport) {
+        let mut c = self.recovery.get();
+        c.retries += report.retries as u64;
+        c.timeouts += report.timeouts as u64;
+        c.respawned_workers += report.respawned_workers as u64;
+        c.duplicate_responses += report.duplicate_responses;
+        c.corrupt_frames += report.corrupt_frames;
+        c.out_of_window_responses += report.out_of_window_responses;
+        self.recovery.set(c);
+    }
+
+    fn note_respawns(&self, respawned: u32) {
+        if respawned > 0 {
+            let mut c = self.recovery.get();
+            c.respawned_workers += respawned as u64;
+            self.recovery.set(c);
+        }
+    }
+
+    /// Bytes sent over the coordinator→worker and worker→coordinator links.
+    fn link_bytes(&self) -> (u64, u64) {
+        let c2w = self.workers.borrow().iter().map(|w| w.to_worker.bytes()).sum();
+        (c2w, self.from_workers.bytes())
+    }
+
     /// Run a D-function distributedly: dispatch to busy machines, gather one
     /// response per fragment, union the results (Lemma 1).
     pub fn run(&self, f: &DFunction) -> Result<QueryOutcome, QueryError> {
         self.validate(f)?;
         let start = Instant::now();
-        let query_id = self.query_counter.get() + 1;
+        let base = self.query_counter.get();
+        let query_id = base + 1;
         self.query_counter.set(query_id);
 
-        let c2w_before: u64 = self.workers.iter().map(|w| w.to_worker.bytes()).sum();
-        let w2c_before = self.from_workers.bytes();
+        let (c2w_before, w2c_before) = self.link_bytes();
 
-        let request = encode_frame(&Request::Evaluate { query_id, dfunction: f.clone() });
+        let request =
+            encode_frame(&Request::Evaluate { query_id, dfunction: f.clone(), fragments: vec![] });
         let request_bytes = request.len() as u64;
-        let mut expected = 0usize;
+        let mut dispatch_respawns = 0u32;
         for m in self.assignment.busy_machines() {
-            self.workers[m].requests.send(request.clone()).expect("worker alive");
-            self.workers[m].to_worker.record_send(request_bytes);
-            expected += self.assignment.fragments_of(m).len();
+            self.send_to_worker(m, &request, &mut dispatch_respawns);
         }
+        self.note_respawns(dispatch_respawns);
 
-        let mut per_machine: Vec<MachineCost> =
-            vec![MachineCost::default(); self.workers.len()];
+        let mut per_machine: Vec<MachineCost> = vec![MachineCost::default(); self.num_machines()];
         let mut results: Vec<NodeId> = Vec::new();
-        let mut failure: Option<String> = None;
-        for _ in 0..expected {
-            let frame = self.responses.recv().expect("workers alive");
-            let bytes = frame.len() as u64;
-            match decode_frame::<Response>(frame).expect("well-formed response") {
-                Response::Results { query_id: qid, fragment, nodes, cost } => {
-                    debug_assert_eq!(qid, query_id);
-                    let m = self.assignment.machine_of(disks_partition::FragmentId(fragment));
-                    per_machine[m].absorb(fragment, &cost, nodes.len() as u64, bytes);
-                    results.extend(nodes);
-                }
-                Response::Failed { error, .. } => {
-                    failure.get_or_insert(error);
-                }
-                other @ Response::TopKResults { .. } => {
-                    unreachable!("TopK response to an Evaluate request: {other:?}")
-                }
+        let make_request = |_: usize, frags: Vec<u32>| Request::Evaluate {
+            query_id,
+            dfunction: f.clone(),
+            fragments: frags,
+        };
+        let mut on_response = |_: usize, response: Response, bytes: u64| {
+            if let Response::Results { fragment, nodes, cost, .. } = response {
+                let m = self.assignment.machine_of(FragmentId(fragment));
+                per_machine[m].absorb(fragment, &cost, nodes.len() as u64, bytes);
+                results.extend(nodes);
             }
-        }
-        if let Some(error) = failure {
-            // Surface the typed radius error when recognizable.
-            return Err(if error.contains("maxR") {
-                QueryError::RadiusExceedsMaxR { r: f.max_radius(), max_r: 0 }
-            } else {
-                QueryError::EmptyQuery
-            });
-        }
+        };
+        let report = self.gather(base, 1, &make_request, &mut on_response)?;
         results.sort_unstable();
 
-        let c2w_after: u64 = self.workers.iter().map(|w| w.to_worker.bytes()).sum();
-        let w2c_after = self.from_workers.bytes();
-        let stats = QueryStats {
+        let (c2w_after, w2c_after) = self.link_bytes();
+        let stats = self.build_stats(
+            start,
+            per_machine,
+            c2w_after - c2w_before,
+            w2c_after - w2c_before,
+            results.len(),
+            request_bytes,
+            &report,
+            dispatch_respawns,
+        );
+        Ok(QueryOutcome { results, stats })
+    }
+
+    #[allow(clippy::too_many_arguments)] // private stats assembly helper
+    fn build_stats(
+        &self,
+        start: Instant,
+        per_machine: Vec<MachineCost>,
+        c2w: u64,
+        w2c: u64,
+        results: usize,
+        request_bytes: u64,
+        report: &GatherReport,
+        dispatch_respawns: u32,
+    ) -> QueryStats {
+        let mut degraded: Vec<u32> = report.degraded.iter().map(|&(_, f)| f).collect();
+        degraded.sort_unstable();
+        degraded.dedup();
+        QueryStats {
             wall_time: start.elapsed(),
             per_machine,
-            coordinator_to_worker_bytes: c2w_after - c2w_before,
-            worker_to_coordinator_bytes: w2c_after - w2c_before,
+            coordinator_to_worker_bytes: c2w,
+            worker_to_coordinator_bytes: w2c,
             inter_worker_bytes: 0, // no worker↔worker links exist (Theorem 3)
-            rounds: 1,
-            results: results.len(),
+            // Each narrowed re-dispatch is an extra coordinator round.
+            rounds: 1 + report.retries,
+            results,
+            retries: report.retries,
+            timeouts: report.timeouts,
+            respawned_workers: dispatch_respawns + report.respawned_workers,
+            degraded_fragments: degraded,
+            duplicate_responses: report.duplicate_responses,
+            corrupt_frames: report.corrupt_frames,
+            out_of_window_responses: report.out_of_window_responses,
             ..QueryStats::default()
         }
-        .finalize(&self.network, request_bytes);
-        Ok(QueryOutcome { results, stats })
+        .finalize(&self.network, request_bytes)
     }
 
     /// Run a batch of D-functions *pipelined*: all requests are dispatched
     /// before any response is gathered, so worker machines process their
     /// queues concurrently — the throughput mode the paper's introduction
     /// motivates ("it will improve query throughput"). Returns the sorted
-    /// result set per query plus the batch wall-clock.
+    /// result set per query plus the batch wall-clock. Recovery events are
+    /// folded into [`Cluster::recovery_counters`].
     pub fn run_pipelined(
         &self,
         fs: &[DFunction],
@@ -282,40 +633,32 @@ impl Cluster {
         let start = Instant::now();
         let base = self.query_counter.get();
         self.query_counter.set(base + fs.len() as u64);
-        let mut expected = 0usize;
+        let mut dispatch_respawns = 0u32;
         for (i, f) in fs.iter().enumerate() {
             let query_id = base + 1 + i as u64;
-            let request = encode_frame(&Request::Evaluate { query_id, dfunction: f.clone() });
-            for m in self.assignment.busy_machines() {
-                self.workers[m].requests.send(request.clone()).expect("worker alive");
-                self.workers[m].to_worker.record_send(request.len() as u64);
-                expected += self.assignment.fragments_of(m).len();
-            }
-        }
-        let mut results: Vec<Vec<NodeId>> = vec![Vec::new(); fs.len()];
-        let mut failure: Option<String> = None;
-        for _ in 0..expected {
-            let frame = self.responses.recv().expect("workers alive");
-            match decode_frame::<Response>(frame).expect("well-formed response") {
-                Response::Results { query_id, nodes, .. } => {
-                    let slot = (query_id - base - 1) as usize;
-                    results[slot].extend(nodes);
-                }
-                Response::Failed { error, .. } => {
-                    failure.get_or_insert(error);
-                }
-                other @ Response::TopKResults { .. } => {
-                    unreachable!("TopK response to a pipelined Evaluate batch: {other:?}")
-                }
-            }
-        }
-        if let Some(error) = failure {
-            return Err(if error.contains("maxR") {
-                QueryError::RadiusExceedsMaxR { r: 0, max_r: 0 }
-            } else {
-                QueryError::EmptyQuery
+            let request = encode_frame(&Request::Evaluate {
+                query_id,
+                dfunction: f.clone(),
+                fragments: vec![],
             });
+            for m in self.assignment.busy_machines() {
+                self.send_to_worker(m, &request, &mut dispatch_respawns);
+            }
         }
+        self.note_respawns(dispatch_respawns);
+
+        let mut results: Vec<Vec<NodeId>> = vec![Vec::new(); fs.len()];
+        let make_request = |slot: usize, frags: Vec<u32>| Request::Evaluate {
+            query_id: base + 1 + slot as u64,
+            dfunction: fs[slot].clone(),
+            fragments: frags,
+        };
+        let mut on_response = |slot: usize, response: Response, _bytes: u64| {
+            if let Response::Results { nodes, .. } = response {
+                results[slot].extend(nodes);
+            }
+        };
+        self.gather(base, fs.len(), &make_request, &mut on_response)?;
         for r in &mut results {
             r.sort_unstable();
         }
@@ -332,59 +675,47 @@ impl Cluster {
             return Err(QueryError::EmptyQuery);
         }
         let start = Instant::now();
-        let query_id = self.query_counter.get() + 1;
+        let base = self.query_counter.get();
+        let query_id = base + 1;
         self.query_counter.set(query_id);
-        let c2w_before: u64 = self.workers.iter().map(|w| w.to_worker.bytes()).sum();
-        let w2c_before = self.from_workers.bytes();
+        let (c2w_before, w2c_before) = self.link_bytes();
 
-        let request = encode_frame(&Request::TopK { query_id, query: q.clone() });
+        let request =
+            encode_frame(&Request::TopK { query_id, query: q.clone(), fragments: vec![] });
         let request_bytes = request.len() as u64;
-        let mut expected = 0usize;
+        let mut dispatch_respawns = 0u32;
         for m in self.assignment.busy_machines() {
-            self.workers[m].requests.send(request.clone()).expect("worker alive");
-            self.workers[m].to_worker.record_send(request_bytes);
-            expected += self.assignment.fragments_of(m).len();
+            self.send_to_worker(m, &request, &mut dispatch_respawns);
         }
-        let mut per_machine: Vec<MachineCost> = vec![MachineCost::default(); self.workers.len()];
-        let mut lists: Vec<Vec<disks_core::Ranked>> = Vec::with_capacity(expected);
-        let mut failure: Option<String> = None;
-        for _ in 0..expected {
-            let frame = self.responses.recv().expect("workers alive");
-            let bytes = frame.len() as u64;
-            match decode_frame::<Response>(frame).expect("well-formed response") {
-                Response::TopKResults { query_id: qid, fragment, ranked, cost } => {
-                    debug_assert_eq!(qid, query_id);
-                    let m = self.assignment.machine_of(disks_partition::FragmentId(fragment));
-                    per_machine[m].absorb(fragment, &cost, ranked.len() as u64, bytes);
-                    lists.push(ranked);
-                }
-                Response::Failed { error, .. } => {
-                    failure.get_or_insert(error);
-                }
-                other => panic!("unexpected response to TopK: {other:?}"),
+        self.note_respawns(dispatch_respawns);
+
+        let mut per_machine: Vec<MachineCost> = vec![MachineCost::default(); self.num_machines()];
+        let mut lists: Vec<Vec<disks_core::Ranked>> = Vec::new();
+        let make_request = |_: usize, frags: Vec<u32>| Request::TopK {
+            query_id,
+            query: q.clone(),
+            fragments: frags,
+        };
+        let mut on_response = |_: usize, response: Response, bytes: u64| {
+            if let Response::TopKResults { fragment, ranked, cost, .. } = response {
+                let m = self.assignment.machine_of(FragmentId(fragment));
+                per_machine[m].absorb(fragment, &cost, ranked.len() as u64, bytes);
+                lists.push(ranked);
             }
-        }
-        if let Some(error) = failure {
-            return Err(if error.contains("maxR") {
-                QueryError::RadiusExceedsMaxR { r: q.horizon, max_r: 0 }
-            } else {
-                QueryError::EmptyQuery
-            });
-        }
+        };
+        let report = self.gather(base, 1, &make_request, &mut on_response)?;
         let merged = disks_core::merge_topk(lists, q.k);
-        let c2w_after: u64 = self.workers.iter().map(|w| w.to_worker.bytes()).sum();
-        let w2c_after = self.from_workers.bytes();
-        let stats = QueryStats {
-            wall_time: start.elapsed(),
+        let (c2w_after, w2c_after) = self.link_bytes();
+        let stats = self.build_stats(
+            start,
             per_machine,
-            coordinator_to_worker_bytes: c2w_after - c2w_before,
-            worker_to_coordinator_bytes: w2c_after - w2c_before,
-            inter_worker_bytes: 0,
-            rounds: 1,
-            results: merged.len(),
-            ..QueryStats::default()
-        }
-        .finalize(&self.network, request_bytes);
+            c2w_after - c2w_before,
+            w2c_after - w2c_before,
+            merged.len(),
+            request_bytes,
+            &report,
+            dispatch_respawns,
+        );
         Ok((merged, stats))
     }
 
@@ -404,31 +735,30 @@ impl Cluster {
         self.run(&q.to_dfunction())
     }
 
-    /// Shut down all workers and join their threads.
-    pub fn shutdown(mut self) {
+    /// Shared teardown: signal every worker and join the threads. Safe to
+    /// call twice (join handles are taken).
+    fn shutdown_inner(&mut self) {
         let frame = encode_frame(&Request::Shutdown);
-        for w in &self.workers {
+        let mut workers = self.workers.borrow_mut();
+        for w in workers.iter() {
             let _ = w.requests.send(frame.clone());
         }
-        for w in &mut self.workers {
+        for w in workers.iter_mut() {
             if let Some(join) = w.join.take() {
                 let _ = join.join();
             }
         }
     }
+
+    /// Shut down all workers and join their threads.
+    pub fn shutdown(mut self) {
+        self.shutdown_inner();
+    }
 }
 
 impl Drop for Cluster {
     fn drop(&mut self) {
-        let frame = encode_frame(&Request::Shutdown);
-        for w in &self.workers {
-            let _ = w.requests.send(frame.clone());
-        }
-        for w in &mut self.workers {
-            if let Some(join) = w.join.take() {
-                let _ = join.join();
-            }
-        }
+        self.shutdown_inner();
     }
 }
 
@@ -440,11 +770,7 @@ mod tests {
     use disks_roadnet::generator::GridNetworkConfig;
     use disks_roadnet::KeywordId;
 
-    fn setup(
-        seed: u64,
-        k: usize,
-        cfg: &IndexConfig,
-    ) -> (RoadNetwork, Partitioning, Cluster) {
+    fn setup(seed: u64, k: usize, cfg: &IndexConfig) -> (RoadNetwork, Partitioning, Cluster) {
         let net = GridNetworkConfig::tiny(seed).generate();
         let p = MultilevelPartitioner::default().partition(&net, k);
         let indexes = build_all_indexes(&net, &p, cfg);
@@ -469,6 +795,9 @@ mod tests {
         assert_eq!(outcome.results, central.sgkq(&q).unwrap());
         assert_eq!(outcome.stats.inter_worker_bytes, 0);
         assert_eq!(outcome.stats.rounds, 1);
+        assert_eq!(outcome.stats.retries, 0);
+        assert_eq!(outcome.stats.respawned_workers, 0);
+        assert!(outcome.stats.degraded_fragments.is_empty());
         assert!(outcome.stats.coordinator_to_worker_bytes > 0);
         assert!(outcome.stats.worker_to_coordinator_bytes > 0);
         cluster.shutdown();
@@ -501,7 +830,11 @@ mod tests {
             &net,
             &p,
             indexes,
-            ClusterConfig { machines: Some(2), network: NetworkModel::instant() },
+            ClusterConfig {
+                machines: Some(2),
+                network: NetworkModel::instant(),
+                ..ClusterConfig::default()
+            },
         );
         assert_eq!(cluster.num_machines(), 2);
         let kws = top_keywords(&net, 2);
@@ -523,10 +856,7 @@ mod tests {
         // A junction node is not DL-indexed under ObjectsOnly scope.
         let junction = net.node_ids().find(|&n| !net.is_object(n)).unwrap();
         let rkq = RangeKeywordQuery::new(junction, vec![KeywordId(0)], 10);
-        assert!(matches!(
-            cluster.run_rkq(&rkq),
-            Err(QueryError::UnindexedQueryLocation(_))
-        ));
+        assert!(matches!(cluster.run_rkq(&rkq), Err(QueryError::UnindexedQueryLocation(_))));
         // With AllNodes scope the same query is served.
         let p = MultilevelPartitioner::default().partition(&net, 2);
         let cfg = IndexConfig::unbounded().with_scope(DlScope::AllNodes);
@@ -542,17 +872,24 @@ mod tests {
     }
 
     #[test]
-    fn radius_over_max_r_propagates_error() {
+    fn radius_over_max_r_propagates_typed_error() {
         let net = GridNetworkConfig::tiny(74).generate();
         let p = MultilevelPartitioner::default().partition(&net, 2);
-        let cfg = IndexConfig::with_max_r(2 * net.avg_edge_weight());
+        let max_r = 2 * net.avg_edge_weight();
+        let cfg = IndexConfig::with_max_r(max_r);
         let indexes = build_all_indexes(&net, &p, &cfg);
         let cluster = Cluster::build(&net, &p, indexes, ClusterConfig::default());
-        let q = SgkQuery::new(vec![KeywordId(0)], 100 * net.avg_edge_weight());
-        assert!(matches!(
-            cluster.run_sgkq(&q),
-            Err(QueryError::RadiusExceedsMaxR { .. })
-        ));
+        let r = 100 * net.avg_edge_weight();
+        let q = SgkQuery::new(vec![KeywordId(0)], r);
+        // The worker's own typed error crosses the wire intact — including
+        // the real maxR, not a coordinator-side fabrication.
+        match cluster.run_sgkq(&q) {
+            Err(QueryError::RadiusExceedsMaxR { r: got_r, max_r: got_max }) => {
+                assert_eq!(got_r, r);
+                assert_eq!(got_max, max_r);
+            }
+            other => panic!("expected RadiusExceedsMaxR, got {other:?}"),
+        }
         cluster.shutdown();
     }
 
@@ -565,10 +902,7 @@ mod tests {
         assert!(outcome.stats.unbalance_factor >= 1.0);
         assert_eq!(outcome.stats.per_machine.len(), 4);
         assert!(outcome.stats.modeled_response_time >= outcome.stats.slowest_task);
-        assert_eq!(
-            outcome.stats.results,
-            outcome.results.len()
-        );
+        assert_eq!(outcome.stats.results, outcome.results.len());
         cluster.shutdown();
     }
 
@@ -578,9 +912,7 @@ mod tests {
         let kws = top_keywords(&net, 3);
         let e = net.avg_edge_weight();
         let fs: Vec<DFunction> = (1..=6)
-            .map(|i| {
-                SgkQuery::new(vec![kws[i % kws.len()]], (i as u64) * e).to_dfunction()
-            })
+            .map(|i| SgkQuery::new(vec![kws[i % kws.len()]], (i as u64) * e).to_dfunction())
             .collect();
         let (batch, elapsed) = cluster.run_pipelined(&fs).unwrap();
         assert_eq!(batch.len(), fs.len());
@@ -589,6 +921,8 @@ mod tests {
             let solo = cluster.run(f).unwrap();
             assert_eq!(&solo.results, nodes, "query {f}");
         }
+        // Fault-free batches record no recovery events.
+        assert_eq!(cluster.recovery_counters(), RecoveryCounters::default());
         cluster.shutdown();
     }
 
@@ -665,5 +999,30 @@ mod tests {
         let kws = top_keywords(&net, 1);
         let _ = cluster.run_sgkq(&SgkQuery::new(kws, net.avg_edge_weight())).unwrap();
         drop(cluster); // must not hang or leak threads
+    }
+
+    #[test]
+    fn shutdown_after_explicit_worker_death_does_not_hang() {
+        // Kill machine 0 on its first request; shutdown must still join
+        // cleanly even though one thread is already gone.
+        let net = GridNetworkConfig::tiny(82).generate();
+        let p = MultilevelPartitioner::default().partition(&net, 2);
+        let indexes = build_all_indexes(&net, &p, &IndexConfig::unbounded());
+        let cluster = Cluster::build(
+            &net,
+            &p,
+            indexes,
+            ClusterConfig {
+                faults: Some(FaultPlan::new(1).kill_worker(0, 1)),
+                deadline: Duration::from_millis(200),
+                ..ClusterConfig::default()
+            },
+        );
+        let kws = top_keywords(&net, 1);
+        // The killed worker is detected and respawned on retry; the query
+        // still completes.
+        let outcome = cluster.run_sgkq(&SgkQuery::new(kws, net.avg_edge_weight())).unwrap();
+        assert!(outcome.stats.respawned_workers >= 1);
+        cluster.shutdown();
     }
 }

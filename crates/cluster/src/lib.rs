@@ -21,6 +21,14 @@
 //!   factor `U` are measured per query.
 //! * **Task scheduling** — when there are fewer machines than fragments the
 //!   §5.2 strategy applies: an unassigned task goes to an idle machine.
+//!
+//! Beyond the paper's fault-free setting, the runtime is fault-tolerant:
+//! a deterministic [`FaultPlan`] can drop, delay, duplicate, or corrupt
+//! frames on any link and kill or panic workers; the coordinator recovers
+//! via deadlines, narrowed retries, and worker respawn (see
+//! `DESIGN.md` §"Failure model & recovery"). Fragment tasks are stateless
+//! and idempotent, so retries and duplicates never violate the Lemma 1
+//! union-correctness or Theorem 3 zero-inter-worker-bytes guarantees.
 
 pub mod cluster;
 pub mod message;
@@ -32,5 +40,6 @@ pub mod worker;
 pub use cluster::{Cluster, ClusterConfig, QueryOutcome};
 pub use message::{Request, Response, WireCost};
 pub use scheduler::Assignment;
-pub use stats::{MachineCost, QueryStats};
-pub use transport::{LinkCounters, NetworkModel};
+pub use stats::{MachineCost, QueryStats, RecoveryCounters};
+pub use transport::{FaultAction, FaultPlan, LinkCounters, LinkDirection, LinkFault, NetworkModel};
+pub use worker::WorkerFaults;

@@ -13,10 +13,13 @@ use disks_roadnet::{DecodeError, NodeId};
 /// Coordinator → worker.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Request {
-    /// Evaluate a D-function on every fragment the worker hosts.
-    Evaluate { query_id: u64, dfunction: DFunction },
-    /// Evaluate a top-k group keyword query on every hosted fragment.
-    TopK { query_id: u64, query: TopKQuery },
+    /// Evaluate a D-function on hosted fragments. An empty `fragments` list
+    /// means every fragment the worker hosts; a non-empty list narrows the
+    /// task to just those fragments (retry re-dispatch after a fault).
+    Evaluate { query_id: u64, dfunction: DFunction, fragments: Vec<u32> },
+    /// Evaluate a top-k group keyword query on hosted fragments (same
+    /// narrowing rule as `Evaluate`).
+    TopK { query_id: u64, query: TopKQuery, fragments: Vec<u32> },
     /// Terminate the worker loop.
     Shutdown,
 }
@@ -52,8 +55,10 @@ pub enum Response {
     Results { query_id: u64, fragment: u32, nodes: Vec<NodeId>, cost: WireCost },
     /// Locally ranked top-k results for one fragment.
     TopKResults { query_id: u64, fragment: u32, ranked: Vec<Ranked>, cost: WireCost },
-    /// The query failed on this worker.
-    Failed { query_id: u64, fragment: u32, error: String },
+    /// The query failed on this worker, with the typed error encoded on the
+    /// wire — the coordinator can classify it (retryable vs. permanent)
+    /// without sniffing display strings.
+    Failed { query_id: u64, fragment: u32, error: QueryError },
 }
 
 impl Encode for WireCost {
@@ -82,16 +87,18 @@ impl Decode for WireCost {
 impl Encode for Request {
     fn encode(&self, buf: &mut impl BufMut) {
         match self {
-            Request::Evaluate { query_id, dfunction } => {
+            Request::Evaluate { query_id, dfunction, fragments } => {
                 0u8.encode(buf);
                 query_id.encode(buf);
                 dfunction.encode(buf);
+                fragments.encode(buf);
             }
             Request::Shutdown => 1u8.encode(buf),
-            Request::TopK { query_id, query } => {
+            Request::TopK { query_id, query, fragments } => {
                 2u8.encode(buf);
                 query_id.encode(buf);
                 query.encode(buf);
+                fragments.encode(buf);
             }
         }
     }
@@ -102,11 +109,13 @@ impl Decode for Request {
             0 => Ok(Request::Evaluate {
                 query_id: u64::decode(buf)?,
                 dfunction: DFunction::decode(buf)?,
+                fragments: Vec::decode(buf)?,
             }),
             1 => Ok(Request::Shutdown),
             2 => Ok(Request::TopK {
                 query_id: u64::decode(buf)?,
                 query: TopKQuery::decode(buf)?,
+                fragments: Vec::decode(buf)?,
             }),
             tag => Err(DecodeError::BadTag { context: "Request", tag }),
         }
@@ -151,7 +160,7 @@ impl Decode for Response {
             1 => Ok(Response::Failed {
                 query_id: u64::decode(buf)?,
                 fragment: u32::decode(buf)?,
-                error: String::decode(buf)?,
+                error: QueryError::decode(buf)?,
             }),
             2 => Ok(Response::TopKResults {
                 query_id: u64::decode(buf)?,
@@ -183,13 +192,6 @@ pub fn decode_frame<T: Decode>(mut bytes: Bytes) -> Result<T, DecodeError> {
     Ok(msg)
 }
 
-/// Render a [`QueryError`] for the `Failed` response (workers cannot ship
-/// the typed error across the simulated wire without widening the protocol;
-/// the string form is what a production RPC would log).
-pub fn render_error(e: &QueryError) -> String {
-    e.to_string()
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -199,9 +201,13 @@ mod tests {
     #[test]
     fn request_round_trip() {
         let f = DFunction::single(Term::Keyword(KeywordId(3)), 42);
-        let req = Request::Evaluate { query_id: 7, dfunction: f };
+        let req = Request::Evaluate { query_id: 7, dfunction: f.clone(), fragments: vec![] };
         let frame = encode_frame(&req);
         assert_eq!(decode_frame::<Request>(frame).unwrap(), req);
+        // Narrowed retry dispatch round-trips its fragment filter.
+        let narrowed = Request::Evaluate { query_id: 8, dfunction: f, fragments: vec![2, 5] };
+        let frame = encode_frame(&narrowed);
+        assert_eq!(decode_frame::<Request>(frame).unwrap(), narrowed);
         let frame = encode_frame(&Request::Shutdown);
         assert_eq!(decode_frame::<Request>(frame).unwrap(), Request::Shutdown);
     }
@@ -212,12 +218,22 @@ mod tests {
             query_id: 9,
             fragment: 2,
             nodes: vec![NodeId(1), NodeId(5)],
-            cost: WireCost { alpha: 1, beta: 2, settled: 3, pushed: 4, coverage_nodes: 5, elapsed_micros: 6 },
+            cost: WireCost {
+                alpha: 1,
+                beta: 2,
+                settled: 3,
+                pushed: 4,
+                coverage_nodes: 5,
+                elapsed_micros: 6,
+            },
         };
         let frame = encode_frame(&resp);
         assert_eq!(decode_frame::<Response>(frame).unwrap(), resp);
-        let fail =
-            Response::Failed { query_id: 9, fragment: 1, error: "radius too large".into() };
+        let fail = Response::Failed {
+            query_id: 9,
+            fragment: 1,
+            error: QueryError::RadiusExceedsMaxR { r: 100, max_r: 40 },
+        };
         let frame = encode_frame(&fail);
         assert_eq!(decode_frame::<Response>(frame).unwrap(), fail);
     }
@@ -228,6 +244,7 @@ mod tests {
         let req = Request::TopK {
             query_id: 4,
             query: TopKQuery::new(vec![KeywordId(1)], 5, 40, ScoreCombine::Max),
+            fragments: vec![1],
         };
         let frame = encode_frame(&req);
         assert_eq!(decode_frame::<Request>(frame).unwrap(), req);

@@ -56,6 +56,21 @@ impl Assignment {
     pub fn busy_machines(&self) -> impl Iterator<Item = usize> + '_ {
         (0..self.num_machines()).filter(|&m| !self.fragments_of[m].is_empty())
     }
+
+    /// Group raw fragment ids by hosting machine, preserving order — the
+    /// shape of a narrowed retry dispatch (one request per machine listing
+    /// just its missing fragments).
+    pub fn machines_hosting(&self, fragments: &[u32]) -> Vec<(usize, Vec<u32>)> {
+        let mut groups: Vec<(usize, Vec<u32>)> = Vec::new();
+        for &f in fragments {
+            let m = self.machine_of(FragmentId(f));
+            match groups.iter_mut().find(|(gm, _)| *gm == m) {
+                Some((_, frags)) => frags.push(f),
+                None => groups.push((m, vec![f])),
+            }
+        }
+        groups
+    }
 }
 
 #[cfg(test)]
@@ -93,5 +108,13 @@ mod tests {
     #[should_panic(expected = "at least one machine")]
     fn zero_machines_rejected() {
         let _ = Assignment::round_robin(3, 0);
+    }
+
+    #[test]
+    fn machines_hosting_groups_by_machine() {
+        let a = Assignment::round_robin(6, 2); // m0: {0,2,4}, m1: {1,3,5}
+        let groups = a.machines_hosting(&[0, 1, 4, 5]);
+        assert_eq!(groups, vec![(0, vec![0, 4]), (1, vec![1, 5])]);
+        assert!(a.machines_hosting(&[]).is_empty());
     }
 }

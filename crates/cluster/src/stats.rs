@@ -66,23 +66,62 @@ pub struct QueryStats {
     pub modeled_response_time: Duration,
     /// Total result nodes.
     pub results: usize,
+    /// Narrowed re-dispatches sent for fragments that failed transiently or
+    /// never answered (0 on the fault-free fast path).
+    pub retries: u32,
+    /// Gather deadline expirations observed while serving this query.
+    pub timeouts: u32,
+    /// Dead workers detected and respawned while serving this query.
+    pub respawned_workers: u32,
+    /// Fragments that never answered within the retry budget; non-empty
+    /// only when `ClusterConfig::allow_partial` accepted a degraded result.
+    pub degraded_fragments: Vec<u32>,
+    /// Responses discarded because their `(query_id, fragment)` was already
+    /// recorded (duplicate frames; retried tasks are idempotent).
+    pub duplicate_responses: u64,
+    /// Response frames that failed to decode and were discarded.
+    pub corrupt_frames: u64,
+    /// Well-formed responses outside the active query window (stale answers
+    /// from an earlier, already-resolved query), discarded.
+    pub out_of_window_responses: u64,
+}
+
+/// Cumulative recovery events over a cluster's lifetime (all queries,
+/// including pipelined batches) — the coordinator's fault ledger, exposed
+/// via `Cluster::recovery_counters`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecoveryCounters {
+    /// Narrowed re-dispatches sent for stalled or transiently failed tasks.
+    pub retries: u64,
+    /// Gather deadline expirations (silence longer than the configured
+    /// deadline).
+    pub timeouts: u64,
+    /// Dead worker threads detected and respawned.
+    pub respawned_workers: u64,
+    /// Responses dropped because their `(query_id, fragment)` already
+    /// answered.
+    pub duplicate_responses: u64,
+    /// Response frames that failed to decode.
+    pub corrupt_frames: u64,
+    /// Well-formed responses outside the active gather window (stale
+    /// answers to abandoned queries).
+    pub out_of_window_responses: u64,
 }
 
 impl QueryStats {
     /// Compute the derived fields from per-machine costs.
-    pub(crate) fn finalize(
-        mut self,
-        network: &NetworkModel,
-        request_bytes: u64,
-    ) -> QueryStats {
+    pub(crate) fn finalize(mut self, network: &NetworkModel, request_bytes: u64) -> QueryStats {
         let busy: Vec<&MachineCost> =
             self.per_machine.iter().filter(|m| !m.fragments.is_empty()).collect();
         self.slowest_task = busy.iter().map(|m| m.compute).max().unwrap_or(Duration::ZERO);
         let max = busy.iter().map(|m| m.compute.as_nanos()).max().unwrap_or(0);
         let min = busy.iter().map(|m| m.compute.as_nanos()).min().unwrap_or(0);
         self.unbalance_factor = if min == 0 { 1.0 } else { max as f64 / min as f64 };
-        let slowest_response =
-            busy.iter().map(|m| network.transfer_time(m.response_bytes)).max().unwrap_or(Duration::ZERO);
+        let slowest_response = busy
+            .iter()
+            .map(|m| network.transfer_time(m.response_bytes))
+            .max()
+            .unwrap_or(Duration::ZERO);
         self.modeled_response_time =
             network.transfer_time(request_bytes) + self.slowest_task + slowest_response;
         self
@@ -112,6 +151,13 @@ impl Default for QueryStats {
             rounds: 1,
             modeled_response_time: Duration::ZERO,
             results: 0,
+            retries: 0,
+            timeouts: 0,
+            respawned_workers: 0,
+            degraded_fragments: Vec::new(),
+            duplicate_responses: 0,
+            corrupt_frames: 0,
+            out_of_window_responses: 0,
         }
     }
 }

@@ -1,4 +1,5 @@
-//! Simulated network links with exact byte accounting.
+//! Simulated network links with exact byte accounting and deterministic
+//! fault injection.
 //!
 //! Every coordinator↔worker link is a crossbeam channel of encoded frames
 //! plus an atomic byte/message counter. There are deliberately **no**
@@ -6,13 +7,21 @@
 //! paper's zero-inter-worker-communication property, and [`QueryStats`]
 //! reports it as a measured 0 rather than an assumption.
 //!
+//! A [`FaultPlan`] attached via [`crate::ClusterConfig`] turns the links
+//! into a lossy wire: frames can be dropped, delayed, duplicated, or
+//! corrupted per link, and a worker can be killed (thread exit) or made to
+//! panic on its nth request. All faults are keyed on deterministic
+//! per-link frame counters plus a seed, so every failure scenario replays
+//! identically — the test substrate the recovery machinery is verified
+//! against.
+//!
 //! [`QueryStats`]: crate::stats::QueryStats
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
-use bytes::Bytes;
+use bytes::{Bytes, BytesMut};
 use crossbeam::channel::{unbounded, Receiver, Sender};
 
 /// Latency/bandwidth model converting message bytes into modeled wire time.
@@ -80,22 +89,246 @@ impl LinkCounters {
     }
 }
 
-/// The sending half of a counted link.
+/// One injectable fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultAction {
+    /// The frame is lost on the wire (bytes counted, never delivered).
+    DropFrame,
+    /// The frame is delivered twice.
+    DuplicateFrame,
+    /// The frame's leading byte is flipped, guaranteeing a decode failure
+    /// at the receiver (the flip sets the high bit of the message tag).
+    CorruptFrame,
+    /// Delivery is delayed by the given number of milliseconds.
+    DelayFrameMillis(u64),
+    /// The worker thread exits (simulated machine crash) upon receiving
+    /// its nth request, before answering any of its fragments.
+    KillWorker,
+    /// The worker panics while evaluating its nth request's first fragment
+    /// task (exercises the `catch_unwind` supervisor).
+    PanicWorker,
+}
+
+/// Which direction of a coordinator↔worker link a fault applies to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LinkDirection {
+    CoordinatorToWorker,
+    WorkerToCoordinator,
+}
+
+/// A fault pinned to the nth frame (1-based) of one link direction of one
+/// machine. For [`FaultAction::KillWorker`] / [`FaultAction::PanicWorker`],
+/// `nth` counts the worker's received *requests* rather than frames.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LinkFault {
+    pub machine: usize,
+    pub direction: LinkDirection,
+    pub nth: u64,
+    pub action: FaultAction,
+}
+
+/// A deterministic, seeded schedule of link and worker faults.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    seed: u64,
+    faults: Vec<LinkFault>,
+}
+
+impl FaultPlan {
+    pub fn new(seed: u64) -> Self {
+        FaultPlan { seed, faults: Vec::new() }
+    }
+
+    /// Attach an arbitrary fault.
+    pub fn with_fault(mut self, fault: LinkFault) -> Self {
+        self.faults.push(fault);
+        self
+    }
+
+    /// Drop the nth frame on one direction of machine `m`'s link.
+    pub fn drop_frame(self, m: usize, direction: LinkDirection, nth: u64) -> Self {
+        self.with_fault(LinkFault { machine: m, direction, nth, action: FaultAction::DropFrame })
+    }
+
+    /// Deliver the nth frame on one direction of machine `m`'s link twice.
+    pub fn duplicate_frame(self, m: usize, direction: LinkDirection, nth: u64) -> Self {
+        self.with_fault(LinkFault {
+            machine: m,
+            direction,
+            nth,
+            action: FaultAction::DuplicateFrame,
+        })
+    }
+
+    /// Corrupt the nth frame on one direction of machine `m`'s link.
+    pub fn corrupt_frame(self, m: usize, direction: LinkDirection, nth: u64) -> Self {
+        self.with_fault(LinkFault { machine: m, direction, nth, action: FaultAction::CorruptFrame })
+    }
+
+    /// Delay the nth frame on one direction of machine `m`'s link.
+    pub fn delay_frame(self, m: usize, direction: LinkDirection, nth: u64, millis: u64) -> Self {
+        self.with_fault(LinkFault {
+            machine: m,
+            direction,
+            nth,
+            action: FaultAction::DelayFrameMillis(millis),
+        })
+    }
+
+    /// Kill worker `m`'s thread on its nth received request.
+    pub fn kill_worker(self, m: usize, nth_request: u64) -> Self {
+        self.with_fault(LinkFault {
+            machine: m,
+            direction: LinkDirection::CoordinatorToWorker,
+            nth: nth_request,
+            action: FaultAction::KillWorker,
+        })
+    }
+
+    /// Panic inside worker `m`'s evaluation of its nth received request.
+    pub fn panic_worker(self, m: usize, nth_request: u64) -> Self {
+        self.with_fault(LinkFault {
+            machine: m,
+            direction: LinkDirection::CoordinatorToWorker,
+            nth: nth_request,
+            action: FaultAction::PanicWorker,
+        })
+    }
+
+    /// The request ordinal on which worker `m` should crash, if any.
+    pub fn kill_request_for(&self, m: usize) -> Option<u64> {
+        self.faults
+            .iter()
+            .find(|f| f.machine == m && f.action == FaultAction::KillWorker)
+            .map(|f| f.nth)
+    }
+
+    /// The request ordinal on which worker `m` should panic, if any.
+    pub fn panic_request_for(&self, m: usize) -> Option<u64> {
+        self.faults
+            .iter()
+            .find(|f| f.machine == m && f.action == FaultAction::PanicWorker)
+            .map(|f| f.nth)
+    }
+
+    /// Materialize the runtime injector for one direction of machine `m`'s
+    /// link, or `None` when no frame fault targets it (fault-free links pay
+    /// zero overhead).
+    pub fn injector_for(&self, m: usize, direction: LinkDirection) -> Option<Arc<FaultInjector>> {
+        let faults: Vec<(u64, FaultAction)> = self
+            .faults
+            .iter()
+            .filter(|f| {
+                f.machine == m
+                    && f.direction == direction
+                    && !matches!(f.action, FaultAction::KillWorker | FaultAction::PanicWorker)
+            })
+            .map(|f| (f.nth, f.action))
+            .collect();
+        if faults.is_empty() {
+            return None;
+        }
+        Some(Arc::new(FaultInjector {
+            counter: AtomicU64::new(0),
+            faults,
+            seed: self.seed ^ ((m as u64) << 1) ^ (direction as u64),
+        }))
+    }
+}
+
+/// What a fault injector decided to do with one frame.
+#[derive(Debug)]
+pub enum FrameFate {
+    /// Deliver these frames (normally one; two when duplicated; a corrupted
+    /// or delayed frame also lands here).
+    Deliver(Vec<Bytes>),
+    /// The frame was lost on the wire; its byte length for accounting.
+    Dropped(u64),
+}
+
+/// Per-link runtime fault state: a frame counter plus the faults scheduled
+/// for this link, applied deterministically.
+#[derive(Debug)]
+pub struct FaultInjector {
+    counter: AtomicU64,
+    faults: Vec<(u64, FaultAction)>,
+    seed: u64,
+}
+
+impl FaultInjector {
+    /// Admit one outgoing frame, applying the first fault scheduled for its
+    /// ordinal (1-based), if any.
+    pub fn admit(&self, frame: Bytes) -> FrameFate {
+        let n = self.counter.fetch_add(1, Ordering::Relaxed) + 1;
+        let action = self.faults.iter().find(|(nth, _)| *nth == n).map(|(_, a)| *a);
+        match action {
+            None => FrameFate::Deliver(vec![frame]),
+            Some(FaultAction::DropFrame) => FrameFate::Dropped(frame.len() as u64),
+            Some(FaultAction::DuplicateFrame) => FrameFate::Deliver(vec![frame.clone(), frame]),
+            Some(FaultAction::CorruptFrame) => {
+                let mut corrupted = BytesMut::from(&frame[..]);
+                if !corrupted.is_empty() {
+                    // Setting the tag's high bit guarantees the receiver sees
+                    // an invalid message tag rather than a silently altered
+                    // payload; the seed varies the low bits.
+                    corrupted[0] ^= 0x80 | (self.seed.wrapping_add(n) as u8 & 0x7f) | 0x01;
+                }
+                FrameFate::Deliver(vec![corrupted.freeze()])
+            }
+            Some(FaultAction::DelayFrameMillis(ms)) => {
+                std::thread::sleep(Duration::from_millis(ms));
+                FrameFate::Deliver(vec![frame])
+            }
+            // Worker lifecycle faults are enacted inside the worker loop,
+            // never at the link layer.
+            Some(FaultAction::KillWorker) | Some(FaultAction::PanicWorker) => {
+                FrameFate::Deliver(vec![frame])
+            }
+        }
+    }
+}
+
+/// The sending half of a counted link, optionally routed through a fault
+/// injector.
 #[derive(Debug, Clone)]
 pub struct LinkSender {
     tx: Sender<Bytes>,
     counters: Arc<LinkCounters>,
+    faults: Option<Arc<FaultInjector>>,
 }
 
 impl LinkSender {
     /// Send a frame, counting its bytes. Returns false if the peer is gone.
+    /// Injected faults may drop, duplicate, corrupt, or delay the frame;
+    /// dropped frames still count as sent (the wire consumed them).
     pub fn send(&self, frame: Bytes) -> bool {
-        self.counters.record(frame.len() as u64);
-        self.tx.send(frame).is_ok()
+        let frames = match &self.faults {
+            None => vec![frame],
+            Some(inj) => match inj.admit(frame) {
+                FrameFate::Deliver(frames) => frames,
+                FrameFate::Dropped(len) => {
+                    self.counters.record(len);
+                    return true;
+                }
+            },
+        };
+        for f in frames {
+            self.counters.record(f.len() as u64);
+            if self.tx.send(f).is_err() {
+                return false;
+            }
+        }
+        true
     }
 
     pub fn counters(&self) -> &Arc<LinkCounters> {
         &self.counters
+    }
+
+    /// A copy of this sender routed through `faults` (per-machine injection
+    /// on the shared worker→coordinator channel).
+    pub fn with_faults(&self, faults: Option<Arc<FaultInjector>>) -> LinkSender {
+        LinkSender { tx: self.tx.clone(), counters: Arc::clone(&self.counters), faults }
     }
 }
 
@@ -104,7 +337,7 @@ impl LinkSender {
 pub fn counted_link() -> (LinkSender, Receiver<Bytes>, Arc<LinkCounters>) {
     let (tx, rx) = unbounded();
     let counters = Arc::new(LinkCounters::default());
-    (LinkSender { tx, counters: Arc::clone(&counters) }, rx, counters)
+    (LinkSender { tx, counters: Arc::clone(&counters), faults: None }, rx, counters)
 }
 
 #[cfg(test)]
@@ -137,6 +370,65 @@ mod tests {
         assert_eq!(m.transfer_time(1000), Duration::from_millis(1) + Duration::from_secs(1));
         let fast = NetworkModel::instant();
         assert_eq!(fast.transfer_time(u64::MAX / 2), Duration::ZERO);
+    }
+
+    #[test]
+    fn fault_plan_drops_duplicates_and_corrupts_deterministically() {
+        let plan = FaultPlan::new(42)
+            .drop_frame(0, LinkDirection::WorkerToCoordinator, 1)
+            .duplicate_frame(0, LinkDirection::WorkerToCoordinator, 2)
+            .corrupt_frame(0, LinkDirection::WorkerToCoordinator, 3);
+        let inj = plan.injector_for(0, LinkDirection::WorkerToCoordinator).unwrap();
+        let frame = Bytes::from_static(b"\x00abc");
+        match inj.admit(frame.clone()) {
+            FrameFate::Dropped(4) => {}
+            other => panic!("expected drop, got {other:?}"),
+        }
+        match inj.admit(frame.clone()) {
+            FrameFate::Deliver(v) => assert_eq!(v.len(), 2),
+            other => panic!("expected duplicate, got {other:?}"),
+        }
+        match inj.admit(frame.clone()) {
+            FrameFate::Deliver(v) => {
+                assert_eq!(v.len(), 1);
+                assert_ne!(v[0], frame);
+                assert!(v[0][0] & 0x80 != 0, "corruption must poison the tag byte");
+            }
+            other => panic!("expected corrupted delivery, got {other:?}"),
+        }
+        // Fourth frame onward is untouched.
+        match inj.admit(frame.clone()) {
+            FrameFate::Deliver(v) => assert_eq!(v, vec![frame]),
+            other => panic!("expected clean delivery, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn fault_plan_scopes_injectors_per_link() {
+        let plan = FaultPlan::new(7)
+            .drop_frame(1, LinkDirection::CoordinatorToWorker, 1)
+            .kill_worker(2, 3)
+            .panic_worker(0, 1);
+        assert!(plan.injector_for(0, LinkDirection::CoordinatorToWorker).is_none());
+        assert!(plan.injector_for(1, LinkDirection::WorkerToCoordinator).is_none());
+        assert!(plan.injector_for(1, LinkDirection::CoordinatorToWorker).is_some());
+        // Worker lifecycle faults never become link injectors.
+        assert!(plan.injector_for(2, LinkDirection::CoordinatorToWorker).is_none());
+        assert_eq!(plan.kill_request_for(2), Some(3));
+        assert_eq!(plan.kill_request_for(0), None);
+        assert_eq!(plan.panic_request_for(0), Some(1));
+    }
+
+    #[test]
+    fn faulty_sender_counts_dropped_bytes_as_sent() {
+        let plan = FaultPlan::new(1).drop_frame(0, LinkDirection::WorkerToCoordinator, 1);
+        let (tx, rx, counters) = counted_link();
+        let tx = tx.with_faults(plan.injector_for(0, LinkDirection::WorkerToCoordinator));
+        assert!(tx.send(Bytes::from_static(b"lost")));
+        assert!(tx.send(Bytes::from_static(b"kept")));
+        assert_eq!(counters.bytes(), 8, "dropped frames still consumed the wire");
+        assert_eq!(rx.recv().unwrap(), Bytes::from_static(b"kept"));
+        assert!(rx.try_recv().is_err(), "dropped frame never delivered");
     }
 
     #[test]

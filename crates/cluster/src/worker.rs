@@ -6,6 +6,13 @@
 //! for the fragments a machine hosts are processed sequentially, modeling
 //! one CPU per machine (the paper's machines evaluate their fragment's task
 //! in a single process).
+//!
+//! Engine evaluation runs under `catch_unwind`, so a panicking task becomes
+//! a typed [`Response::Failed`] on the wire instead of a dead thread; a
+//! thread that does die (simulated crash) is detected and respawned by the
+//! coordinator.
+
+use std::panic::{self, AssertUnwindSafe};
 
 use bytes::Bytes;
 use crossbeam::channel::Receiver;
@@ -13,14 +20,36 @@ use crossbeam::channel::Receiver;
 use disks_core::{BiLevelIndex, DFunction, FragmentEngine, QueryCost, QueryError};
 use disks_roadnet::NodeId;
 
-use crate::message::{decode_frame, encode_frame, render_error, Request, Response};
+use crate::message::{decode_frame, encode_frame, Request, Response};
 use crate::transport::LinkSender;
+
+/// Injected lifecycle faults for one worker spawn (testing substrate; both
+/// default to `None` in production spawns and in respawns).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WorkerFaults {
+    /// Exit the thread (simulated machine crash) upon receiving the nth
+    /// Evaluate/TopK request, before answering it.
+    pub kill_on_request: Option<u64>,
+    /// Panic while evaluating the nth request's first fragment task.
+    pub panic_on_request: Option<u64>,
+}
+
+/// Render a caught panic payload for the typed wire error.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
 
 /// The engine a worker hosts for one fragment: a plain bounded/unbounded
 /// [`FragmentEngine`], or a §5.5 [`BiLevelIndex`] pair that routes by the
 /// query radius.
 #[allow(clippy::large_enum_variant)] // one engine per fragment lives for the
-// worker's lifetime; boxing would only add indirection on the hot path
+                                     // worker's lifetime; boxing would only add indirection on the hot path
 pub enum WorkerEngine {
     Single(FragmentEngine),
     BiLevel(BiLevelIndex),
@@ -55,35 +84,56 @@ impl WorkerEngine {
     }
 }
 
-/// Run the worker loop until a `Shutdown` request or channel closure.
+/// Run the worker loop until a `Shutdown` request, channel closure, or an
+/// injected crash. Every request is answered statelessly from the hosted
+/// engines, so re-dispatched (retried) tasks are idempotent by construction.
 pub fn worker_loop(
     machine_id: usize,
     mut engines: Vec<WorkerEngine>,
     requests: Receiver<Bytes>,
     responses: LinkSender,
+    faults: WorkerFaults,
 ) {
     let _ = machine_id;
+    let mut request_count: u64 = 0;
     while let Ok(frame) = requests.recv() {
         let request = match decode_frame::<Request>(frame) {
             Ok(r) => r,
             Err(_) => continue, // malformed frame: drop, as a server would
         };
+        if !matches!(request, Request::Shutdown) {
+            request_count += 1;
+            if faults.kill_on_request == Some(request_count) {
+                return; // simulated machine crash: no response, thread gone
+            }
+        }
+        let inject_panic = faults.panic_on_request == Some(request_count);
         match request {
             Request::Shutdown => break,
-            Request::TopK { query_id, query } => {
-                for engine in &mut engines {
+            Request::TopK { query_id, query, fragments } => {
+                for (i, engine) in hosted(&mut engines, &fragments) {
                     let fragment = engine.fragment().0;
-                    let frame = match engine.topk_local(&query) {
-                        Ok((ranked, cost)) => encode_frame(&Response::TopKResults {
+                    let panic_now = inject_panic && i == 0;
+                    let outcome = panic::catch_unwind(AssertUnwindSafe(|| {
+                        if panic_now {
+                            panic!("injected evaluation fault");
+                        }
+                        engine.topk_local(&query)
+                    }));
+                    let frame = match outcome {
+                        Ok(Ok((ranked, cost))) => encode_frame(&Response::TopKResults {
                             query_id,
                             fragment,
                             ranked,
                             cost: (&cost).into(),
                         }),
-                        Err(e) => encode_frame(&Response::Failed {
+                        Ok(Err(e)) => {
+                            encode_frame(&Response::Failed { query_id, fragment, error: e })
+                        }
+                        Err(payload) => encode_frame(&Response::Failed {
                             query_id,
                             fragment,
-                            error: render_error(&e),
+                            error: QueryError::WorkerPanic(panic_message(payload)),
                         }),
                     };
                     if !responses.send(frame) {
@@ -91,20 +141,30 @@ pub fn worker_loop(
                     }
                 }
             }
-            Request::Evaluate { query_id, dfunction } => {
-                for engine in &mut engines {
+            Request::Evaluate { query_id, dfunction, fragments } => {
+                for (i, engine) in hosted(&mut engines, &fragments) {
                     let fragment = engine.fragment().0;
-                    let frame = match engine.evaluate(&dfunction) {
-                        Ok((nodes, cost)) => encode_frame(&Response::Results {
+                    let panic_now = inject_panic && i == 0;
+                    let outcome = panic::catch_unwind(AssertUnwindSafe(|| {
+                        if panic_now {
+                            panic!("injected evaluation fault");
+                        }
+                        engine.evaluate(&dfunction)
+                    }));
+                    let frame = match outcome {
+                        Ok(Ok((nodes, cost))) => encode_frame(&Response::Results {
                             query_id,
                             fragment,
                             nodes,
                             cost: (&cost).into(),
                         }),
-                        Err(e) => encode_frame(&Response::Failed {
+                        Ok(Err(e)) => {
+                            encode_frame(&Response::Failed { query_id, fragment, error: e })
+                        }
+                        Err(payload) => encode_frame(&Response::Failed {
                             query_id,
                             fragment,
-                            error: render_error(&e),
+                            error: QueryError::WorkerPanic(panic_message(payload)),
                         }),
                     };
                     if !responses.send(frame) {
@@ -114,6 +174,18 @@ pub fn worker_loop(
             }
         }
     }
+}
+
+/// Iterate the hosted engines selected by a request's fragment filter
+/// (empty = all), with a running index for per-request fault targeting.
+fn hosted<'a>(
+    engines: &'a mut [WorkerEngine],
+    fragments: &'a [u32],
+) -> impl Iterator<Item = (usize, &'a mut WorkerEngine)> {
+    engines
+        .iter_mut()
+        .filter(move |e| fragments.is_empty() || fragments.contains(&e.fragment().0))
+        .enumerate()
 }
 
 #[cfg(test)]
@@ -139,12 +211,16 @@ mod tests {
 
         let (req_tx, req_rx) = unbounded();
         let (resp_tx, resp_rx, counters) = counted_link();
-        let handle = std::thread::spawn(move || worker_loop(0, engines, req_rx, resp_tx));
+        let handle = std::thread::spawn(move || {
+            worker_loop(0, engines, req_rx, resp_tx, WorkerFaults::default())
+        });
 
         let freqs = net.keyword_frequencies();
         let top = KeywordId((0..freqs.len()).max_by_key(|&k| freqs[k]).unwrap() as u32);
         let f = DFunction::single(Term::Keyword(top), 3 * net.avg_edge_weight());
-        req_tx.send(encode_frame(&Request::Evaluate { query_id: 1, dfunction: f })).unwrap();
+        req_tx
+            .send(encode_frame(&Request::Evaluate { query_id: 1, dfunction: f, fragments: vec![] }))
+            .unwrap();
 
         // Two fragments hosted → two responses.
         let mut fragments = Vec::new();
@@ -179,13 +255,25 @@ mod tests {
             .collect();
         let (req_tx, req_rx) = unbounded();
         let (resp_tx, resp_rx, _) = counted_link();
-        let handle = std::thread::spawn(move || worker_loop(0, engines, req_rx, resp_tx));
+        let handle = std::thread::spawn(move || {
+            worker_loop(0, engines, req_rx, resp_tx, WorkerFaults::default())
+        });
         let f = DFunction::single(Term::Keyword(KeywordId(0)), 1_000_000_000);
-        req_tx.send(encode_frame(&Request::Evaluate { query_id: 2, dfunction: f })).unwrap();
+        req_tx
+            .send(encode_frame(&Request::Evaluate { query_id: 2, dfunction: f, fragments: vec![] }))
+            .unwrap();
         match decode_frame::<Response>(resp_rx.recv().unwrap()).unwrap() {
             Response::Failed { query_id, error, .. } => {
                 assert_eq!(query_id, 2);
-                assert!(error.contains("maxR"));
+                // The typed error carries the worker's real maxR — the
+                // coordinator no longer has to fabricate one.
+                match error {
+                    QueryError::RadiusExceedsMaxR { r, max_r } => {
+                        assert_eq!(r, 1_000_000_000);
+                        assert_eq!(max_r, net.avg_edge_weight());
+                    }
+                    other => panic!("expected RadiusExceedsMaxR, got {other}"),
+                }
             }
             other => panic!("expected failure, got {other:?}"),
         }
@@ -204,11 +292,107 @@ mod tests {
             .collect();
         let (req_tx, req_rx) = unbounded();
         let (resp_tx, resp_rx, _) = counted_link();
-        let handle = std::thread::spawn(move || worker_loop(0, engines, req_rx, resp_tx));
+        let handle = std::thread::spawn(move || {
+            worker_loop(0, engines, req_rx, resp_tx, WorkerFaults::default())
+        });
         req_tx.send(Bytes::from_static(&[0xde, 0xad])).unwrap();
         // Worker survives; a valid shutdown still works.
         req_tx.send(encode_frame(&Request::Shutdown)).unwrap();
         handle.join().unwrap();
         assert!(resp_rx.try_recv().is_err(), "no response to garbage");
+    }
+
+    fn spawn_worker(
+        seed: u64,
+        faults: WorkerFaults,
+    ) -> (
+        crossbeam::channel::Sender<Bytes>,
+        crossbeam::channel::Receiver<Bytes>,
+        std::thread::JoinHandle<()>,
+        disks_roadnet::RoadNetwork,
+    ) {
+        let net = GridNetworkConfig::tiny(seed).generate();
+        let p = MultilevelPartitioner::default().partition(&net, 2);
+        let indexes = build_all_indexes(&net, &p, &IndexConfig::unbounded());
+        let engines: Vec<WorkerEngine> = indexes
+            .iter()
+            .map(|i| WorkerEngine::Single(FragmentEngine::new(&net, &p, i).unwrap()))
+            .collect();
+        let (req_tx, req_rx) = unbounded();
+        let (resp_tx, resp_rx, _) = counted_link();
+        let handle = std::thread::spawn(move || worker_loop(0, engines, req_rx, resp_tx, faults));
+        (req_tx, resp_rx, handle, net)
+    }
+
+    fn top_kw(net: &disks_roadnet::RoadNetwork) -> KeywordId {
+        let freqs = net.keyword_frequencies();
+        KeywordId((0..freqs.len()).max_by_key(|&k| freqs[k]).unwrap() as u32)
+    }
+
+    #[test]
+    fn injected_panic_becomes_typed_failed_response() {
+        let faults = WorkerFaults { kill_on_request: None, panic_on_request: Some(1) };
+        let (req_tx, resp_rx, handle, net) = spawn_worker(63, faults);
+        let f = DFunction::single(Term::Keyword(top_kw(&net)), 3 * net.avg_edge_weight());
+        let request = Request::Evaluate { query_id: 1, dfunction: f.clone(), fragments: vec![] };
+        req_tx.send(encode_frame(&request)).unwrap();
+        // First fragment panics (typed Failed), second still answers: the
+        // thread survived the panic.
+        let mut failed = 0;
+        let mut ok = 0;
+        for _ in 0..2 {
+            match decode_frame::<Response>(resp_rx.recv().unwrap()).unwrap() {
+                Response::Failed { error: QueryError::WorkerPanic(msg), .. } => {
+                    assert!(msg.contains("injected"));
+                    failed += 1;
+                }
+                Response::Results { .. } => ok += 1,
+                other => panic!("unexpected response: {other:?}"),
+            }
+        }
+        assert_eq!((failed, ok), (1, 1));
+        // The fault was one-shot: a retry of the same request succeeds.
+        let retry = Request::Evaluate { query_id: 2, dfunction: f, fragments: vec![] };
+        req_tx.send(encode_frame(&retry)).unwrap();
+        for _ in 0..2 {
+            match decode_frame::<Response>(resp_rx.recv().unwrap()).unwrap() {
+                Response::Results { query_id, .. } => assert_eq!(query_id, 2),
+                other => panic!("retry must succeed, got {other:?}"),
+            }
+        }
+        req_tx.send(encode_frame(&Request::Shutdown)).unwrap();
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn kill_fault_terminates_thread_without_response() {
+        let faults = WorkerFaults { kill_on_request: Some(1), panic_on_request: None };
+        let (req_tx, resp_rx, handle, net) = spawn_worker(64, faults);
+        let f = DFunction::single(Term::Keyword(top_kw(&net)), net.avg_edge_weight());
+        req_tx
+            .send(encode_frame(&Request::Evaluate { query_id: 1, dfunction: f, fragments: vec![] }))
+            .unwrap();
+        handle.join().unwrap(); // thread exits on the killed request
+        assert!(resp_rx.try_recv().is_err(), "crashed worker must not respond");
+    }
+
+    #[test]
+    fn fragment_filter_narrows_evaluation() {
+        let (req_tx, resp_rx, handle, net) = spawn_worker(65, WorkerFaults::default());
+        let f = DFunction::single(Term::Keyword(top_kw(&net)), 2 * net.avg_edge_weight());
+        req_tx
+            .send(encode_frame(&Request::Evaluate {
+                query_id: 1,
+                dfunction: f,
+                fragments: vec![1],
+            }))
+            .unwrap();
+        match decode_frame::<Response>(resp_rx.recv().unwrap()).unwrap() {
+            Response::Results { fragment, .. } => assert_eq!(fragment, 1),
+            other => panic!("unexpected response: {other:?}"),
+        }
+        req_tx.send(encode_frame(&Request::Shutdown)).unwrap();
+        handle.join().unwrap();
+        assert!(resp_rx.try_recv().is_err(), "only the narrowed fragment answers");
     }
 }

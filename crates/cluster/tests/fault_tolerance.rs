@@ -1,0 +1,233 @@
+//! Fault-tolerance integration tests: every schedule here is a seeded,
+//! deterministic [`FaultPlan`], and every recovered query must still equal
+//! the centralized baseline with **zero** inter-worker bytes — Lemma 1's
+//! per-fragment union and Theorem 3's communication bound are invariant
+//! under retry, duplication, and worker failover because fragment tasks are
+//! stateless and idempotent.
+
+use std::time::{Duration, Instant};
+
+use disks_cluster::{Cluster, ClusterConfig, FaultPlan, LinkDirection, NetworkModel};
+use disks_core::{build_all_indexes, CentralizedCoverage, IndexConfig, QueryError, SgkQuery};
+use disks_partition::{MultilevelPartitioner, Partitioner, Partitioning};
+use disks_roadnet::generator::GridNetworkConfig;
+use disks_roadnet::{KeywordId, RoadNetwork};
+
+fn setup(seed: u64, k: usize, config: ClusterConfig) -> (RoadNetwork, Cluster) {
+    let net = GridNetworkConfig::tiny(seed).generate();
+    let p: Partitioning = MultilevelPartitioner::default().partition(&net, k);
+    let indexes = build_all_indexes(&net, &p, &IndexConfig::unbounded());
+    let cluster = Cluster::build(&net, &p, indexes, config);
+    (net, cluster)
+}
+
+fn top_keyword(net: &RoadNetwork) -> KeywordId {
+    let freqs = net.keyword_frequencies();
+    let best = (0..freqs.len()).max_by_key(|&k| freqs[k]).unwrap();
+    KeywordId(best as u32)
+}
+
+/// A config tuned for fast fault tests: instant network, short stall
+/// deadline so dropped frames are re-dispatched within milliseconds.
+fn fault_config(faults: FaultPlan) -> ClusterConfig {
+    ClusterConfig {
+        network: NetworkModel::instant(),
+        deadline: Duration::from_millis(200),
+        faults: Some(faults),
+        ..ClusterConfig::default()
+    }
+}
+
+/// The acceptance scenario: one worker panics, one response frame is
+/// dropped, one is duplicated — all in a single seeded plan — and the
+/// distributed answer is still exactly the centralized one, with retries
+/// recorded and no worker-to-worker traffic.
+#[test]
+fn combined_panic_drop_duplicate_still_exact() {
+    let plan = FaultPlan::new(90)
+        .panic_worker(1, 1)
+        .drop_frame(0, LinkDirection::WorkerToCoordinator, 1)
+        .duplicate_frame(2, LinkDirection::WorkerToCoordinator, 1);
+    let (net, cluster) = setup(90, 3, fault_config(plan));
+    let q = SgkQuery::new(vec![top_keyword(&net)], 4 * net.avg_edge_weight());
+
+    let outcome = cluster.run_sgkq(&q).unwrap();
+
+    let mut central = CentralizedCoverage::new(&net);
+    assert_eq!(outcome.results, central.sgkq(&q).unwrap());
+    assert!(outcome.stats.retries > 0, "panic + drop must force retries");
+    assert_eq!(outcome.stats.inter_worker_bytes, 0);
+    assert!(outcome.stats.rounds > 1);
+    cluster.shutdown();
+}
+
+#[test]
+fn dropped_response_frame_is_redispatched() {
+    let plan = FaultPlan::new(91).drop_frame(0, LinkDirection::WorkerToCoordinator, 1);
+    let (net, cluster) = setup(91, 2, fault_config(plan));
+    let q = SgkQuery::new(vec![top_keyword(&net)], 3 * net.avg_edge_weight());
+
+    let outcome = cluster.run_sgkq(&q).unwrap();
+
+    let mut central = CentralizedCoverage::new(&net);
+    assert_eq!(outcome.results, central.sgkq(&q).unwrap());
+    assert!(outcome.stats.retries >= 1);
+    assert!(outcome.stats.timeouts >= 1, "the drop is only visible as a stall");
+    assert!(cluster.recovery_counters().timeouts >= 1);
+    cluster.shutdown();
+}
+
+#[test]
+fn duplicated_response_frame_is_deduplicated() {
+    let plan = FaultPlan::new(92).duplicate_frame(0, LinkDirection::WorkerToCoordinator, 1);
+    let (net, cluster) = setup(92, 2, fault_config(plan));
+    let q = SgkQuery::new(vec![top_keyword(&net)], 3 * net.avg_edge_weight());
+
+    let outcome = cluster.run_sgkq(&q).unwrap();
+
+    let mut central = CentralizedCoverage::new(&net);
+    assert_eq!(outcome.results, central.sgkq(&q).unwrap());
+    assert!(outcome.stats.duplicate_responses >= 1);
+    // A duplicate alone must not force a retry round.
+    assert_eq!(outcome.stats.retries, 0);
+    cluster.shutdown();
+}
+
+#[test]
+fn corrupt_frame_is_counted_ignored_and_recovered() {
+    let plan = FaultPlan::new(93).corrupt_frame(0, LinkDirection::WorkerToCoordinator, 1);
+    let (net, cluster) = setup(93, 2, fault_config(plan));
+    let q = SgkQuery::new(vec![top_keyword(&net)], 3 * net.avg_edge_weight());
+
+    let outcome = cluster.run_sgkq(&q).unwrap();
+
+    let mut central = CentralizedCoverage::new(&net);
+    assert_eq!(outcome.results, central.sgkq(&q).unwrap());
+    assert!(outcome.stats.corrupt_frames >= 1);
+    assert!(outcome.stats.retries >= 1, "the corrupted response must be re-requested");
+    cluster.shutdown();
+}
+
+#[test]
+fn delayed_frame_within_deadline_needs_no_retry() {
+    let plan = FaultPlan::new(94).delay_frame(0, LinkDirection::WorkerToCoordinator, 1, 50);
+    let (net, cluster) = setup(94, 2, fault_config(plan));
+    let q = SgkQuery::new(vec![top_keyword(&net)], 3 * net.avg_edge_weight());
+
+    let outcome = cluster.run_sgkq(&q).unwrap();
+
+    let mut central = CentralizedCoverage::new(&net);
+    assert_eq!(outcome.results, central.sgkq(&q).unwrap());
+    assert_eq!(outcome.stats.retries, 0);
+    assert_eq!(outcome.stats.rounds, 1);
+    cluster.shutdown();
+}
+
+/// A killed worker with no retry budget: the query fails *quickly* with a
+/// typed [`QueryError::WorkerTimeout`] naming the silent fragments, instead
+/// of hanging; the next query succeeds on a respawned worker.
+#[test]
+fn killed_worker_yields_typed_timeout_then_respawns() {
+    let plan = FaultPlan::new(95).kill_worker(0, 1);
+    let config = ClusterConfig { max_attempts: 1, ..fault_config(plan) };
+    let (net, cluster) = setup(95, 2, config);
+    let q = SgkQuery::new(vec![top_keyword(&net)], 3 * net.avg_edge_weight());
+
+    let start = Instant::now();
+    match cluster.run_sgkq(&q) {
+        Err(QueryError::WorkerTimeout { fragments, attempts }) => {
+            assert!(!fragments.is_empty());
+            assert_eq!(attempts, 1);
+        }
+        other => panic!("expected WorkerTimeout, got {other:?}"),
+    }
+    assert!(
+        start.elapsed() < Duration::from_secs(5),
+        "timeout must be bounded by the deadline, not hang"
+    );
+
+    // The dead machine is detected at the next dispatch and respawned from
+    // the retained index spec; the same query now succeeds exactly.
+    let outcome = cluster.run_sgkq(&q).unwrap();
+    let mut central = CentralizedCoverage::new(&net);
+    assert_eq!(outcome.results, central.sgkq(&q).unwrap());
+    assert!(outcome.stats.respawned_workers >= 1);
+    assert!(cluster.recovery_counters().respawned_workers >= 1);
+    cluster.shutdown();
+}
+
+/// With `allow_partial`, an exhausted retry budget degrades instead of
+/// failing: the unanswered fragments are reported and the result is the
+/// union of the fragments that did answer (a subset of the exact answer,
+/// by Lemma 1).
+#[test]
+fn exhausted_budget_with_allow_partial_degrades() {
+    let plan = FaultPlan::new(96).kill_worker(0, 1);
+    let config = ClusterConfig { max_attempts: 1, allow_partial: true, ..fault_config(plan) };
+    let (net, cluster) = setup(96, 2, config);
+    let q = SgkQuery::new(vec![top_keyword(&net)], 4 * net.avg_edge_weight());
+
+    let outcome = cluster.run_sgkq(&q).unwrap();
+
+    assert!(!outcome.stats.degraded_fragments.is_empty());
+    let mut central = CentralizedCoverage::new(&net);
+    let exact = central.sgkq(&q).unwrap();
+    assert!(
+        outcome.results.iter().all(|n| exact.contains(n)),
+        "a degraded answer must be a subset of the exact answer"
+    );
+    cluster.shutdown();
+}
+
+/// A permanent (non-retryable) failure returns early; the other worker's
+/// in-flight response for that aborted query shows up during the *next*
+/// gather and must be dropped as out-of-window, not spliced into the wrong
+/// result.
+#[test]
+fn stale_responses_from_aborted_query_are_dropped_out_of_window() {
+    let net = GridNetworkConfig::tiny(97).generate();
+    let p = MultilevelPartitioner::default().partition(&net, 2);
+    let max_r = 2 * net.avg_edge_weight();
+    let indexes = build_all_indexes(&net, &p, &IndexConfig::with_max_r(max_r));
+    let cluster = Cluster::build(
+        &net,
+        &p,
+        indexes,
+        ClusterConfig { network: NetworkModel::instant(), ..ClusterConfig::default() },
+    );
+    let kw = top_keyword(&net);
+
+    // Radius over maxR: one fragment answers RadiusExceedsMaxR, which is
+    // permanent, so the gather aborts without draining the other fragment.
+    let over = SgkQuery::new(vec![kw], 100 * net.avg_edge_weight());
+    assert!(matches!(cluster.run_sgkq(&over), Err(QueryError::RadiusExceedsMaxR { .. })));
+
+    // The follow-up query is exact despite the stale frame in the channel.
+    let ok = SgkQuery::new(vec![kw], max_r);
+    let outcome = cluster.run_sgkq(&ok).unwrap();
+    let mut central = CentralizedCoverage::new(&net);
+    assert_eq!(outcome.results, central.sgkq(&ok).unwrap());
+    assert!(cluster.recovery_counters().out_of_window_responses >= 1);
+    cluster.shutdown();
+}
+
+/// Fault schedules are deterministic: the same seed and plan produce the
+/// same recovery counters twice in a row.
+#[test]
+fn seeded_fault_schedules_are_reproducible() {
+    let run = || {
+        let plan = FaultPlan::new(98)
+            .drop_frame(0, LinkDirection::WorkerToCoordinator, 1)
+            .duplicate_frame(1, LinkDirection::WorkerToCoordinator, 1);
+        let (net, cluster) = setup(98, 2, fault_config(plan));
+        let q = SgkQuery::new(vec![top_keyword(&net)], 3 * net.avg_edge_weight());
+        let outcome = cluster.run_sgkq(&q).unwrap();
+        let counters = cluster.recovery_counters();
+        cluster.shutdown();
+        (outcome.results, counters)
+    };
+    let (results_a, counters_a) = run();
+    let (results_b, counters_b) = run();
+    assert_eq!(results_a, results_b);
+    assert_eq!(counters_a, counters_b);
+}

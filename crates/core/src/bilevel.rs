@@ -142,7 +142,10 @@ mod tests {
         }
         got_small.sort_unstable();
         got_large.sort_unstable();
-        assert_eq!(got_small, central.evaluate(&DFunction::single(Term::Keyword(kw), 2 * e)).unwrap());
+        assert_eq!(
+            got_small,
+            central.evaluate(&DFunction::single(Term::Keyword(kw), 2 * e)).unwrap()
+        );
         assert_eq!(
             got_large,
             central.evaluate(&DFunction::single(Term::Keyword(kw), 20 * e)).unwrap()

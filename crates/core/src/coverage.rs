@@ -50,8 +50,7 @@ impl<'a> CentralizedCoverage<'a> {
         if f.num_terms() == 0 {
             return Err(QueryError::EmptyQuery);
         }
-        let coverages: Vec<BitSet> =
-            f.terms().map(|t| self.coverage(t.term, t.radius)).collect();
+        let coverages: Vec<BitSet> = f.terms().map(|t| self.coverage(t.term, t.radius)).collect();
         let combined = f.combine(&coverages);
         Ok(combined.iter().map(|i| NodeId(i as u32)).collect())
     }
@@ -75,9 +74,7 @@ impl<'a> CentralizedCoverage<'a> {
     /// tests to validate coverage against Definition 4 literally.
     pub fn distance_table(&mut self, term: Term) -> HashMap<NodeId, u64> {
         let sources: Vec<(u32, u64)> = match term {
-            Term::Keyword(k) => {
-                self.net.nodes_with_keyword(k).iter().map(|n| (n.0, 0)).collect()
-            }
+            Term::Keyword(k) => self.net.nodes_with_keyword(k).iter().map(|n| (n.0, 0)).collect(),
             Term::Node(l) => vec![(l.0, 0)],
         };
         let mut out = HashMap::new();

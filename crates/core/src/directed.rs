@@ -439,8 +439,7 @@ mod tests {
         let cov = directed_centralized_coverage(&net, cafe, 2);
         assert_eq!(cov, vec![nodes[0], nodes[1], nodes[2]]);
         // Distributed over fragments {0,1,2} and {3,4,5}.
-        let partition =
-            DirectedPartition::from_assignment(&net, vec![0, 0, 0, 1, 1, 1], 2);
+        let partition = DirectedPartition::from_assignment(&net, vec![0, 0, 0, 1, 1, 1], 2);
         let indexes: Vec<_> =
             (0..2).map(|f| build_directed_index(&net, &partition, f, INF)).collect();
         let got = directed_sgkq_distributed(&net, &partition, &indexes, &[cafe], 2).unwrap();
@@ -474,8 +473,7 @@ mod tests {
         let indexes: Vec<_> =
             (0..2).map(|f| build_directed_index(&net, &partition, f, INF)).collect();
         for r in 0..=4 {
-            let got =
-                directed_sgkq_distributed(&net, &partition, &indexes, &[poi], r).unwrap();
+            let got = directed_sgkq_distributed(&net, &partition, &indexes, &[poi], r).unwrap();
             assert_eq!(got, directed_centralized_coverage(&net, poi, r), "r={r}");
         }
     }
@@ -517,11 +515,8 @@ mod tests {
             let max_r = if rng.gen_bool(0.5) { INF } else { rng.gen_range(5..60) };
             let indexes: Vec<_> =
                 (0..k as u32).map(|f| build_directed_index(&net, &partition, f, max_r)).collect();
-            let keywords: Vec<KeywordId> = words
-                .iter()
-                .filter_map(|w| net.vocab().get(w))
-                .take(rng.gen_range(1..3))
-                .collect();
+            let keywords: Vec<KeywordId> =
+                words.iter().filter_map(|w| net.vocab().get(w)).take(rng.gen_range(1..3)).collect();
             if keywords.is_empty() {
                 continue; // no node drew a keyword this trial
             }

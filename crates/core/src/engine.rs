@@ -387,8 +387,7 @@ impl FragmentEngine {
             coverages.push(cov);
         }
         let combined = f.combine(&coverages);
-        let mut result: Vec<NodeId> =
-            combined.iter().map(|i| self.globals[i]).collect();
+        let mut result: Vec<NodeId> = combined.iter().map(|i| self.globals[i]).collect();
         result.sort_unstable();
         total.results = result.len();
         total.elapsed = start.elapsed();
@@ -478,9 +477,7 @@ mod tests {
         let e = net.avg_edge_weight();
         let cfg = IndexConfig::with_max_r(8 * e);
         let freqs = net.keyword_frequencies();
-        let top = KeywordId(
-            (0..freqs.len()).max_by_key(|&k| freqs[k]).unwrap() as u32
-        );
+        let top = KeywordId((0..freqs.len()).max_by_key(|&k| freqs[k]).unwrap() as u32);
         for r in [e, 4 * e, 8 * e] {
             let f = DFunction::single(Term::Keyword(top), r);
             assert_distributed_matches_centralized(&net, 4, &cfg, &f);
@@ -495,10 +492,7 @@ mod tests {
         let indexes = build_all_indexes(&net, &p, &cfg);
         let mut engine = FragmentEngine::new(&net, &p, &indexes[0]).unwrap();
         let f = DFunction::single(Term::Keyword(KeywordId(0)), 100 * net.avg_edge_weight());
-        assert!(matches!(
-            engine.evaluate(&f),
-            Err(QueryError::RadiusExceedsMaxR { .. })
-        ));
+        assert!(matches!(engine.evaluate(&f), Err(QueryError::RadiusExceedsMaxR { .. })));
     }
 
     #[test]

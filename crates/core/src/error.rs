@@ -2,6 +2,9 @@
 
 use std::fmt;
 
+use bytes::{Buf, BufMut};
+
+use disks_roadnet::codec::{Decode, Encode};
 use disks_roadnet::{DecodeError, NodeId};
 
 /// Errors raised while building or loading an NPD-index.
@@ -69,6 +72,25 @@ pub enum QueryError {
     /// Engine materialization failed (e.g. a shortcut weight overflow) while
     /// serving the query.
     Engine(String),
+    /// A worker panicked while evaluating the task (caught by the worker
+    /// supervisor and shipped back typed). Fragment tasks are stateless, so
+    /// the coordinator may retry.
+    WorkerPanic(String),
+    /// The listed fragments never answered within the configured deadline,
+    /// across `attempts` dispatch attempts.
+    WorkerTimeout { fragments: Vec<u32>, attempts: u32 },
+}
+
+impl QueryError {
+    /// Whether re-dispatching the same fragment task can plausibly succeed.
+    ///
+    /// Fragment tasks are stateless and idempotent, so transient failures
+    /// (a panicking or stalled worker) are retryable; semantic rejections
+    /// (radius over `maxR`, empty query, unindexed location) are
+    /// deterministic and retrying them is futile.
+    pub fn is_retryable(&self) -> bool {
+        matches!(self, QueryError::WorkerPanic(_) | QueryError::WorkerTimeout { .. })
+    }
 }
 
 impl fmt::Display for QueryError {
@@ -82,8 +104,96 @@ impl fmt::Display for QueryError {
                 write!(f, "query location {n} is not indexed by the DL component")
             }
             QueryError::Engine(msg) => write!(f, "engine error: {msg}"),
+            QueryError::WorkerPanic(msg) => write!(f, "worker panicked: {msg}"),
+            QueryError::WorkerTimeout { fragments, attempts } => {
+                write!(f, "fragments {fragments:?} unresponsive after {attempts} attempts")
+            }
         }
     }
 }
 
 impl std::error::Error for QueryError {}
+
+// Wire codec for `QueryError` so `Response::Failed` carries the typed error
+// end-to-end instead of a display string the coordinator would have to sniff.
+impl Encode for QueryError {
+    fn encode(&self, buf: &mut impl BufMut) {
+        match self {
+            QueryError::RadiusExceedsMaxR { r, max_r } => {
+                0u8.encode(buf);
+                r.encode(buf);
+                max_r.encode(buf);
+            }
+            QueryError::EmptyQuery => 1u8.encode(buf),
+            QueryError::UnindexedQueryLocation(n) => {
+                2u8.encode(buf);
+                n.encode(buf);
+            }
+            QueryError::Engine(msg) => {
+                3u8.encode(buf);
+                msg.encode(buf);
+            }
+            QueryError::WorkerPanic(msg) => {
+                4u8.encode(buf);
+                msg.encode(buf);
+            }
+            QueryError::WorkerTimeout { fragments, attempts } => {
+                5u8.encode(buf);
+                fragments.encode(buf);
+                attempts.encode(buf);
+            }
+        }
+    }
+}
+impl Decode for QueryError {
+    fn decode(buf: &mut impl Buf) -> Result<Self, DecodeError> {
+        match u8::decode(buf)? {
+            0 => {
+                Ok(QueryError::RadiusExceedsMaxR { r: u64::decode(buf)?, max_r: u64::decode(buf)? })
+            }
+            1 => Ok(QueryError::EmptyQuery),
+            2 => Ok(QueryError::UnindexedQueryLocation(NodeId::decode(buf)?)),
+            3 => Ok(QueryError::Engine(String::decode(buf)?)),
+            4 => Ok(QueryError::WorkerPanic(String::decode(buf)?)),
+            5 => Ok(QueryError::WorkerTimeout {
+                fragments: Vec::decode(buf)?,
+                attempts: u32::decode(buf)?,
+            }),
+            tag => Err(DecodeError::BadTag { context: "QueryError", tag }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::BytesMut;
+
+    #[test]
+    fn query_error_round_trips() {
+        let cases = vec![
+            QueryError::RadiusExceedsMaxR { r: 77, max_r: 42 },
+            QueryError::EmptyQuery,
+            QueryError::UnindexedQueryLocation(NodeId(9)),
+            QueryError::Engine("overflow".into()),
+            QueryError::WorkerPanic("index out of bounds".into()),
+            QueryError::WorkerTimeout { fragments: vec![1, 3], attempts: 3 },
+        ];
+        for e in cases {
+            let mut buf = BytesMut::new();
+            e.encode(&mut buf);
+            let mut bytes = buf.freeze();
+            assert_eq!(QueryError::decode(&mut bytes).unwrap(), e);
+            assert!(!bytes.has_remaining(), "full consumption for {e}");
+        }
+    }
+
+    #[test]
+    fn retryability_classification() {
+        assert!(QueryError::WorkerPanic("x".into()).is_retryable());
+        assert!(QueryError::WorkerTimeout { fragments: vec![0], attempts: 1 }.is_retryable());
+        assert!(!QueryError::EmptyQuery.is_retryable());
+        assert!(!QueryError::RadiusExceedsMaxR { r: 2, max_r: 1 }.is_retryable());
+        assert!(!QueryError::Engine("x".into()).is_retryable());
+    }
+}

@@ -183,10 +183,7 @@ fn build_index_with_workspace(
     for (&node, list) in &dl_entries {
         for &kw in net.keywords(node) {
             for &(portal, d) in list {
-                kw_min
-                    .entry((kw, portal.0))
-                    .and_modify(|cur| *cur = (*cur).min(d))
-                    .or_insert(d);
+                kw_min.entry((kw, portal.0)).and_modify(|cur| *cur = (*cur).min(d)).or_insert(d);
             }
         }
     }
@@ -518,8 +515,7 @@ mod tests {
     fn objects_only_scope_prunes_junction_entries() {
         let net = GridNetworkConfig::tiny(4).generate();
         let p = MultilevelPartitioner::default().partition(&net, 2);
-        let objects =
-            build_index(&net, &p, FragmentId(0), &IndexConfig::unbounded());
+        let objects = build_index(&net, &p, FragmentId(0), &IndexConfig::unbounded());
         let all = build_index(
             &net,
             &p,
@@ -546,10 +542,7 @@ mod tests {
         for (node, list) in idx.dl_entries() {
             for &kw in net.keywords(node) {
                 for &(portal, d) in list {
-                    expect
-                        .entry((kw, portal.0))
-                        .and_modify(|c| *c = (*c).min(d))
-                        .or_insert(d);
+                    expect.entry((kw, portal.0)).and_modify(|c| *c = (*c).min(d)).or_insert(d);
                 }
             }
         }

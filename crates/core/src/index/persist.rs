@@ -97,7 +97,11 @@ pub fn from_binary(mut bytes: Bytes) -> Result<NpdIndex, IndexError> {
     let sc_len = decode_len(&mut bytes, "sc")?;
     let mut sc = Vec::with_capacity(sc_len.min(1 << 20));
     for _ in 0..sc_len {
-        sc.push((NodeId::decode(&mut bytes)?, NodeId::decode(&mut bytes)?, u64::decode(&mut bytes)?));
+        sc.push((
+            NodeId::decode(&mut bytes)?,
+            NodeId::decode(&mut bytes)?,
+            u64::decode(&mut bytes)?,
+        ));
     }
     let entry_len = decode_len(&mut bytes, "dl entries")?;
     let mut dl_entries = HashMap::with_capacity(entry_len.min(1 << 20));

@@ -35,14 +35,14 @@ pub mod topk;
 pub use bilevel::BiLevelIndex;
 pub use coverage::CentralizedCoverage;
 pub use dfunc::{DFunction, DTerm, SetOp, Term};
+pub use directed::{
+    build_directed_index, directed_sgkq_centralized, directed_sgkq_distributed,
+    DirectedFragmentEngine, DirectedNpdIndex, DirectedPartition,
+};
 pub use engine::{FragmentEngine, QueryCost};
 pub use error::{IndexError, QueryError};
 pub use index::{
     build_all_indexes, build_index, build_naive_index, DlScope, IndexConfig, IndexStats, NpdIndex,
 };
 pub use query::{QClassQuery, RangeKeywordQuery, SgkQuery};
-pub use directed::{
-    build_directed_index, directed_sgkq_centralized, directed_sgkq_distributed,
-    DirectedFragmentEngine, DirectedNpdIndex, DirectedPartition,
-};
 pub use topk::{centralized_topk, merge_topk, Ranked, ScoreCombine, TopKQuery};

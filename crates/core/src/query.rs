@@ -166,10 +166,13 @@ mod tests {
         assert_eq!(f.first.term, Term::Node(NodeId(1)));
         assert_eq!(f.first.radius, 4);
         assert_eq!(f.rest.len(), 1);
-        assert_eq!(f.rest[0], (SetOp::Intersect, crate::dfunc::DTerm {
-            term: Term::Keyword(KeywordId(3)),
-            radius: 0
-        }));
+        assert_eq!(
+            f.rest[0],
+            (
+                SetOp::Intersect,
+                crate::dfunc::DTerm { term: Term::Keyword(KeywordId(3)), radius: 0 }
+            )
+        );
     }
 
     #[test]

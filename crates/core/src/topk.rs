@@ -59,7 +59,12 @@ pub struct TopKQuery {
 }
 
 impl TopKQuery {
-    pub fn new(mut keywords: Vec<KeywordId>, k: usize, horizon: u64, combine: ScoreCombine) -> Self {
+    pub fn new(
+        mut keywords: Vec<KeywordId>,
+        k: usize,
+        horizon: u64,
+        combine: ScoreCombine,
+    ) -> Self {
         keywords.sort_unstable();
         keywords.dedup();
         TopKQuery { keywords, k, horizon, combine }
@@ -119,10 +124,7 @@ pub fn merge_topk(mut lists: Vec<Vec<Ranked>>, k: usize) -> Vec<Ranked> {
 }
 
 /// Centralized ground-truth top-k (whole-graph distance tables).
-pub fn centralized_topk(
-    net: &RoadNetwork,
-    q: &TopKQuery,
-) -> Result<Vec<Ranked>, QueryError> {
+pub fn centralized_topk(net: &RoadNetwork, q: &TopKQuery) -> Result<Vec<Ranked>, QueryError> {
     if q.keywords.is_empty() {
         return Err(QueryError::EmptyQuery);
     }
@@ -166,7 +168,7 @@ mod tests {
         assert_eq!(top[0], (2, names["B"]));
         assert_eq!(top[1], (3, names["E"]));
         assert_eq!(top[2].0, 4); // three nodes tie at 4; smallest id wins
-        // Sum-scores: A: 4; B: 4; C: 8; D: 4; E: 4.
+                                 // Sum-scores: A: 4; B: 4; C: 8; D: 4; E: 4.
         let q = TopKQuery::new(vec![museum, school], 5, 100, ScoreCombine::Sum);
         let top = centralized_topk(&net, &q).unwrap();
         assert_eq!(top[0].0, 4);

@@ -41,11 +41,7 @@ impl Partitioning {
     /// Panics on malformed input — partitioners are internal producers and a
     /// bad assignment is a programming error, not a runtime condition.
     pub fn from_assignment(net: &RoadNetwork, assignment: Vec<u32>, k: usize) -> Self {
-        assert_eq!(
-            assignment.len(),
-            net.num_nodes(),
-            "assignment must label every node"
-        );
+        assert_eq!(assignment.len(), net.num_nodes(), "assignment must label every node");
         assert!(k > 0, "at least one fragment required");
         let mut fragments: Vec<Vec<NodeId>> = vec![Vec::new(); k];
         for (i, &f) in assignment.iter().enumerate() {
@@ -148,8 +144,7 @@ impl Partitioning {
                 if self.fragment_of(p) != f {
                     return Err(format!("portal {p} not inside its fragment {f}"));
                 }
-                let crosses =
-                    net.neighbors(p).any(|(q, _)| self.fragment_of(q) != f);
+                let crosses = net.neighbors(p).any(|(q, _)| self.fragment_of(q) != f);
                 if !crosses {
                     return Err(format!("portal {p} has no cross edge"));
                 }

@@ -350,9 +350,7 @@ fn rebalance(
                 let gain = external - internal;
                 let better = match best {
                     None => true,
-                    Some((_, _, bw, bg)) => {
-                        from_weight > bw || (from_weight == bw && gain > bg)
-                    }
+                    Some((_, _, bw, bg)) => from_weight > bw || (from_weight == bw && gain > bg),
                 };
                 if better {
                     best = Some((u, fv, from_weight, gain));

@@ -44,7 +44,12 @@ impl DirectedRoadNetworkBuilder {
     }
 
     /// Add a one-way arc `from → to`.
-    pub fn add_arc(&mut self, from: NodeId, to: NodeId, weight: Weight) -> Result<(), RoadNetError> {
+    pub fn add_arc(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        weight: Weight,
+    ) -> Result<(), RoadNetError> {
         if from == to {
             return Err(RoadNetError::SelfLoop(from.0));
         }
@@ -80,7 +85,8 @@ impl DirectedRoadNetworkBuilder {
                 false
             }
         });
-        let csr = |arcs: &[(u32, u32, Weight)], key: fn(&(u32, u32, Weight)) -> u32,
+        let csr = |arcs: &[(u32, u32, Weight)],
+                   key: fn(&(u32, u32, Weight)) -> u32,
                    other: fn(&(u32, u32, Weight)) -> u32| {
             let mut degree = vec![0u32; n];
             for a in arcs {

@@ -241,7 +241,11 @@ impl DijkstraWorkspace {
 /// Dijkstra with predecessor tracking, for extracting actual shortest paths.
 /// Kept separate from [`DijkstraWorkspace`] because predecessor arrays are
 /// only needed in tests, diagnostics and the generator.
-pub fn shortest_path<G: Graph + ?Sized>(graph: &G, source: u32, target: u32) -> Option<(Vec<u32>, u64)> {
+pub fn shortest_path<G: Graph + ?Sized>(
+    graph: &G,
+    source: u32,
+    target: u32,
+) -> Option<(Vec<u32>, u64)> {
     let n = graph.num_nodes();
     let mut dist = vec![INF; n];
     let mut pred = vec![u32::MAX; n];
@@ -335,10 +339,7 @@ mod tests {
         // A(0), D(0), E(1 via A).
         let cov = ws.coverage(&g, &[names["A"].0, names["D"].0], 1);
         let nodes: std::collections::HashSet<u32> = cov.iter().map(|&(n, _)| n).collect();
-        assert_eq!(
-            nodes,
-            [names["A"].0, names["D"].0, names["E"].0].into_iter().collect()
-        );
+        assert_eq!(nodes, [names["A"].0, names["D"].0, names["E"].0].into_iter().collect());
     }
 
     #[test]

@@ -78,7 +78,10 @@ impl fmt::Display for DecodeError {
             }
             DecodeError::BadUtf8 => write!(f, "invalid utf-8 in encoded string"),
             DecodeError::BadHeader { expected, found } => {
-                write!(f, "bad magic/version header: expected {expected:#010x}, found {found:#010x}")
+                write!(
+                    f,
+                    "bad magic/version header: expected {expected:#010x}, found {found:#010x}"
+                )
             }
         }
     }

@@ -267,8 +267,7 @@ pub fn generate_grid_network(cfg: &GridNetworkConfig) -> RoadNetwork {
         junction_ids.push(out.add_node(x, y, &[]));
     }
     for (a, b, wgt) in junction_net.edges() {
-        out.add_edge(junction_ids[a.index()], junction_ids[b.index()], wgt)
-            .expect("copied edge");
+        out.add_edge(junction_ids[a.index()], junction_ids[b.index()], wgt).expect("copied edge");
     }
     let object_edge_weight = (cfg.base_weight / 10).max(1);
     let mut num_objects = 0usize;
@@ -356,9 +355,8 @@ impl SmallWorldConfig {
         assert!(self.weight_range.0 >= 1 && self.weight_range.0 <= self.weight_range.1);
         let mut rng = StdRng::seed_from_u64(self.seed);
         let mut b = RoadNetworkBuilder::new();
-        let vocab_ids: Vec<KeywordId> = (0..self.vocab_size)
-            .map(|i| b.vocab_mut().intern(&format!("label{i:04}")))
-            .collect();
+        let vocab_ids: Vec<KeywordId> =
+            (0..self.vocab_size).map(|i| b.vocab_mut().intern(&format!("label{i:04}"))).collect();
         let zipf = Zipf::new(self.vocab_size, self.zipf_exponent);
         let n = self.nodes;
         let mut nodes = Vec::with_capacity(n as usize);
@@ -517,12 +515,8 @@ mod tests {
             }
         }
         let hops = Hops(&net);
-        let far = ws
-            .distances_from(&hops, 0, u64::MAX - 1)
-            .into_iter()
-            .map(|(_, d)| d)
-            .max()
-            .unwrap();
+        let far =
+            ws.distances_from(&hops, 0, u64::MAX - 1).into_iter().map(|(_, d)| d).max().unwrap();
         let ring_diameter = net.num_nodes() as u64 / 4;
         assert!(far < ring_diameter, "eccentricity {far} vs ring {ring_diameter}");
     }

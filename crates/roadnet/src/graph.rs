@@ -195,11 +195,8 @@ impl RoadNetworkBuilder {
         }
 
         let total_weight: u64 = self.edges.iter().map(|&(_, _, w)| u64::from(w)).sum();
-        let avg_edge_weight = if self.edges.is_empty() {
-            0
-        } else {
-            (total_weight / self.edges.len() as u64).max(1)
-        };
+        let avg_edge_weight =
+            if self.edges.is_empty() { 0 } else { (total_weight / self.edges.len() as u64).max(1) };
 
         Ok(RoadNetwork {
             coords: self.coords,
@@ -261,10 +258,7 @@ impl RoadNetwork {
     pub fn neighbors(&self, node: NodeId) -> impl Iterator<Item = (NodeId, Weight)> + '_ {
         let lo = self.adj_offsets[node.index()] as usize;
         let hi = self.adj_offsets[node.index() + 1] as usize;
-        self.adj_node[lo..hi]
-            .iter()
-            .zip(&self.adj_weight[lo..hi])
-            .map(|(&n, &w)| (NodeId(n), w))
+        self.adj_node[lo..hi].iter().zip(&self.adj_weight[lo..hi]).map(|(&n, &w)| (NodeId(n), w))
     }
 
     /// Degree of `node`.
@@ -406,12 +400,8 @@ impl RoadNetwork {
         for &l in &label {
             sizes[l as usize] += 1;
         }
-        let keep = sizes
-            .iter()
-            .enumerate()
-            .max_by_key(|&(_, s)| *s)
-            .map(|(i, _)| i as u32)
-            .unwrap_or(0);
+        let keep =
+            sizes.iter().enumerate().max_by_key(|&(_, s)| *s).map(|(i, _)| i as u32).unwrap_or(0);
         let mut builder = RoadNetworkBuilder::new();
         builder.vocab = self.vocab.clone();
         let mut mapping: Vec<Option<NodeId>> = vec![None; self.num_nodes()];
@@ -433,9 +423,7 @@ impl RoadNetwork {
 
     /// Keyword frequency table: `freq[k] = |{nodes containing k}|`.
     pub fn keyword_frequencies(&self) -> Vec<usize> {
-        (0..self.vocab.len())
-            .map(|k| self.nodes_with_keyword(KeywordId(k as u32)).len())
-            .collect()
+        (0..self.vocab.len()).map(|k| self.nodes_with_keyword(KeywordId(k as u32)).len()).collect()
     }
 
     /// Approximate in-memory size in bytes (CSR arrays + keyword pools).

@@ -75,7 +75,9 @@ pub fn read_text(input: impl Read) -> Result<RoadNetwork, RoadNetError> {
         let mut parts = line.split_whitespace();
         let id: u32 = parse_field(parts.next(), "node id")?;
         if id as usize != i {
-            return Err(RoadNetError::Parse(format!("node ids must be dense: expected {i}, got {id}")));
+            return Err(RoadNetError::Parse(format!(
+                "node ids must be dense: expected {i}, got {id}"
+            )));
         }
         let x: f32 = parse_field(parts.next(), "x coordinate")?;
         let y: f32 = parse_field(parts.next(), "y coordinate")?;
@@ -108,15 +110,14 @@ fn parse_counted(line: &str, expected_tag: &str) -> Result<usize, RoadNetError> 
     let mut parts = line.split_whitespace();
     let tag = parts.next().unwrap_or("");
     if tag != expected_tag {
-        return Err(RoadNetError::Parse(format!("expected '{expected_tag} <count>', got '{line}'")));
+        return Err(RoadNetError::Parse(format!(
+            "expected '{expected_tag} <count>', got '{line}'"
+        )));
     }
     parse_field(parts.next(), "count")
 }
 
-fn parse_field<T: std::str::FromStr>(
-    field: Option<&str>,
-    what: &str,
-) -> Result<T, RoadNetError> {
+fn parse_field<T: std::str::FromStr>(field: Option<&str>, what: &str) -> Result<T, RoadNetError> {
     field
         .ok_or_else(|| RoadNetError::Parse(format!("missing {what}")))?
         .parse()
@@ -133,8 +134,7 @@ pub fn to_binary(net: &RoadNetwork) -> Bytes {
 
 /// Decode from the binary format.
 pub fn from_binary(mut bytes: Bytes) -> Result<RoadNetwork, RoadNetError> {
-    decode_header(&mut bytes, NETWORK_MAGIC)
-        .map_err(|e| RoadNetError::Parse(e.to_string()))?;
+    decode_header(&mut bytes, NETWORK_MAGIC).map_err(|e| RoadNetError::Parse(e.to_string()))?;
     RoadNetwork::decode(&mut bytes).map_err(|e| RoadNetError::Parse(e.to_string()))
 }
 

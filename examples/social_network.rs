@@ -38,7 +38,10 @@ fn main() {
     let indexes = build_all_indexes(&net, &partitioning, &IndexConfig::unbounded());
     for idx in &indexes {
         let s = idx.stats();
-        println!("  {}: |SC|={} DL pairs={} ({} bytes)", s.fragment, s.shortcuts, s.dl_pairs, s.encoded_bytes);
+        println!(
+            "  {}: |SC|={} DL pairs={} ({} bytes)",
+            s.fragment, s.shortcuts, s.dl_pairs, s.encoded_bytes
+        );
     }
     let cluster = Cluster::build(&net, &partitioning, indexes, ClusterConfig::default());
 

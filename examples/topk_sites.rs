@@ -44,10 +44,7 @@ fn main() {
         for (i, &(score, node)) in ranked.iter().enumerate() {
             println!("  {}. {:<12} score = {:>5} m", i + 1, poi_name(node), score);
         }
-        println!(
-            "  (1 round, {} inter-worker bytes)\n",
-            stats.inter_worker_bytes
-        );
+        println!("  (1 round, {} inter-worker bytes)\n", stats.inter_worker_bytes);
         assert_eq!(ranked, centralized_topk(&net, &q).expect("centralized"));
     }
     println!("centralized cross-checks: OK");

@@ -20,8 +20,8 @@ use std::process::exit;
 use disks::cluster::{Cluster, ClusterConfig};
 use disks::core::index::{load_index, save_index};
 use disks::core::{
-    build_all_indexes, centralized_topk, CentralizedCoverage, IndexConfig, NpdIndex,
-    ScoreCombine, SgkQuery, TopKQuery,
+    build_all_indexes, centralized_topk, CentralizedCoverage, IndexConfig, NpdIndex, ScoreCombine,
+    SgkQuery, TopKQuery,
 };
 use disks::partition::{
     BfsPartitioner, GridPartitioner, MultilevelPartitioner, PartitionMetrics, Partitioner,
@@ -178,9 +178,8 @@ fn read_partition(path: &str, net: &RoadNetwork) -> Result<Partitioning, String>
         .trim()
         .parse()
         .map_err(|_| "bad fragment count")?;
-    let assignment: Result<Vec<u32>, String> = lines
-        .map(|l| l.trim().parse().map_err(|_| format!("bad fragment id '{l}'")))
-        .collect();
+    let assignment: Result<Vec<u32>, String> =
+        lines.map(|l| l.trim().parse().map_err(|_| format!("bad fragment id '{l}'"))).collect();
     let assignment = assignment?;
     if assignment.len() != net.num_nodes() {
         return Err(format!(

@@ -35,10 +35,10 @@ pub fn demo_city() -> (RoadNetwork, HashMap<&'static str, NodeId>) {
     }
     let mut names = HashMap::new();
     let poi = |b: &mut RoadNetworkBuilder,
-                   names: &mut HashMap<&'static str, NodeId>,
-                   name: &'static str,
-                   at: NodeId,
-                   kws: &[&str]| {
+               names: &mut HashMap<&'static str, NodeId>,
+               name: &'static str,
+               at: NodeId,
+               kws: &[&str]| {
         let (x, y) = (0.1f32, 0.1f32);
         let node = b.add_node(x, y, kws);
         b.add_edge(at, node, 50).expect("poi edge");
@@ -54,11 +54,13 @@ pub fn demo_city() -> (RoadNetwork, HashMap<&'static str, NodeId>) {
     poi(&mut b, &mut names, "mall_west", junction[2][0], &["shopping mall"]);
     poi(&mut b, &mut names, "mall_east", junction[1][4], &["shopping mall"]);
     poi(&mut b, &mut names, "hotel", junction[2][2], &["hotel"]);
-    poi(&mut b, &mut names, "sea_dragon", junction[2][3], &[
-        "restaurant",
-        "seafood",
-        "chinese food",
-    ]);
+    poi(
+        &mut b,
+        &mut names,
+        "sea_dragon",
+        junction[2][3],
+        &["restaurant", "seafood", "chinese food"],
+    );
     poi(&mut b, &mut names, "trattoria", junction[3][4], &["restaurant"]);
     poi(&mut b, &mut names, "noodle_bar", junction[0][1], &["restaurant", "chinese food"]);
     poi(&mut b, &mut names, "school", junction[3][0], &["school"]);

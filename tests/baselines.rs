@@ -2,8 +2,8 @@
 //! NPD-index runtime, plus the §2.3 communication contrast.
 
 use disks::baseline::{bsp_keyword_coverage, bsp_sgkq, iterative_coverage, iterative_sssp};
-use disks::core::{build_all_indexes, CentralizedCoverage, IndexConfig, SgkQuery, Term};
 use disks::cluster::{Cluster, ClusterConfig};
+use disks::core::{build_all_indexes, CentralizedCoverage, IndexConfig, SgkQuery, Term};
 use disks::partition::{MultilevelPartitioner, Partitioner};
 use disks::roadnet::generator::GridNetworkConfig;
 use disks::roadnet::{DijkstraWorkspace, KeywordId, NodeId, RoadNetwork, INF};

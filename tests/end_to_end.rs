@@ -1,11 +1,11 @@
 //! End-to-end integration tests across all crates: generate → partition →
 //! index → cluster → query, validated against centralized ground truth.
 
+use disks::cluster::{Cluster, ClusterConfig, NetworkModel};
 use disks::core::{
     build_all_indexes, CentralizedCoverage, DFunction, DlScope, IndexConfig, QClassQuery,
     RangeKeywordQuery, SetOp, SgkQuery, Term,
 };
-use disks::cluster::{Cluster, ClusterConfig, NetworkModel};
 use disks::partition::{
     BfsPartitioner, GridPartitioner, MultilevelPartitioner, Partitioner, Partitioning,
 };
@@ -162,8 +162,8 @@ fn small_world_graphs_are_served_exactly() {
     // and stress the Rule 1 condition-2 handling.
     use disks::roadnet::generator::SmallWorldConfig;
     for seed in 0..6u64 {
-        let net = SmallWorldConfig { nodes: 120, vocab_size: 12, seed, ..Default::default() }
-            .generate();
+        let net =
+            SmallWorldConfig { nodes: 120, vocab_size: 12, seed, ..Default::default() }.generate();
         let partitioning = BfsPartitioner::default().partition(&net, 3);
         let indexes = build_all_indexes(&net, &partitioning, &IndexConfig::unbounded());
         let cluster = Cluster::build(&net, &partitioning, indexes, ClusterConfig::default());
@@ -190,13 +190,21 @@ fn instant_network_model_reduces_modeled_time() {
         &net,
         &partitioning,
         indexes.clone(),
-        ClusterConfig { machines: None, network: NetworkModel::switch_100mbps() },
+        ClusterConfig {
+            machines: None,
+            network: NetworkModel::switch_100mbps(),
+            ..ClusterConfig::default()
+        },
     );
     let fast = Cluster::build(
         &net,
         &partitioning,
         indexes,
-        ClusterConfig { machines: None, network: NetworkModel::instant() },
+        ClusterConfig {
+            machines: None,
+            network: NetworkModel::instant(),
+            ..ClusterConfig::default()
+        },
     );
     let a = slow.run_sgkq(&q).unwrap();
     let b = fast.run_sgkq(&q).unwrap();

@@ -1,10 +1,8 @@
 //! Failure injection and edge cases: disconnected networks, unknown
 //! keywords, boundary radii, object-free fragments, degenerate queries.
 
-use disks::core::{
-    build_all_indexes, CentralizedCoverage, DFunction, IndexConfig, SgkQuery, Term,
-};
 use disks::cluster::{Cluster, ClusterConfig};
+use disks::core::{build_all_indexes, CentralizedCoverage, DFunction, IndexConfig, SgkQuery, Term};
 use disks::partition::{MultilevelPartitioner, Partitioner, Partitioning};
 use disks::roadnet::generator::GridNetworkConfig;
 use disks::roadnet::{KeywordId, NodeId, RoadNetworkBuilder};

@@ -5,8 +5,8 @@
 use proptest::prelude::*;
 
 use disks::core::{
-    build_all_indexes, CentralizedCoverage, DFunction, DlScope, FragmentEngine, IndexConfig,
-    SetOp, Term,
+    build_all_indexes, CentralizedCoverage, DFunction, DlScope, FragmentEngine, IndexConfig, SetOp,
+    Term,
 };
 use disks::partition::Partitioning;
 use disks::roadnet::{KeywordId, NodeId, RoadNetwork, RoadNetworkBuilder};
@@ -24,7 +24,8 @@ fn arb_network() -> impl Strategy<Value = ArbNet> {
         .prop_flat_map(|n| {
             let tree = proptest::collection::vec((any::<u32>(), 1u32..15), n - 1);
             let extra = proptest::collection::vec((any::<u32>(), any::<u32>(), 1u32..15), 0..n);
-            let kws = proptest::collection::vec(proptest::collection::vec(0usize..VOCAB.len(), 0..3), n);
+            let kws =
+                proptest::collection::vec(proptest::collection::vec(0usize..VOCAB.len(), 0..3), n);
             (Just(n), tree, extra, kws)
         })
         .prop_map(|(n, tree, extra, kws)| {
@@ -34,8 +35,7 @@ fn arb_network() -> impl Strategy<Value = ArbNet> {
             }
             let mut nodes = Vec::with_capacity(n);
             for (i, kw) in kws.iter().enumerate() {
-                let ids: Vec<KeywordId> =
-                    kw.iter().map(|&k| KeywordId(k as u32)).collect();
+                let ids: Vec<KeywordId> = kw.iter().map(|&k| KeywordId(k as u32)).collect();
                 nodes.push(b.add_node_with_ids(i as f32, (i % 5) as f32, ids));
             }
             for (i, &(pick, w)) in tree.iter().enumerate() {
@@ -55,8 +55,8 @@ fn arb_network() -> impl Strategy<Value = ArbNet> {
 }
 
 fn arb_dfunction() -> impl Strategy<Value = DFunction> {
-    let term = (0usize..VOCAB.len(), 0u64..80)
-        .prop_map(|(k, r)| (Term::Keyword(KeywordId(k as u32)), r));
+    let term =
+        (0usize..VOCAB.len(), 0u64..80).prop_map(|(k, r)| (Term::Keyword(KeywordId(k as u32)), r));
     let op = prop_oneof![Just(SetOp::Union), Just(SetOp::Intersect), Just(SetOp::Subtract)];
     (term.clone(), proptest::collection::vec((op, term), 0..4)).prop_map(|(first, rest)| {
         let mut f = DFunction::single(first.0, first.1);
@@ -215,7 +215,7 @@ proptest! {
             )
         };
         let partitioning = Partitioning::from_assignment(net, assignment, frags);
-        let combine = if seed % 2 == 0 { ScoreCombine::Max } else { ScoreCombine::Sum };
+        let combine = if seed.is_multiple_of(2) { ScoreCombine::Max } else { ScoreCombine::Sum };
         let keywords: Vec<KeywordId> = ks.iter().map(|&i| KeywordId(i as u32)).collect();
         let q = TopKQuery::new(keywords, k, horizon, combine);
         let indexes = build_all_indexes(net, &partitioning, &IndexConfig::unbounded());

@@ -1,9 +1,9 @@
 //! Theorem-shaped integration tests: each of the paper's formal claims is
 //! checked computationally on generated networks.
 
+use disks::cluster::{Cluster, ClusterConfig};
 use disks::core::engine::FragmentEngine;
 use disks::core::{build_all_indexes, build_index, DFunction, DlScope, IndexConfig, Term};
-use disks::cluster::{Cluster, ClusterConfig};
 use disks::partition::{FragmentId, MultilevelPartitioner, Partitioner};
 use disks::roadnet::dijkstra::Control;
 use disks::roadnet::generator::GridNetworkConfig;
@@ -70,8 +70,7 @@ fn theorem3_cross_fragment_distances_are_exact() {
                 .dl_entry(a)
                 .map(|list| list.iter().map(|&(portal, d)| (portal.0, d)).collect())
                 .unwrap_or_default();
-            let mut reached: std::collections::HashMap<u32, u64> =
-                std::collections::HashMap::new();
+            let mut reached: std::collections::HashMap<u32, u64> = std::collections::HashMap::new();
             local_ws.run(&local, &seeds, max_r, |n, d| {
                 reached.insert(n, d);
                 Control::Continue

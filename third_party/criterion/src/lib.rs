@@ -1,0 +1,195 @@
+//! Vendored minimal re-implementation of the subset of `criterion` this
+//! workspace's benches use: [`Criterion::benchmark_group`], per-group
+//! `sample_size` / `warm_up_time` / `measurement_time`, `bench_with_input`
+//! with [`BenchmarkId`], [`Bencher::iter`], and the `criterion_group!` /
+//! `criterion_main!` macros. Reports the median wall-clock time per
+//! sample to stdout — no statistics engine, plots, or baselines.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Identifies one benchmark within a group: a function name plus a
+/// parameter label.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    function: String,
+    parameter: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function: impl Into<String>, parameter: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId { function: function.into(), parameter: parameter.to_string() }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}/{}", self.function, self.parameter)
+    }
+}
+
+/// Timing harness handed to the benchmark closure.
+pub struct Bencher {
+    elapsed: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        // Warm-up: run single iterations until the warm-up budget is spent,
+        // which also calibrates how many iterations fit in one sample.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        let mut warm_elapsed = Duration::ZERO;
+        while warm_elapsed < self.warm_up_time {
+            let mut b = Bencher { elapsed: Duration::ZERO, iters: 1 };
+            f(&mut b, input);
+            warm_elapsed = warm_start.elapsed();
+            warm_iters += 1;
+        }
+
+        let per_iter = warm_elapsed.checked_div(warm_iters.max(1) as u32).unwrap_or_default();
+        let budget_per_sample =
+            self.measurement_time.checked_div(self.sample_size as u32).unwrap_or_default();
+        let iters_per_sample = if per_iter.is_zero() {
+            1
+        } else {
+            (budget_per_sample.as_nanos() / per_iter.as_nanos().max(1)).clamp(1, u64::MAX as u128)
+                as u64
+        };
+
+        let mut samples: Vec<Duration> = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let mut b = Bencher { elapsed: Duration::ZERO, iters: iters_per_sample };
+            f(&mut b, input);
+            samples.push(b.elapsed.checked_div(iters_per_sample as u32).unwrap_or_default());
+        }
+        samples.sort_unstable();
+        let median = samples[samples.len() / 2];
+        println!(
+            "{}/{}: median {:?}/iter over {} samples x {} iters",
+            self.name, id, median, self.sample_size, iters_per_sample
+        );
+        self
+    }
+
+    pub fn finish(&mut self) {}
+}
+
+/// The benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 10,
+            warm_up_time: Duration::from_millis(300),
+            measurement_time: Duration::from_millis(500),
+            _criterion: self,
+        }
+    }
+}
+
+/// Bundle benchmark functions into a named group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emit `main` running the given group runners.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_samples_and_finishes() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("smoke");
+        group
+            .sample_size(3)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(2));
+        let mut calls = 0u32;
+        group.bench_with_input(BenchmarkId::new("add", 7), &7u64, |b, &n| {
+            calls += 1;
+            b.iter(|| black_box(n) + 1);
+        });
+        group.finish();
+        assert!(calls >= 3, "benchmark closure ran {calls} times");
+    }
+
+    fn bench_noop(c: &mut Criterion) {
+        let mut g = c.benchmark_group("noop");
+        g.sample_size(2)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(1));
+        g.bench_with_input(BenchmarkId::new("id", "x"), &(), |b, _| b.iter(|| 1 + 1));
+        g.finish();
+    }
+
+    criterion_group!(smoke_group, bench_noop);
+
+    #[test]
+    fn criterion_group_macro_produces_runner() {
+        smoke_group();
+    }
+}
