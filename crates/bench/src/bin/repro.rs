@@ -226,7 +226,16 @@ fn main() {
     }
     if wants("throughput") {
         if let Some(ds) = &aus {
-            emit("throughput_aus", exp::throughput(ds, &params));
+            let (table, summary) = exp::throughput(ds, &params);
+            emit("throughput_aus", table);
+            let path = std::path::Path::new(&args.out).join("BENCH_throughput.json");
+            if let Err(e) = std::fs::create_dir_all(&args.out)
+                .and_then(|()| std::fs::write(&path, summary.to_json()))
+            {
+                eprintln!("failed to save BENCH_throughput.json: {e}");
+            } else {
+                println!("[json] {} ({} machine points)\n", path.display(), summary.points.len());
+            }
         }
     }
     if wants("topk") {

@@ -4,19 +4,95 @@
 //! A batch of SGKQs is pushed through the threaded cluster *pipelined*
 //! (all requests dispatched before gathering), so worker machines drain
 //! their queues concurrently. Throughput = queries / batch wall-clock, per
-//! machine count.
+//! machine count — measured twice per point, with the per-worker coverage
+//! cache warm and with it disabled, so the cache's contribution is its own
+//! column. Per-query latency percentiles (p50/p99) come from sequential
+//! warm runs. Besides the [`Table`], the experiment returns a
+//! [`ThroughputSummary`] that `repro` serializes to
+//! `results/BENCH_throughput.json`.
 
 use disks_cluster::{Cluster, ClusterConfig, NetworkModel};
-use disks_core::{build_all_indexes, DFunction, IndexConfig};
-use disks_partition::{MultilevelPartitioner, Partitioner};
+use disks_core::{build_all_indexes, DFunction, IndexConfig, NpdIndex};
+use disks_partition::{MultilevelPartitioner, Partitioner, Partitioning};
 
 use crate::datasets::Dataset;
 use crate::params::Params;
 use crate::queries::QueryGenerator;
 use crate::report::Table;
 
-/// Pipelined throughput vs number of machines.
-pub fn throughput(ds: &Dataset, params: &Params) -> Table {
+/// One machine-count measurement of the throughput sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ThroughputPoint {
+    pub machines: usize,
+    /// Pipelined queries/sec with a warm coverage cache.
+    pub qps_cached: f64,
+    /// Pipelined queries/sec with the cache disabled (budget 0).
+    pub qps_uncached: f64,
+    /// Cache hit rate over the measured (warm) batch.
+    pub cache_hit_rate: f64,
+    /// Sequential warm per-query latency percentiles.
+    pub p50_micros: u64,
+    pub p99_micros: u64,
+}
+
+/// Machine-readable summary of the throughput sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ThroughputSummary {
+    pub dataset: String,
+    pub queries: usize,
+    pub num_keywords: usize,
+    pub points: Vec<ThroughputPoint>,
+}
+
+impl ThroughputSummary {
+    /// Hand-formatted JSON (the repo carries no serde; the schema is flat
+    /// enough that formatting by hand keeps the artifact dependency-free).
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{\n");
+        s.push_str(&format!("  \"dataset\": \"{}\",\n", self.dataset));
+        s.push_str(&format!("  \"queries\": {},\n", self.queries));
+        s.push_str(&format!("  \"num_keywords\": {},\n", self.num_keywords));
+        s.push_str("  \"points\": [\n");
+        for (i, p) in self.points.iter().enumerate() {
+            let sep = if i + 1 == self.points.len() { "" } else { "," };
+            s.push_str(&format!(
+                "    {{\"machines\": {}, \"qps_cached\": {:.1}, \"qps_uncached\": {:.1}, \
+                 \"cache_hit_rate\": {:.4}, \"p50_micros\": {}, \"p99_micros\": {}}}{sep}\n",
+                p.machines,
+                p.qps_cached,
+                p.qps_uncached,
+                p.cache_hit_rate,
+                p.p50_micros,
+                p.p99_micros
+            ));
+        }
+        s.push_str("  ]\n}\n");
+        s
+    }
+}
+
+fn build(
+    ds: &Dataset,
+    partitioning: &Partitioning,
+    indexes: Vec<NpdIndex>,
+    machines: usize,
+    cache_bytes: usize,
+) -> Cluster {
+    Cluster::build(
+        &ds.net,
+        partitioning,
+        indexes,
+        ClusterConfig {
+            machines: Some(machines),
+            network: NetworkModel::instant(),
+            coverage_cache_bytes: cache_bytes,
+            ..ClusterConfig::default()
+        },
+    )
+}
+
+/// Pipelined throughput vs number of machines, cached vs cache-disabled.
+pub fn throughput(ds: &Dataset, params: &Params) -> (Table, ThroughputSummary) {
     let e = ds.net.avg_edge_weight();
     let max_r = params.max_r(e);
     let r = params.r(e).min(max_r);
@@ -32,8 +108,22 @@ pub fn throughput(ds: &Dataset, params: &Params) -> Table {
             params.num_keywords,
             ds.id.name()
         ),
-        vec!["machines".into(), "batch wall".into(), "queries/sec".into()],
+        vec![
+            "machines".into(),
+            "batch wall".into(),
+            "q/s cached".into(),
+            "q/s uncached".into(),
+            "hit rate".into(),
+            "p50".into(),
+            "p99".into(),
+        ],
     );
+    let mut summary = ThroughputSummary {
+        dataset: ds.id.name().to_string(),
+        queries: fs.len(),
+        num_keywords: params.num_keywords,
+        points: Vec::new(),
+    };
     // Fragment count fixed at the default; machines vary (the §5.2
     // fewer-machines-than-fragments schedule kicks in below k).
     let k = params.num_fragments;
@@ -43,29 +133,53 @@ pub fn throughput(ds: &Dataset, params: &Params) -> Table {
         if machines > k {
             continue;
         }
-        let cluster = Cluster::build(
-            &ds.net,
-            &partitioning,
-            indexes.clone(),
-            ClusterConfig {
-                machines: Some(machines),
-                network: NetworkModel::instant(),
-                ..ClusterConfig::default()
-            },
-        );
-        // Warmup pass.
-        let _ = cluster.run_pipelined(&fs).expect("warmup batch");
-        let (results, elapsed) = cluster.run_pipelined(&fs).expect("batch");
+        // Cached: one warmup batch fills every worker's cache (the Zipf
+        // stream repeats (keyword, radius) slots), then the measured batch
+        // runs warm and its counter delta yields the hit rate.
+        let cached = build(ds, &partitioning, indexes.clone(), machines, 64 << 20);
+        let _ = cached.run_pipelined(&fs).expect("warmup batch");
+        let before = cached.cache_counters();
+        let (results, elapsed) = cached.run_pipelined(&fs).expect("cached batch");
         assert_eq!(results.len(), fs.len());
-        let qps = fs.len() as f64 / elapsed.as_secs_f64().max(1e-9);
+        let delta = cached.cache_counters().since(&before);
+        let qps_cached = fs.len() as f64 / elapsed.as_secs_f64().max(1e-9);
+        // Sequential warm runs for per-query latency percentiles.
+        let mut lat: Vec<u64> = fs
+            .iter()
+            .map(|f| cached.run(f).expect("latency run").stats.wall_time.as_micros() as u64)
+            .collect();
+        lat.sort_unstable();
+        let p50 = lat[lat.len() / 2];
+        let p99 = lat[(lat.len() * 99 / 100).min(lat.len() - 1)];
+        cached.shutdown();
+
+        // Uncached: same warmup (queue effects), zero cache budget.
+        let uncached = build(ds, &partitioning, indexes.clone(), machines, 0);
+        let _ = uncached.run_pipelined(&fs).expect("uncached warmup");
+        let (results, elapsed_u) = uncached.run_pipelined(&fs).expect("uncached batch");
+        assert_eq!(results.len(), fs.len());
+        let qps_uncached = fs.len() as f64 / elapsed_u.as_secs_f64().max(1e-9);
+        uncached.shutdown();
+
         t.push(vec![
             machines.to_string(),
             crate::report::fmt_duration(elapsed),
-            format!("{qps:.0}"),
+            format!("{qps_cached:.0}"),
+            format!("{qps_uncached:.0}"),
+            format!("{:.1}%", delta.hit_rate() * 100.0),
+            format!("{p50}us"),
+            format!("{p99}us"),
         ]);
-        cluster.shutdown();
+        summary.points.push(ThroughputPoint {
+            machines,
+            qps_cached,
+            qps_uncached,
+            cache_hit_rate: delta.hit_rate(),
+            p50_micros: p50,
+            p99_micros: p99,
+        });
     }
-    t
+    (t, summary)
 }
 
 #[cfg(test)]
@@ -74,15 +188,24 @@ mod tests {
     use crate::datasets::{load, DatasetId, Scale};
 
     #[test]
-    fn throughput_table_has_machine_sweep() {
+    fn throughput_sweep_reports_cache_and_latency() {
         let ds = load(DatasetId::Aus, Scale::Smoke);
         let params =
             Params { num_fragments: 4, queries_per_point: 2, num_keywords: 3, ..Params::default() };
-        let t = throughput(&ds, &params);
+        let (t, summary) = throughput(&ds, &params);
         assert!(t.rows.len() >= 3); // 1, 2, 4 machines
-        for row in &t.rows {
-            let qps: f64 = row[2].parse().unwrap();
-            assert!(qps > 0.0);
+        assert_eq!(t.rows.len(), summary.points.len());
+        for p in &summary.points {
+            assert!(p.qps_cached > 0.0);
+            assert!(p.qps_uncached > 0.0);
+            // The measured batch replays the warmup stream, so a warm cache
+            // must serve well over half the lookups.
+            assert!(p.cache_hit_rate > 0.5, "hit rate {} too low", p.cache_hit_rate);
+            assert!(p.p50_micros <= p.p99_micros);
         }
+        let json = summary.to_json();
+        assert!(json.contains("\"qps_cached\""));
+        assert!(json.contains("\"cache_hit_rate\""));
+        assert!(json.trim_start().starts_with('{') && json.trim_end().ends_with('}'));
     }
 }

@@ -1,0 +1,263 @@
+//! Per-worker coverage cache.
+//!
+//! A byte-bounded LRU of `(fragment, term, radius) → Arc<BitSet>` holding
+//! the coverages computed by a worker's engines. Soundness rests on the
+//! engines being immutable: `R(term, r) ∩ P` is a pure function of the
+//! engine, so a cached value can be replayed for any later query — Lemma 1
+//! combining and Theorem 3's zero inter-worker bytes are untouched, only
+//! the per-slot Dijkstra is skipped. The cache lives inside the worker
+//! thread and dies with it, so a respawned worker always starts cold.
+//!
+//! Keys carry the fragment id because a worker may host several fragments
+//! (and a §5.5 bi-level pair serves one fragment from two engines — both
+//! levels are exact for any radius they admit, so the level is *not* part
+//! of the key).
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use disks_core::bitset::BitSet;
+use disks_core::Term;
+
+/// Hit/miss/eviction counters, cumulative over a cache's lifetime.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheCounters {
+    pub hits: u64,
+    pub misses: u64,
+    pub evictions: u64,
+}
+
+impl CacheCounters {
+    /// Hits over lookups, or 0 when the cache saw no traffic.
+    pub fn hit_rate(&self) -> f64 {
+        let lookups = self.hits + self.misses;
+        if lookups == 0 {
+            0.0
+        } else {
+            self.hits as f64 / lookups as f64
+        }
+    }
+
+    /// Component-wise difference against an earlier snapshot.
+    pub fn since(&self, earlier: &CacheCounters) -> CacheCounters {
+        CacheCounters {
+            hits: self.hits - earlier.hits,
+            misses: self.misses - earlier.misses,
+            evictions: self.evictions - earlier.evictions,
+        }
+    }
+
+    /// Component-wise accumulation.
+    pub fn absorb(&mut self, other: &CacheCounters) {
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.evictions += other.evictions;
+    }
+}
+
+struct Entry {
+    coverage: Arc<BitSet>,
+    bytes: usize,
+    last_used: u64,
+}
+
+/// Fixed per-entry overhead charged on top of the bitset payload (key,
+/// hash-map slot, and entry metadata — an estimate, not an exact count).
+const ENTRY_OVERHEAD: usize = 64;
+
+/// A byte-bounded LRU of coverage bitsets. A budget of 0 disables the
+/// cache entirely: every lookup misses without counting, inserts are
+/// dropped, so a disabled cache is bit-for-bit invisible.
+pub struct CoverageCache {
+    budget_bytes: usize,
+    bytes: usize,
+    tick: u64,
+    entries: HashMap<(u32, Term, u64), Entry>,
+    counters: CacheCounters,
+}
+
+impl CoverageCache {
+    /// Create a cache bounded to `budget_bytes` of bitset payload plus
+    /// per-entry overhead. `0` disables caching.
+    pub fn new(budget_bytes: usize) -> Self {
+        CoverageCache {
+            budget_bytes,
+            bytes: 0,
+            tick: 0,
+            entries: HashMap::new(),
+            counters: CacheCounters::default(),
+        }
+    }
+
+    /// Whether the cache is a disabled no-op.
+    pub fn is_disabled(&self) -> bool {
+        self.budget_bytes == 0
+    }
+
+    /// Lifetime counters.
+    pub fn counters(&self) -> CacheCounters {
+        self.counters
+    }
+
+    /// Current resident bytes (payload + overhead).
+    pub fn resident_bytes(&self) -> usize {
+        self.bytes
+    }
+
+    /// Number of cached coverages.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Look up the coverage for `(fragment, term, radius)`, refreshing its
+    /// recency on a hit.
+    pub fn get(&mut self, fragment: u32, term: Term, radius: u64) -> Option<Arc<BitSet>> {
+        if self.is_disabled() {
+            return None;
+        }
+        self.tick += 1;
+        match self.entries.get_mut(&(fragment, term, radius)) {
+            Some(e) => {
+                e.last_used = self.tick;
+                self.counters.hits += 1;
+                Some(e.coverage.clone())
+            }
+            None => {
+                self.counters.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Insert a coverage, evicting least-recently-used entries until it
+    /// fits. A coverage larger than the whole budget is not cached.
+    pub fn insert(&mut self, fragment: u32, term: Term, radius: u64, coverage: Arc<BitSet>) {
+        if self.is_disabled() {
+            return;
+        }
+        let bytes = coverage.memory_bytes() + ENTRY_OVERHEAD;
+        if bytes > self.budget_bytes {
+            return;
+        }
+        if let Some(old) = self.entries.remove(&(fragment, term, radius)) {
+            self.bytes -= old.bytes;
+        }
+        while self.bytes + bytes > self.budget_bytes {
+            self.evict_lru();
+        }
+        self.tick += 1;
+        self.bytes += bytes;
+        self.entries
+            .insert((fragment, term, radius), Entry { coverage, bytes, last_used: self.tick });
+    }
+
+    fn evict_lru(&mut self) {
+        // Linear scan: evictions are rare relative to lookups, and the
+        // entry count at typical budgets stays small.
+        let victim = self
+            .entries
+            .iter()
+            .min_by_key(|(_, e)| e.last_used)
+            .map(|(k, _)| *k)
+            .expect("evict_lru called on empty cache with bytes outstanding");
+        let e = self.entries.remove(&victim).expect("victim present");
+        self.bytes -= e.bytes;
+        self.counters.evictions += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use disks_roadnet::KeywordId;
+
+    fn cov(cap: usize, elems: &[usize]) -> Arc<BitSet> {
+        let mut s = BitSet::new(cap);
+        for &e in elems {
+            s.insert(e);
+        }
+        Arc::new(s)
+    }
+
+    fn kw(k: u32) -> Term {
+        Term::Keyword(KeywordId(k))
+    }
+
+    #[test]
+    fn hit_after_insert_and_counters() {
+        let mut c = CoverageCache::new(1 << 20);
+        assert!(c.get(0, kw(1), 5).is_none());
+        c.insert(0, kw(1), 5, cov(64, &[1, 2]));
+        let hit = c.get(0, kw(1), 5).expect("hit");
+        assert_eq!(hit.iter().collect::<Vec<_>>(), vec![1, 2]);
+        // Distinct fragment, term, or radius are distinct keys.
+        assert!(c.get(1, kw(1), 5).is_none());
+        assert!(c.get(0, kw(2), 5).is_none());
+        assert!(c.get(0, kw(1), 6).is_none());
+        let counters = c.counters();
+        assert_eq!((counters.hits, counters.misses, counters.evictions), (1, 4, 0));
+        assert!((counters.hit_rate() - 0.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn byte_budget_evicts_lru() {
+        // Each 64-capacity bitset costs 40 (struct+1 word) + 64 overhead =
+        // 104 bytes; a 250-byte budget holds two.
+        let one = cov(64, &[0]).memory_bytes() + ENTRY_OVERHEAD;
+        let mut c = CoverageCache::new(2 * one + one / 2);
+        c.insert(0, kw(1), 0, cov(64, &[1]));
+        c.insert(0, kw(2), 0, cov(64, &[2]));
+        assert_eq!(c.len(), 2);
+        let _ = c.get(0, kw(1), 0); // refresh #1 → #2 becomes LRU
+        c.insert(0, kw(3), 0, cov(64, &[3]));
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.counters().evictions, 1);
+        assert!(c.get(0, kw(2), 0).is_none(), "LRU entry evicted");
+        assert!(c.get(0, kw(1), 0).is_some());
+        assert!(c.get(0, kw(3), 0).is_some());
+        assert!(c.resident_bytes() <= 2 * one + one / 2);
+    }
+
+    #[test]
+    fn oversized_entry_not_cached() {
+        let mut c = CoverageCache::new(16);
+        c.insert(0, kw(1), 0, cov(10_000, &[1]));
+        assert!(c.is_empty());
+        assert_eq!(c.resident_bytes(), 0);
+    }
+
+    #[test]
+    fn reinsert_replaces_without_double_counting() {
+        let mut c = CoverageCache::new(1 << 20);
+        c.insert(0, kw(1), 0, cov(64, &[1]));
+        let before = c.resident_bytes();
+        c.insert(0, kw(1), 0, cov(64, &[2]));
+        assert_eq!(c.resident_bytes(), before);
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.get(0, kw(1), 0).unwrap().iter().collect::<Vec<_>>(), vec![2]);
+    }
+
+    #[test]
+    fn zero_budget_disables_everything() {
+        let mut c = CoverageCache::new(0);
+        assert!(c.is_disabled());
+        c.insert(0, kw(1), 0, cov(64, &[1]));
+        assert!(c.get(0, kw(1), 0).is_none());
+        assert!(c.is_empty());
+        assert_eq!(c.counters(), CacheCounters::default(), "disabled cache counts nothing");
+    }
+
+    #[test]
+    fn counters_since_and_absorb() {
+        let a = CacheCounters { hits: 5, misses: 3, evictions: 1 };
+        let b = CacheCounters { hits: 2, misses: 1, evictions: 0 };
+        assert_eq!(a.since(&b), CacheCounters { hits: 3, misses: 2, evictions: 1 });
+        let mut acc = b;
+        acc.absorb(&a);
+        assert_eq!(acc, CacheCounters { hits: 7, misses: 4, evictions: 1 });
+    }
+}

@@ -32,12 +32,13 @@ use crossbeam::channel::{Receiver, RecvTimeoutError, Sender};
 
 use bytes::Bytes;
 use disks_core::{
-    DFunction, DlScope, FragmentEngine, NpdIndex, QClassQuery, QueryError, RangeKeywordQuery,
-    SgkQuery, Term,
+    DFunction, DlScope, FragmentEngine, NpdIndex, QClassQuery, QueryError, QueryPlan,
+    RangeKeywordQuery, SgkQuery,
 };
 use disks_partition::{FragmentId, Partitioning};
-use disks_roadnet::{NodeId, RoadNetwork};
+use disks_roadnet::{NodeId, RoadNetwork, INF};
 
+use crate::cache::CacheCounters;
 use crate::message::{decode_frame, encode_frame, Request, Response};
 use crate::scheduler::Assignment;
 use crate::stats::{MachineCost, QueryStats, RecoveryCounters};
@@ -68,6 +69,30 @@ pub struct ClusterConfig {
     /// Deterministic fault schedule injected into the links and workers
     /// (the fault-tolerance test substrate; `None` in production).
     pub faults: Option<FaultPlan>,
+    /// Byte budget of each worker's coverage cache; `0` disables caching.
+    /// The default honours the `DISKS_COVERAGE_CACHE` environment variable
+    /// (bytes, or `0`/`off`/`false` to disable; unset → 64 MiB).
+    pub coverage_cache_bytes: usize,
+}
+
+impl ClusterConfig {
+    /// Per-worker coverage-cache budget from `DISKS_COVERAGE_CACHE`
+    /// (bytes, or `0`/`off`/`false` to disable); 64 MiB when unset or
+    /// unparseable.
+    pub fn coverage_cache_bytes_from_env() -> usize {
+        const DEFAULT: usize = 64 << 20;
+        match std::env::var("DISKS_COVERAGE_CACHE") {
+            Ok(v) => {
+                let v = v.trim();
+                if v.eq_ignore_ascii_case("off") || v.eq_ignore_ascii_case("false") {
+                    0
+                } else {
+                    v.parse().unwrap_or(DEFAULT)
+                }
+            }
+            Err(_) => DEFAULT,
+        }
+    }
 }
 
 impl Default for ClusterConfig {
@@ -80,6 +105,7 @@ impl Default for ClusterConfig {
             max_attempts: 3,
             allow_partial: false,
             faults: None,
+            coverage_cache_bytes: Self::coverage_cache_bytes_from_env(),
         }
     }
 }
@@ -143,6 +169,8 @@ struct GatherReport {
     corrupt_frames: u64,
     out_of_window_responses: u64,
     degraded: Vec<(usize, u32)>,
+    /// Worker coverage-cache activity summed over this gather's responses.
+    cache: CacheCounters,
 }
 
 /// A running share-nothing cluster.
@@ -165,9 +193,17 @@ pub struct Cluster {
     /// dispatch (workers cannot — they are share-nothing; see
     /// `FragmentEngine::coverage`).
     is_object: Vec<bool>,
+    /// Largest radius the cluster admits: the indexes' `maxR` for a bounded
+    /// single-level deployment, [`INF`] for unbounded or §5.5 bi-level
+    /// deployments (whose secondary serves any radius).
+    admission_max_r: u64,
+    /// Byte budget handed to each worker's coverage cache (0 = disabled).
+    cache_budget: usize,
     query_counter: Cell<u64>,
     respawn: RespawnSpec,
     recovery: Cell<RecoveryCounters>,
+    /// Cumulative coverage-cache counters over the cluster's lifetime.
+    cache: Cell<CacheCounters>,
 }
 
 impl Cluster {
@@ -190,12 +226,13 @@ impl Cluster {
             assert_eq!(idx.fragment().index(), i, "indexes must be in fragment order");
         }
         let dl_scope = indexes.first().map(|i| i.dl_scope()).unwrap_or(DlScope::ObjectsOnly);
+        let admission_max_r = indexes.first().map(|i| i.max_r()).unwrap_or(INF);
         let spec = RespawnSpec {
             net: net.clone(),
             partitioning: partitioning.clone(),
             source: EngineSource::Indexes(indexes),
         };
-        Self::build_from_spec(spec, dl_scope, config)
+        Self::build_from_spec(spec, dl_scope, admission_max_r, config)
     }
 
     /// Build a §5.5 **bi-level** cluster: every machine holds a bounded
@@ -213,10 +250,16 @@ impl Cluster {
             partitioning: partitioning.clone(),
             source: EngineSource::BiLevel(*config_primary),
         };
-        Self::build_from_spec(spec, config_primary.dl_scope, config)
+        // The secondary level is unbounded, so no radius is inadmissible.
+        Self::build_from_spec(spec, config_primary.dl_scope, INF, config)
     }
 
-    fn build_from_spec(spec: RespawnSpec, dl_scope: DlScope, config: ClusterConfig) -> Cluster {
+    fn build_from_spec(
+        spec: RespawnSpec,
+        dl_scope: DlScope,
+        admission_max_r: u64,
+        config: ClusterConfig,
+    ) -> Cluster {
         let k = spec.partitioning.num_fragments();
         let machines = config.machines.unwrap_or(k).max(1);
         let assignment = Assignment::round_robin(k, machines);
@@ -238,9 +281,12 @@ impl Cluster {
                 panic_on_request: plan.as_ref().and_then(|p| p.panic_request_for(m)),
             };
             let responses = resp_tx.with_faults(from_faults.clone());
+            let cache_budget = config.coverage_cache_bytes;
             let join = std::thread::Builder::new()
                 .name(format!("disks-worker-{m}"))
-                .spawn(move || worker_loop(m, engines, req_rx, responses, worker_faults))
+                .spawn(move || {
+                    worker_loop(m, engines, req_rx, responses, worker_faults, cache_budget)
+                })
                 .expect("spawn worker");
             workers.push(WorkerHandle {
                 requests: req_tx,
@@ -264,9 +310,12 @@ impl Cluster {
             allow_partial: config.allow_partial,
             dl_scope,
             is_object,
+            admission_max_r,
+            cache_budget: config.coverage_cache_bytes,
             query_counter: Cell::new(0),
             respawn: spec,
             recovery: Cell::new(RecoveryCounters::default()),
+            cache: Cell::new(CacheCounters::default()),
         }
     }
 
@@ -286,17 +335,38 @@ impl Cluster {
         self.recovery.get()
     }
 
-    /// Validate a D-function before dispatch (coordinator-side checks the
-    /// share-nothing workers cannot perform).
-    fn validate(&self, f: &DFunction) -> Result<(), QueryError> {
-        for t in f.terms() {
-            if let Term::Node(l) = t.term {
-                if l.index() >= self.is_object.len() {
-                    return Err(QueryError::UnindexedQueryLocation(l));
-                }
-                if self.dl_scope == DlScope::ObjectsOnly && !self.is_object[l.index()] {
-                    return Err(QueryError::UnindexedQueryLocation(l));
-                }
+    /// Cumulative worker coverage-cache counters over the cluster's
+    /// lifetime (all queries, including pipelined batches), as reported on
+    /// the response frames.
+    pub fn cache_counters(&self) -> CacheCounters {
+        self.cache.get()
+    }
+
+    /// Lifetime bytes sent over the coordinator→worker and
+    /// worker→coordinator links. A delta of `(0, 0)` around a rejected
+    /// query proves no worker ever saw it.
+    pub fn link_totals(&self) -> (u64, u64) {
+        self.link_bytes()
+    }
+
+    /// Admit a query plan (coordinator-side admission): every invalid query
+    /// is rejected here, *before* any dispatch, with the same typed
+    /// [`QueryError`] a centralized engine raises. Workers therefore assume
+    /// admitted plans and only carry `debug_assert` guards.
+    fn admit(&self, plan: &QueryPlan) -> Result<(), QueryError> {
+        if plan.num_slots() == 0 {
+            return Err(QueryError::EmptyQuery);
+        }
+        let r = plan.max_radius();
+        if r > self.admission_max_r {
+            return Err(QueryError::RadiusExceedsMaxR { r, max_r: self.admission_max_r });
+        }
+        for l in plan.locations() {
+            if l.index() >= self.is_object.len() {
+                return Err(QueryError::UnindexedQueryLocation(l));
+            }
+            if self.dl_scope == DlScope::ObjectsOnly && !self.is_object[l.index()] {
+                return Err(QueryError::UnindexedQueryLocation(l));
             }
         }
         Ok(())
@@ -320,9 +390,14 @@ impl Cluster {
             let _ = join.join(); // thread already finished; reap it
         }
         let responses = self.resp_tx.with_faults(w.from_faults.clone());
+        // A respawned worker always starts with a cold cache: the cache
+        // lived inside the dead thread.
+        let cache_budget = self.cache_budget;
         let join = std::thread::Builder::new()
             .name(format!("disks-worker-{m}"))
-            .spawn(move || worker_loop(m, engines, req_rx, responses, WorkerFaults::default()))
+            .spawn(move || {
+                worker_loop(m, engines, req_rx, responses, WorkerFaults::default(), cache_budget)
+            })
             .expect("respawn worker");
         w.requests = req_tx;
         w.join = Some(join);
@@ -454,6 +529,15 @@ impl Cluster {
                         payload => {
                             responded[slot][f] = true;
                             missing -= 1;
+                            if let Response::Results { cost, .. }
+                            | Response::TopKResults { cost, .. } = &payload
+                            {
+                                report.cache.absorb(&CacheCounters {
+                                    hits: cost.cache_hits,
+                                    misses: cost.cache_misses,
+                                    evictions: cost.cache_evictions,
+                                });
+                            }
                             on_response(slot, payload, bytes);
                         }
                     }
@@ -514,6 +598,9 @@ impl Cluster {
         c.corrupt_frames += report.corrupt_frames;
         c.out_of_window_responses += report.out_of_window_responses;
         self.recovery.set(c);
+        let mut cache = self.cache.get();
+        cache.absorb(&report.cache);
+        self.cache.set(cache);
     }
 
     fn note_respawns(&self, respawned: u32) {
@@ -530,10 +617,12 @@ impl Cluster {
         (c2w, self.from_workers.bytes())
     }
 
-    /// Run a D-function distributedly: dispatch to busy machines, gather one
-    /// response per fragment, union the results (Lemma 1).
+    /// Run a D-function distributedly: lower it to a [`QueryPlan`], admit
+    /// it, dispatch to busy machines, gather one response per fragment,
+    /// union the results (Lemma 1).
     pub fn run(&self, f: &DFunction) -> Result<QueryOutcome, QueryError> {
-        self.validate(f)?;
+        let plan = QueryPlan::lower(f);
+        self.admit(&plan)?;
         let start = Instant::now();
         let base = self.query_counter.get();
         let query_id = base + 1;
@@ -542,7 +631,7 @@ impl Cluster {
         let (c2w_before, w2c_before) = self.link_bytes();
 
         let request =
-            encode_frame(&Request::Evaluate { query_id, dfunction: f.clone(), fragments: vec![] });
+            encode_frame(&Request::Evaluate { query_id, plan: plan.clone(), fragments: vec![] });
         let request_bytes = request.len() as u64;
         let mut dispatch_respawns = 0u32;
         for m in self.assignment.busy_machines() {
@@ -554,7 +643,7 @@ impl Cluster {
         let mut results: Vec<NodeId> = Vec::new();
         let make_request = |_: usize, frags: Vec<u32>| Request::Evaluate {
             query_id,
-            dfunction: f.clone(),
+            plan: plan.clone(),
             fragments: frags,
         };
         let mut on_response = |_: usize, response: Response, bytes: u64| {
@@ -612,6 +701,9 @@ impl Cluster {
             duplicate_responses: report.duplicate_responses,
             corrupt_frames: report.corrupt_frames,
             out_of_window_responses: report.out_of_window_responses,
+            cache_hits: report.cache.hits,
+            cache_misses: report.cache.misses,
+            cache_evictions: report.cache.evictions,
             ..QueryStats::default()
         }
         .finalize(&self.network, request_bytes)
@@ -627,18 +719,19 @@ impl Cluster {
         &self,
         fs: &[DFunction],
     ) -> Result<(Vec<Vec<NodeId>>, std::time::Duration), QueryError> {
-        for f in fs {
-            self.validate(f)?;
+        let plans: Vec<QueryPlan> = fs.iter().map(QueryPlan::lower).collect();
+        for plan in &plans {
+            self.admit(plan)?;
         }
         let start = Instant::now();
         let base = self.query_counter.get();
         self.query_counter.set(base + fs.len() as u64);
         let mut dispatch_respawns = 0u32;
-        for (i, f) in fs.iter().enumerate() {
+        for (i, plan) in plans.iter().enumerate() {
             let query_id = base + 1 + i as u64;
             let request = encode_frame(&Request::Evaluate {
                 query_id,
-                dfunction: f.clone(),
+                plan: plan.clone(),
                 fragments: vec![],
             });
             for m in self.assignment.busy_machines() {
@@ -650,7 +743,7 @@ impl Cluster {
         let mut results: Vec<Vec<NodeId>> = vec![Vec::new(); fs.len()];
         let make_request = |slot: usize, frags: Vec<u32>| Request::Evaluate {
             query_id: base + 1 + slot as u64,
-            dfunction: fs[slot].clone(),
+            plan: plans[slot].clone(),
             fragments: frags,
         };
         let mut on_response = |slot: usize, response: Response, _bytes: u64| {
@@ -673,6 +766,12 @@ impl Cluster {
     ) -> Result<(Vec<disks_core::Ranked>, QueryStats), QueryError> {
         if q.keywords.is_empty() {
             return Err(QueryError::EmptyQuery);
+        }
+        if q.horizon > self.admission_max_r {
+            return Err(QueryError::RadiusExceedsMaxR {
+                r: q.horizon,
+                max_r: self.admission_max_r,
+            });
         }
         let start = Instant::now();
         let base = self.query_counter.get();
@@ -765,7 +864,7 @@ impl Drop for Cluster {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use disks_core::{build_all_indexes, CentralizedCoverage, IndexConfig, SetOp};
+    use disks_core::{build_all_indexes, CentralizedCoverage, IndexConfig, SetOp, Term};
     use disks_partition::{MultilevelPartitioner, Partitioner};
     use disks_roadnet::generator::GridNetworkConfig;
     use disks_roadnet::KeywordId;
@@ -872,7 +971,7 @@ mod tests {
     }
 
     #[test]
-    fn radius_over_max_r_propagates_typed_error() {
+    fn radius_over_max_r_rejected_at_admission_without_dispatch() {
         let net = GridNetworkConfig::tiny(74).generate();
         let p = MultilevelPartitioner::default().partition(&net, 2);
         let max_r = 2 * net.avg_edge_weight();
@@ -881,8 +980,9 @@ mod tests {
         let cluster = Cluster::build(&net, &p, indexes, ClusterConfig::default());
         let r = 100 * net.avg_edge_weight();
         let q = SgkQuery::new(vec![KeywordId(0)], r);
-        // The worker's own typed error crosses the wire intact — including
-        // the real maxR, not a coordinator-side fabrication.
+        let (c2w_before, w2c_before) = cluster.link_totals();
+        // The coordinator rejects at admission with the same typed error a
+        // worker used to raise — including the index's real maxR.
         match cluster.run_sgkq(&q) {
             Err(QueryError::RadiusExceedsMaxR { r: got_r, max_r: got_max }) => {
                 assert_eq!(got_r, r);
@@ -890,6 +990,75 @@ mod tests {
             }
             other => panic!("expected RadiusExceedsMaxR, got {other:?}"),
         }
+        // The dispatch counters prove no worker ever saw the query.
+        assert_eq!(cluster.link_totals(), (c2w_before, w2c_before));
+        // An admitted radius at the boundary still runs.
+        let ok = SgkQuery::new(vec![KeywordId(0)], max_r);
+        cluster.run_sgkq(&ok).expect("boundary radius admitted");
+        assert!(cluster.link_totals().0 > c2w_before);
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn empty_plan_rejected_at_admission_without_dispatch() {
+        let (_, _, cluster) = setup(83, 2, &IndexConfig::unbounded());
+        let (c2w_before, _) = cluster.link_totals();
+        let q = SgkQuery { keywords: vec![], radius: 5 };
+        assert!(matches!(cluster.run_sgkq(&q), Err(QueryError::EmptyQuery)));
+        assert_eq!(cluster.link_totals().0, c2w_before, "no frame dispatched");
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn repeated_queries_hit_the_coverage_cache() {
+        // Explicit budget: the default honours DISKS_COVERAGE_CACHE, which
+        // the cache-disabled CI lane sets to 0.
+        let net = GridNetworkConfig::tiny(84).generate();
+        let p = MultilevelPartitioner::default().partition(&net, 3);
+        let indexes = build_all_indexes(&net, &p, &IndexConfig::unbounded());
+        let cluster = Cluster::build(
+            &net,
+            &p,
+            indexes,
+            ClusterConfig { coverage_cache_bytes: 64 << 20, ..ClusterConfig::default() },
+        );
+        let kws = top_keywords(&net, 2);
+        let q = SgkQuery::new(kws, 4 * net.avg_edge_weight());
+        let cold = cluster.run_sgkq(&q).unwrap();
+        assert_eq!(cold.stats.cache_hits, 0, "cold cache");
+        assert!(cold.stats.cache_misses > 0);
+        let warm = cluster.run_sgkq(&q).unwrap();
+        assert_eq!(warm.results, cold.results);
+        assert_eq!(warm.stats.cache_misses, 0, "fully warm");
+        assert_eq!(warm.stats.cache_hits, cold.stats.cache_misses);
+        // Warm hits skip the per-slot Dijkstra entirely.
+        assert_eq!(warm.stats.total_settled(), 0);
+        let lifetime = cluster.cache_counters();
+        assert_eq!(lifetime.hits, warm.stats.cache_hits);
+        assert_eq!(lifetime.misses, cold.stats.cache_misses);
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn disabled_cache_answers_identically_with_zero_cache_traffic() {
+        let net = GridNetworkConfig::tiny(85).generate();
+        let p = MultilevelPartitioner::default().partition(&net, 3);
+        let indexes = build_all_indexes(&net, &p, &IndexConfig::unbounded());
+        let cluster = Cluster::build(
+            &net,
+            &p,
+            indexes,
+            ClusterConfig { coverage_cache_bytes: 0, ..ClusterConfig::default() },
+        );
+        let kws = top_keywords(&net, 2);
+        let q = SgkQuery::new(kws, 4 * net.avg_edge_weight());
+        let first = cluster.run_sgkq(&q).unwrap();
+        let second = cluster.run_sgkq(&q).unwrap();
+        assert_eq!(first.results, second.results);
+        assert_eq!(cluster.cache_counters(), crate::cache::CacheCounters::default());
+        assert_eq!(second.stats.cache_hits, 0);
+        assert_eq!(second.stats.cache_misses, 0);
+        assert_eq!(second.stats.inter_worker_bytes, 0);
         cluster.shutdown();
     }
 

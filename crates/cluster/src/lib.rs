@@ -29,7 +29,14 @@
 //! `DESIGN.md` §"Failure model & recovery"). Fragment tasks are stateless
 //! and idempotent, so retries and duplicates never violate the Lemma 1
 //! union-correctness or Theorem 3 zero-inter-worker-bytes guarantees.
+//!
+//! The query path is layered (`DESIGN.md` §6c): the coordinator lowers each
+//! query to a normalized [`disks_core::QueryPlan`] and *admits* it (radius,
+//! emptiness, location checks) before any dispatch; workers execute plans
+//! slot-by-slot through a byte-bounded per-worker [`CoverageCache`], whose
+//! hit/miss/eviction counters ride back on every response frame.
 
+pub mod cache;
 pub mod cluster;
 pub mod message;
 pub mod scheduler;
@@ -37,6 +44,7 @@ pub mod stats;
 pub mod transport;
 pub mod worker;
 
+pub use cache::{CacheCounters, CoverageCache};
 pub use cluster::{Cluster, ClusterConfig, QueryOutcome};
 pub use message::{Request, Response, WireCost};
 pub use scheduler::Assignment;

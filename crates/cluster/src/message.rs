@@ -6,17 +6,19 @@
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 
-use disks_core::{DFunction, QueryCost, QueryError, Ranked, TopKQuery};
+use disks_core::{QueryCost, QueryError, QueryPlan, Ranked, TopKQuery};
 use disks_roadnet::codec::{Decode, Encode};
 use disks_roadnet::{DecodeError, NodeId};
 
 /// Coordinator → worker.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Request {
-    /// Evaluate a D-function on hosted fragments. An empty `fragments` list
-    /// means every fragment the worker hosts; a non-empty list narrows the
-    /// task to just those fragments (retry re-dispatch after a fault).
-    Evaluate { query_id: u64, dfunction: DFunction, fragments: Vec<u32> },
+    /// Evaluate a normalized query plan on hosted fragments. An empty
+    /// `fragments` list means every fragment the worker hosts; a non-empty
+    /// list narrows the task to just those fragments (retry re-dispatch
+    /// after a fault). The plan was admitted by the coordinator, so workers
+    /// assume its radii and locations are valid.
+    Evaluate { query_id: u64, plan: QueryPlan, fragments: Vec<u32> },
     /// Evaluate a top-k group keyword query on hosted fragments (same
     /// narrowing rule as `Evaluate`).
     TopK { query_id: u64, query: TopKQuery, fragments: Vec<u32> },
@@ -24,7 +26,8 @@ pub enum Request {
     Shutdown,
 }
 
-/// The encodable subset of [`QueryCost`] shipped back to the coordinator.
+/// The encodable subset of [`QueryCost`] shipped back to the coordinator,
+/// plus the worker's coverage-cache activity for the task.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct WireCost {
     pub alpha: u64,
@@ -33,6 +36,12 @@ pub struct WireCost {
     pub pushed: u64,
     pub coverage_nodes: u64,
     pub elapsed_micros: u64,
+    /// Coverage-cache hits while serving this task.
+    pub cache_hits: u64,
+    /// Coverage-cache misses while serving this task.
+    pub cache_misses: u64,
+    /// Coverage-cache evictions triggered while serving this task.
+    pub cache_evictions: u64,
 }
 
 impl From<&QueryCost> for WireCost {
@@ -44,6 +53,9 @@ impl From<&QueryCost> for WireCost {
             pushed: c.pushed as u64,
             coverage_nodes: c.coverage_nodes as u64,
             elapsed_micros: c.elapsed.as_micros() as u64,
+            cache_hits: 0,
+            cache_misses: 0,
+            cache_evictions: 0,
         }
     }
 }
@@ -69,6 +81,9 @@ impl Encode for WireCost {
         self.pushed.encode(buf);
         self.coverage_nodes.encode(buf);
         self.elapsed_micros.encode(buf);
+        self.cache_hits.encode(buf);
+        self.cache_misses.encode(buf);
+        self.cache_evictions.encode(buf);
     }
 }
 impl Decode for WireCost {
@@ -80,6 +95,9 @@ impl Decode for WireCost {
             pushed: u64::decode(buf)?,
             coverage_nodes: u64::decode(buf)?,
             elapsed_micros: u64::decode(buf)?,
+            cache_hits: u64::decode(buf)?,
+            cache_misses: u64::decode(buf)?,
+            cache_evictions: u64::decode(buf)?,
         })
     }
 }
@@ -87,10 +105,10 @@ impl Decode for WireCost {
 impl Encode for Request {
     fn encode(&self, buf: &mut impl BufMut) {
         match self {
-            Request::Evaluate { query_id, dfunction, fragments } => {
+            Request::Evaluate { query_id, plan, fragments } => {
                 0u8.encode(buf);
                 query_id.encode(buf);
-                dfunction.encode(buf);
+                plan.encode(buf);
                 fragments.encode(buf);
             }
             Request::Shutdown => 1u8.encode(buf),
@@ -108,7 +126,7 @@ impl Decode for Request {
         match u8::decode(buf)? {
             0 => Ok(Request::Evaluate {
                 query_id: u64::decode(buf)?,
-                dfunction: DFunction::decode(buf)?,
+                plan: QueryPlan::decode(buf)?,
                 fragments: Vec::decode(buf)?,
             }),
             1 => Ok(Request::Shutdown),
@@ -195,21 +213,43 @@ pub fn decode_frame<T: Decode>(mut bytes: Bytes) -> Result<T, DecodeError> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use disks_core::Term;
+    use disks_core::{DFunction, Term};
     use disks_roadnet::KeywordId;
 
     #[test]
     fn request_round_trip() {
-        let f = DFunction::single(Term::Keyword(KeywordId(3)), 42);
-        let req = Request::Evaluate { query_id: 7, dfunction: f.clone(), fragments: vec![] };
+        let plan = QueryPlan::lower(&DFunction::single(Term::Keyword(KeywordId(3)), 42));
+        let req = Request::Evaluate { query_id: 7, plan: plan.clone(), fragments: vec![] };
         let frame = encode_frame(&req);
         assert_eq!(decode_frame::<Request>(frame).unwrap(), req);
         // Narrowed retry dispatch round-trips its fragment filter.
-        let narrowed = Request::Evaluate { query_id: 8, dfunction: f, fragments: vec![2, 5] };
+        let narrowed = Request::Evaluate { query_id: 8, plan, fragments: vec![2, 5] };
         let frame = encode_frame(&narrowed);
         assert_eq!(decode_frame::<Request>(frame).unwrap(), narrowed);
         let frame = encode_frame(&Request::Shutdown);
         assert_eq!(decode_frame::<Request>(frame).unwrap(), Request::Shutdown);
+    }
+
+    #[test]
+    fn deduplicated_plan_shrinks_the_request_frame() {
+        // R(a,5) ∩ R(b,5) ∩ R(a,5): the plan ships two slots, not three
+        // coverage terms — normalization pays on the wire too.
+        use disks_core::SetOp;
+        let f = DFunction::single(Term::Keyword(KeywordId(0)), 5)
+            .then(SetOp::Intersect, Term::Keyword(KeywordId(1)), 5)
+            .then(SetOp::Intersect, Term::Keyword(KeywordId(0)), 5);
+        let dedup = QueryPlan::lower(&f);
+        let no_dup = QueryPlan::lower(&DFunction::single(Term::Keyword(KeywordId(0)), 5).then(
+            SetOp::Intersect,
+            Term::Keyword(KeywordId(1)),
+            5,
+        ));
+        let dedup_len =
+            encode_frame(&Request::Evaluate { query_id: 1, plan: dedup, fragments: vec![] }).len();
+        let two_len =
+            encode_frame(&Request::Evaluate { query_id: 1, plan: no_dup, fragments: vec![] }).len();
+        // Same two slots, one extra (op, index) program entry.
+        assert_eq!(dedup_len, two_len + 5);
     }
 
     #[test]
@@ -225,6 +265,9 @@ mod tests {
                 pushed: 4,
                 coverage_nodes: 5,
                 elapsed_micros: 6,
+                cache_hits: 7,
+                cache_misses: 8,
+                cache_evictions: 9,
             },
         };
         let frame = encode_frame(&resp);

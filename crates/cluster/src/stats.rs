@@ -84,6 +84,12 @@ pub struct QueryStats {
     /// Well-formed responses outside the active query window (stale answers
     /// from an earlier, already-resolved query), discarded.
     pub out_of_window_responses: u64,
+    /// Worker coverage-cache hits across the tasks serving this query.
+    pub cache_hits: u64,
+    /// Worker coverage-cache misses across the tasks serving this query.
+    pub cache_misses: u64,
+    /// Worker coverage-cache evictions triggered while serving this query.
+    pub cache_evictions: u64,
 }
 
 /// Cumulative recovery events over a cluster's lifetime (all queries,
@@ -158,6 +164,9 @@ impl Default for QueryStats {
             duplicate_responses: 0,
             corrupt_frames: 0,
             out_of_window_responses: 0,
+            cache_hits: 0,
+            cache_misses: 0,
+            cache_evictions: 0,
         }
     }
 }

@@ -13,14 +13,18 @@
 //! coordinator.
 
 use std::panic::{self, AssertUnwindSafe};
+use std::sync::Arc;
 
 use bytes::Bytes;
 use crossbeam::channel::Receiver;
 
-use disks_core::{BiLevelIndex, DFunction, FragmentEngine, QueryCost, QueryError};
+use disks_core::bitset::BitSet;
+use disks_core::dfunc::DTerm;
+use disks_core::{BiLevelIndex, CoverageStore, FragmentEngine, QueryCost, QueryError, QueryPlan};
 use disks_roadnet::NodeId;
 
-use crate::message::{decode_frame, encode_frame, Request, Response};
+use crate::cache::CoverageCache;
+use crate::message::{decode_frame, encode_frame, Request, Response, WireCost};
 use crate::transport::LinkSender;
 
 /// Injected lifecycle faults for one worker spawn (testing substrate; both
@@ -64,11 +68,20 @@ impl WorkerEngine {
         }
     }
 
-    /// Evaluate a D-function on the hosted fragment.
-    pub fn evaluate(&mut self, f: &DFunction) -> Result<(Vec<NodeId>, QueryCost), QueryError> {
+    /// Evaluate a normalized plan on the hosted fragment, serving coverage
+    /// slots from `cache` where possible (§5.5 bi-level pairs route to the
+    /// level admitting the plan's max radius first — both levels are exact
+    /// for any radius they admit, so cache entries are shared across
+    /// levels).
+    pub fn evaluate_plan(
+        &mut self,
+        plan: &QueryPlan,
+        cache: &mut CoverageCache,
+    ) -> Result<(Vec<NodeId>, QueryCost), QueryError> {
+        let mut store = FragmentCacheStore { fragment: self.fragment().0, cache };
         match self {
-            WorkerEngine::Single(e) => e.evaluate(f),
-            WorkerEngine::BiLevel(b) => b.evaluate(f).map(|(n, c, _served)| (n, c)),
+            WorkerEngine::Single(e) => e.evaluate_plan_with_cache(plan, &mut store),
+            WorkerEngine::BiLevel(b) => b.evaluate_plan_with_cache(plan, &mut store),
         }
     }
 
@@ -84,17 +97,38 @@ impl WorkerEngine {
     }
 }
 
+/// Adapts the worker's [`CoverageCache`] to one fragment's
+/// [`CoverageStore`] view for the duration of a task.
+struct FragmentCacheStore<'a> {
+    fragment: u32,
+    cache: &'a mut CoverageCache,
+}
+
+impl CoverageStore for FragmentCacheStore<'_> {
+    fn lookup(&mut self, slot: &DTerm) -> Option<Arc<BitSet>> {
+        self.cache.get(self.fragment, slot.term, slot.radius)
+    }
+    fn store(&mut self, slot: &DTerm, coverage: &Arc<BitSet>) {
+        self.cache.insert(self.fragment, slot.term, slot.radius, coverage.clone());
+    }
+}
+
 /// Run the worker loop until a `Shutdown` request, channel closure, or an
 /// injected crash. Every request is answered statelessly from the hosted
-/// engines, so re-dispatched (retried) tasks are idempotent by construction.
+/// engines — the coverage cache is a transparent accelerator, so
+/// re-dispatched (retried) tasks remain idempotent by construction; a
+/// respawned worker gets a fresh (cold) cache because the cache lives and
+/// dies with the thread.
 pub fn worker_loop(
     machine_id: usize,
     mut engines: Vec<WorkerEngine>,
     requests: Receiver<Bytes>,
     responses: LinkSender,
     faults: WorkerFaults,
+    cache_budget: usize,
 ) {
     let _ = machine_id;
+    let mut cache = CoverageCache::new(cache_budget);
     let mut request_count: u64 = 0;
     while let Ok(frame) = requests.recv() {
         let request = match decode_frame::<Request>(frame) {
@@ -141,23 +175,31 @@ pub fn worker_loop(
                     }
                 }
             }
-            Request::Evaluate { query_id, dfunction, fragments } => {
+            Request::Evaluate { query_id, plan, fragments } => {
                 for (i, engine) in hosted(&mut engines, &fragments) {
                     let fragment = engine.fragment().0;
                     let panic_now = inject_panic && i == 0;
+                    let cache_before = cache.counters();
                     let outcome = panic::catch_unwind(AssertUnwindSafe(|| {
                         if panic_now {
                             panic!("injected evaluation fault");
                         }
-                        engine.evaluate(&dfunction)
+                        engine.evaluate_plan(&plan, &mut cache)
                     }));
                     let frame = match outcome {
-                        Ok(Ok((nodes, cost))) => encode_frame(&Response::Results {
-                            query_id,
-                            fragment,
-                            nodes,
-                            cost: (&cost).into(),
-                        }),
+                        Ok(Ok((nodes, cost))) => {
+                            let delta = cache.counters().since(&cache_before);
+                            let mut wire = WireCost::from(&cost);
+                            wire.cache_hits = delta.hits;
+                            wire.cache_misses = delta.misses;
+                            wire.cache_evictions = delta.evictions;
+                            encode_frame(&Response::Results {
+                                query_id,
+                                fragment,
+                                nodes,
+                                cost: wire,
+                            })
+                        }
                         Ok(Err(e)) => {
                             encode_frame(&Response::Failed { query_id, fragment, error: e })
                         }
@@ -212,14 +254,15 @@ mod tests {
         let (req_tx, req_rx) = unbounded();
         let (resp_tx, resp_rx, counters) = counted_link();
         let handle = std::thread::spawn(move || {
-            worker_loop(0, engines, req_rx, resp_tx, WorkerFaults::default())
+            worker_loop(0, engines, req_rx, resp_tx, WorkerFaults::default(), 1 << 20)
         });
 
         let freqs = net.keyword_frequencies();
         let top = KeywordId((0..freqs.len()).max_by_key(|&k| freqs[k]).unwrap() as u32);
         let f = DFunction::single(Term::Keyword(top), 3 * net.avg_edge_weight());
+        let plan = QueryPlan::lower(&f);
         req_tx
-            .send(encode_frame(&Request::Evaluate { query_id: 1, dfunction: f, fragments: vec![] }))
+            .send(encode_frame(&Request::Evaluate { query_id: 1, plan, fragments: vec![] }))
             .unwrap();
 
         // Two fragments hosted → two responses.
@@ -243,8 +286,12 @@ mod tests {
         handle.join().unwrap();
     }
 
+    /// Radius validation now happens at coordinator admission; the worker's
+    /// last-line debug assert turns an out-of-contract plan into a typed
+    /// `WorkerPanic` on the wire instead of a dead thread.
     #[test]
-    fn worker_reports_query_errors() {
+    #[cfg(debug_assertions)]
+    fn out_of_contract_radius_becomes_typed_worker_panic() {
         let net = GridNetworkConfig::tiny(61).generate();
         let p = MultilevelPartitioner::default().partition(&net, 1);
         let cfg = IndexConfig::with_max_r(net.avg_edge_weight());
@@ -256,28 +303,65 @@ mod tests {
         let (req_tx, req_rx) = unbounded();
         let (resp_tx, resp_rx, _) = counted_link();
         let handle = std::thread::spawn(move || {
-            worker_loop(0, engines, req_rx, resp_tx, WorkerFaults::default())
+            worker_loop(0, engines, req_rx, resp_tx, WorkerFaults::default(), 0)
         });
         let f = DFunction::single(Term::Keyword(KeywordId(0)), 1_000_000_000);
+        let plan = QueryPlan::lower(&f);
         req_tx
-            .send(encode_frame(&Request::Evaluate { query_id: 2, dfunction: f, fragments: vec![] }))
+            .send(encode_frame(&Request::Evaluate { query_id: 2, plan, fragments: vec![] }))
             .unwrap();
         match decode_frame::<Response>(resp_rx.recv().unwrap()).unwrap() {
-            Response::Failed { query_id, error, .. } => {
+            Response::Failed { query_id, error: QueryError::WorkerPanic(msg), .. } => {
                 assert_eq!(query_id, 2);
-                // The typed error carries the worker's real maxR — the
-                // coordinator no longer has to fabricate one.
-                match error {
-                    QueryError::RadiusExceedsMaxR { r, max_r } => {
-                        assert_eq!(r, 1_000_000_000);
-                        assert_eq!(max_r, net.avg_edge_weight());
-                    }
-                    other => panic!("expected RadiusExceedsMaxR, got {other}"),
-                }
+                assert!(msg.contains("maxR"), "debug guard names the violated bound: {msg}");
             }
-            other => panic!("expected failure, got {other:?}"),
+            other => panic!("expected WorkerPanic failure, got {other:?}"),
         }
         drop(req_tx); // channel closure also terminates the worker
+        handle.join().unwrap();
+    }
+
+    /// Repeated plans hit the coverage cache: the second response reports
+    /// hits, zero settled nodes, and the identical result set.
+    #[test]
+    fn repeated_plan_served_from_cache() {
+        let net = GridNetworkConfig::tiny(66).generate();
+        let p = MultilevelPartitioner::default().partition(&net, 1);
+        let indexes = build_all_indexes(&net, &p, &IndexConfig::unbounded());
+        let engines: Vec<WorkerEngine> = indexes
+            .iter()
+            .map(|i| WorkerEngine::Single(FragmentEngine::new(&net, &p, i).unwrap()))
+            .collect();
+        let (req_tx, req_rx) = unbounded();
+        let (resp_tx, resp_rx, _) = counted_link();
+        let handle = std::thread::spawn(move || {
+            worker_loop(0, engines, req_rx, resp_tx, WorkerFaults::default(), 1 << 20)
+        });
+        let freqs = net.keyword_frequencies();
+        let top = KeywordId((0..freqs.len()).max_by_key(|&k| freqs[k]).unwrap() as u32);
+        let plan = QueryPlan::lower(&DFunction::single(Term::Keyword(top), net.avg_edge_weight()));
+        for qid in 1..=2u64 {
+            let req = Request::Evaluate { query_id: qid, plan: plan.clone(), fragments: vec![] };
+            req_tx.send(encode_frame(&req)).unwrap();
+        }
+        let mut outcomes = Vec::new();
+        for _ in 0..2 {
+            match decode_frame::<Response>(resp_rx.recv().unwrap()).unwrap() {
+                Response::Results { query_id, nodes, cost, .. } => {
+                    outcomes.push((query_id, nodes, cost))
+                }
+                other => panic!("unexpected response: {other:?}"),
+            }
+        }
+        outcomes.sort_by_key(|(qid, _, _)| *qid);
+        let (_, cold_nodes, cold) = &outcomes[0];
+        let (_, warm_nodes, warm) = &outcomes[1];
+        assert_eq!(cold_nodes, warm_nodes, "cache hit never changes the answer");
+        assert_eq!((cold.cache_hits, cold.cache_misses), (0, 1));
+        assert_eq!((warm.cache_hits, warm.cache_misses), (1, 0));
+        assert!(cold.settled > 0);
+        assert_eq!(warm.settled, 0, "hit skips the coverage Dijkstra");
+        req_tx.send(encode_frame(&Request::Shutdown)).unwrap();
         handle.join().unwrap();
     }
 
@@ -293,7 +377,7 @@ mod tests {
         let (req_tx, req_rx) = unbounded();
         let (resp_tx, resp_rx, _) = counted_link();
         let handle = std::thread::spawn(move || {
-            worker_loop(0, engines, req_rx, resp_tx, WorkerFaults::default())
+            worker_loop(0, engines, req_rx, resp_tx, WorkerFaults::default(), 1 << 20)
         });
         req_tx.send(Bytes::from_static(&[0xde, 0xad])).unwrap();
         // Worker survives; a valid shutdown still works.
@@ -320,7 +404,8 @@ mod tests {
             .collect();
         let (req_tx, req_rx) = unbounded();
         let (resp_tx, resp_rx, _) = counted_link();
-        let handle = std::thread::spawn(move || worker_loop(0, engines, req_rx, resp_tx, faults));
+        let handle =
+            std::thread::spawn(move || worker_loop(0, engines, req_rx, resp_tx, faults, 1 << 20));
         (req_tx, resp_rx, handle, net)
     }
 
@@ -334,7 +419,8 @@ mod tests {
         let faults = WorkerFaults { kill_on_request: None, panic_on_request: Some(1) };
         let (req_tx, resp_rx, handle, net) = spawn_worker(63, faults);
         let f = DFunction::single(Term::Keyword(top_kw(&net)), 3 * net.avg_edge_weight());
-        let request = Request::Evaluate { query_id: 1, dfunction: f.clone(), fragments: vec![] };
+        let plan = QueryPlan::lower(&f);
+        let request = Request::Evaluate { query_id: 1, plan: plan.clone(), fragments: vec![] };
         req_tx.send(encode_frame(&request)).unwrap();
         // First fragment panics (typed Failed), second still answers: the
         // thread survived the panic.
@@ -352,7 +438,7 @@ mod tests {
         }
         assert_eq!((failed, ok), (1, 1));
         // The fault was one-shot: a retry of the same request succeeds.
-        let retry = Request::Evaluate { query_id: 2, dfunction: f, fragments: vec![] };
+        let retry = Request::Evaluate { query_id: 2, plan, fragments: vec![] };
         req_tx.send(encode_frame(&retry)).unwrap();
         for _ in 0..2 {
             match decode_frame::<Response>(resp_rx.recv().unwrap()).unwrap() {
@@ -369,8 +455,9 @@ mod tests {
         let faults = WorkerFaults { kill_on_request: Some(1), panic_on_request: None };
         let (req_tx, resp_rx, handle, net) = spawn_worker(64, faults);
         let f = DFunction::single(Term::Keyword(top_kw(&net)), net.avg_edge_weight());
+        let plan = QueryPlan::lower(&f);
         req_tx
-            .send(encode_frame(&Request::Evaluate { query_id: 1, dfunction: f, fragments: vec![] }))
+            .send(encode_frame(&Request::Evaluate { query_id: 1, plan, fragments: vec![] }))
             .unwrap();
         handle.join().unwrap(); // thread exits on the killed request
         assert!(resp_rx.try_recv().is_err(), "crashed worker must not respond");
@@ -380,12 +467,9 @@ mod tests {
     fn fragment_filter_narrows_evaluation() {
         let (req_tx, resp_rx, handle, net) = spawn_worker(65, WorkerFaults::default());
         let f = DFunction::single(Term::Keyword(top_kw(&net)), 2 * net.avg_edge_weight());
+        let plan = QueryPlan::lower(&f);
         req_tx
-            .send(encode_frame(&Request::Evaluate {
-                query_id: 1,
-                dfunction: f,
-                fragments: vec![1],
-            }))
+            .send(encode_frame(&Request::Evaluate { query_id: 1, plan, fragments: vec![1] }))
             .unwrap();
         match decode_frame::<Response>(resp_rx.recv().unwrap()).unwrap() {
             Response::Results { fragment, .. } => assert_eq!(fragment, 1),

@@ -1,0 +1,135 @@
+//! Coverage-cache equivalence: the per-worker cache is a pure
+//! memoization, so a cached cluster and a cache-disabled cluster must be
+//! *observably identical* on answers — over a Zipf-skewed stream, across a
+//! mid-stream worker kill/respawn (which cold-starts the dead worker's
+//! cache), and against the centralized oracle — while Theorem 3's zero
+//! inter-worker bytes holds in both modes.
+
+use std::time::Duration;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use disks_cluster::{Cluster, ClusterConfig, FaultPlan, NetworkModel};
+use disks_core::{build_all_indexes, CentralizedCoverage, IndexConfig, SgkQuery};
+use disks_partition::{MultilevelPartitioner, Partitioner, Partitioning};
+use disks_roadnet::generator::GridNetworkConfig;
+use disks_roadnet::zipf::Zipf;
+use disks_roadnet::{KeywordId, RoadNetwork};
+
+/// A seeded Zipf-skewed SGKQ stream: keywords drawn by popularity rank,
+/// radii from a small pool — the repetition a real workload shows and the
+/// cache exploits.
+fn zipf_stream(net: &RoadNetwork, seed: u64, n: usize) -> Vec<SgkQuery> {
+    let freqs = net.keyword_frequencies();
+    let mut ranked: Vec<usize> = (0..freqs.len()).filter(|&k| freqs[k] > 0).collect();
+    ranked.sort_unstable_by_key(|&k| std::cmp::Reverse(freqs[k]));
+    ranked.truncate(10);
+    let zipf = Zipf::new(ranked.len(), 1.0);
+    let e = net.avg_edge_weight();
+    let radii = [2 * e, 3 * e, 4 * e];
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            let num_kw = 1 + rng.gen_range(0..2);
+            let kws: Vec<KeywordId> =
+                (0..num_kw).map(|_| KeywordId(ranked[zipf.sample(&mut rng)] as u32)).collect();
+            SgkQuery::new(kws, radii[rng.gen_range(0..radii.len())])
+        })
+        .collect()
+}
+
+fn build_cluster(
+    net: &RoadNetwork,
+    p: &Partitioning,
+    cache_bytes: usize,
+    kill_at: Option<u64>,
+) -> Cluster {
+    let indexes = build_all_indexes(net, p, &IndexConfig::unbounded());
+    let faults = kill_at.map(|nth| FaultPlan::new(0xCACE).kill_worker(0, nth));
+    Cluster::build(
+        net,
+        p,
+        indexes,
+        ClusterConfig {
+            network: NetworkModel::instant(),
+            deadline: Duration::from_millis(200),
+            coverage_cache_bytes: cache_bytes,
+            faults,
+            ..ClusterConfig::default()
+        },
+    )
+}
+
+/// The acceptance property: 200 Zipf queries, worker 0 killed mid-stream on
+/// both clusters, and the cached and cache-disabled runs return identical
+/// answers and identical `QueryStats.results` for every query — each one
+/// also exact against the centralized oracle, with zero inter-worker bytes
+/// in both modes.
+#[test]
+fn cached_and_disabled_clusters_answer_identically_across_respawn() {
+    let net = GridNetworkConfig::tiny(0xD15C).generate();
+    let p = MultilevelPartitioner::default().partition(&net, 3);
+    let stream = zipf_stream(&net, 0x5EED, 200);
+    // The same deterministic kill schedule on both clusters: machine 0 dies
+    // on its 100th request — mid-stream — and is respawned with a cold
+    // cache on the cached cluster.
+    let cached = build_cluster(&net, &p, 64 << 20, Some(100));
+    let uncached = build_cluster(&net, &p, 0, Some(100));
+    let mut oracle = CentralizedCoverage::new(&net);
+
+    for (i, q) in stream.iter().enumerate() {
+        let a = cached.run_sgkq(q).unwrap_or_else(|e| panic!("cached query {i}: {e}"));
+        let b = uncached.run_sgkq(q).unwrap_or_else(|e| panic!("uncached query {i}: {e}"));
+        assert_eq!(a.results, b.results, "query {i} answers diverge");
+        assert_eq!(a.stats.results, b.stats.results, "query {i} result counts diverge");
+        assert_eq!(a.results, oracle.sgkq(q).unwrap(), "query {i} not exact");
+        assert_eq!(a.stats.inter_worker_bytes, 0);
+        assert_eq!(b.stats.inter_worker_bytes, 0);
+    }
+
+    // The kill fired and was recovered on both clusters.
+    assert!(cached.recovery_counters().respawned_workers >= 1);
+    assert!(uncached.recovery_counters().respawned_workers >= 1);
+    // The cached cluster actually exercised its cache; the disabled one
+    // counted nothing — its absence is what makes the parity meaningful.
+    let counters = cached.cache_counters();
+    assert!(counters.hits > 0, "Zipf stream must produce cache hits");
+    assert!(
+        counters.hit_rate() > 0.5,
+        "hit rate {} too low for a Zipf stream",
+        counters.hit_rate()
+    );
+    assert_eq!(uncached.cache_counters(), disks_cluster::CacheCounters::default());
+    cached.shutdown();
+    uncached.shutdown();
+}
+
+/// A respawned worker starts with a cold cache: the same query run three
+/// times with a kill at the second run forces an extra miss that a
+/// surviving cache would have served as a hit.
+#[test]
+fn respawned_worker_starts_with_a_cold_cache() {
+    let net = GridNetworkConfig::tiny(0xC01D).generate();
+    let p = MultilevelPartitioner::default().partition(&net, 2);
+    let cluster = build_cluster(&net, &p, 64 << 20, Some(2));
+    let freqs = net.keyword_frequencies();
+    let kw = KeywordId((0..freqs.len()).max_by_key(|&k| freqs[k]).unwrap() as u32);
+    let q = SgkQuery::new(vec![kw], 3 * net.avg_edge_weight());
+    let mut oracle = CentralizedCoverage::new(&net);
+    let expect = oracle.sgkq(&q).unwrap();
+
+    // Run 1 warms both workers; run 2 kills machine 0 (cold respawn
+    // re-misses its slot); run 3 hits everywhere.
+    for i in 0..3 {
+        let outcome = cluster.run_sgkq(&q).unwrap_or_else(|e| panic!("run {i}: {e}"));
+        assert_eq!(outcome.results, expect, "run {i} not exact across respawn");
+    }
+    assert!(cluster.recovery_counters().respawned_workers >= 1, "kill must have fired");
+    let counters = cluster.cache_counters();
+    // A surviving cache would miss exactly twice (once per machine, run 1).
+    // The cold respawn forces at least one extra miss.
+    assert!(counters.misses >= 3, "expected a cold-cache re-miss, got {counters:?}");
+    assert!(counters.hits >= 2);
+    cluster.shutdown();
+}

@@ -179,34 +179,38 @@ fn exhausted_budget_with_allow_partial_degrades() {
     cluster.shutdown();
 }
 
-/// A permanent (non-retryable) failure returns early; the other worker's
-/// in-flight response for that aborted query shows up during the *next*
-/// gather and must be dropped as out-of-window, not spliced into the wrong
-/// result.
+/// An aborted query's in-flight responses show up during the *next* gather
+/// and must be dropped as out-of-window, not spliced into the wrong result.
+/// (Invalid queries no longer produce this scenario — admission rejects
+/// them before dispatch — so the abort here is a retry-budget exhaustion
+/// while both responses are stuck on a slow link.)
 #[test]
 fn stale_responses_from_aborted_query_are_dropped_out_of_window() {
-    let net = GridNetworkConfig::tiny(97).generate();
-    let p = MultilevelPartitioner::default().partition(&net, 2);
-    let max_r = 2 * net.avg_edge_weight();
-    let indexes = build_all_indexes(&net, &p, &IndexConfig::with_max_r(max_r));
-    let cluster = Cluster::build(
-        &net,
-        &p,
-        indexes,
-        ClusterConfig { network: NetworkModel::instant(), ..ClusterConfig::default() },
-    );
+    // Both workers' first responses are delayed past the stall deadline and
+    // the retry budget is 1, so the first gather aborts with WorkerTimeout
+    // while two frames are still in flight.
+    let plan = FaultPlan::new(97)
+        .delay_frame(0, LinkDirection::WorkerToCoordinator, 1, 600)
+        .delay_frame(1, LinkDirection::WorkerToCoordinator, 1, 600);
+    let config = ClusterConfig {
+        network: NetworkModel::instant(),
+        deadline: Duration::from_millis(150),
+        max_attempts: 1,
+        faults: Some(plan),
+        ..ClusterConfig::default()
+    };
+    let (net, cluster) = setup(97, 2, config);
     let kw = top_keyword(&net);
 
-    // Radius over maxR: one fragment answers RadiusExceedsMaxR, which is
-    // permanent, so the gather aborts without draining the other fragment.
-    let over = SgkQuery::new(vec![kw], 100 * net.avg_edge_weight());
-    assert!(matches!(cluster.run_sgkq(&over), Err(QueryError::RadiusExceedsMaxR { .. })));
+    let q = SgkQuery::new(vec![kw], 3 * net.avg_edge_weight());
+    assert!(matches!(cluster.run_sgkq(&q), Err(QueryError::WorkerTimeout { .. })));
 
-    // The follow-up query is exact despite the stale frame in the channel.
-    let ok = SgkQuery::new(vec![kw], max_r);
-    let outcome = cluster.run_sgkq(&ok).unwrap();
+    // Wait for the delayed frames to land in the response channel, then
+    // verify the follow-up query is exact despite the stale frames.
+    std::thread::sleep(Duration::from_millis(700));
+    let outcome = cluster.run_sgkq(&q).unwrap();
     let mut central = CentralizedCoverage::new(&net);
-    assert_eq!(outcome.results, central.sgkq(&ok).unwrap());
+    assert_eq!(outcome.results, central.sgkq(&q).unwrap());
     assert!(cluster.recovery_counters().out_of_window_responses >= 1);
     cluster.shutdown();
 }

@@ -10,9 +10,10 @@ use disks_partition::{FragmentId, Partitioning};
 use disks_roadnet::{NodeId, RoadNetwork, INF};
 
 use crate::dfunc::DFunction;
-use crate::engine::{FragmentEngine, QueryCost};
+use crate::engine::{CoverageStore, FragmentEngine, NoCache, QueryCost};
 use crate::error::{IndexError, QueryError};
 use crate::index::{build_index, IndexConfig, NpdIndex};
+use crate::plan::QueryPlan;
 
 /// Which level served a query.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -94,13 +95,33 @@ impl BiLevelIndex {
         &mut self,
         f: &DFunction,
     ) -> Result<(Vec<NodeId>, QueryCost, ServedBy), QueryError> {
-        if f.max_radius() <= self.max_r {
-            let (r, c) = self.primary.evaluate(f)?;
-            Ok((r, c, ServedBy::Primary))
+        let plan = QueryPlan::lower(f);
+        let (r, c) = self.evaluate_plan_with_cache(&plan, &mut NoCache)?;
+        let served =
+            if plan.max_radius() <= self.max_r { ServedBy::Primary } else { ServedBy::Secondary };
+        Ok((r, c, served))
+    }
+
+    /// The engine that would serve a plan with the given max radius (§5.5
+    /// routing). Coverage is exact on either level for any radius it
+    /// admits, so cache entries keyed only by `(term, radius)` stay valid
+    /// across levels.
+    pub fn engine_for(&mut self, max_radius: u64) -> &mut FragmentEngine {
+        if max_radius <= self.max_r {
+            &mut self.primary
         } else {
-            let (r, c) = self.secondary.evaluate(f)?;
-            Ok((r, c, ServedBy::Secondary))
+            &mut self.secondary
         }
+    }
+
+    /// Evaluate a normalized plan, routing by its max radius and consulting
+    /// `store` per coverage slot.
+    pub fn evaluate_plan_with_cache(
+        &mut self,
+        plan: &QueryPlan,
+        store: &mut dyn CoverageStore,
+    ) -> Result<(Vec<NodeId>, QueryCost), QueryError> {
+        self.engine_for(plan.max_radius()).evaluate_plan_with_cache(plan, store)
     }
 }
 

@@ -22,6 +22,11 @@ impl BitSet {
         self.len
     }
 
+    /// Resident bytes of the backing storage (used for cache accounting).
+    pub fn memory_bytes(&self) -> usize {
+        std::mem::size_of::<Self>() + self.words.len() * 8
+    }
+
     /// Insert `i`.
     ///
     /// # Panics

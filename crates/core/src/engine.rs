@@ -25,6 +25,7 @@
 //! reference to the global network.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 use std::time::Duration;
 
 use disks_partition::{FragmentId, Partitioning};
@@ -32,15 +33,33 @@ use disks_roadnet::dijkstra::{Control, Graph};
 use disks_roadnet::{DijkstraWorkspace, KeywordId, NodeId, RoadNetwork, Weight};
 
 use crate::bitset::BitSet;
-use crate::dfunc::{DFunction, Term};
+use crate::dfunc::{DFunction, DTerm, Term};
 use crate::error::{IndexError, QueryError};
 use crate::index::{DlScope, NpdIndex};
+use crate::plan::QueryPlan;
 
 /// Local sentinel for "not reached this term" in the top-k scorer.
 const INF_LOCAL: u64 = u64::MAX;
 
+/// Theorem 5 cost attribution for one coverage slot (one `R(term, r) ∩ P`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SlotCost {
+    pub term: Term,
+    pub radius: u64,
+    /// αⱼ — DL pairs inspected for this slot.
+    pub alpha: usize,
+    /// Nodes settled by this slot's coverage search (0 on a cache hit).
+    pub settled: usize,
+    /// Heap pushes by this slot's coverage search (0 on a cache hit).
+    pub pushed: usize,
+    /// `|P ∩ R(term, r)|`.
+    pub coverage_nodes: usize,
+    /// Whether the coverage was served from a [`CoverageStore`] hit.
+    pub cached: bool,
+}
+
 /// Theorem 5 cost-model instrumentation for one query on one fragment.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct QueryCost {
     /// Σ αⱼ — DL pairs inspected across terms.
     pub alpha: usize,
@@ -56,6 +75,8 @@ pub struct QueryCost {
     pub results: usize,
     /// Wall-clock spent.
     pub elapsed: Duration,
+    /// Per-slot breakdown of the aggregates above, in slot order.
+    pub per_slot: Vec<SlotCost>,
 }
 
 impl QueryCost {
@@ -64,7 +85,32 @@ impl QueryCost {
         self.settled += other.settled;
         self.pushed += other.pushed;
         self.coverage_nodes += other.coverage_nodes;
+        self.per_slot.extend_from_slice(&other.per_slot);
     }
+}
+
+/// A pluggable coverage store consulted per plan slot — the seam between the
+/// pure per-term coverage stage and the cluster layer's per-worker cache.
+///
+/// Implementations must be transparent: `lookup` may only return a value
+/// previously passed to `store` for the *same* slot on the *same* engine
+/// (coverage is a pure function of the immutable engine, so a stored value
+/// never goes stale while the engine lives).
+pub trait CoverageStore {
+    /// A previously stored coverage for `slot`, if any.
+    fn lookup(&mut self, slot: &DTerm) -> Option<Arc<BitSet>>;
+    /// Offer a freshly computed coverage for `slot`.
+    fn store(&mut self, slot: &DTerm, coverage: &Arc<BitSet>);
+}
+
+/// The no-op [`CoverageStore`]: every lookup misses, stores are dropped.
+pub struct NoCache;
+
+impl CoverageStore for NoCache {
+    fn lookup(&mut self, _slot: &DTerm) -> Option<Arc<BitSet>> {
+        None
+    }
+    fn store(&mut self, _slot: &DTerm, _coverage: &Arc<BitSet>) {}
 }
 
 /// One machine's query-evaluation state for its fragment.
@@ -220,10 +266,21 @@ impl FragmentEngine {
 
     /// Compute the local keyword coverage `R(term, radius) ∩ P` (Steps 1–3
     /// of Alg. 2 plus the coverage Dijkstra).
-    pub fn coverage(&mut self, term: Term, radius: u64) -> Result<(BitSet, QueryCost), QueryError> {
-        if radius > self.max_r {
-            return Err(QueryError::RadiusExceedsMaxR { r: radius, max_r: self.max_r });
-        }
+    ///
+    /// The result is a pure function of the immutable engine, returned as an
+    /// `Arc` so callers (and the cluster-layer coverage cache) can share it
+    /// across queries without copying. Radius validation happens at
+    /// coordinator admission; the guard here is a debug assert only.
+    pub fn coverage(
+        &mut self,
+        term: Term,
+        radius: u64,
+    ) -> Result<(Arc<BitSet>, QueryCost), QueryError> {
+        debug_assert!(
+            radius <= self.max_r,
+            "radius {radius} exceeds index maxR {} — admission should have rejected this query",
+            self.max_r
+        );
         let mut cost = QueryCost::default();
         let mut seeds: Vec<(u32, u64)> = Vec::new();
         match term {
@@ -274,7 +331,16 @@ impl FragmentEngine {
         cost.settled = stats.settled;
         cost.pushed = stats.pushed;
         cost.coverage_nodes = cov.count();
-        Ok((cov, cost))
+        cost.per_slot.push(SlotCost {
+            term,
+            radius,
+            alpha: cost.alpha,
+            settled: cost.settled,
+            pushed: cost.pushed,
+            coverage_nodes: cost.coverage_nodes,
+            cached: false,
+        });
+        Ok((Arc::new(cov), cost))
     }
 
     /// Local per-node distances for one term: `(local id, d(node, term))`
@@ -285,9 +351,11 @@ impl FragmentEngine {
         term: Term,
         bound: u64,
     ) -> Result<(Vec<(u32, u64)>, QueryCost), QueryError> {
-        if bound > self.max_r {
-            return Err(QueryError::RadiusExceedsMaxR { r: bound, max_r: self.max_r });
-        }
+        debug_assert!(
+            bound <= self.max_r,
+            "bound {bound} exceeds index maxR {} — admission should have rejected this query",
+            self.max_r
+        );
         let mut cost = QueryCost::default();
         let mut seeds: Vec<(u32, u64)> = Vec::new();
         match term {
@@ -329,6 +397,15 @@ impl FragmentEngine {
         cost.settled = stats.settled;
         cost.pushed = stats.pushed;
         cost.coverage_nodes = table.len();
+        cost.per_slot.push(SlotCost {
+            term,
+            radius: bound,
+            alpha: cost.alpha,
+            settled: cost.settled,
+            pushed: cost.pushed,
+            coverage_nodes: cost.coverage_nodes,
+            cached: false,
+        });
         Ok((table, cost))
     }
 
@@ -338,9 +415,10 @@ impl FragmentEngine {
         &mut self,
         q: &crate::topk::TopKQuery,
     ) -> Result<(Vec<crate::topk::Ranked>, QueryCost), QueryError> {
-        if q.keywords.is_empty() {
-            return Err(QueryError::EmptyQuery);
-        }
+        debug_assert!(
+            !q.keywords.is_empty(),
+            "empty top-k query — admission should have rejected this query"
+        );
         let start = std::time::Instant::now();
         let mut total = QueryCost { beta: self.sc_size, ..QueryCost::default() };
         // score[i] = Some(partial aggregate) while node i is within the
@@ -377,16 +455,58 @@ impl FragmentEngine {
 
     /// Evaluate a D-function on this fragment (Alg. 2), returning the local
     /// result nodes as **global** ids (sorted) plus the cost breakdown.
+    ///
+    /// Convenience wrapper: lowers to a [`QueryPlan`] (deduplicating
+    /// repeated terms) and runs [`Self::evaluate_plan`].
     pub fn evaluate(&mut self, f: &DFunction) -> Result<(Vec<NodeId>, QueryCost), QueryError> {
+        self.evaluate_plan(&QueryPlan::lower(f))
+    }
+
+    /// Evaluate a normalized plan without a coverage store.
+    pub fn evaluate_plan(
+        &mut self,
+        plan: &QueryPlan,
+    ) -> Result<(Vec<NodeId>, QueryCost), QueryError> {
+        self.evaluate_plan_with_cache(plan, &mut NoCache)
+    }
+
+    /// Evaluate a normalized plan, consulting `store` per coverage slot.
+    ///
+    /// This is the layered split of Alg. 2: a per-slot coverage stage (each
+    /// slot either served from `store` or computed and offered back) and a
+    /// combine stage running the plan's operator program. Lemma 1 semantics
+    /// are identical to [`Self::evaluate`]; a hit skips the Dijkstra, never
+    /// changes the answer.
+    pub fn evaluate_plan_with_cache(
+        &mut self,
+        plan: &QueryPlan,
+        store: &mut dyn CoverageStore,
+    ) -> Result<(Vec<NodeId>, QueryCost), QueryError> {
         let start = std::time::Instant::now();
         let mut total = QueryCost { beta: self.sc_size, ..QueryCost::default() };
-        let mut coverages = Vec::with_capacity(f.num_terms());
-        for t in f.terms() {
-            let (cov, cost) = self.coverage(t.term, t.radius)?;
+        let mut coverages: Vec<Arc<BitSet>> = Vec::with_capacity(plan.num_slots());
+        for slot in plan.slots() {
+            if let Some(hit) = store.lookup(slot) {
+                let nodes = hit.count();
+                total.coverage_nodes += nodes;
+                total.per_slot.push(SlotCost {
+                    term: slot.term,
+                    radius: slot.radius,
+                    alpha: 0,
+                    settled: 0,
+                    pushed: 0,
+                    coverage_nodes: nodes,
+                    cached: true,
+                });
+                coverages.push(hit);
+                continue;
+            }
+            let (cov, cost) = self.coverage(slot.term, slot.radius)?;
+            store.store(slot, &cov);
             total.absorb(&cost);
             coverages.push(cov);
         }
-        let combined = f.combine(&coverages);
+        let combined = plan.combine(&coverages);
         let mut result: Vec<NodeId> = combined.iter().map(|i| self.globals[i]).collect();
         result.sort_unstable();
         total.results = result.len();
@@ -484,15 +604,63 @@ mod tests {
         }
     }
 
+    /// Radius validation moved to coordinator admission; the engine keeps a
+    /// debug assert as the last-line guard.
     #[test]
-    fn radius_above_max_r_is_rejected() {
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "exceeds index maxR")]
+    fn radius_above_max_r_trips_debug_guard() {
         let net = GridNetworkConfig::tiny(45).generate();
         let p = MultilevelPartitioner::default().partition(&net, 2);
         let cfg = IndexConfig::with_max_r(net.avg_edge_weight());
         let indexes = build_all_indexes(&net, &p, &cfg);
         let mut engine = FragmentEngine::new(&net, &p, &indexes[0]).unwrap();
         let f = DFunction::single(Term::Keyword(KeywordId(0)), 100 * net.avg_edge_weight());
-        assert!(matches!(engine.evaluate(&f), Err(QueryError::RadiusExceedsMaxR { .. })));
+        let _ = engine.evaluate(&f);
+    }
+
+    /// A caching store changes the work (slots marked cached, zero settled)
+    /// but never the answer.
+    #[test]
+    fn plan_evaluation_with_store_matches_uncached() {
+        use crate::plan::QueryPlan;
+        use std::collections::HashMap as Map;
+        use std::sync::Arc;
+
+        struct MapStore(Map<(Term, u64), Arc<crate::bitset::BitSet>>);
+        impl crate::engine::CoverageStore for MapStore {
+            fn lookup(&mut self, slot: &crate::dfunc::DTerm) -> Option<Arc<crate::bitset::BitSet>> {
+                self.0.get(&(slot.term, slot.radius)).cloned()
+            }
+            fn store(&mut self, slot: &crate::dfunc::DTerm, cov: &Arc<crate::bitset::BitSet>) {
+                self.0.insert((slot.term, slot.radius), cov.clone());
+            }
+        }
+
+        let net = GridNetworkConfig::tiny(49).generate();
+        let p = MultilevelPartitioner::default().partition(&net, 2);
+        let indexes = build_all_indexes(&net, &p, &IndexConfig::unbounded());
+        let mut engine = FragmentEngine::new(&net, &p, &indexes[0]).unwrap();
+        let freqs = net.keyword_frequencies();
+        let mut ranked: Vec<usize> = (0..freqs.len()).collect();
+        ranked.sort_unstable_by_key(|&k| std::cmp::Reverse(freqs[k]));
+        let e = net.avg_edge_weight();
+        let f =
+            SgkQuery::new(vec![KeywordId(ranked[0] as u32), KeywordId(ranked[1] as u32)], 4 * e)
+                .to_dfunction();
+        let plan = QueryPlan::lower(&f);
+
+        let (expect, cold_cost) = engine.evaluate_plan(&plan).unwrap();
+        assert!(cold_cost.per_slot.iter().all(|s| !s.cached));
+
+        let mut store = MapStore(Map::new());
+        let (first, _) = engine.evaluate_plan_with_cache(&plan, &mut store).unwrap();
+        let (second, warm_cost) = engine.evaluate_plan_with_cache(&plan, &mut store).unwrap();
+        assert_eq!(first, expect);
+        assert_eq!(second, expect);
+        assert!(warm_cost.per_slot.iter().all(|s| s.cached && s.settled == 0));
+        assert_eq!(warm_cost.settled, 0);
+        assert_eq!(warm_cost.coverage_nodes, cold_cost.coverage_nodes);
     }
 
     #[test]

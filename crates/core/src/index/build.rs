@@ -72,100 +72,123 @@ impl BuildWorkspace {
     }
 }
 
-/// Build the NPD-index for one fragment.
-pub fn build_index(
-    net: &RoadNetwork,
-    partitioning: &Partitioning,
-    fragment: FragmentId,
-    config: &IndexConfig,
-) -> NpdIndex {
-    let mut ws = BuildWorkspace::new(net.num_nodes());
-    build_index_with_workspace(net, partitioning, fragment, config, &mut ws)
+/// Everything one portal's backward search contributes to the index:
+/// shortcut candidates (normalized endpoint keys), DL pairs `(external
+/// node, distance)` for this portal, and the settled-node count. Pure per
+/// portal, so searches can run sequentially or on scoped threads and merge
+/// to the identical index.
+struct PortalYield {
+    portal: NodeId,
+    sc: Vec<((u32, u32), u64)>,
+    dl: Vec<(NodeId, u64)>,
+    settled: u64,
 }
 
-fn build_index_with_workspace(
+/// Algorithm 1's backward search from one portal (see module docs).
+fn portal_search(
     net: &RoadNetwork,
     partitioning: &Partitioning,
     fragment: FragmentId,
     config: &IndexConfig,
+    portal: NodeId,
     ws: &mut BuildWorkspace,
-) -> NpdIndex {
-    let start = Instant::now();
+) -> PortalYield {
     let assignment = partitioning.assignment();
     let p = fragment.0;
     let max_r = config.max_r;
-    let mut settled_total: u64 = 0;
+    let mut y = PortalYield { portal, sc: Vec::new(), dl: Vec::new(), settled: 0 };
 
+    let source = portal.0;
+    ws.begin();
+    ws.dist[source as usize] = 0;
+    ws.reentered[source as usize] = false;
+    ws.stamp[source as usize] = ws.epoch;
+    ws.heap.push(Reverse((0, source)));
+    while let Some(Reverse((d, u))) = ws.heap.pop() {
+        if d > ws.dist_of(u) {
+            continue; // stale
+        }
+        y.settled += 1;
+        let u_reentered = ws.reentered[u as usize];
+        if u != source && !u_reentered {
+            if assignment[u as usize] == p {
+                // Rule 1/3 condition 2 excludes the case where
+                // (A, B, d(A,B)) is an *original edge with that weight*.
+                // An original parallel edge that is LONGER than the
+                // shortest detour does not make the shortcut redundant
+                // (the local fragment would only have the suboptimal
+                // edge), so compare weights, not mere existence.
+                if net.edge_weight(NodeId(u), portal).map(u64::from) != Some(d) {
+                    debug_assert!(
+                        partitioning.portals(fragment).contains(&NodeId(u)),
+                        "SC endpoint must be a portal"
+                    );
+                    let key = if u < source { (u, source) } else { (source, u) };
+                    y.sc.push((key, d));
+                }
+            } else {
+                let indexed = match config.dl_scope {
+                    DlScope::ObjectsOnly => net.is_object(NodeId(u)),
+                    DlScope::AllNodes => true,
+                };
+                if indexed {
+                    y.dl.push((NodeId(u), d));
+                }
+            }
+        }
+        // A path continuing through `u` has `u` as an internal node, so
+        // the flag for successors must include "u is an internal P node".
+        let flag_through_u = u_reentered || (u != source && assignment[u as usize] == p);
+        let epoch = ws.epoch;
+        let (dist, stamp, reentered, heap) =
+            (&mut ws.dist, &mut ws.stamp, &mut ws.reentered, &mut ws.heap);
+        net.for_each_neighbor(u, &mut |v, w| {
+            let nd = d.saturating_add(u64::from(w));
+            if nd > max_r {
+                return;
+            }
+            let vi = v as usize;
+            let cur = if stamp[vi] == epoch { dist[vi] } else { INF };
+            if nd < cur {
+                dist[vi] = nd;
+                stamp[vi] = epoch;
+                reentered[vi] = flag_through_u;
+                heap.push(Reverse((nd, v)));
+            } else if nd == cur && cur != INF {
+                // Rule 3/4: "ANY shortest path" — merge the flag.
+                reentered[vi] |= flag_through_u;
+            }
+        });
+    }
+    y
+}
+
+/// Merge per-portal yields (in portal order) into the finished index. Every
+/// downstream structure is either keyed (SC dedup), sorted by a total order
+/// (DL entry lists, keyword-portal lists), or a commutative min/sum — so
+/// the assembled index is identical however the searches were scheduled.
+fn assemble_index(
+    net: &RoadNetwork,
+    fragment: FragmentId,
+    config: &IndexConfig,
+    yields: Vec<PortalYield>,
+    start: Instant,
+) -> NpdIndex {
+    let mut settled_total: u64 = 0;
     // SC shortcuts are discovered from both endpoints; normalize and dedup.
     let mut sc_map: HashMap<(u32, u32), u64> = HashMap::new();
     let mut dl_entries: HashMap<NodeId, Vec<(NodeId, u64)>> = HashMap::new();
-
-    for &portal in partitioning.portals(fragment) {
-        let source = portal.0;
-        ws.begin();
-        ws.dist[source as usize] = 0;
-        ws.reentered[source as usize] = false;
-        ws.stamp[source as usize] = ws.epoch;
-        ws.heap.push(Reverse((0, source)));
-        while let Some(Reverse((d, u))) = ws.heap.pop() {
-            if d > ws.dist_of(u) {
-                continue; // stale
-            }
-            settled_total += 1;
-            let u_reentered = ws.reentered[u as usize];
-            if u != source && !u_reentered {
-                if assignment[u as usize] == p {
-                    // Rule 1/3 condition 2 excludes the case where
-                    // (A, B, d(A,B)) is an *original edge with that weight*.
-                    // An original parallel edge that is LONGER than the
-                    // shortest detour does not make the shortcut redundant
-                    // (the local fragment would only have the suboptimal
-                    // edge), so compare weights, not mere existence.
-                    if net.edge_weight(NodeId(u), portal).map(u64::from) != Some(d) {
-                        debug_assert!(
-                            partitioning.portals(fragment).contains(&NodeId(u)),
-                            "SC endpoint must be a portal"
-                        );
-                        let key = if u < source { (u, source) } else { (source, u) };
-                        let prev = sc_map.insert(key, d);
-                        debug_assert!(
-                            prev.is_none() || prev == Some(d),
-                            "shortcut rediscovered with a different distance"
-                        );
-                    }
-                } else {
-                    let indexed = match config.dl_scope {
-                        DlScope::ObjectsOnly => net.is_object(NodeId(u)),
-                        DlScope::AllNodes => true,
-                    };
-                    if indexed {
-                        dl_entries.entry(NodeId(u)).or_default().push((portal, d));
-                    }
-                }
-            }
-            // A path continuing through `u` has `u` as an internal node, so
-            // the flag for successors must include "u is an internal P node".
-            let flag_through_u = u_reentered || (u != source && assignment[u as usize] == p);
-            let epoch = ws.epoch;
-            let (dist, stamp, reentered, heap) =
-                (&mut ws.dist, &mut ws.stamp, &mut ws.reentered, &mut ws.heap);
-            net.for_each_neighbor(u, &mut |v, w| {
-                let nd = d.saturating_add(u64::from(w));
-                if nd > max_r {
-                    return;
-                }
-                let vi = v as usize;
-                let cur = if stamp[vi] == epoch { dist[vi] } else { INF };
-                if nd < cur {
-                    dist[vi] = nd;
-                    stamp[vi] = epoch;
-                    reentered[vi] = flag_through_u;
-                    heap.push(Reverse((nd, v)));
-                } else if nd == cur && cur != INF {
-                    // Rule 3/4: "ANY shortest path" — merge the flag.
-                    reentered[vi] |= flag_through_u;
-                }
-            });
+    for y in yields {
+        settled_total += y.settled;
+        for (key, d) in y.sc {
+            let prev = sc_map.insert(key, d);
+            debug_assert!(
+                prev.is_none() || prev == Some(d),
+                "shortcut rediscovered with a different distance"
+            );
+        }
+        for (node, d) in y.dl {
+            dl_entries.entry(node).or_default().push((y.portal, d));
         }
     }
 
@@ -197,7 +220,7 @@ fn build_index_with_workspace(
 
     NpdIndex {
         fragment,
-        max_r,
+        max_r: config.max_r,
         dl_scope: config.dl_scope,
         sc,
         dl_entries,
@@ -205,6 +228,82 @@ fn build_index_with_workspace(
         build_time: start.elapsed(),
         build_settled: settled_total,
     }
+}
+
+/// Build the NPD-index for one fragment.
+pub fn build_index(
+    net: &RoadNetwork,
+    partitioning: &Partitioning,
+    fragment: FragmentId,
+    config: &IndexConfig,
+) -> NpdIndex {
+    let mut ws = BuildWorkspace::new(net.num_nodes());
+    build_index_with_workspace(net, partitioning, fragment, config, &mut ws)
+}
+
+fn build_index_with_workspace(
+    net: &RoadNetwork,
+    partitioning: &Partitioning,
+    fragment: FragmentId,
+    config: &IndexConfig,
+    ws: &mut BuildWorkspace,
+) -> NpdIndex {
+    let start = Instant::now();
+    let yields = partitioning
+        .portals(fragment)
+        .iter()
+        .map(|&portal| portal_search(net, partitioning, fragment, config, portal, ws))
+        .collect();
+    assemble_index(net, fragment, config, yields, start)
+}
+
+/// Build the NPD-index for one fragment with the per-portal backward
+/// searches spread over up to `threads` scoped OS threads. The searches
+/// are independent (each owns a private [`BuildWorkspace`]) and the merge
+/// is deterministic — the result is bit-identical to [`build_index`].
+pub fn build_index_with_threads(
+    net: &RoadNetwork,
+    partitioning: &Partitioning,
+    fragment: FragmentId,
+    config: &IndexConfig,
+    threads: usize,
+) -> NpdIndex {
+    let portals = partitioning.portals(fragment);
+    let threads = threads.min(portals.len()).max(1);
+    if threads == 1 {
+        return build_index(net, partitioning, fragment, config);
+    }
+    let start = Instant::now();
+    // Work-stealing over portal positions: portals' search frontiers vary
+    // wildly in size (maxR-bounded), so static striping would unbalance.
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let (tx, rx) = std::sync::mpsc::channel::<(usize, PortalYield)>();
+    let mut slots: Vec<Option<PortalYield>> = Vec::with_capacity(portals.len());
+    slots.resize_with(portals.len(), || None);
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            let tx = tx.clone();
+            let next = &next;
+            scope.spawn(move || {
+                let mut ws = BuildWorkspace::new(net.num_nodes());
+                loop {
+                    let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    if i >= portals.len() {
+                        break;
+                    }
+                    let y = portal_search(net, partitioning, fragment, config, portals[i], &mut ws);
+                    tx.send((i, y)).expect("collector alive");
+                }
+            });
+        }
+        drop(tx);
+        for (i, y) in rx {
+            slots[i] = Some(y);
+        }
+    });
+    // Reassemble in portal order (not completion order).
+    let yields = slots.into_iter().map(|o| o.expect("every portal searched")).collect();
+    assemble_index(net, fragment, config, yields, start)
 }
 
 /// Build the index for every fragment, in parallel across OS threads (the
@@ -216,7 +315,11 @@ pub fn build_all_indexes(
     config: &IndexConfig,
 ) -> Vec<NpdIndex> {
     let k = partitioning.num_fragments();
-    let threads = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(4).min(k.max(1));
+    let cores = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(4);
+    let across = cores.min(k.max(1));
+    // Cores left over after fragment-level parallelism go to portal-level
+    // parallelism *within* each build (few big fragments, many cores).
+    let within = (cores / across).max(1);
     let mut out: Vec<Option<NpdIndex>> = Vec::with_capacity(k);
     out.resize_with(k, || None);
     let next = std::sync::atomic::AtomicUsize::new(0);
@@ -224,7 +327,7 @@ pub fn build_all_indexes(
     // indexes over a channel; the scope owner reassembles them in order.
     let (tx, rx) = std::sync::mpsc::channel::<NpdIndex>();
     std::thread::scope(|scope| {
-        for _ in 0..threads {
+        for _ in 0..across {
             let tx = tx.clone();
             let next = &next;
             scope.spawn(move || {
@@ -234,13 +337,12 @@ pub fn build_all_indexes(
                     if f >= k {
                         break;
                     }
-                    let idx = build_index_with_workspace(
-                        net,
-                        partitioning,
-                        FragmentId(f as u32),
-                        config,
-                        &mut ws,
-                    );
+                    let fragment = FragmentId(f as u32);
+                    let idx = if within > 1 {
+                        build_index_with_threads(net, partitioning, fragment, config, within)
+                    } else {
+                        build_index_with_workspace(net, partitioning, fragment, config, &mut ws)
+                    };
                     tx.send(idx).expect("collector alive");
                 }
             });
@@ -569,6 +671,33 @@ mod tests {
             let solo = build_index(&net, &p, FragmentId(i as u32), &cfg);
             assert_eq!(idx.shortcuts(), solo.shortcuts());
             assert_eq!(idx.dl_pairs(), solo.dl_pairs());
+        }
+    }
+
+    /// Portal-level parallelism is an implementation detail: for any thread
+    /// count the assembled index is identical to the sequential build —
+    /// same SC set, same DL entries (order included), same keyword
+    /// aggregation, same settled count.
+    #[test]
+    fn portal_parallel_build_is_deterministic() {
+        let net = GridNetworkConfig::tiny(8).generate();
+        let p = MultilevelPartitioner::default().partition(&net, 2);
+        for cfg in [IndexConfig::unbounded(), IndexConfig::with_max_r(4 * net.avg_edge_weight())] {
+            for f in p.fragment_ids() {
+                let seq = build_index(&net, &p, f, &cfg);
+                for threads in [2, 3, 8] {
+                    let par = build_index_with_threads(&net, &p, f, &cfg, threads);
+                    assert_eq!(par.shortcuts(), seq.shortcuts(), "threads={threads}");
+                    assert_eq!(par.dl_pairs(), seq.dl_pairs(), "threads={threads}");
+                    let mut seq_dl: Vec<_> = seq.dl_entries().collect();
+                    let mut par_dl: Vec<_> = par.dl_entries().collect();
+                    seq_dl.sort_unstable_by_key(|&(n, _)| n);
+                    par_dl.sort_unstable_by_key(|&(n, _)| n);
+                    assert_eq!(par_dl, seq_dl, "threads={threads}");
+                    assert_eq!(par.keyword_portals, seq.keyword_portals, "threads={threads}");
+                    assert_eq!(par.build_settled, seq.build_settled, "threads={threads}");
+                }
+            }
         }
     }
 

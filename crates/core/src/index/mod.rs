@@ -25,7 +25,7 @@ mod build;
 mod naive;
 mod persist;
 
-pub use build::{build_all_indexes, build_index};
+pub use build::{build_all_indexes, build_index, build_index_with_threads};
 pub use naive::build_naive_index;
 pub use persist::{load_index, save_index, INDEX_MAGIC};
 

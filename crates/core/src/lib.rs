@@ -13,6 +13,9 @@
 //!   (Rules 1/3, Theorems 1–2) and the `DL` distance-list component
 //!   (Rules 2/4, Theorems 3–4), built with the backward portal-source search
 //!   of Algorithm 1, with `maxR` pruning (§3.7) and persistence.
+//! * [`plan`] — normalized query plans: deduplicated `(term, radius)`
+//!   coverage slots plus a combine program over slot indexes, the unit the
+//!   coordinator admits/ships and the cluster layer caches.
 //! * [`engine`] — the per-fragment query engine of Algorithm 2: extended
 //!   fragment construction and per-term coverage Dijkstra, instrumented with
 //!   the Theorem 5 cost model.
@@ -29,6 +32,7 @@ pub mod directed;
 pub mod engine;
 pub mod error;
 pub mod index;
+pub mod plan;
 pub mod query;
 pub mod topk;
 
@@ -39,10 +43,12 @@ pub use directed::{
     build_directed_index, directed_sgkq_centralized, directed_sgkq_distributed,
     DirectedFragmentEngine, DirectedNpdIndex, DirectedPartition,
 };
-pub use engine::{FragmentEngine, QueryCost};
+pub use engine::{CoverageStore, FragmentEngine, NoCache, QueryCost, SlotCost};
 pub use error::{IndexError, QueryError};
 pub use index::{
-    build_all_indexes, build_index, build_naive_index, DlScope, IndexConfig, IndexStats, NpdIndex,
+    build_all_indexes, build_index, build_index_with_threads, build_naive_index, DlScope,
+    IndexConfig, IndexStats, NpdIndex,
 };
+pub use plan::QueryPlan;
 pub use query::{QClassQuery, RangeKeywordQuery, SgkQuery};
 pub use topk::{centralized_topk, merge_topk, Ranked, ScoreCombine, TopKQuery};

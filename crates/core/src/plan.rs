@@ -1,0 +1,247 @@
+//! Query planning: lowering D-functions into normalized [`QueryPlan`]s.
+//!
+//! A plan is the coordinator-side, wire-shippable form of a query. It
+//! separates *what must be computed* — the deduplicated `(term, radius)`
+//! **slots**, each a keyword coverage `R(term, r) ∩ P` — from *how results
+//! combine* — a left-associated operator **program** over slot indexes.
+//!
+//! Deduplication is what makes the slot the unit of caching: a Zipf-skewed
+//! stream repeats the same `(keyword, radius)` pairs constantly, and a plan
+//! referencing slot `#i` twice costs one Dijkstra, not two. Lemma 1 is
+//! unaffected: the program is evaluated per fragment over local coverages,
+//! and the union over fragments is taken by the coordinator exactly as for
+//! the original D-function.
+
+use bytes::{Buf, BufMut};
+
+use disks_roadnet::codec::{Decode, Encode};
+use disks_roadnet::DecodeError;
+
+use crate::bitset::BitSet;
+use crate::dfunc::{DFunction, DTerm, SetOp, Term};
+
+/// A normalized query: deduplicated coverage slots plus a combine program.
+///
+/// Invariants (enforced by [`QueryPlan::lower`] and checked on decode):
+/// `slots` is non-empty, every slot is referenced by the program, and every
+/// program index is `< slots.len()`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueryPlan {
+    /// Distinct `(term, radius)` coverages, in first-occurrence order.
+    slots: Vec<DTerm>,
+    /// Slot index of the program's first operand `X₁`.
+    first: u32,
+    /// The operator chain `θ₁ X_{i₁} θ₂ X_{i₂} …` over slot indexes.
+    ops: Vec<(SetOp, u32)>,
+}
+
+impl QueryPlan {
+    /// Lower a D-function, deduplicating identical `(term, radius)` terms
+    /// into shared slots.
+    pub fn lower(f: &DFunction) -> Self {
+        let mut slots: Vec<DTerm> = Vec::with_capacity(f.num_terms());
+        let slot_of = |slots: &mut Vec<DTerm>, t: &DTerm| -> u32 {
+            match slots.iter().position(|s| s == t) {
+                Some(i) => i as u32,
+                None => {
+                    slots.push(*t);
+                    (slots.len() - 1) as u32
+                }
+            }
+        };
+        let first = slot_of(&mut slots, &f.first);
+        let ops = f.rest.iter().map(|(op, t)| (*op, slot_of(&mut slots, t))).collect();
+        QueryPlan { slots, first, ops }
+    }
+
+    /// The deduplicated coverage slots, in first-occurrence order.
+    pub fn slots(&self) -> &[DTerm] {
+        &self.slots
+    }
+
+    /// Number of distinct coverages to compute (`≤` the D-function's term
+    /// count).
+    pub fn num_slots(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Number of operands in the combine program (the D-function's `k`).
+    pub fn num_operands(&self) -> usize {
+        1 + self.ops.len()
+    }
+
+    /// Largest radius across slots (used for `maxR` admission and §5.5
+    /// bi-level routing).
+    pub fn max_radius(&self) -> u64 {
+        self.slots.iter().map(|s| s.radius).max().unwrap_or(0)
+    }
+
+    /// Iterate the distinct query locations (`Term::Node` slots).
+    pub fn locations(&self) -> impl Iterator<Item = disks_roadnet::NodeId> + '_ {
+        self.slots.iter().filter_map(|s| match s.term {
+            Term::Node(n) => Some(n),
+            Term::Keyword(_) => None,
+        })
+    }
+
+    /// Run the combine program over per-slot coverages. `coverages[i]` must
+    /// be the coverage of `slots()[i]`; all bitsets must share a capacity.
+    pub fn combine<C: std::ops::Deref<Target = BitSet>>(&self, coverages: &[C]) -> BitSet {
+        assert_eq!(coverages.len(), self.slots.len(), "one coverage per slot required");
+        let mut acc: BitSet = coverages[self.first as usize].clone();
+        for &(op, slot) in &self.ops {
+            let rhs = &*coverages[slot as usize];
+            match op {
+                SetOp::Union => acc.union_with(rhs),
+                SetOp::Intersect => acc.intersect_with(rhs),
+                SetOp::Subtract => acc.subtract(rhs),
+            }
+        }
+        acc
+    }
+}
+
+impl std::fmt::Display for QueryPlan {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for (i, s) in self.slots.iter().enumerate() {
+            write!(f, "#{i}=R({}, {}); ", s.term, s.radius)?;
+        }
+        write!(f, "#{}", self.first)?;
+        for (op, slot) in &self.ops {
+            write!(f, " {op} #{slot}")?;
+        }
+        Ok(())
+    }
+}
+
+impl Encode for QueryPlan {
+    fn encode(&self, buf: &mut impl BufMut) {
+        self.slots.encode(buf);
+        self.first.encode(buf);
+        self.ops.encode(buf);
+    }
+}
+impl Decode for QueryPlan {
+    fn decode(buf: &mut impl Buf) -> Result<Self, DecodeError> {
+        let slots = Vec::<DTerm>::decode(buf)?;
+        if slots.is_empty() {
+            return Err(DecodeError::LengthOutOfRange { context: "QueryPlan.slots", len: 0 });
+        }
+        let first = u32::decode(buf)?;
+        let ops = Vec::<(SetOp, u32)>::decode(buf)?;
+        let n = slots.len() as u64;
+        for idx in std::iter::once(first).chain(ops.iter().map(|&(_, i)| i)) {
+            if u64::from(idx) >= n {
+                return Err(DecodeError::LengthOutOfRange {
+                    context: "QueryPlan slot index",
+                    len: u64::from(idx),
+                });
+            }
+        }
+        Ok(QueryPlan { slots, first, ops })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use disks_roadnet::{KeywordId, NodeId};
+    use std::sync::Arc;
+
+    fn set(cap: usize, elems: &[usize]) -> Arc<BitSet> {
+        let mut s = BitSet::new(cap);
+        for &e in elems {
+            s.insert(e);
+        }
+        Arc::new(s)
+    }
+
+    #[test]
+    fn lowering_dedupes_repeated_terms() {
+        // R(a, 5) ∩ R(b, 5) ∪ R(a, 5): three operands, two slots.
+        let f = DFunction::single(Term::Keyword(KeywordId(0)), 5)
+            .then(SetOp::Intersect, Term::Keyword(KeywordId(1)), 5)
+            .then(SetOp::Union, Term::Keyword(KeywordId(0)), 5);
+        let plan = QueryPlan::lower(&f);
+        assert_eq!(plan.num_slots(), 2);
+        assert_eq!(plan.num_operands(), 3);
+        assert_eq!(plan.ops, vec![(SetOp::Intersect, 1), (SetOp::Union, 0)]);
+    }
+
+    #[test]
+    fn same_term_different_radius_gets_distinct_slots() {
+        let f = DFunction::single(Term::Keyword(KeywordId(0)), 5).then(
+            SetOp::Union,
+            Term::Keyword(KeywordId(0)),
+            9,
+        );
+        let plan = QueryPlan::lower(&f);
+        assert_eq!(plan.num_slots(), 2);
+        assert_eq!(plan.max_radius(), 9);
+    }
+
+    #[test]
+    fn combine_matches_dfunction_combine() {
+        // (X1 − X2) ∪ X1: exercises a repeated operand through one slot.
+        let f = DFunction::single(Term::Keyword(KeywordId(0)), 3)
+            .then(SetOp::Subtract, Term::Keyword(KeywordId(1)), 2)
+            .then(SetOp::Union, Term::Keyword(KeywordId(0)), 3);
+        let x1 = set(6, &[0, 1, 4]);
+        let x2 = set(6, &[1, 2]);
+        let expect = f.combine(&[(*x1).clone(), (*x2).clone(), (*x1).clone()]);
+        let plan = QueryPlan::lower(&f);
+        let got = plan.combine(&[x1, x2]);
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn locations_yields_node_slots() {
+        let f = DFunction::single(Term::Node(NodeId(7)), 4).then(
+            SetOp::Intersect,
+            Term::Keyword(KeywordId(1)),
+            0,
+        );
+        let plan = QueryPlan::lower(&f);
+        assert_eq!(plan.locations().collect::<Vec<_>>(), vec![NodeId(7)]);
+    }
+
+    #[test]
+    fn codec_round_trip() {
+        use bytes::BytesMut;
+        let f = DFunction::single(Term::Keyword(KeywordId(2)), 10)
+            .then(SetOp::Union, Term::Node(NodeId(5)), 0)
+            .then(SetOp::Subtract, Term::Keyword(KeywordId(2)), 10);
+        let plan = QueryPlan::lower(&f);
+        let mut buf = BytesMut::new();
+        plan.encode(&mut buf);
+        let mut bytes = buf.freeze();
+        assert_eq!(QueryPlan::decode(&mut bytes).unwrap(), plan);
+    }
+
+    #[test]
+    fn decode_rejects_out_of_range_slot_index() {
+        use bytes::BytesMut;
+        let plan = QueryPlan {
+            slots: vec![DTerm { term: Term::Keyword(KeywordId(0)), radius: 1 }],
+            first: 3, // invalid: only one slot
+            ops: Vec::new(),
+        };
+        let mut buf = BytesMut::new();
+        plan.encode(&mut buf);
+        let mut bytes = buf.freeze();
+        assert!(matches!(
+            QueryPlan::decode(&mut bytes),
+            Err(DecodeError::LengthOutOfRange { context: "QueryPlan slot index", .. })
+        ));
+    }
+
+    #[test]
+    fn decode_rejects_empty_plan() {
+        use bytes::BytesMut;
+        let plan = QueryPlan { slots: Vec::new(), first: 0, ops: Vec::new() };
+        let mut buf = BytesMut::new();
+        plan.encode(&mut buf);
+        let mut bytes = buf.freeze();
+        assert!(QueryPlan::decode(&mut bytes).is_err());
+    }
+}
