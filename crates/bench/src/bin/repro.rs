@@ -234,8 +234,22 @@ fn main() {
             {
                 eprintln!("failed to save BENCH_throughput.json: {e}");
             } else {
-                println!("[json] {} ({} machine points)\n", path.display(), summary.points.len());
+                println!("[json] {} ({} machine points)", path.display(), summary.points.len());
             }
+            // Batched dispatch headline: uncached pipelined speedup from
+            // cross-query super-plans (window 16) over the unbatched path.
+            for p in &summary.points {
+                if p.qps_uncached > 0.0 {
+                    println!(
+                        "[batch] machines={}: {:.0} -> {:.0} q/s uncached, {:.2}x speedup",
+                        p.machines,
+                        p.qps_uncached,
+                        p.qps_batched,
+                        p.qps_batched / p.qps_uncached
+                    );
+                }
+            }
+            println!();
         }
     }
     if wants("topk") {

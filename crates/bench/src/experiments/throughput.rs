@@ -4,12 +4,15 @@
 //! A batch of SGKQs is pushed through the threaded cluster *pipelined*
 //! (all requests dispatched before gathering), so worker machines drain
 //! their queues concurrently. Throughput = queries / batch wall-clock, per
-//! machine count — measured twice per point, with the per-worker coverage
-//! cache warm and with it disabled, so the cache's contribution is its own
-//! column. Per-query latency percentiles (p50/p99) come from sequential
-//! warm runs. Besides the [`Table`], the experiment returns a
-//! [`ThroughputSummary`] that `repro` serializes to
-//! `results/BENCH_throughput.json`.
+//! machine count — measured with the per-worker coverage cache warm, with
+//! it disabled, and with cross-query batched dispatch
+//! ([`ClusterConfig::batch_window`]) over the uncached cluster, so the
+//! cache's and the batching layer's contributions are separate columns. A
+//! batch-size sweep (windows 1/4/16/64) additionally records
+//! frames-per-query-per-worker and bytes-per-query from the link counters.
+//! Per-query latency percentiles (p50/p99) come from sequential warm runs.
+//! Besides the [`Table`], the experiment returns a [`ThroughputSummary`]
+//! that `repro` serializes to `results/BENCH_throughput.json`.
 
 use disks_cluster::{Cluster, ClusterConfig, NetworkModel};
 use disks_core::{build_all_indexes, DFunction, IndexConfig, NpdIndex};
@@ -20,19 +23,44 @@ use crate::params::Params;
 use crate::queries::QueryGenerator;
 use crate::report::Table;
 
+/// The batch window the headline `qps_batched` column is measured at.
+const HEADLINE_WINDOW: usize = 16;
+
+/// Windows swept for the frames/bytes-per-query columns. Window 1 is the
+/// unbatched baseline (one `Evaluate` frame per query per worker).
+const SWEEP_WINDOWS: [usize; 4] = [1, 4, 16, 64];
+
+/// One batch-window measurement over the uncached cluster.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchSweepPoint {
+    pub window: usize,
+    /// Pipelined queries/sec at this window, cache disabled.
+    pub qps: f64,
+    /// Coordinator→worker frames per query per worker over the measured
+    /// batch — `ceil(n/window)·machines / (n·machines) = ceil(n/window)/n`.
+    pub frames_per_query_per_worker: f64,
+    /// Total link bytes (both directions) per query over the measured batch.
+    pub bytes_per_query: f64,
+}
+
 /// One machine-count measurement of the throughput sweep.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ThroughputPoint {
     pub machines: usize,
-    /// Pipelined queries/sec with a warm coverage cache.
+    /// Pipelined queries/sec with a warm coverage cache (window 1).
     pub qps_cached: f64,
-    /// Pipelined queries/sec with the cache disabled (budget 0).
+    /// Pipelined queries/sec with the cache disabled (window 1).
     pub qps_uncached: f64,
+    /// Pipelined queries/sec with the cache disabled and batched dispatch
+    /// at [`HEADLINE_WINDOW`].
+    pub qps_batched: f64,
     /// Cache hit rate over the measured (warm) batch.
     pub cache_hit_rate: f64,
     /// Sequential warm per-query latency percentiles.
     pub p50_micros: u64,
     pub p99_micros: u64,
+    /// Uncached batch-window sweep at this machine count.
+    pub batch_sweep: Vec<BatchSweepPoint>,
 }
 
 /// Machine-readable summary of the throughput sweep.
@@ -57,14 +85,25 @@ impl ThroughputSummary {
             let sep = if i + 1 == self.points.len() { "" } else { "," };
             s.push_str(&format!(
                 "    {{\"machines\": {}, \"qps_cached\": {:.1}, \"qps_uncached\": {:.1}, \
-                 \"cache_hit_rate\": {:.4}, \"p50_micros\": {}, \"p99_micros\": {}}}{sep}\n",
+                 \"qps_batched\": {:.1}, \"cache_hit_rate\": {:.4}, \"p50_micros\": {}, \
+                 \"p99_micros\": {}, \"batch_sweep\": [",
                 p.machines,
                 p.qps_cached,
                 p.qps_uncached,
+                p.qps_batched,
                 p.cache_hit_rate,
                 p.p50_micros,
                 p.p99_micros
             ));
+            for (j, b) in p.batch_sweep.iter().enumerate() {
+                let bsep = if j + 1 == p.batch_sweep.len() { "" } else { ", " };
+                s.push_str(&format!(
+                    "{{\"window\": {}, \"qps\": {:.1}, \"frames_per_query_per_worker\": {:.4}, \
+                     \"bytes_per_query\": {:.1}}}{bsep}",
+                    b.window, b.qps, b.frames_per_query_per_worker, b.bytes_per_query
+                ));
+            }
+            s.push_str(&format!("]}}{sep}\n"));
         }
         s.push_str("  ]\n}\n");
         s
@@ -77,6 +116,7 @@ fn build(
     indexes: Vec<NpdIndex>,
     machines: usize,
     cache_bytes: usize,
+    batch_window: usize,
 ) -> Cluster {
     Cluster::build(
         &ds.net,
@@ -86,12 +126,30 @@ fn build(
             machines: Some(machines),
             network: NetworkModel::instant(),
             coverage_cache_bytes: cache_bytes,
+            batch_window,
             ..ClusterConfig::default()
         },
     )
 }
 
-/// Pipelined throughput vs number of machines, cached vs cache-disabled.
+/// One warmup + one measured pipelined run; returns the measured qps and
+/// the link deltas (c2w frames, total bytes) over the measured batch.
+fn measure(cluster: &Cluster, fs: &[DFunction]) -> (f64, u64, u64) {
+    let _ = cluster.run_pipelined(fs).expect("warmup batch");
+    let (fr_before, _) = cluster.link_message_totals();
+    let (c2w_before, w2c_before) = cluster.link_totals();
+    let (results, elapsed) = cluster.run_pipelined(fs).expect("measured batch");
+    assert_eq!(results.len(), fs.len());
+    let (fr_after, _) = cluster.link_message_totals();
+    let (c2w_after, w2c_after) = cluster.link_totals();
+    let qps = fs.len() as f64 / elapsed.as_secs_f64().max(1e-9);
+    let frames = fr_after - fr_before;
+    let bytes = (c2w_after - c2w_before) + (w2c_after - w2c_before);
+    (qps, frames, bytes)
+}
+
+/// Pipelined throughput vs number of machines: cached vs cache-disabled vs
+/// batched dispatch, plus the uncached batch-window sweep.
 pub fn throughput(ds: &Dataset, params: &Params) -> (Table, ThroughputSummary) {
     let e = ds.net.avg_edge_weight();
     let max_r = params.max_r(e);
@@ -113,6 +171,8 @@ pub fn throughput(ds: &Dataset, params: &Params) -> (Table, ThroughputSummary) {
             "batch wall".into(),
             "q/s cached".into(),
             "q/s uncached".into(),
+            format!("q/s batched(w={HEADLINE_WINDOW})"),
+            "frames/q/w".into(),
             "hit rate".into(),
             "p50".into(),
             "p99".into(),
@@ -133,10 +193,12 @@ pub fn throughput(ds: &Dataset, params: &Params) -> (Table, ThroughputSummary) {
         if machines > k {
             continue;
         }
-        // Cached: one warmup batch fills every worker's cache (the Zipf
-        // stream repeats (keyword, radius) slots), then the measured batch
-        // runs warm and its counter delta yields the hit rate.
-        let cached = build(ds, &partitioning, indexes.clone(), machines, 64 << 20);
+        // Cached baseline (window 1 — batching off, so the cache column is
+        // the cache's contribution alone): one warmup batch fills every
+        // worker's cache (the Zipf stream repeats (keyword, radius) slots),
+        // then the measured batch runs warm and its counter delta yields
+        // the hit rate.
+        let cached = build(ds, &partitioning, indexes.clone(), machines, 64 << 20, 1);
         let _ = cached.run_pipelined(&fs).expect("warmup batch");
         let before = cached.cache_counters();
         let (results, elapsed) = cached.run_pipelined(&fs).expect("cached batch");
@@ -153,19 +215,35 @@ pub fn throughput(ds: &Dataset, params: &Params) -> (Table, ThroughputSummary) {
         let p99 = lat[(lat.len() * 99 / 100).min(lat.len() - 1)];
         cached.shutdown();
 
-        // Uncached: same warmup (queue effects), zero cache budget.
-        let uncached = build(ds, &partitioning, indexes.clone(), machines, 0);
-        let _ = uncached.run_pipelined(&fs).expect("uncached warmup");
-        let (results, elapsed_u) = uncached.run_pipelined(&fs).expect("uncached batch");
-        assert_eq!(results.len(), fs.len());
-        let qps_uncached = fs.len() as f64 / elapsed_u.as_secs_f64().max(1e-9);
-        uncached.shutdown();
+        // Uncached batch-window sweep — window 1 is the unbatched baseline,
+        // every cluster gets the same warmup (queue effects) and a zero
+        // cache budget so batching is the only variable.
+        let mut batch_sweep = Vec::new();
+        for &window in &SWEEP_WINDOWS {
+            let cluster = build(ds, &partitioning, indexes.clone(), machines, 0, window);
+            let (qps, frames, bytes) = measure(&cluster, &fs);
+            cluster.shutdown();
+            batch_sweep.push(BatchSweepPoint {
+                window,
+                qps,
+                frames_per_query_per_worker: frames as f64 / (fs.len() * machines) as f64,
+                bytes_per_query: bytes as f64 / fs.len() as f64,
+            });
+        }
+        let qps_uncached = batch_sweep[0].qps;
+        let headline = batch_sweep
+            .iter()
+            .find(|b| b.window == HEADLINE_WINDOW)
+            .expect("headline window in sweep")
+            .clone();
 
         t.push(vec![
             machines.to_string(),
             crate::report::fmt_duration(elapsed),
             format!("{qps_cached:.0}"),
             format!("{qps_uncached:.0}"),
+            format!("{:.0}", headline.qps),
+            format!("{:.3}", headline.frames_per_query_per_worker),
             format!("{:.1}%", delta.hit_rate() * 100.0),
             format!("{p50}us"),
             format!("{p99}us"),
@@ -174,9 +252,11 @@ pub fn throughput(ds: &Dataset, params: &Params) -> (Table, ThroughputSummary) {
             machines,
             qps_cached,
             qps_uncached,
+            qps_batched: headline.qps,
             cache_hit_rate: delta.hit_rate(),
             p50_micros: p50,
             p99_micros: p99,
+            batch_sweep,
         });
     }
     (t, summary)
@@ -188,7 +268,7 @@ mod tests {
     use crate::datasets::{load, DatasetId, Scale};
 
     #[test]
-    fn throughput_sweep_reports_cache_and_latency() {
+    fn throughput_sweep_reports_cache_latency_and_batching() {
         let ds = load(DatasetId::Aus, Scale::Smoke);
         let params =
             Params { num_fragments: 4, queries_per_point: 2, num_keywords: 3, ..Params::default() };
@@ -198,14 +278,44 @@ mod tests {
         for p in &summary.points {
             assert!(p.qps_cached > 0.0);
             assert!(p.qps_uncached > 0.0);
+            assert!(p.qps_batched > 0.0);
             // The measured batch replays the warmup stream, so a warm cache
             // must serve well over half the lookups.
             assert!(p.cache_hit_rate > 0.5, "hit rate {} too low", p.cache_hit_rate);
             assert!(p.p50_micros <= p.p99_micros);
+            // Frame economy is deterministic: ceil(n/window)/n frames per
+            // query per worker — 1.0 unbatched, < 0.25 at window ≥ 8 for
+            // the 20-query smoke batch.
+            assert_eq!(p.batch_sweep.len(), SWEEP_WINDOWS.len());
+            for b in &p.batch_sweep {
+                let n = summary.queries;
+                let expect = n.div_ceil(b.window) as f64 / n as f64;
+                assert!(
+                    (b.frames_per_query_per_worker - expect).abs() < 1e-9,
+                    "window {}: frames/q/w {} != {}",
+                    b.window,
+                    b.frames_per_query_per_worker,
+                    expect
+                );
+                assert!(b.bytes_per_query > 0.0);
+            }
+            let unbatched = &p.batch_sweep[0];
+            assert!((unbatched.frames_per_query_per_worker - 1.0).abs() < 1e-9);
+            let headline =
+                p.batch_sweep.iter().find(|b| b.window == HEADLINE_WINDOW).expect("headline");
+            assert!(
+                headline.frames_per_query_per_worker < 0.25,
+                "window {HEADLINE_WINDOW} frames/q/w {}",
+                headline.frames_per_query_per_worker
+            );
+            // Slot sharing must shrink the dispatched bytes too.
+            assert!(headline.bytes_per_query < unbatched.bytes_per_query);
         }
         let json = summary.to_json();
         assert!(json.contains("\"qps_cached\""));
-        assert!(json.contains("\"cache_hit_rate\""));
+        assert!(json.contains("\"qps_batched\""));
+        assert!(json.contains("\"batch_sweep\""));
+        assert!(json.contains("\"frames_per_query_per_worker\""));
         assert!(json.trim_start().starts_with('{') && json.trim_end().ends_with('}'));
     }
 }

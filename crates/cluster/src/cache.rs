@@ -12,6 +12,11 @@
 //! (and a §5.5 bi-level pair serves one fragment from two engines — both
 //! levels are exact for any radius they admit, so the level is *not* part
 //! of the key).
+//!
+//! Under batched dispatch a per-batch shared result map sits *above* this
+//! LRU (`worker::BatchStore`): only the first query of a batch to reference
+//! a slot reaches the LRU, so these counters stay exact — intra-batch
+//! re-references are reported separately as `WireCost::batch_shared`.
 
 use std::collections::HashMap;
 use std::sync::Arc;

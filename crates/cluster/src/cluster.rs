@@ -28,18 +28,20 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use crossbeam::channel::{Receiver, RecvTimeoutError, Sender};
+use crossbeam::channel::{Receiver, RecvTimeoutError, Sender, TryRecvError};
 
 use bytes::Bytes;
 use disks_core::{
     DFunction, DlScope, FragmentEngine, NpdIndex, QClassQuery, QueryError, QueryPlan,
-    RangeKeywordQuery, SgkQuery,
+    RangeKeywordQuery, SgkQuery, SuperPlan,
 };
 use disks_partition::{FragmentId, Partitioning};
 use disks_roadnet::{NodeId, RoadNetwork, INF};
 
 use crate::cache::CacheCounters;
-use crate::message::{decode_frame, encode_frame, Request, Response};
+use crate::message::{
+    decode_frame, encode_frame, results_frame_len, BatchAnswer, Request, Response,
+};
 use crate::scheduler::Assignment;
 use crate::stats::{MachineCost, QueryStats, RecoveryCounters};
 use crate::transport::{
@@ -73,6 +75,13 @@ pub struct ClusterConfig {
     /// The default honours the `DISKS_COVERAGE_CACHE` environment variable
     /// (bytes, or `0`/`off`/`false` to disable; unset → 64 MiB).
     pub coverage_cache_bytes: usize,
+    /// Cross-query batching window for [`Cluster::run_pipelined`] /
+    /// [`Cluster::run_batched`]: up to this many admitted plans are merged
+    /// into one [`SuperPlan`] per worker per round. `0` or `1` disables
+    /// batching (one `Evaluate` frame per query per worker). The default
+    /// honours the `DISKS_BATCH` environment variable (a window size, or
+    /// `0`/`1`/`off`/`false` to disable; unset → 16).
+    pub batch_window: usize,
 }
 
 impl ClusterConfig {
@@ -93,6 +102,24 @@ impl ClusterConfig {
             Err(_) => DEFAULT,
         }
     }
+
+    /// Batching window from `DISKS_BATCH` (a window size, or
+    /// `0`/`1`/`off`/`false` to disable batching); 16 when unset or
+    /// unparseable.
+    pub fn batch_window_from_env() -> usize {
+        const DEFAULT: usize = 16;
+        match std::env::var("DISKS_BATCH") {
+            Ok(v) => {
+                let v = v.trim();
+                if v.eq_ignore_ascii_case("off") || v.eq_ignore_ascii_case("false") {
+                    1
+                } else {
+                    v.parse().unwrap_or(DEFAULT).max(1)
+                }
+            }
+            Err(_) => DEFAULT,
+        }
+    }
 }
 
 impl Default for ClusterConfig {
@@ -106,6 +133,7 @@ impl Default for ClusterConfig {
             allow_partial: false,
             faults: None,
             coverage_cache_bytes: Self::coverage_cache_bytes_from_env(),
+            batch_window: Self::batch_window_from_env(),
         }
     }
 }
@@ -171,6 +199,9 @@ struct GatherReport {
     degraded: Vec<(usize, u32)>,
     /// Worker coverage-cache activity summed over this gather's responses.
     cache: CacheCounters,
+    /// Narrowed re-dispatches per query slot — keeps retry attribution
+    /// per-query exact even when the original dispatch was batched.
+    retries_by_slot: Vec<u32>,
 }
 
 /// A running share-nothing cluster.
@@ -199,6 +230,8 @@ pub struct Cluster {
     admission_max_r: u64,
     /// Byte budget handed to each worker's coverage cache (0 = disabled).
     cache_budget: usize,
+    /// Cross-query batching window (≤1 = unbatched dispatch).
+    batch_window: usize,
     query_counter: Cell<u64>,
     respawn: RespawnSpec,
     recovery: Cell<RecoveryCounters>,
@@ -312,6 +345,7 @@ impl Cluster {
             is_object,
             admission_max_r,
             cache_budget: config.coverage_cache_bytes,
+            batch_window: config.batch_window,
             query_counter: Cell::new(0),
             respawn: spec,
             recovery: Cell::new(RecoveryCounters::default()),
@@ -453,6 +487,7 @@ impl Cluster {
             let frame = encode_frame(&make_request(slot, frags));
             self.send_to_worker(m, &frame, &mut report.respawned_workers);
             report.retries += 1;
+            report.retries_by_slot[slot] += 1;
         }
     }
 
@@ -472,21 +507,63 @@ impl Cluster {
         let k = self.assignment.num_fragments();
         let mut responded = vec![vec![false; k]; n];
         let mut attempts = vec![vec![1u32; k]; n];
-        let mut report = GatherReport::default();
+        let mut report = GatherReport { retries_by_slot: vec![0; n], ..GatherReport::default() };
         let mut missing = n * k;
         // The deadline measures *silence*, not total time: any in-window
         // frame resets it, so a long streak of slow-but-live responses is
         // never mistaken for a stall.
         let mut stall_deadline = Instant::now() + self.deadline;
 
-        let outcome = loop {
+        let outcome = 'gather: loop {
             if missing == 0 {
+                // Drain stragglers already queued (duplicated frames, late
+                // answers landing just after the last needed response) so
+                // duplicate accounting does not depend on how the final
+                // frames interleaved in the channel.
+                while let Ok(frame) = self.responses.try_recv() {
+                    match decode_frame::<Response>(frame) {
+                        Err(_) => report.corrupt_frames += 1,
+                        Ok(Response::BatchResults { base: b, fragment, answers }) => {
+                            for i in 0..answers.len() {
+                                let qid = b + 1 + i as u64;
+                                if qid > base && qid <= base + n as u64 && (fragment as usize) < k {
+                                    report.duplicate_responses += 1;
+                                } else {
+                                    report.out_of_window_responses += 1;
+                                }
+                            }
+                        }
+                        Ok(Response::Results { query_id, fragment, .. })
+                        | Ok(Response::TopKResults { query_id, fragment, .. })
+                        | Ok(Response::Failed { query_id, fragment, .. }) => {
+                            if query_id > base
+                                && query_id <= base + n as u64
+                                && (fragment as usize) < k
+                            {
+                                report.duplicate_responses += 1;
+                            } else {
+                                report.out_of_window_responses += 1;
+                            }
+                        }
+                    }
+                }
                 break Ok(());
             }
-            let timeout = stall_deadline.saturating_duration_since(Instant::now());
-            match self.responses.recv_timeout(timeout) {
+            // Fast path: drain already-queued frames without the
+            // park/unpark round-trip `recv_timeout` pays even when a frame
+            // is ready (the machines=2 throughput cliff; see
+            // EXPERIMENTS.md).
+            let received = match self.responses.try_recv() {
+                Ok(frame) => Ok(frame),
+                Err(TryRecvError::Disconnected) => Err(RecvTimeoutError::Disconnected),
+                Err(TryRecvError::Empty) => {
+                    let timeout = stall_deadline.saturating_duration_since(Instant::now());
+                    self.responses.recv_timeout(timeout)
+                }
+            };
+            match received {
                 Ok(frame) => {
-                    let bytes = frame.len() as u64;
+                    let frame_bytes = frame.len() as u64;
                     let response = match decode_frame::<Response>(frame) {
                         Ok(r) => r,
                         Err(_) => {
@@ -494,51 +571,83 @@ impl Cluster {
                             continue;
                         }
                     };
-                    let (qid, fragment) = match &response {
-                        Response::Results { query_id, fragment, .. }
-                        | Response::TopKResults { query_id, fragment, .. }
-                        | Response::Failed { query_id, fragment, .. } => (*query_id, *fragment),
+                    // A batch frame expands into one positional answer per
+                    // member query; each then flows through the same
+                    // window/dedup/retry machinery as a standalone frame.
+                    // Per-answer bytes are what the answer's standalone
+                    // result frame would have cost (`results_frame_len`),
+                    // keeping per-query byte attribution comparable across
+                    // batched and unbatched runs.
+                    let items: Vec<(Response, u64)> = match response {
+                        Response::BatchResults { base: chunk_base, fragment, answers } => answers
+                            .into_iter()
+                            .enumerate()
+                            .map(|(i, answer)| {
+                                let query_id = chunk_base + 1 + i as u64;
+                                match answer {
+                                    BatchAnswer::Results { nodes, cost } => {
+                                        let bytes = results_frame_len(nodes.len() as u64);
+                                        (
+                                            Response::Results { query_id, fragment, nodes, cost },
+                                            bytes,
+                                        )
+                                    }
+                                    BatchAnswer::Failed(error) => {
+                                        (Response::Failed { query_id, fragment, error }, 0)
+                                    }
+                                }
+                            })
+                            .collect(),
+                        other => vec![(other, frame_bytes)],
                     };
-                    if qid <= base || qid > base + n as u64 || fragment as usize >= k {
-                        report.out_of_window_responses += 1;
-                        continue;
-                    }
-                    let slot = (qid - base - 1) as usize;
-                    let f = fragment as usize;
-                    if responded[slot][f] {
-                        report.duplicate_responses += 1;
-                        continue;
-                    }
-                    stall_deadline = Instant::now() + self.deadline;
-                    match response {
-                        Response::Failed { error, .. } => {
-                            if !error.is_retryable() {
-                                break Err(error);
+                    for (response, bytes) in items {
+                        let (qid, fragment) = match &response {
+                            Response::Results { query_id, fragment, .. }
+                            | Response::TopKResults { query_id, fragment, .. }
+                            | Response::Failed { query_id, fragment, .. } => (*query_id, *fragment),
+                            Response::BatchResults { .. } => unreachable!("expanded above"),
+                        };
+                        if qid <= base || qid > base + n as u64 || fragment as usize >= k {
+                            report.out_of_window_responses += 1;
+                            continue;
+                        }
+                        let slot = (qid - base - 1) as usize;
+                        let f = fragment as usize;
+                        if responded[slot][f] {
+                            report.duplicate_responses += 1;
+                            continue;
+                        }
+                        stall_deadline = Instant::now() + self.deadline;
+                        match response {
+                            Response::Failed { error, .. } => {
+                                if !error.is_retryable() {
+                                    break 'gather Err(error);
+                                }
+                                if attempts[slot][f] < self.max_attempts {
+                                    attempts[slot][f] += 1;
+                                    self.redispatch(slot, &[fragment], make_request, &mut report);
+                                } else if self.allow_partial {
+                                    responded[slot][f] = true;
+                                    missing -= 1;
+                                    report.degraded.push((slot, fragment));
+                                } else {
+                                    break 'gather Err(error);
+                                }
                             }
-                            if attempts[slot][f] < self.max_attempts {
-                                attempts[slot][f] += 1;
-                                self.redispatch(slot, &[fragment], make_request, &mut report);
-                            } else if self.allow_partial {
+                            payload => {
                                 responded[slot][f] = true;
                                 missing -= 1;
-                                report.degraded.push((slot, fragment));
-                            } else {
-                                break Err(error);
+                                if let Response::Results { cost, .. }
+                                | Response::TopKResults { cost, .. } = &payload
+                                {
+                                    report.cache.absorb(&CacheCounters {
+                                        hits: cost.cache_hits,
+                                        misses: cost.cache_misses,
+                                        evictions: cost.cache_evictions,
+                                    });
+                                }
+                                on_response(slot, payload, bytes);
                             }
-                        }
-                        payload => {
-                            responded[slot][f] = true;
-                            missing -= 1;
-                            if let Response::Results { cost, .. }
-                            | Response::TopKResults { cost, .. } = &payload
-                            {
-                                report.cache.absorb(&CacheCounters {
-                                    hits: cost.cache_hits,
-                                    misses: cost.cache_misses,
-                                    evictions: cost.cache_evictions,
-                                });
-                            }
-                            on_response(slot, payload, bytes);
                         }
                     }
                 }
@@ -615,6 +724,48 @@ impl Cluster {
     fn link_bytes(&self) -> (u64, u64) {
         let c2w = self.workers.borrow().iter().map(|w| w.to_worker.bytes()).sum();
         (c2w, self.from_workers.bytes())
+    }
+
+    /// Lifetime frames (not bytes) sent over the coordinator→worker and
+    /// worker→coordinator links — the round-trip economy of batching shows
+    /// up here as frames-per-query < 1.
+    pub fn link_message_totals(&self) -> (u64, u64) {
+        let c2w = self.workers.borrow().iter().map(|w| w.to_worker.messages()).sum();
+        (c2w, self.from_workers.messages())
+    }
+
+    /// Dispatch admitted plans for queries `base+1 ..= base+plans.len()` to
+    /// every busy machine, honouring the batching window: chunks of ≥2
+    /// plans merge into one [`SuperPlan`] shipped as a single
+    /// `Request::Batch` frame per machine; a window of 1 (batching
+    /// disabled) or a trailing singleton ships a plain `Evaluate`.
+    fn dispatch_plans(&self, base: u64, plans: &[QueryPlan]) -> u32 {
+        let window = self.batch_window.max(1);
+        let mut respawns = 0u32;
+        let mut s = 0usize;
+        while s < plans.len() {
+            let end = (s + window).min(plans.len());
+            let chunk = &plans[s..end];
+            let frame = if chunk.len() >= 2 {
+                encode_frame(&Request::Batch {
+                    base: base + s as u64,
+                    plan: SuperPlan::merge(chunk),
+                    fragments: vec![],
+                })
+            } else {
+                encode_frame(&Request::Evaluate {
+                    query_id: base + 1 + s as u64,
+                    plan: chunk[0].clone(),
+                    fragments: vec![],
+                })
+            };
+            for m in self.assignment.busy_machines() {
+                self.send_to_worker(m, &frame, &mut respawns);
+            }
+            s = end;
+        }
+        self.note_respawns(respawns);
+        respawns
     }
 
     /// Run a D-function distributedly: lower it to a [`QueryPlan`], admit
@@ -712,7 +863,10 @@ impl Cluster {
     /// Run a batch of D-functions *pipelined*: all requests are dispatched
     /// before any response is gathered, so worker machines process their
     /// queues concurrently — the throughput mode the paper's introduction
-    /// motivates ("it will improve query throughput"). Returns the sorted
+    /// motivates ("it will improve query throughput"). Dispatch honours
+    /// [`ClusterConfig::batch_window`]: windows of admitted plans merge into
+    /// per-worker super-plans; retries always narrow to single-query
+    /// `Evaluate` frames for only the failed queries. Returns the sorted
     /// result set per query plus the batch wall-clock. Recovery events are
     /// folded into [`Cluster::recovery_counters`].
     pub fn run_pipelined(
@@ -726,19 +880,7 @@ impl Cluster {
         let start = Instant::now();
         let base = self.query_counter.get();
         self.query_counter.set(base + fs.len() as u64);
-        let mut dispatch_respawns = 0u32;
-        for (i, plan) in plans.iter().enumerate() {
-            let query_id = base + 1 + i as u64;
-            let request = encode_frame(&Request::Evaluate {
-                query_id,
-                plan: plan.clone(),
-                fragments: vec![],
-            });
-            for m in self.assignment.busy_machines() {
-                self.send_to_worker(m, &request, &mut dispatch_respawns);
-            }
-        }
-        self.note_respawns(dispatch_respawns);
+        self.dispatch_plans(base, &plans);
 
         let mut results: Vec<Vec<NodeId>> = vec![Vec::new(); fs.len()];
         let make_request = |slot: usize, frags: Vec<u32>| Request::Evaluate {
@@ -756,6 +898,96 @@ impl Cluster {
             r.sort_unstable();
         }
         Ok((results, start.elapsed()))
+    }
+
+    /// Run a batch of D-functions through the batched dispatch path with
+    /// **per-query statistics**: like [`Cluster::run_pipelined`] but each
+    /// query's [`QueryOutcome`] carries its own exact per-machine wire
+    /// costs, cache counters, and retry count (`GatherReport` attribution
+    /// is per query slot even inside a shared batch frame).
+    ///
+    /// Shared-by-construction fields are documented batch-level values:
+    /// `wall_time` is the batch wall-clock (queries complete together), and
+    /// `coordinator_to_worker_bytes` apportions the dispatch bytes evenly
+    /// across the batch (a super-plan frame has no exact per-query split).
+    pub fn run_batched(
+        &self,
+        fs: &[DFunction],
+    ) -> Result<(Vec<QueryOutcome>, Duration), QueryError> {
+        let n = fs.len();
+        let plans: Vec<QueryPlan> = fs.iter().map(QueryPlan::lower).collect();
+        for plan in &plans {
+            self.admit(plan)?;
+        }
+        let start = Instant::now();
+        let base = self.query_counter.get();
+        self.query_counter.set(base + n as u64);
+        let (c2w_before, _) = self.link_bytes();
+        let dispatch_respawns = self.dispatch_plans(base, &plans);
+
+        let machines = self.num_machines();
+        let mut results: Vec<Vec<NodeId>> = vec![Vec::new(); n];
+        let mut per_machine: Vec<Vec<MachineCost>> =
+            vec![vec![MachineCost::default(); machines]; n];
+        let mut cache_by_slot: Vec<CacheCounters> = vec![CacheCounters::default(); n];
+        let make_request = |slot: usize, frags: Vec<u32>| Request::Evaluate {
+            query_id: base + 1 + slot as u64,
+            plan: plans[slot].clone(),
+            fragments: frags,
+        };
+        let mut on_response = |slot: usize, response: Response, bytes: u64| {
+            if let Response::Results { fragment, nodes, cost, .. } = response {
+                let m = self.assignment.machine_of(FragmentId(fragment));
+                per_machine[slot][m].absorb(fragment, &cost, nodes.len() as u64, bytes);
+                cache_by_slot[slot].absorb(&CacheCounters {
+                    hits: cost.cache_hits,
+                    misses: cost.cache_misses,
+                    evictions: cost.cache_evictions,
+                });
+                results[slot].extend(nodes);
+            }
+        };
+        let report = self.gather(base, n, &make_request, &mut on_response)?;
+        let elapsed = start.elapsed();
+        let (c2w_after, _) = self.link_bytes();
+        let c2w_each = if n == 0 { 0 } else { (c2w_after - c2w_before) / n as u64 };
+
+        let outcomes = results
+            .into_iter()
+            .zip(per_machine)
+            .enumerate()
+            .map(|(slot, (mut nodes, machines))| {
+                nodes.sort_unstable();
+                let mut degraded: Vec<u32> =
+                    report.degraded.iter().filter(|&&(s, _)| s == slot).map(|&(_, f)| f).collect();
+                degraded.sort_unstable();
+                degraded.dedup();
+                let w2c: u64 = machines.iter().map(|m| m.response_bytes).sum();
+                let stats = QueryStats {
+                    wall_time: elapsed,
+                    per_machine: machines,
+                    coordinator_to_worker_bytes: c2w_each,
+                    worker_to_coordinator_bytes: w2c,
+                    inter_worker_bytes: 0, // Theorem 3: no worker↔worker links
+                    rounds: 1 + report.retries_by_slot[slot],
+                    results: nodes.len(),
+                    retries: report.retries_by_slot[slot],
+                    timeouts: report.timeouts,
+                    respawned_workers: dispatch_respawns + report.respawned_workers,
+                    degraded_fragments: degraded,
+                    duplicate_responses: report.duplicate_responses,
+                    corrupt_frames: report.corrupt_frames,
+                    out_of_window_responses: report.out_of_window_responses,
+                    cache_hits: cache_by_slot[slot].hits,
+                    cache_misses: cache_by_slot[slot].misses,
+                    cache_evictions: cache_by_slot[slot].evictions,
+                    ..QueryStats::default()
+                }
+                .finalize(&self.network, c2w_each);
+                QueryOutcome { results: nodes, stats }
+            })
+            .collect();
+        Ok((outcomes, elapsed))
     }
 
     /// Run a top-k group keyword query distributedly: every fragment ships

@@ -35,6 +35,15 @@
 //! emptiness, location checks) before any dispatch; workers execute plans
 //! slot-by-slot through a byte-bounded per-worker [`CoverageCache`], whose
 //! hit/miss/eviction counters ride back on every response frame.
+//!
+//! Pipelined streams additionally batch across queries
+//! ([`ClusterConfig::batch_window`], env `DISKS_BATCH`): a window of
+//! admitted plans merges into one [`disks_core::SuperPlan`] per worker per
+//! round — the union of slots across the batch, deduplicated — so each
+//! distinct coverage is computed once per batch and each worker sends one
+//! multi-answer frame back. Answers stay byte-identical to the unbatched
+//! path, attribution stays per-query exact, and faults inside a batch narrow
+//! to per-query retries (see `DESIGN.md` §"Batched dispatch").
 
 pub mod cache;
 pub mod cluster;
@@ -46,7 +55,7 @@ pub mod worker;
 
 pub use cache::{CacheCounters, CoverageCache};
 pub use cluster::{Cluster, ClusterConfig, QueryOutcome};
-pub use message::{Request, Response, WireCost};
+pub use message::{BatchAnswer, Request, Response, WireCost};
 pub use scheduler::Assignment;
 pub use stats::{MachineCost, QueryStats, RecoveryCounters};
 pub use transport::{FaultAction, FaultPlan, LinkCounters, LinkDirection, LinkFault, NetworkModel};

@@ -6,7 +6,7 @@
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 
-use disks_core::{QueryCost, QueryError, QueryPlan, Ranked, TopKQuery};
+use disks_core::{QueryCost, QueryError, QueryPlan, Ranked, SuperPlan, TopKQuery};
 use disks_roadnet::codec::{Decode, Encode};
 use disks_roadnet::{DecodeError, NodeId};
 
@@ -22,6 +22,12 @@ pub enum Request {
     /// Evaluate a top-k group keyword query on hosted fragments (same
     /// narrowing rule as `Evaluate`).
     TopK { query_id: u64, query: TopKQuery, fragments: Vec<u32> },
+    /// Evaluate a merged batch of query plans on hosted fragments in one
+    /// round. Query `i` of the batch (0-based) has id `base + 1 + i`; the
+    /// worker answers with one [`Response::BatchResults`] frame per hosted
+    /// fragment, answers in batch order. Same fragment-narrowing rule as
+    /// `Evaluate`.
+    Batch { base: u64, plan: SuperPlan, fragments: Vec<u32> },
     /// Terminate the worker loop.
     Shutdown,
 }
@@ -42,6 +48,11 @@ pub struct WireCost {
     pub cache_misses: u64,
     /// Coverage-cache evictions triggered while serving this task.
     pub cache_evictions: u64,
+    /// Coverage slots served from the batch-shared result map (computed or
+    /// fetched once by an earlier query of the same batch). Always 0 on the
+    /// single-query path; not counted as LRU hits so the cache ledger stays
+    /// exact.
+    pub batch_shared: u64,
 }
 
 impl From<&QueryCost> for WireCost {
@@ -56,6 +67,7 @@ impl From<&QueryCost> for WireCost {
             cache_hits: 0,
             cache_misses: 0,
             cache_evictions: 0,
+            batch_shared: 0,
         }
     }
 }
@@ -71,6 +83,63 @@ pub enum Response {
     /// wire — the coordinator can classify it (retryable vs. permanent)
     /// without sniffing display strings.
     Failed { query_id: u64, fragment: u32, error: QueryError },
+    /// One fragment's answers for a whole [`Request::Batch`], in batch
+    /// order: `answers[i]` answers query `base + 1 + i`. Each answer carries
+    /// its own per-query [`WireCost`] so coordinator-side attribution stays
+    /// per-query exact under batching.
+    BatchResults { base: u64, fragment: u32, answers: Vec<BatchAnswer> },
+}
+
+/// One query's outcome inside a [`Response::BatchResults`] frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BatchAnswer {
+    /// The query's local result on this fragment.
+    Results { nodes: Vec<NodeId>, cost: WireCost },
+    /// The query failed on this fragment; the rest of the batch is
+    /// unaffected (the coordinator re-dispatches just this query).
+    Failed(QueryError),
+}
+
+impl Encode for BatchAnswer {
+    fn encode(&self, buf: &mut impl BufMut) {
+        match self {
+            BatchAnswer::Results { nodes, cost } => {
+                0u8.encode(buf);
+                nodes.encode(buf);
+                cost.encode(buf);
+            }
+            BatchAnswer::Failed(error) => {
+                1u8.encode(buf);
+                error.encode(buf);
+            }
+        }
+    }
+}
+impl Decode for BatchAnswer {
+    fn decode(buf: &mut impl Buf) -> Result<Self, DecodeError> {
+        match u8::decode(buf)? {
+            0 => {
+                Ok(BatchAnswer::Results { nodes: Vec::decode(buf)?, cost: WireCost::decode(buf)? })
+            }
+            1 => Ok(BatchAnswer::Failed(QueryError::decode(buf)?)),
+            tag => Err(DecodeError::BadTag { context: "BatchAnswer", tag }),
+        }
+    }
+}
+
+/// Encoded size of a [`WireCost`]: ten fixed-width `u64` fields.
+pub(crate) const WIRE_COST_LEN: u64 = 10 * 8;
+
+/// Exact encoded size of a [`Response::Results`] frame carrying `n_nodes`
+/// result ids: tag + query id + fragment + length prefix + ids + cost.
+///
+/// Used to apportion a batch frame's bytes to its member queries — each
+/// answer is charged what its standalone result frame would have cost, so
+/// per-query byte accounting is comparable across batched and unbatched
+/// runs (the batch frame itself is smaller than the sum; the saving is
+/// visible in the link totals).
+pub(crate) fn results_frame_len(n_nodes: u64) -> u64 {
+    1 + 8 + 4 + 4 + 4 * n_nodes + WIRE_COST_LEN
 }
 
 impl Encode for WireCost {
@@ -84,6 +153,7 @@ impl Encode for WireCost {
         self.cache_hits.encode(buf);
         self.cache_misses.encode(buf);
         self.cache_evictions.encode(buf);
+        self.batch_shared.encode(buf);
     }
 }
 impl Decode for WireCost {
@@ -98,6 +168,7 @@ impl Decode for WireCost {
             cache_hits: u64::decode(buf)?,
             cache_misses: u64::decode(buf)?,
             cache_evictions: u64::decode(buf)?,
+            batch_shared: u64::decode(buf)?,
         })
     }
 }
@@ -118,6 +189,12 @@ impl Encode for Request {
                 query.encode(buf);
                 fragments.encode(buf);
             }
+            Request::Batch { base, plan, fragments } => {
+                3u8.encode(buf);
+                base.encode(buf);
+                plan.encode(buf);
+                fragments.encode(buf);
+            }
         }
     }
 }
@@ -133,6 +210,11 @@ impl Decode for Request {
             2 => Ok(Request::TopK {
                 query_id: u64::decode(buf)?,
                 query: TopKQuery::decode(buf)?,
+                fragments: Vec::decode(buf)?,
+            }),
+            3 => Ok(Request::Batch {
+                base: u64::decode(buf)?,
+                plan: SuperPlan::decode(buf)?,
                 fragments: Vec::decode(buf)?,
             }),
             tag => Err(DecodeError::BadTag { context: "Request", tag }),
@@ -163,6 +245,12 @@ impl Encode for Response {
                 ranked.encode(buf);
                 cost.encode(buf);
             }
+            Response::BatchResults { base, fragment, answers } => {
+                3u8.encode(buf);
+                base.encode(buf);
+                fragment.encode(buf);
+                answers.encode(buf);
+            }
         }
     }
 }
@@ -185,6 +273,11 @@ impl Decode for Response {
                 fragment: u32::decode(buf)?,
                 ranked: Vec::decode(buf)?,
                 cost: WireCost::decode(buf)?,
+            }),
+            3 => Ok(Response::BatchResults {
+                base: u64::decode(buf)?,
+                fragment: u32::decode(buf)?,
+                answers: Vec::decode(buf)?,
             }),
             tag => Err(DecodeError::BadTag { context: "Response", tag }),
         }
@@ -268,6 +361,7 @@ mod tests {
                 cache_hits: 7,
                 cache_misses: 8,
                 cache_evictions: 9,
+                batch_shared: 10,
             },
         };
         let frame = encode_frame(&resp);
@@ -317,6 +411,80 @@ mod tests {
         let mut buf = BytesMut::new();
         buf.put_u8(250);
         assert!(decode_frame::<Response>(buf.freeze()).is_err());
+    }
+
+    #[test]
+    fn batch_round_trip() {
+        use disks_core::SetOp;
+        let plans: Vec<QueryPlan> = [
+            DFunction::single(Term::Keyword(KeywordId(0)), 5).then(
+                SetOp::Intersect,
+                Term::Keyword(KeywordId(1)),
+                5,
+            ),
+            DFunction::single(Term::Keyword(KeywordId(1)), 5),
+        ]
+        .iter()
+        .map(QueryPlan::lower)
+        .collect();
+        let req =
+            Request::Batch { base: 100, plan: SuperPlan::merge(&plans), fragments: vec![0, 3] };
+        let frame = encode_frame(&req);
+        assert_eq!(decode_frame::<Request>(frame).unwrap(), req);
+
+        let resp = Response::BatchResults {
+            base: 100,
+            fragment: 3,
+            answers: vec![
+                BatchAnswer::Results {
+                    nodes: vec![NodeId(2), NodeId(9)],
+                    cost: WireCost { batch_shared: 1, ..Default::default() },
+                },
+                BatchAnswer::Failed(QueryError::RadiusExceedsMaxR { r: 9, max_r: 4 }),
+            ],
+        };
+        let frame = encode_frame(&resp);
+        assert_eq!(decode_frame::<Response>(frame).unwrap(), resp);
+    }
+
+    #[test]
+    fn batched_slot_sharing_shrinks_the_request_bytes() {
+        // Eight queries over the same two slots: one super-plan frame is far
+        // smaller than eight per-query Evaluate frames.
+        use disks_core::SetOp;
+        let f = DFunction::single(Term::Keyword(KeywordId(0)), 5).then(
+            SetOp::Intersect,
+            Term::Keyword(KeywordId(1)),
+            5,
+        );
+        let plans = vec![QueryPlan::lower(&f); 8];
+        let batched = encode_frame(&Request::Batch {
+            base: 0,
+            plan: SuperPlan::merge(&plans),
+            fragments: vec![],
+        })
+        .len();
+        let single: usize = plans
+            .iter()
+            .map(|p| {
+                encode_frame(&Request::Evaluate { query_id: 1, plan: p.clone(), fragments: vec![] })
+                    .len()
+            })
+            .sum();
+        assert!(batched < single / 2, "batched {batched} vs unbatched {single}");
+    }
+
+    #[test]
+    fn results_frame_len_matches_encoded_size() {
+        for n in [0usize, 1, 7, 1000] {
+            let resp = Response::Results {
+                query_id: 42,
+                fragment: 3,
+                nodes: (0..n as u32).map(NodeId).collect(),
+                cost: WireCost::default(),
+            };
+            assert_eq!(encode_frame(&resp).len() as u64, results_frame_len(n as u64));
+        }
     }
 
     #[test]

@@ -23,6 +23,9 @@ pub struct MachineCost {
     pub results: u64,
     /// Bytes this machine sent back to the coordinator.
     pub response_bytes: u64,
+    /// Coverage slots served from the intra-batch shared result map
+    /// (0 outside batched dispatch; see `WireCost::batch_shared`).
+    pub batch_shared: u64,
 }
 
 impl MachineCost {
@@ -35,6 +38,7 @@ impl MachineCost {
         self.coverage_nodes += cost.coverage_nodes;
         self.results += results;
         self.response_bytes += bytes;
+        self.batch_shared += cost.batch_shared;
     }
 }
 

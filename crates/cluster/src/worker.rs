@@ -12,6 +12,7 @@
 //! thread that does die (simulated crash) is detected and respawned by the
 //! coordinator.
 
+use std::collections::HashMap;
 use std::panic::{self, AssertUnwindSafe};
 use std::sync::Arc;
 
@@ -19,12 +20,12 @@ use bytes::Bytes;
 use crossbeam::channel::Receiver;
 
 use disks_core::bitset::BitSet;
-use disks_core::dfunc::DTerm;
+use disks_core::dfunc::{DTerm, Term};
 use disks_core::{BiLevelIndex, CoverageStore, FragmentEngine, QueryCost, QueryError, QueryPlan};
 use disks_roadnet::NodeId;
 
 use crate::cache::CoverageCache;
-use crate::message::{decode_frame, encode_frame, Request, Response, WireCost};
+use crate::message::{decode_frame, encode_frame, BatchAnswer, Request, Response, WireCost};
 use crate::transport::LinkSender;
 
 /// Injected lifecycle faults for one worker spawn (testing substrate; both
@@ -79,9 +80,20 @@ impl WorkerEngine {
         cache: &mut CoverageCache,
     ) -> Result<(Vec<NodeId>, QueryCost), QueryError> {
         let mut store = FragmentCacheStore { fragment: self.fragment().0, cache };
+        self.evaluate_plan_with_store(plan, &mut store)
+    }
+
+    /// Evaluate a normalized plan against an arbitrary coverage store —
+    /// the seam the batched path uses to layer intra-batch slot sharing
+    /// over the per-worker LRU.
+    pub fn evaluate_plan_with_store(
+        &mut self,
+        plan: &QueryPlan,
+        store: &mut dyn CoverageStore,
+    ) -> Result<(Vec<NodeId>, QueryCost), QueryError> {
         match self {
-            WorkerEngine::Single(e) => e.evaluate_plan_with_cache(plan, &mut store),
-            WorkerEngine::BiLevel(b) => b.evaluate_plan_with_cache(plan, &mut store),
+            WorkerEngine::Single(e) => e.evaluate_plan_with_cache(plan, store),
+            WorkerEngine::BiLevel(b) => b.evaluate_plan_with_cache(plan, store),
         }
     }
 
@@ -110,6 +122,35 @@ impl CoverageStore for FragmentCacheStore<'_> {
     }
     fn store(&mut self, slot: &DTerm, coverage: &Arc<BitSet>) {
         self.cache.insert(self.fragment, slot.term, slot.radius, coverage.clone());
+    }
+}
+
+/// Layers the batch-shared result map over one fragment's LRU view for the
+/// duration of a [`Request::Batch`]: the first query of the batch to
+/// reference a slot resolves it through the LRU (counted as a hit or miss
+/// exactly as on the single-query path); every later reference is served
+/// from the shared map and counted in `WireCost::batch_shared` instead, so
+/// the LRU ledger stays exact and the slot's Dijkstra runs at most once per
+/// batch per fragment.
+struct BatchStore<'a> {
+    inner: FragmentCacheStore<'a>,
+    resolved: HashMap<(Term, u64), Arc<BitSet>>,
+    shared: u64,
+}
+
+impl CoverageStore for BatchStore<'_> {
+    fn lookup(&mut self, slot: &DTerm) -> Option<Arc<BitSet>> {
+        if let Some(cov) = self.resolved.get(&(slot.term, slot.radius)) {
+            self.shared += 1;
+            return Some(Arc::clone(cov));
+        }
+        let hit = self.inner.lookup(slot)?;
+        self.resolved.insert((slot.term, slot.radius), Arc::clone(&hit));
+        Some(hit)
+    }
+    fn store(&mut self, slot: &DTerm, coverage: &Arc<BitSet>) {
+        self.resolved.insert((slot.term, slot.radius), Arc::clone(coverage));
+        self.inner.store(slot, coverage);
     }
 }
 
@@ -211,6 +252,51 @@ pub fn worker_loop(
                     };
                     if !responses.send(frame) {
                         return; // coordinator gone
+                    }
+                }
+            }
+            Request::Batch { base, plan, fragments } => {
+                // Split once: each query evaluates through the shared-slot
+                // store below, so per-query results are bit-identical to the
+                // unbatched path while each distinct slot is resolved once.
+                let queries = plan.split();
+                for (i, engine) in hosted(&mut engines, &fragments) {
+                    let fragment = engine.fragment().0;
+                    let mut store = BatchStore {
+                        inner: FragmentCacheStore { fragment, cache: &mut cache },
+                        resolved: HashMap::new(),
+                        shared: 0,
+                    };
+                    let mut answers = Vec::with_capacity(queries.len());
+                    for (qi, qplan) in queries.iter().enumerate() {
+                        let panic_now = inject_panic && i == 0 && qi == 0;
+                        let cache_before = store.inner.cache.counters();
+                        let shared_before = store.shared;
+                        let outcome = panic::catch_unwind(AssertUnwindSafe(|| {
+                            if panic_now {
+                                panic!("injected evaluation fault");
+                            }
+                            engine.evaluate_plan_with_store(qplan, &mut store)
+                        }));
+                        answers.push(match outcome {
+                            Ok(Ok((nodes, cost))) => {
+                                let delta = store.inner.cache.counters().since(&cache_before);
+                                let mut wire = WireCost::from(&cost);
+                                wire.cache_hits = delta.hits;
+                                wire.cache_misses = delta.misses;
+                                wire.cache_evictions = delta.evictions;
+                                wire.batch_shared = store.shared - shared_before;
+                                BatchAnswer::Results { nodes, cost: wire }
+                            }
+                            Ok(Err(e)) => BatchAnswer::Failed(e),
+                            Err(payload) => {
+                                BatchAnswer::Failed(QueryError::WorkerPanic(panic_message(payload)))
+                            }
+                        });
+                    }
+                    let frame = encode_frame(&Response::BatchResults { base, fragment, answers });
+                    if !responses.send(frame) {
+                        return;
                     }
                 }
             }
@@ -445,6 +531,62 @@ mod tests {
                 Response::Results { query_id, .. } => assert_eq!(query_id, 2),
                 other => panic!("retry must succeed, got {other:?}"),
             }
+        }
+        req_tx.send(encode_frame(&Request::Shutdown)).unwrap();
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn batch_request_shares_slots_and_isolates_failures() {
+        use disks_core::SuperPlan;
+        // A one-shot panic hits fragment 0's first query only; the rest of
+        // the batch — including the same query on fragment 1 — still answers.
+        let faults = WorkerFaults { kill_on_request: None, panic_on_request: Some(1) };
+        let (req_tx, resp_rx, handle, net) = spawn_worker(67, faults);
+        let kw = top_kw(&net);
+        let r = 2 * net.avg_edge_weight();
+        let shared = QueryPlan::lower(&DFunction::single(Term::Keyword(kw), r));
+        let other = QueryPlan::lower(&DFunction::single(Term::Keyword(kw), 2 * r));
+        let plans = vec![shared.clone(), other, shared];
+        let req = Request::Batch { base: 10, plan: SuperPlan::merge(&plans), fragments: vec![] };
+        req_tx.send(encode_frame(&req)).unwrap();
+
+        let mut frames = Vec::new();
+        for _ in 0..2 {
+            match decode_frame::<Response>(resp_rx.recv().unwrap()).unwrap() {
+                Response::BatchResults { base, fragment, answers } => {
+                    assert_eq!(base, 10);
+                    assert_eq!(answers.len(), 3, "one answer per batched query");
+                    frames.push((fragment, answers));
+                }
+                found => panic!("unexpected response: {found:?}"),
+            }
+        }
+        frames.sort_by_key(|(fragment, _)| *fragment);
+        let (_, f0) = &frames[0];
+        let (_, f1) = &frames[1];
+        assert!(
+            matches!(&f0[0], BatchAnswer::Failed(QueryError::WorkerPanic(_))),
+            "injected fault fails exactly the first query of the first fragment"
+        );
+        for answer in f0[1..].iter().chain(f1.iter()) {
+            assert!(matches!(answer, BatchAnswer::Results { .. }));
+        }
+        // On the untouched fragment, queries 0 and 2 ran the same plan: the
+        // first resolves the slot (LRU miss), the repeat is batch-shared —
+        // identical nodes, no second Dijkstra, LRU ledger untouched.
+        match (&f1[0], &f1[2]) {
+            (
+                BatchAnswer::Results { nodes: n0, cost: c0 },
+                BatchAnswer::Results { nodes: n2, cost: c2 },
+            ) => {
+                assert_eq!(n0, n2, "slot sharing never changes the answer");
+                assert_eq!((c0.cache_misses, c0.batch_shared), (1, 0));
+                assert_eq!((c2.cache_hits, c2.cache_misses, c2.batch_shared), (0, 0, 1));
+                assert!(c0.settled > 0);
+                assert_eq!(c2.settled, 0, "shared slot skips the Dijkstra");
+            }
+            other => panic!("expected results, got {other:?}"),
         }
         req_tx.send(encode_frame(&Request::Shutdown)).unwrap();
         handle.join().unwrap();

@@ -1,0 +1,179 @@
+//! Batched-dispatch equivalence: merging a window of queries into one
+//! super-plan per worker per round is a pure transport optimization, so a
+//! batched cluster, an unbatched cluster, and the centralized oracle must
+//! return *byte-identical* answers over a Zipf-skewed stream — with zero
+//! inter-worker bytes, exact per-query attribution (cache counters summing
+//! to the cluster ledger), and a frame economy of well under one frame per
+//! query per worker. Faults inside a batch narrow to per-query retries.
+
+use std::time::Duration;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use disks_cluster::{CacheCounters, Cluster, ClusterConfig, FaultPlan, NetworkModel, QueryOutcome};
+use disks_core::{build_all_indexes, CentralizedCoverage, DFunction, IndexConfig, SgkQuery};
+use disks_partition::{MultilevelPartitioner, Partitioner, Partitioning};
+use disks_roadnet::generator::GridNetworkConfig;
+use disks_roadnet::zipf::Zipf;
+use disks_roadnet::{KeywordId, RoadNetwork};
+
+/// A seeded Zipf-skewed SGKQ stream: keywords drawn by popularity rank,
+/// radii from a small pool — the repetition a real workload shows and
+/// intra-batch slot sharing exploits.
+fn zipf_stream(net: &RoadNetwork, seed: u64, n: usize) -> Vec<SgkQuery> {
+    let freqs = net.keyword_frequencies();
+    let mut ranked: Vec<usize> = (0..freqs.len()).filter(|&k| freqs[k] > 0).collect();
+    ranked.sort_unstable_by_key(|&k| std::cmp::Reverse(freqs[k]));
+    ranked.truncate(10);
+    let zipf = Zipf::new(ranked.len(), 1.0);
+    let e = net.avg_edge_weight();
+    let radii = [2 * e, 3 * e, 4 * e];
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            let num_kw = 1 + rng.gen_range(0..2);
+            let kws: Vec<KeywordId> =
+                (0..num_kw).map(|_| KeywordId(ranked[zipf.sample(&mut rng)] as u32)).collect();
+            SgkQuery::new(kws, radii[rng.gen_range(0..radii.len())])
+        })
+        .collect()
+}
+
+fn build_cluster(
+    net: &RoadNetwork,
+    p: &Partitioning,
+    batch_window: usize,
+    kill_at: Option<u64>,
+) -> Cluster {
+    let indexes = build_all_indexes(net, p, &IndexConfig::unbounded());
+    let faults = kill_at.map(|nth| FaultPlan::new(0xBA7C).kill_worker(0, nth));
+    Cluster::build(
+        net,
+        p,
+        indexes,
+        ClusterConfig {
+            network: NetworkModel::instant(),
+            deadline: Duration::from_millis(200),
+            coverage_cache_bytes: 64 << 20,
+            batch_window,
+            faults,
+            ..ClusterConfig::default()
+        },
+    )
+}
+
+/// Sum of the per-query wire-reported cache counters — must equal the
+/// cluster's lifetime ledger exactly (attribution loses nothing).
+fn summed_cache(outcomes: &[QueryOutcome]) -> CacheCounters {
+    let mut sum = CacheCounters::default();
+    for o in outcomes {
+        sum.absorb(&CacheCounters {
+            hits: o.stats.cache_hits,
+            misses: o.stats.cache_misses,
+            evictions: o.stats.cache_evictions,
+        });
+    }
+    sum
+}
+
+fn summed_batch_shared(outcomes: &[QueryOutcome]) -> u64 {
+    outcomes.iter().flat_map(|o| o.stats.per_machine.iter()).map(|m| m.batch_shared).sum()
+}
+
+/// The acceptance property: 200 Zipf queries through a window-16 batched
+/// cluster and a window-1 unbatched cluster return byte-identical answers,
+/// each exact against the centralized oracle, with zero inter-worker bytes,
+/// per-query cache counters that sum to the cluster ledger, real intra-batch
+/// slot sharing, and < 0.25 coordinator frames per query per worker.
+#[test]
+fn batched_matches_unbatched_and_oracle_on_zipf_stream() {
+    let net = GridNetworkConfig::tiny(0xD15C).generate();
+    let p = MultilevelPartitioner::default().partition(&net, 3);
+    let stream = zipf_stream(&net, 0x5EED, 200);
+    let fs: Vec<DFunction> = stream.iter().map(|q| q.to_dfunction()).collect();
+
+    let batched = build_cluster(&net, &p, 16, None);
+    let unbatched = build_cluster(&net, &p, 1, None);
+    let (b, _) = batched.run_batched(&fs).expect("batched stream");
+    let (u, _) = unbatched.run_batched(&fs).expect("unbatched stream");
+    assert_eq!(b.len(), fs.len());
+    assert_eq!(u.len(), fs.len());
+
+    let mut oracle = CentralizedCoverage::new(&net);
+    for (i, q) in stream.iter().enumerate() {
+        assert_eq!(b[i].results, u[i].results, "query {i}: batched != unbatched");
+        assert_eq!(b[i].results, oracle.sgkq(q).unwrap(), "query {i} not exact");
+        assert_eq!(b[i].stats.results, u[i].stats.results, "query {i} result counts diverge");
+        // Theorem 3 holds identically under batching.
+        assert_eq!(b[i].stats.inter_worker_bytes, 0);
+        assert_eq!(u[i].stats.inter_worker_bytes, 0);
+        assert_eq!(b[i].stats.retries, 0, "fault-free batch must not retry");
+    }
+
+    // Per-query attribution is exact: the per-outcome wire counters sum to
+    // the cluster's lifetime cache ledger on both paths.
+    assert_eq!(summed_cache(&b), batched.cache_counters());
+    assert_eq!(summed_cache(&u), unbatched.cache_counters());
+    // The Zipf stream repeats slots within a window, so the batched run
+    // must actually share coverages intra-batch; the unbatched run cannot.
+    assert!(summed_batch_shared(&b) > 0, "expected intra-batch slot sharing");
+    assert_eq!(summed_batch_shared(&u), 0);
+
+    // Frame economy: ceil(200/16) = 13 super-plan frames per worker versus
+    // 200 Evaluate frames per worker unbatched.
+    let machines = batched.num_machines() as f64;
+    let (b_frames, _) = batched.link_message_totals();
+    let (u_frames, _) = unbatched.link_message_totals();
+    let per_query_per_worker = b_frames as f64 / (fs.len() as f64 * machines);
+    assert!(
+        per_query_per_worker < 0.25,
+        "batched frames/query/worker {per_query_per_worker} too high"
+    );
+    assert!((u_frames as f64 / (fs.len() as f64 * machines) - 1.0).abs() < 1e-9);
+
+    batched.shutdown();
+    unbatched.shutdown();
+}
+
+/// A worker killed mid-stream (on its 3rd super-plan frame) loses the rest
+/// of its queue; recovery narrows to *individual* re-dispatches of only the
+/// failed queries — answers stay exact, queries answered before the kill
+/// keep `retries == 0`, and attribution still sums to the ledger.
+#[test]
+fn mid_batch_worker_kill_narrows_to_individual_retries() {
+    let net = GridNetworkConfig::tiny(0xC0DE).generate();
+    let p = MultilevelPartitioner::default().partition(&net, 3);
+    let stream = zipf_stream(&net, 0xFA11, 200);
+    let fs: Vec<DFunction> = stream.iter().map(|q| q.to_dfunction()).collect();
+
+    // Window 16 → 13 super-plan frames per worker; machine 0 crashes upon
+    // receiving its 3rd (queries 32.. on its fragment never answered).
+    let cluster = build_cluster(&net, &p, 16, Some(3));
+    let (outcomes, _) = cluster.run_batched(&fs).expect("stream with mid-batch kill");
+    assert_eq!(outcomes.len(), fs.len());
+
+    let mut oracle = CentralizedCoverage::new(&net);
+    for (i, q) in stream.iter().enumerate() {
+        assert_eq!(outcomes[i].results, oracle.sgkq(q).unwrap(), "query {i} not exact");
+        assert_eq!(outcomes[i].stats.inter_worker_bytes, 0);
+        assert_eq!(outcomes[i].stats.rounds, 1 + outcomes[i].stats.retries);
+    }
+
+    // The kill fired and the worker was respawned.
+    assert!(cluster.recovery_counters().respawned_workers >= 1, "kill must have fired");
+    // Recovery is per query: some queries were re-dispatched individually,
+    // but the first two windows (queries 0..32) completed before the crash
+    // and must be untouched.
+    let retried: Vec<usize> = (0..fs.len()).filter(|&i| outcomes[i].stats.retries > 0).collect();
+    assert!(!retried.is_empty(), "lost batch members must be retried");
+    assert!(retried.len() < fs.len(), "retries must narrow, not resend the stream");
+    assert!(retried.iter().all(|&i| i >= 32), "pre-kill windows retried: {retried:?}");
+    let total: u64 = outcomes.iter().map(|o| o.stats.retries as u64).sum();
+    assert_eq!(cluster.recovery_counters().retries, total, "per-query retry attribution");
+
+    // Attribution stays exact across the fault: accepted wire counters sum
+    // to the ledger even though some frames were lost with the dead worker.
+    assert_eq!(summed_cache(&outcomes), cluster.cache_counters());
+    cluster.shutdown();
+}

@@ -167,8 +167,12 @@ impl DFunction {
             let rhs = &coverages[i + 1];
             match op {
                 SetOp::Union => acc.union_with(rhs),
-                SetOp::Intersect => acc.intersect_with(rhs),
-                SetOp::Subtract => acc.subtract(rhs),
+                SetOp::Intersect => {
+                    acc.intersect_with(rhs);
+                }
+                SetOp::Subtract => {
+                    acc.subtract(rhs);
+                }
             }
         }
         acc

@@ -506,8 +506,12 @@ impl FragmentEngine {
             total.absorb(&cost);
             coverages.push(cov);
         }
-        let combined = plan.combine(&coverages);
-        let mut result: Vec<NodeId> = combined.iter().map(|i| self.globals[i]).collect();
+        // Single-operand plans (the common 1-keyword SGKQ/RKQ shape) read
+        // the coverage directly instead of cloning it through `combine`.
+        let mut result: Vec<NodeId> = match plan.single_slot() {
+            Some(slot) => coverages[slot as usize].iter().map(|i| self.globals[i]).collect(),
+            None => plan.combine(&coverages).iter().map(|i| self.globals[i]).collect(),
+        };
         result.sort_unstable();
         total.results = result.len();
         total.elapsed = start.elapsed();

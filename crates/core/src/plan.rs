@@ -84,20 +84,185 @@ impl QueryPlan {
         })
     }
 
+    /// The single slot index when the program has exactly one operand (the
+    /// common 1-keyword SGKQ / RKQ shape) — callers can then use the
+    /// coverage directly instead of cloning it through [`Self::combine`].
+    pub fn single_slot(&self) -> Option<u32> {
+        if self.ops.is_empty() {
+            Some(self.first)
+        } else {
+            None
+        }
+    }
+
     /// Run the combine program over per-slot coverages. `coverages[i]` must
     /// be the coverage of `slots()[i]`; all bitsets must share a capacity.
+    ///
+    /// Left-associated chains of ∩/− only shrink the accumulator, so once it
+    /// empties with no ∪ remaining the rest of the program is skipped — the
+    /// word kernels report liveness for free.
     pub fn combine<C: std::ops::Deref<Target = BitSet>>(&self, coverages: &[C]) -> BitSet {
         assert_eq!(coverages.len(), self.slots.len(), "one coverage per slot required");
+        let last_union = self.ops.iter().rposition(|&(op, _)| op == SetOp::Union);
         let mut acc: BitSet = coverages[self.first as usize].clone();
-        for &(op, slot) in &self.ops {
+        for (i, &(op, slot)) in self.ops.iter().enumerate() {
             let rhs = &*coverages[slot as usize];
-            match op {
-                SetOp::Union => acc.union_with(rhs),
+            let live = match op {
+                SetOp::Union => {
+                    acc.union_with(rhs);
+                    true
+                }
                 SetOp::Intersect => acc.intersect_with(rhs),
                 SetOp::Subtract => acc.subtract(rhs),
+            };
+            if !live && last_union.is_none_or(|u| u <= i) {
+                break; // only ∩/− remain: the result stays empty
             }
         }
         acc
+    }
+}
+
+/// A merged batch of [`QueryPlan`]s sharing one deduplicated slot table —
+/// the payload of a cross-query batched dispatch. Slot indices in each
+/// per-query program refer to the *shared* table, so a worker evaluates
+/// each distinct `(term, radius)` coverage once per batch and runs every
+/// program against the shared results.
+///
+/// Invariants (enforced by [`SuperPlan::merge`] and checked on decode):
+/// `slots` and `programs` are non-empty and every program index is
+/// `< slots.len()`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SuperPlan {
+    /// Distinct `(term, radius)` coverages across the batch, in
+    /// first-occurrence order.
+    slots: Vec<DTerm>,
+    /// One combine program per query, in batch order, over shared slots.
+    programs: Vec<Program>,
+}
+
+/// One query's combine program inside a [`SuperPlan`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Program {
+    first: u32,
+    ops: Vec<(SetOp, u32)>,
+}
+
+impl SuperPlan {
+    /// Merge admitted plans into one super-plan, deduplicating slots across
+    /// queries and remapping each program onto the shared table.
+    ///
+    /// # Panics
+    /// Panics if `plans` is empty.
+    pub fn merge(plans: &[QueryPlan]) -> Self {
+        assert!(!plans.is_empty(), "cannot merge an empty batch");
+        let mut slots: Vec<DTerm> = Vec::new();
+        let shared = |slots: &mut Vec<DTerm>, t: &DTerm| -> u32 {
+            match slots.iter().position(|s| s == t) {
+                Some(i) => i as u32,
+                None => {
+                    slots.push(*t);
+                    (slots.len() - 1) as u32
+                }
+            }
+        };
+        let programs = plans
+            .iter()
+            .map(|p| {
+                let map: Vec<u32> = p.slots.iter().map(|t| shared(&mut slots, t)).collect();
+                Program {
+                    first: map[p.first as usize],
+                    ops: p.ops.iter().map(|&(op, i)| (op, map[i as usize])).collect(),
+                }
+            })
+            .collect();
+        SuperPlan { slots, programs }
+    }
+
+    /// Recover the per-query plans, each with its own slot table in
+    /// first-occurrence order. `split(merge(plans)) == plans` exactly, so
+    /// workers evaluating split plans (against a batch-shared coverage
+    /// store) reproduce unbatched evaluation bit for bit.
+    pub fn split(&self) -> Vec<QueryPlan> {
+        self.programs
+            .iter()
+            .map(|prog| {
+                let mut slots: Vec<DTerm> = Vec::new();
+                let local = |slots: &mut Vec<DTerm>, gi: u32| -> u32 {
+                    let t = self.slots[gi as usize];
+                    match slots.iter().position(|s| *s == t) {
+                        Some(i) => i as u32,
+                        None => {
+                            slots.push(t);
+                            (slots.len() - 1) as u32
+                        }
+                    }
+                };
+                let first = local(&mut slots, prog.first);
+                let ops = prog.ops.iter().map(|&(op, i)| (op, local(&mut slots, i))).collect();
+                QueryPlan { slots, first, ops }
+            })
+            .collect()
+    }
+
+    /// Number of queries in the batch.
+    pub fn num_queries(&self) -> usize {
+        self.programs.len()
+    }
+
+    /// The shared deduplicated slot table.
+    pub fn slots(&self) -> &[DTerm] {
+        &self.slots
+    }
+
+    /// Number of distinct coverages to compute for the whole batch.
+    pub fn num_slots(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Largest radius across all shared slots (used for §5.5 bi-level
+    /// routing of the batch).
+    pub fn max_radius(&self) -> u64 {
+        self.slots.iter().map(|s| s.radius).max().unwrap_or(0)
+    }
+}
+
+impl Encode for SuperPlan {
+    fn encode(&self, buf: &mut impl BufMut) {
+        self.slots.encode(buf);
+        (self.programs.len() as u32).encode(buf);
+        for p in &self.programs {
+            p.first.encode(buf);
+            p.ops.encode(buf);
+        }
+    }
+}
+impl Decode for SuperPlan {
+    fn decode(buf: &mut impl Buf) -> Result<Self, DecodeError> {
+        let slots = Vec::<DTerm>::decode(buf)?;
+        if slots.is_empty() {
+            return Err(DecodeError::LengthOutOfRange { context: "SuperPlan.slots", len: 0 });
+        }
+        let n = u32::decode(buf)? as usize;
+        if n == 0 {
+            return Err(DecodeError::LengthOutOfRange { context: "SuperPlan.programs", len: 0 });
+        }
+        let bound = slots.len() as u64;
+        let mut programs = Vec::with_capacity(n.min(1024));
+        for _ in 0..n {
+            let first = u32::decode(buf)?;
+            let ops = Vec::<(SetOp, u32)>::decode(buf)?;
+            for idx in std::iter::once(first).chain(ops.iter().map(|&(_, i)| i)) {
+                if u64::from(idx) >= bound {
+                    return Err(DecodeError::LengthOutOfRange {
+                        context: "SuperPlan slot index",
+                        len: u64::from(idx),
+                    });
+                }
+            }
+            programs.push(Program { first, ops });
+        }
+        Ok(SuperPlan { slots, programs })
     }
 }
 
@@ -243,5 +408,115 @@ mod tests {
         plan.encode(&mut buf);
         let mut bytes = buf.freeze();
         assert!(QueryPlan::decode(&mut bytes).is_err());
+    }
+
+    #[test]
+    fn single_slot_detects_one_operand_plans() {
+        let one = QueryPlan::lower(&DFunction::single(Term::Keyword(KeywordId(3)), 7));
+        assert_eq!(one.single_slot(), Some(0));
+        let two = QueryPlan::lower(&DFunction::single(Term::Keyword(KeywordId(3)), 7).then(
+            SetOp::Union,
+            Term::Keyword(KeywordId(4)),
+            7,
+        ));
+        assert_eq!(two.single_slot(), None);
+    }
+
+    #[test]
+    fn combine_short_circuits_only_when_no_union_remains() {
+        // (X1 ∩ X2) ∪ X3 with X1 ∩ X2 = ∅: the ∪ must still apply.
+        let f = DFunction::single(Term::Keyword(KeywordId(0)), 1)
+            .then(SetOp::Intersect, Term::Keyword(KeywordId(1)), 1)
+            .then(SetOp::Union, Term::Keyword(KeywordId(2)), 1);
+        let plan = QueryPlan::lower(&f);
+        let got = plan.combine(&[set(8, &[0, 1]), set(8, &[2, 3]), set(8, &[5])]);
+        assert_eq!(got.iter().collect::<Vec<_>>(), vec![5]);
+    }
+
+    fn batch_of_plans() -> Vec<QueryPlan> {
+        // Three queries sharing slots across the batch: R(k0,5) appears in
+        // all three, R(k1,5) in two, and one query repeats a slot itself.
+        let fs = [
+            DFunction::single(Term::Keyword(KeywordId(0)), 5).then(
+                SetOp::Intersect,
+                Term::Keyword(KeywordId(1)),
+                5,
+            ),
+            DFunction::single(Term::Keyword(KeywordId(1)), 5)
+                .then(SetOp::Subtract, Term::Keyword(KeywordId(0)), 5)
+                .then(SetOp::Union, Term::Keyword(KeywordId(1)), 5),
+            DFunction::single(Term::Keyword(KeywordId(0)), 5).then(
+                SetOp::Union,
+                Term::Keyword(KeywordId(2)),
+                9,
+            ),
+        ];
+        fs.iter().map(QueryPlan::lower).collect()
+    }
+
+    #[test]
+    fn merge_shares_slots_and_split_round_trips() {
+        let plans = batch_of_plans();
+        let sp = SuperPlan::merge(&plans);
+        // 3 distinct (term, radius) pairs across 5 plan slots.
+        assert_eq!(sp.num_slots(), 3);
+        assert_eq!(sp.num_queries(), 3);
+        assert_eq!(sp.max_radius(), 9);
+        assert_eq!(sp.split(), plans);
+    }
+
+    #[test]
+    fn merged_programs_combine_identically_over_shared_slots() {
+        let plans = batch_of_plans();
+        let sp = SuperPlan::merge(&plans);
+        let shared: Vec<Arc<BitSet>> =
+            sp.slots().iter().enumerate().map(|(i, _)| set(8, &[i, i + 2, 7 - i])).collect();
+        for (plan, rebuilt) in plans.iter().zip(sp.split()) {
+            let local: Vec<Arc<BitSet>> = rebuilt
+                .slots()
+                .iter()
+                .map(|t| {
+                    let gi = sp.slots().iter().position(|s| s == t).unwrap();
+                    Arc::clone(&shared[gi])
+                })
+                .collect();
+            // The rebuilt plan over batch-shared coverages equals the
+            // original plan over its own coverages.
+            let own: Vec<Arc<BitSet>> = plan
+                .slots()
+                .iter()
+                .map(|t| {
+                    let gi = sp.slots().iter().position(|s| s == t).unwrap();
+                    Arc::clone(&shared[gi])
+                })
+                .collect();
+            assert_eq!(rebuilt.combine(&local), plan.combine(&own));
+        }
+    }
+
+    #[test]
+    fn super_plan_codec_round_trip() {
+        use bytes::BytesMut;
+        let sp = SuperPlan::merge(&batch_of_plans());
+        let mut buf = BytesMut::new();
+        sp.encode(&mut buf);
+        let mut bytes = buf.freeze();
+        assert_eq!(SuperPlan::decode(&mut bytes).unwrap(), sp);
+    }
+
+    #[test]
+    fn super_plan_decode_rejects_out_of_range_index() {
+        use bytes::BytesMut;
+        let sp = SuperPlan {
+            slots: vec![DTerm { term: Term::Keyword(KeywordId(0)), radius: 1 }],
+            programs: vec![Program { first: 9, ops: Vec::new() }],
+        };
+        let mut buf = BytesMut::new();
+        sp.encode(&mut buf);
+        let mut bytes = buf.freeze();
+        assert!(matches!(
+            SuperPlan::decode(&mut bytes),
+            Err(DecodeError::LengthOutOfRange { context: "SuperPlan slot index", .. })
+        ));
     }
 }
