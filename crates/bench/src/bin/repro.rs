@@ -5,7 +5,7 @@
 //! repro [--scale paper|bench|smoke] [--exp <id>[,<id>...]] [--out DIR]
 //!
 //! ids: tab1 tab2 tab3 fig7 fig8 fig9 fig10 fig11 fig12 fig13 fig14 fig15
-//!      fig16 fig17 comm ablation throughput topk all (default: all)
+//!      fig16 fig17 comm ablation throughput overload topk all (default: all)
 //! ```
 //!
 //! Results are printed and written under `--out` (default `results/`) as
@@ -119,6 +119,7 @@ fn main() {
         "comm",
         "ablation",
         "throughput",
+        "overload",
         "topk",
     ]
     .iter()
@@ -248,6 +249,33 @@ fn main() {
                         p.qps_batched / p.qps_uncached
                     );
                 }
+            }
+            println!();
+        }
+    }
+    if wants("overload") {
+        if let Some(ds) = &aus {
+            let (table, summary) = exp::overload(ds, &params);
+            emit("overload_aus", table);
+            let path = std::path::Path::new(&args.out).join("BENCH_overload.json");
+            if let Err(e) = std::fs::create_dir_all(&args.out)
+                .and_then(|()| std::fs::write(&path, summary.to_json()))
+            {
+                eprintln!("failed to save BENCH_overload.json: {e}");
+            } else {
+                println!("[json] {} ({} load points)", path.display(), summary.points.len());
+            }
+            // Saturation headline: goodput at 4x offered load, shedding on
+            // vs off — the shed knee the overload lane tracks across PRs.
+            if let (Some(p1), Some(p4)) = (summary.points.first(), summary.points.last()) {
+                println!(
+                    "[overload] 4x load: {:.0} q/s goodput shedding on (peak {:.0}), \
+                     {:.0} q/s off, shed rate {:.0}%",
+                    p4.goodput_on,
+                    p1.goodput_on.max(p4.goodput_on),
+                    p4.goodput_off,
+                    100.0 * p4.shed_rate_on
+                );
             }
             println!();
         }

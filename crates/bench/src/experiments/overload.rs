@@ -1,0 +1,404 @@
+//! Overload saturation sweep — offered load vs goodput / p99 / shed-rate,
+//! tracking the shed knee across PRs (`results/BENCH_overload.json`).
+//!
+//! **Offered load** is expressed in units of the cluster's admission
+//! capacity. A base stream of *sustainable* SGKQs is generated and the
+//! per-worker cost budget ([`ClusterConfig::cost_limit`]) is calibrated to
+//! its most expensive member, so at load 1× every query admits. Load `L`
+//! then interleaves, after each sustainable query, `L−1` *oversized*
+//! variants of it — the same keywords at an inflated radius chosen so their
+//! Theorem 5 estimated cost provably exceeds the budget. The offered cost
+//! is therefore ≈ `L×` what the budget sustains.
+//!
+//! Each load level runs twice through `Cluster::run_stream` on fresh
+//! clusters: shedding **on** (the calibrated `cost_limit`) and shedding
+//! **off** (`cost_limit = 0`, the pre-overload path that serves
+//! everything). The coverage cache is disabled in both so evaluation cost —
+//! not memoization — carries the load, and brownout is disabled so the
+//! sweep isolates pure cost-model admission (with the cache off, the
+//! skip-cache-cold brownout rule would turn away sustainable traffic too).
+//!
+//! **Goodput** counts only the *sustainable* (in-budget) queries answered,
+//! per second of stream wall-clock: serving an oversized query is overload,
+//! not useful work. With shedding on, the oversized queries are refused
+//! before a frame is encoded, so goodput at 4× offered load stays within a
+//! few percent of the 1× peak. With shedding off, the same sustainable
+//! queries are answered across a stream that takes ≥ `L×` as long, so
+//! goodput collapses like `1/L` — the contrast the acceptance criterion
+//! pins at 15%.
+//!
+//! [`ClusterConfig::cost_limit`]: disks_cluster::ClusterConfig::cost_limit
+
+use disks_cluster::{Cluster, ClusterConfig, NetworkModel};
+use disks_core::{
+    build_all_indexes, CostParams, DFunction, IndexConfig, NpdIndex, QueryError, QueryPlan,
+    SgkQuery,
+};
+use disks_partition::{MultilevelPartitioner, Partitioner, Partitioning};
+
+use crate::datasets::Dataset;
+use crate::params::Params;
+use crate::queries::QueryGenerator;
+use crate::report::Table;
+
+/// Offered-load multipliers swept (×admission capacity).
+const LOADS: [usize; 4] = [1, 2, 3, 4];
+
+/// Sustainable-query radius in average edge lengths: small enough that a
+/// stream of them admits under the calibrated budget, large enough that
+/// evaluation (not channel overhead) dominates the wall-clock.
+const BASE_R_FACTOR: u64 = 8;
+
+/// Candidate radius multipliers for the oversized variants; the first one
+/// whose cheapest variant out-costs the most expensive sustainable query is
+/// used, so "oversized ⇒ over budget" holds for every variant.
+const OVERSIZED_MULTIPLIERS: [u64; 3] = [4, 6, 8];
+
+/// Batched-dispatch window for both modes (amortizes frames identically).
+const BATCH_WINDOW: usize = 16;
+
+/// One offered-load measurement: shedding on vs shedding off.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OverloadPoint {
+    /// Offered load in capacity units (1 = everything sustainable).
+    pub load: usize,
+    /// Queries offered at this load (base + oversized variants).
+    pub offered: usize,
+    /// Queries shed with [`QueryError::Overloaded`] (shedding on).
+    pub shed_on: usize,
+    /// `shed_on / offered`.
+    pub shed_rate_on: f64,
+    /// Sustainable queries answered per second, shedding on.
+    pub goodput_on: f64,
+    /// Sustainable queries answered per second, shedding off.
+    pub goodput_off: f64,
+    /// Per-query wall-time percentiles over answered queries (µs).
+    pub p50_on_micros: u64,
+    pub p99_on_micros: u64,
+    pub p50_off_micros: u64,
+    pub p99_off_micros: u64,
+    /// Coordinator→worker frames over the measured stream — the wire-level
+    /// proof that shed queries cost nothing.
+    pub frames_on: u64,
+    pub frames_off: u64,
+}
+
+/// Machine-readable summary of the saturation sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OverloadSummary {
+    pub dataset: String,
+    /// Sustainable queries per load level.
+    pub base_queries: usize,
+    pub num_keywords: usize,
+    /// The calibrated per-worker cost budget (max sustainable-query cost).
+    pub cost_limit: u64,
+    /// Radius multiplier of the oversized variants.
+    pub oversized_multiplier: u64,
+    pub points: Vec<OverloadPoint>,
+}
+
+impl OverloadSummary {
+    /// Hand-formatted JSON (the repo carries no serde; the schema is flat
+    /// enough that formatting by hand keeps the artifact dependency-free).
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{\n");
+        s.push_str(&format!("  \"dataset\": \"{}\",\n", self.dataset));
+        s.push_str(&format!("  \"base_queries\": {},\n", self.base_queries));
+        s.push_str(&format!("  \"num_keywords\": {},\n", self.num_keywords));
+        s.push_str(&format!("  \"cost_limit\": {},\n", self.cost_limit));
+        s.push_str(&format!("  \"oversized_multiplier\": {},\n", self.oversized_multiplier));
+        s.push_str("  \"points\": [\n");
+        for (i, p) in self.points.iter().enumerate() {
+            let sep = if i + 1 == self.points.len() { "" } else { "," };
+            s.push_str(&format!(
+                "    {{\"load\": {}, \"offered\": {}, \"shed_on\": {}, \"shed_rate_on\": {:.4}, \
+                 \"goodput_on\": {:.1}, \"goodput_off\": {:.1}, \"p50_on_micros\": {}, \
+                 \"p99_on_micros\": {}, \"p50_off_micros\": {}, \"p99_off_micros\": {}, \
+                 \"frames_on\": {}, \"frames_off\": {}}}{sep}\n",
+                p.load,
+                p.offered,
+                p.shed_on,
+                p.shed_rate_on,
+                p.goodput_on,
+                p.goodput_off,
+                p.p50_on_micros,
+                p.p99_on_micros,
+                p.p50_off_micros,
+                p.p99_off_micros,
+                p.frames_on,
+                p.frames_off
+            ));
+        }
+        s.push_str("  ]\n}\n");
+        s
+    }
+}
+
+fn build(
+    ds: &Dataset,
+    partitioning: &Partitioning,
+    indexes: Vec<NpdIndex>,
+    cost_limit: u64,
+) -> Cluster {
+    Cluster::build(
+        &ds.net,
+        partitioning,
+        indexes,
+        ClusterConfig {
+            network: NetworkModel::instant(),
+            coverage_cache_bytes: 0,
+            batch_window: BATCH_WINDOW,
+            cost_limit,
+            brownout: f64::INFINITY,
+            ..ClusterConfig::default()
+        },
+    )
+}
+
+/// One measured pass of the load-`L` stream: warmup on the sustainable
+/// stream, then the mixed stream with frame deltas and per-query outcomes.
+/// Sustainable queries sit at positions `i % load == 0` by construction.
+struct MeasuredRun {
+    goodput: f64,
+    served_base: usize,
+    shed: usize,
+    p50_micros: u64,
+    p99_micros: u64,
+    frames: u64,
+}
+
+/// Measured passes per load point; the stream outcome is deterministic, so
+/// repetition only de-noises the wall-clock — the fastest pass is reported.
+const REPS: usize = 3;
+
+fn measure(
+    cluster: &Cluster,
+    warmup: &[DFunction],
+    mixed: &[DFunction],
+    load: usize,
+) -> MeasuredRun {
+    let (warm, _) = cluster.run_stream(warmup);
+    assert!(warm.iter().all(|r| r.is_ok()), "sustainable warmup stream must admit everywhere");
+    let mut best: Option<MeasuredRun> = None;
+    for _ in 0..REPS {
+        let (frames_before, _) = cluster.link_message_totals();
+        let (items, elapsed) = cluster.run_stream(mixed);
+        let (frames_after, _) = cluster.link_message_totals();
+        let (mut served_base, mut shed) = (0usize, 0usize);
+        let mut lat: Vec<u64> = Vec::with_capacity(items.len());
+        for (i, item) in items.iter().enumerate() {
+            match item {
+                Ok(o) => {
+                    lat.push(o.stats.wall_time.as_micros() as u64);
+                    if i % load == 0 {
+                        served_base += 1;
+                    }
+                }
+                Err(QueryError::Overloaded { .. }) => shed += 1,
+                Err(e) => panic!("overload sweep hit a non-overload error: {e}"),
+            }
+        }
+        lat.sort_unstable();
+        let p50 = lat.get(lat.len() / 2).copied().unwrap_or(0);
+        let p99 =
+            lat.get((lat.len() * 99 / 100).min(lat.len().saturating_sub(1))).copied().unwrap_or(0);
+        let run = MeasuredRun {
+            goodput: served_base as f64 / elapsed.as_secs_f64().max(1e-9),
+            served_base,
+            shed,
+            p50_micros: p50,
+            p99_micros: p99,
+            frames: frames_after - frames_before,
+        };
+        if best.as_ref().is_none_or(|b| run.goodput > b.goodput) {
+            best = Some(run);
+        }
+    }
+    best.expect("REPS >= 1")
+}
+
+/// Saturation sweep: offered load 1–4× admission capacity, shedding on vs
+/// off, goodput = sustainable queries answered per second.
+pub fn overload(ds: &Dataset, params: &Params) -> (Table, OverloadSummary) {
+    let e = ds.net.avg_edge_weight();
+    let base_r = BASE_R_FACTOR * e;
+    let n = (params.queries_per_point * 10).max(20);
+    let mut gen = QueryGenerator::new(&ds.net, 0x10AD);
+    let base: Vec<SgkQuery> = gen.sgkq_batch(n, params.num_keywords, base_r);
+    assert!(!base.is_empty(), "query generator produced an empty base stream");
+
+    // Calibrate: budget = the most expensive sustainable query, so the 1×
+    // stream admits in full; oversized multiplier = the first whose
+    // *cheapest* variant out-costs that budget, so every variant sheds on
+    // cost alone (deterministically, independent of momentary pressure).
+    let cost_params = CostParams::from_network(&ds.net);
+    let cost_at = |q: &SgkQuery, r: u64| {
+        QueryPlan::lower(&SgkQuery::new(q.keywords.clone(), r).to_dfunction())
+            .estimated_cost(&cost_params)
+    };
+    let cost_limit = base.iter().map(|q| cost_at(q, base_r)).max().expect("non-empty base");
+    let oversized_multiplier = OVERSIZED_MULTIPLIERS
+        .into_iter()
+        .find(|&m| base.iter().all(|q| cost_at(q, m * base_r) > cost_limit))
+        .expect("an oversized multiplier must out-cost the budget for every query");
+    let oversized_r = oversized_multiplier * base_r;
+
+    let base_fs: Vec<DFunction> = base.iter().map(|q| q.to_dfunction()).collect();
+    let oversized_fs: Vec<DFunction> = base
+        .iter()
+        .map(|q| SgkQuery::new(q.keywords.clone(), oversized_r).to_dfunction())
+        .collect();
+
+    let k = params.num_fragments;
+    let partitioning = MultilevelPartitioner::default().partition(&ds.net, k);
+    let max_mult = *OVERSIZED_MULTIPLIERS.last().expect("non-empty multiplier sweep");
+    let indexes =
+        build_all_indexes(&ds.net, &partitioning, &IndexConfig::with_max_r(max_mult * base_r));
+
+    let mut t = Table::new(
+        format!(
+            "Overload: saturation sweep, {} sustainable queries/load (#kw={}, budget {}), {}",
+            base.len(),
+            params.num_keywords,
+            cost_limit,
+            ds.id.name()
+        ),
+        vec![
+            "load".into(),
+            "offered".into(),
+            "shed(on)".into(),
+            "shed rate".into(),
+            "goodput on".into(),
+            "goodput off".into(),
+            "p99 on".into(),
+            "p99 off".into(),
+            "frames on/off".into(),
+        ],
+    );
+    let mut summary = OverloadSummary {
+        dataset: ds.id.name().to_string(),
+        base_queries: base.len(),
+        num_keywords: params.num_keywords,
+        cost_limit,
+        oversized_multiplier,
+        points: Vec::new(),
+    };
+
+    for &load in &LOADS {
+        // Load-L stream: each sustainable query followed by L−1 oversized
+        // variants of it, so sustainable work sits at positions i % L == 0.
+        let mixed: Vec<DFunction> = base_fs
+            .iter()
+            .zip(&oversized_fs)
+            .flat_map(|(b, o)| {
+                std::iter::once(b.clone()).chain(std::iter::repeat_n(o.clone(), load - 1))
+            })
+            .collect();
+
+        let on_cluster = build(ds, &partitioning, indexes.clone(), cost_limit);
+        let on = measure(&on_cluster, &base_fs, &mixed, load);
+        on_cluster.shutdown();
+        let off_cluster = build(ds, &partitioning, indexes.clone(), 0);
+        let off = measure(&off_cluster, &base_fs, &mixed, load);
+        off_cluster.shutdown();
+
+        // Shedding is deterministic at this calibration: exactly the
+        // oversized variants go, exactly the sustainable queries stay.
+        assert_eq!(on.shed, (load - 1) * base.len(), "load {load}: shed must be exactly oversized");
+        assert_eq!(on.served_base, base.len(), "load {load}: every sustainable query answers (on)");
+        assert_eq!(off.shed, 0, "load {load}: the disabled gauge must shed nothing");
+        assert_eq!(
+            off.served_base,
+            base.len(),
+            "load {load}: every sustainable query answers (off)"
+        );
+
+        t.push(vec![
+            format!("{load}x"),
+            mixed.len().to_string(),
+            on.shed.to_string(),
+            format!("{:.0}%", 100.0 * on.shed as f64 / mixed.len() as f64),
+            format!("{:.0} q/s", on.goodput),
+            format!("{:.0} q/s", off.goodput),
+            format!("{}us", on.p99_micros),
+            format!("{}us", off.p99_micros),
+            format!("{}/{}", on.frames, off.frames),
+        ]);
+        summary.points.push(OverloadPoint {
+            load,
+            offered: mixed.len(),
+            shed_on: on.shed,
+            shed_rate_on: on.shed as f64 / mixed.len() as f64,
+            goodput_on: on.goodput,
+            goodput_off: off.goodput,
+            p50_on_micros: on.p50_micros,
+            p99_on_micros: on.p99_micros,
+            p50_off_micros: off.p50_micros,
+            p99_off_micros: off.p99_micros,
+            frames_on: on.frames,
+            frames_off: off.frames,
+        });
+    }
+    (t, summary)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datasets::{load, DatasetId, Scale};
+
+    #[test]
+    fn saturation_sweep_sheds_free_and_holds_goodput() {
+        let ds = load(DatasetId::Aus, Scale::Smoke);
+        let params =
+            Params { num_fragments: 4, queries_per_point: 2, num_keywords: 3, ..Params::default() };
+        let (t, summary) = overload(&ds, &params);
+        assert_eq!(t.rows.len(), LOADS.len());
+        assert_eq!(summary.points.len(), LOADS.len());
+        let n = summary.base_queries;
+        assert!(summary.cost_limit > 1);
+
+        for (p, &load) in summary.points.iter().zip(&LOADS) {
+            assert_eq!(p.load, load);
+            assert_eq!(p.offered, n * load);
+            // Deterministic knee: exactly the oversized variants shed.
+            assert_eq!(p.shed_on, n * (load - 1));
+            assert!((p.shed_rate_on - (load - 1) as f64 / load as f64).abs() < 1e-9);
+            assert!(p.goodput_on > 0.0 && p.goodput_off > 0.0);
+            assert!(p.p50_on_micros <= p.p99_on_micros);
+            assert!(p.p50_off_micros <= p.p99_off_micros);
+            assert!(p.frames_on > 0 && p.frames_off > 0);
+        }
+        // Shed queries never reach the wire, so the on-mode stream at 4×
+        // load moves no more frames than at 1× (same admitted work), while
+        // the off mode pays frames for every oversized query it serves.
+        assert_eq!(summary.points[3].frames_on, summary.points[0].frames_on);
+        assert!(summary.points[3].frames_off > summary.points[0].frames_off);
+
+        // The acceptance headline: goodput at 4× offered load stays near
+        // the peak with shedding on. (Theoretically ~1.0× — the admitted
+        // work is identical at every load; the quiet-machine bench artifact
+        // pins the 15% bound, while this unit test runs amid the whole
+        // parallel suite and needs contention headroom.)
+        let peak_on = summary.points.iter().map(|p| p.goodput_on).fold(0.0f64, f64::max);
+        let on4 = summary.points[3].goodput_on;
+        assert!(on4 >= 0.7 * peak_on, "goodput on @4x {on4:.0} < 70% of peak {peak_on:.0}");
+        // …while with it off the same sustainable queries are strung across
+        // a ≥4×-long stream: goodput collapses (theoretical ≤ 0.25×; the
+        // 0.5 bound leaves headroom for scheduler noise at smoke scale).
+        let peak_off = summary.points.iter().map(|p| p.goodput_off).fold(0.0f64, f64::max);
+        let off4 = summary.points[3].goodput_off;
+        assert!(
+            off4 <= 0.5 * peak_off,
+            "goodput off @4x {off4:.0} did not collapse from {peak_off:.0}"
+        );
+        // And at the saturation point shedding beats serving-everything.
+        assert!(on4 > 1.5 * off4, "shedding on ({on4:.0}) must beat off ({off4:.0}) at 4x");
+
+        let json = summary.to_json();
+        assert!(json.contains("\"cost_limit\""));
+        assert!(json.contains("\"shed_rate_on\""));
+        assert!(json.contains("\"goodput_on\""));
+        assert!(json.trim_start().starts_with('{') && json.trim_end().ends_with('}'));
+    }
+}

@@ -24,16 +24,17 @@
 //! fragment in [`QueryStats::degraded_fragments`].
 
 use std::cell::{Cell, RefCell};
+use std::collections::HashMap;
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use crossbeam::channel::{Receiver, RecvTimeoutError, Sender, TryRecvError};
+use crossbeam::channel::{Receiver, RecvTimeoutError, Sender, TryRecvError, TrySendError};
 
 use bytes::Bytes;
 use disks_core::{
-    DFunction, DlScope, FragmentEngine, NpdIndex, QClassQuery, QueryError, QueryPlan,
-    RangeKeywordQuery, SgkQuery, SuperPlan,
+    CostParams, DFunction, DTerm, DlScope, FragmentEngine, NpdIndex, QClassQuery, QueryError,
+    QueryPlan, RangeKeywordQuery, SgkQuery, SuperPlan, Term,
 };
 use disks_partition::{FragmentId, Partitioning};
 use disks_roadnet::{NodeId, RoadNetwork, INF};
@@ -42,12 +43,17 @@ use crate::cache::CacheCounters;
 use crate::message::{
     decode_frame, encode_frame, results_frame_len, BatchAnswer, Request, Response,
 };
+use crate::overload::{backoff_delay, splitmix64, OverloadCounters, PressureGauge};
 use crate::scheduler::Assignment;
 use crate::stats::{MachineCost, QueryStats, RecoveryCounters};
 use crate::transport::{
     counted_link, FaultPlan, FrameFate, LinkCounters, LinkDirection, LinkSender, NetworkModel,
 };
 use crate::worker::{worker_loop, WorkerEngine, WorkerFaults};
+
+/// How many of the hottest coverage slots a freshly respawned worker is
+/// pre-warmed with before any retry traffic reaches it.
+const PREWARM_TOP_K: usize = 8;
 
 /// Cluster construction parameters.
 #[derive(Debug, Clone)]
@@ -82,6 +88,31 @@ pub struct ClusterConfig {
     /// honours the `DISKS_BATCH` environment variable (a window size, or
     /// `0`/`1`/`off`/`false` to disable; unset → 16).
     pub batch_window: usize,
+    /// Per-worker in-flight estimated-cost budget ([`disks_core::CostParams`]
+    /// units) for cost-model admission; `0` disables overload control
+    /// entirely. Queries whose cost cannot fit are shed with
+    /// [`QueryError::Overloaded`] before any frame is encoded. The default
+    /// honours the `DISKS_COST_LIMIT` environment variable (a cost, or
+    /// `0`/`off`/`false` to disable; unset → disabled).
+    pub cost_limit: u64,
+    /// Fraction of [`ClusterConfig::cost_limit`] at which brownout
+    /// degradation begins: above it the cluster serves partial results and
+    /// sheds cache-cold queries rather than queueing more work.
+    /// `f64::INFINITY` disables brownout; meaningless while `cost_limit` is
+    /// 0. The default honours the `DISKS_BROWNOUT` environment variable (a
+    /// fraction, or `0`/`off`/`false` to disable; unset → 0.75).
+    pub brownout: f64,
+    /// Base delay of the exponential, deterministically jittered backoff
+    /// applied to narrowed per-fragment retries; `Duration::ZERO` retries
+    /// immediately (the pre-backoff behavior). The default honours the
+    /// `DISKS_RETRY_BACKOFF` environment variable (milliseconds, or
+    /// `0`/`off`/`false` for immediate; unset → 2 ms).
+    pub retry_backoff: Duration,
+    /// Capacity (frames) of each worker's bounded request queue. The
+    /// coordinator `try_send`s first and counts
+    /// [`OverloadCounters::queue_full_events`] before falling back to a
+    /// blocking send, so saturation is observed instead of absorbed.
+    pub queue_capacity: usize,
 }
 
 impl ClusterConfig {
@@ -120,6 +151,63 @@ impl ClusterConfig {
             Err(_) => DEFAULT,
         }
     }
+
+    /// Per-worker cost budget from `DISKS_COST_LIMIT` (a cost, or
+    /// `0`/`off`/`false` to disable admission control); disabled when unset
+    /// or unparseable.
+    pub fn cost_limit_from_env() -> u64 {
+        match std::env::var("DISKS_COST_LIMIT") {
+            Ok(v) => {
+                let v = v.trim();
+                if v.eq_ignore_ascii_case("off") || v.eq_ignore_ascii_case("false") {
+                    0
+                } else {
+                    v.parse().unwrap_or(0)
+                }
+            }
+            Err(_) => 0,
+        }
+    }
+
+    /// Brownout threshold from `DISKS_BROWNOUT` (a fraction of the cost
+    /// budget, or `0`/`off`/`false` to disable brownout); 0.75 when unset
+    /// or unparseable.
+    pub fn brownout_from_env() -> f64 {
+        const DEFAULT: f64 = 0.75;
+        match std::env::var("DISKS_BROWNOUT") {
+            Ok(v) => {
+                let v = v.trim();
+                if v.eq_ignore_ascii_case("off") || v.eq_ignore_ascii_case("false") {
+                    f64::INFINITY
+                } else {
+                    match v.parse::<f64>() {
+                        Ok(f) if f > 0.0 => f,
+                        Ok(_) => f64::INFINITY,
+                        Err(_) => DEFAULT,
+                    }
+                }
+            }
+            Err(_) => DEFAULT,
+        }
+    }
+
+    /// Retry backoff base from `DISKS_RETRY_BACKOFF` (milliseconds, or
+    /// `0`/`off`/`false` for immediate retries); 2 ms when unset or
+    /// unparseable.
+    pub fn retry_backoff_from_env() -> Duration {
+        const DEFAULT: Duration = Duration::from_millis(2);
+        match std::env::var("DISKS_RETRY_BACKOFF") {
+            Ok(v) => {
+                let v = v.trim();
+                if v.eq_ignore_ascii_case("off") || v.eq_ignore_ascii_case("false") {
+                    Duration::ZERO
+                } else {
+                    v.parse().map(Duration::from_millis).unwrap_or(DEFAULT)
+                }
+            }
+            Err(_) => DEFAULT,
+        }
+    }
 }
 
 impl Default for ClusterConfig {
@@ -134,6 +222,10 @@ impl Default for ClusterConfig {
             faults: None,
             coverage_cache_bytes: Self::coverage_cache_bytes_from_env(),
             batch_window: Self::batch_window_from_env(),
+            cost_limit: Self::cost_limit_from_env(),
+            brownout: Self::brownout_from_env(),
+            retry_backoff: Self::retry_backoff_from_env(),
+            queue_capacity: 1024,
         }
     }
 }
@@ -204,6 +296,42 @@ struct GatherReport {
     retries_by_slot: Vec<u32>,
 }
 
+/// What the overload ladder decided for one query of a stream.
+#[derive(Debug)]
+enum Disposition {
+    /// Queued in the current admission group; rewritten to `Ran` at flush.
+    Pending,
+    /// Rejected by validity admission before any grouping.
+    Invalid(QueryError),
+    /// Shed by cost admission with this `retry_after` (milliseconds).
+    Shed(u64),
+    /// Dispatched as slot `pos` of admission group `group`.
+    Ran { group: usize, pos: usize },
+}
+
+/// One flushed admission group: its gather report (slot indices are
+/// positions within the group) plus group-level outcome data.
+struct GroupRun {
+    /// Estimated cost per member, in group slot order.
+    costs: Vec<u64>,
+    report: GatherReport,
+    /// Fatal gather error — every member query inherits it.
+    error: Option<QueryError>,
+    dispatch_respawns: u32,
+    /// Offset from stream start when the group's gather completed; member
+    /// queries report it as `wall_time`, making queueing delay visible.
+    elapsed: Duration,
+    /// Whether the group ran browned-out (partial-result semantics).
+    browned: bool,
+}
+
+/// Result of [`Cluster::run_stream_core`]: per-query dispositions plus the
+/// flushed groups they reference.
+struct StreamRun {
+    disposition: Vec<Disposition>,
+    groups: Vec<GroupRun>,
+}
+
 /// A running share-nothing cluster.
 pub struct Cluster {
     workers: RefCell<Vec<WorkerHandle>>,
@@ -232,6 +360,19 @@ pub struct Cluster {
     cache_budget: usize,
     /// Cross-query batching window (≤1 = unbatched dispatch).
     batch_window: usize,
+    /// Capacity of each worker's bounded request queue.
+    queue_capacity: usize,
+    /// Theorem 5 cost-model parameters derived from the global network's
+    /// keyword statistics, used to estimate plan cost at admission.
+    cost_params: CostParams,
+    /// The shared overload dial: in-flight estimated cost vs. the budget.
+    gauge: PressureGauge,
+    /// Backoff base for narrowed per-fragment retries (zero = immediate).
+    retry_backoff: Duration,
+    /// Dispatch counts per `(term, radius)` coverage slot — the brownout
+    /// ladder's notion of cache-warm, and the pre-warm set for respawned
+    /// workers.
+    slot_heat: RefCell<HashMap<(Term, u64), u64>>,
     query_counter: Cell<u64>,
     respawn: RespawnSpec,
     recovery: Cell<RecoveryCounters>,
@@ -303,7 +444,7 @@ impl Cluster {
         for m in 0..machines {
             let engines: Vec<WorkerEngine> =
                 assignment.fragments_of(m).iter().map(|&f| spec.build_engine(f)).collect();
-            let (req_tx, req_rx) = crossbeam::channel::unbounded();
+            let (req_tx, req_rx) = crossbeam::channel::bounded(config.queue_capacity.max(1));
             let to_worker = Arc::new(LinkCounters::default());
             let to_faults =
                 plan.as_ref().and_then(|p| p.injector_for(m, LinkDirection::CoordinatorToWorker));
@@ -331,6 +472,7 @@ impl Cluster {
         }
 
         let is_object = spec.net.node_ids().map(|n| spec.net.is_object(n)).collect();
+        let cost_params = CostParams::from_network(&spec.net);
         Cluster {
             workers: RefCell::new(workers),
             responses: resp_rx,
@@ -346,6 +488,11 @@ impl Cluster {
             admission_max_r,
             cache_budget: config.coverage_cache_bytes,
             batch_window: config.batch_window,
+            queue_capacity: config.queue_capacity.max(1),
+            cost_params,
+            gauge: PressureGauge::new(config.cost_limit, config.brownout),
+            retry_backoff: config.retry_backoff,
+            slot_heat: RefCell::new(HashMap::new()),
             query_counter: Cell::new(0),
             respawn: spec,
             recovery: Cell::new(RecoveryCounters::default()),
@@ -374,6 +521,19 @@ impl Cluster {
     /// the response frames.
     pub fn cache_counters(&self) -> CacheCounters {
         self.cache.get()
+    }
+
+    /// Cumulative overload-control decisions (admitted / shed / browned-out
+    /// queries, queue pauses and saturation events, initial-dispatch frames,
+    /// and the `retry_after` histogram) over the cluster's lifetime.
+    pub fn overload_counters(&self) -> OverloadCounters {
+        self.gauge.counters()
+    }
+
+    /// Current measured pressure: in-flight estimated cost as a fraction of
+    /// [`ClusterConfig::cost_limit`] (0.0 while overload control is off).
+    pub fn pressure(&self) -> f64 {
+        self.gauge.pressure()
     }
 
     /// Lifetime bytes sent over the coordinator→worker and
@@ -414,18 +574,24 @@ impl Cluster {
     /// Tear down and relaunch machine `m` with freshly rebuilt engines.
     /// Respawned workers keep their link fault injectors (the link
     /// persists) but never inherit one-shot kill/panic faults.
+    ///
+    /// The replacement starts with a cold coverage cache (the cache lived
+    /// inside the dead thread), so before any retry traffic reaches it the
+    /// coordinator queues a single `Prewarm` frame listing the hottest
+    /// coverage slots by dispatch count — FIFO ordering guarantees the
+    /// cache is repopulated before the first re-dispatched query arrives,
+    /// instead of every hot slot missing at once (a thundering herd of
+    /// cold Dijkstras).
     fn respawn_worker(&self, m: usize) {
         let engines: Vec<WorkerEngine> =
             self.assignment.fragments_of(m).iter().map(|&f| self.respawn.build_engine(f)).collect();
-        let (req_tx, req_rx) = crossbeam::channel::unbounded();
+        let (req_tx, req_rx) = crossbeam::channel::bounded(self.queue_capacity);
         let mut workers = self.workers.borrow_mut();
         let w = &mut workers[m];
         if let Some(join) = w.join.take() {
             let _ = join.join(); // thread already finished; reap it
         }
         let responses = self.resp_tx.with_faults(w.from_faults.clone());
-        // A respawned worker always starts with a cold cache: the cache
-        // lived inside the dead thread.
         let cache_budget = self.cache_budget;
         let join = std::thread::Builder::new()
             .name(format!("disks-worker-{m}"))
@@ -435,6 +601,49 @@ impl Cluster {
             .expect("respawn worker");
         w.requests = req_tx;
         w.join = Some(join);
+        if self.cache_budget > 0 {
+            let slots = self.hottest_slots(PREWARM_TOP_K);
+            if !slots.is_empty() {
+                let num_slots = slots.len() as u64;
+                let frame = encode_frame(&Request::Prewarm { slots, fragments: vec![] });
+                w.to_worker.record_send(frame.len() as u64);
+                let _ = w.requests.send(frame);
+                let mut c = self.recovery.get();
+                c.prewarm_frames += 1;
+                c.prewarmed_slots += num_slots;
+                self.recovery.set(c);
+            }
+        }
+    }
+
+    /// The `k` hottest coverage slots by lifetime dispatch count,
+    /// deterministically ordered (count desc, then slot key).
+    fn hottest_slots(&self, k: usize) -> Vec<DTerm> {
+        fn key(&(term, radius): &(Term, u64)) -> (u8, u64, u64) {
+            match term {
+                Term::Keyword(kw) => (0, kw.0 as u64, radius),
+                Term::Node(n) => (1, n.index() as u64, radius),
+            }
+        }
+        let heat = self.slot_heat.borrow();
+        let mut ranked: Vec<(&(Term, u64), &u64)> = heat.iter().collect();
+        ranked.sort_unstable_by(|a, b| b.1.cmp(a.1).then_with(|| key(a.0).cmp(&key(b.0))));
+        ranked.into_iter().take(k).map(|(&(term, radius), _)| DTerm { term, radius }).collect()
+    }
+
+    /// Record a plan's coverage slots in the heat map (admission time).
+    fn charge_heat(&self, plan: &QueryPlan) {
+        let mut heat = self.slot_heat.borrow_mut();
+        for s in plan.slots() {
+            *heat.entry((s.term, s.radius)).or_insert(0) += 1;
+        }
+    }
+
+    /// Whether any of the plan's coverage slots has never been dispatched —
+    /// the brownout ladder sheds such cache-cold queries first.
+    fn has_cold_slot(&self, plan: &QueryPlan) -> bool {
+        let heat = self.slot_heat.borrow();
+        plan.slots().iter().any(|s| !heat.contains_key(&(s.term, s.radius)))
     }
 
     /// Deliver one request frame to machine `m`, respawning it first if its
@@ -461,7 +670,17 @@ impl Cluster {
             let sent = {
                 let workers = self.workers.borrow();
                 workers[m].to_worker.record_send(f.len() as u64);
-                workers[m].requests.send(f.clone()).is_ok()
+                // Bounded queue: fail fast so saturation is observed and
+                // counted, then wait for capacity (the worker always drains,
+                // so the blocking send cannot deadlock).
+                match workers[m].requests.try_send(f.clone()) {
+                    Ok(()) => true,
+                    Err(TrySendError::Full(frame)) => {
+                        self.gauge.note_queue_full();
+                        workers[m].requests.send(frame).is_ok()
+                    }
+                    Err(TrySendError::Disconnected(_)) => false,
+                }
             };
             if !sent {
                 // The worker died between the liveness check and the send:
@@ -491,9 +710,45 @@ impl Cluster {
         }
     }
 
+    /// Queue a narrowed retry behind its exponential backoff (immediate
+    /// when [`ClusterConfig::retry_backoff`] is zero). The jitter seed mixes
+    /// query id, slot, fragment, and retry ordinal, so a replayed run backs
+    /// off identically while concurrent retries spread out.
+    #[allow(clippy::too_many_arguments)] // private gather helper
+    fn schedule_retry(
+        &self,
+        base: u64,
+        slot: usize,
+        frags: Vec<u32>,
+        retry_index: u32,
+        pending: &mut Vec<(Instant, usize, Vec<u32>)>,
+        make_request: &dyn Fn(usize, Vec<u32>) -> Request,
+        report: &mut GatherReport,
+    ) {
+        if self.retry_backoff.is_zero() {
+            self.redispatch(slot, &frags, make_request, report);
+            return;
+        }
+        let seed = base
+            .wrapping_add((slot as u64) << 20)
+            .wrapping_add((retry_index as u64) << 40)
+            .wrapping_add(frags.first().copied().unwrap_or(0) as u64);
+        let delay = backoff_delay(self.retry_backoff, retry_index, splitmix64(seed));
+        pending.push((Instant::now() + delay, slot, frags));
+    }
+
     /// The shared deadline-aware gather: collect one response per fragment
     /// for each of the `n` queries `base+1 ..= base+n`, retrying stalled or
     /// transiently failed fragments with narrowed re-dispatches.
+    ///
+    /// `allow_partial` is passed per gather (rather than read from the
+    /// config) because brownout degrades a group to partial semantics even
+    /// when the cluster default is strict.
+    ///
+    /// Retries are spaced by [`ClusterConfig::retry_backoff`]: instead of
+    /// re-dispatching immediately, each narrowed retry is scheduled
+    /// `base · 2^(retry−1)` (plus deterministic jitter) in the future, so a
+    /// struggling worker is not hammered by synchronized retry bursts.
     ///
     /// `on_response` receives each first-seen in-window `Results` /
     /// `TopKResults` payload along with its query slot and frame size.
@@ -501,6 +756,7 @@ impl Cluster {
         &self,
         base: u64,
         n: usize,
+        allow_partial: bool,
         make_request: &dyn Fn(usize, Vec<u32>) -> Request,
         on_response: &mut dyn FnMut(usize, Response, u64),
     ) -> Result<GatherReport, QueryError> {
@@ -509,6 +765,8 @@ impl Cluster {
         let mut attempts = vec![vec![1u32; k]; n];
         let mut report = GatherReport { retries_by_slot: vec![0; n], ..GatherReport::default() };
         let mut missing = n * k;
+        // Narrowed retries waiting out their backoff: (due, slot, fragments).
+        let mut pending_retries: Vec<(Instant, usize, Vec<u32>)> = Vec::new();
         // The deadline measures *silence*, not total time: any in-window
         // frame resets it, so a long streak of slow-but-live responses is
         // never mistaken for a stall.
@@ -549,6 +807,24 @@ impl Cluster {
                 }
                 break Ok(());
             }
+            // Flush retries whose backoff has elapsed, skipping fragments
+            // that answered while the retry waited.
+            if !pending_retries.is_empty() {
+                let now = Instant::now();
+                let mut i = 0;
+                while i < pending_retries.len() {
+                    if pending_retries[i].0 <= now {
+                        let (_, slot, frags) = pending_retries.swap_remove(i);
+                        let frags: Vec<u32> =
+                            frags.into_iter().filter(|&f| !responded[slot][f as usize]).collect();
+                        if !frags.is_empty() {
+                            self.redispatch(slot, &frags, make_request, &mut report);
+                        }
+                    } else {
+                        i += 1;
+                    }
+                }
+            }
             // Fast path: drain already-queued frames without the
             // park/unpark round-trip `recv_timeout` pays even when a frame
             // is ready (the machines=2 throughput cliff; see
@@ -557,7 +833,14 @@ impl Cluster {
                 Ok(frame) => Ok(frame),
                 Err(TryRecvError::Disconnected) => Err(RecvTimeoutError::Disconnected),
                 Err(TryRecvError::Empty) => {
-                    let timeout = stall_deadline.saturating_duration_since(Instant::now());
+                    // Wake at whichever comes first: the stall deadline or
+                    // the next scheduled retry.
+                    let wake = pending_retries
+                        .iter()
+                        .map(|&(due, _, _)| due)
+                        .min()
+                        .map_or(stall_deadline, |due| due.min(stall_deadline));
+                    let timeout = wake.saturating_duration_since(Instant::now());
                     self.responses.recv_timeout(timeout)
                 }
             };
@@ -625,8 +908,17 @@ impl Cluster {
                                 }
                                 if attempts[slot][f] < self.max_attempts {
                                     attempts[slot][f] += 1;
-                                    self.redispatch(slot, &[fragment], make_request, &mut report);
-                                } else if self.allow_partial {
+                                    let retry_index = attempts[slot][f] - 1;
+                                    self.schedule_retry(
+                                        base,
+                                        slot,
+                                        vec![fragment],
+                                        retry_index,
+                                        &mut pending_retries,
+                                        make_request,
+                                        &mut report,
+                                    );
+                                } else if allow_partial {
                                     responded[slot][f] = true;
                                     missing -= 1;
                                     report.degraded.push((slot, fragment));
@@ -652,6 +944,11 @@ impl Cluster {
                     }
                 }
                 Err(RecvTimeoutError::Timeout) => {
+                    if Instant::now() < stall_deadline {
+                        // Woke early to flush a scheduled retry (handled at
+                        // the top of the loop), not a stall.
+                        continue;
+                    }
                     report.timeouts += 1;
                     let mut exhausted: Vec<u32> = Vec::new();
                     let mut retry_by_slot: Vec<Vec<u32>> = vec![Vec::new(); n];
@@ -665,7 +962,7 @@ impl Cluster {
                                 retry_by_slot[slot].push(f as u32);
                             } else {
                                 exhausted.push(f as u32);
-                                if self.allow_partial {
+                                if allow_partial {
                                     responded[slot][f] = true;
                                     missing -= 1;
                                     report.degraded.push((slot, f as u32));
@@ -673,7 +970,7 @@ impl Cluster {
                             }
                         }
                     }
-                    if !exhausted.is_empty() && !self.allow_partial {
+                    if !exhausted.is_empty() && !allow_partial {
                         exhausted.sort_unstable();
                         exhausted.dedup();
                         break Err(QueryError::WorkerTimeout {
@@ -681,9 +978,18 @@ impl Cluster {
                             attempts: self.max_attempts,
                         });
                     }
-                    for (slot, frags) in retry_by_slot.iter().enumerate() {
+                    for (slot, frags) in retry_by_slot.into_iter().enumerate() {
                         if !frags.is_empty() {
-                            self.redispatch(slot, frags, make_request, &mut report);
+                            let retry_index = attempts[slot][frags[0] as usize] - 1;
+                            self.schedule_retry(
+                                base,
+                                slot,
+                                frags,
+                                retry_index,
+                                &mut pending_retries,
+                                make_request,
+                                &mut report,
+                            );
                         }
                     }
                     stall_deadline = Instant::now() + self.deadline;
@@ -761,6 +1067,7 @@ impl Cluster {
             };
             for m in self.assignment.busy_machines() {
                 self.send_to_worker(m, &frame, &mut respawns);
+                self.gauge.note_dispatch_frames(1);
             }
             s = end;
         }
@@ -768,12 +1075,47 @@ impl Cluster {
         respawns
     }
 
+    /// Cost-model admission for one synchronous query: shed it with a typed
+    /// [`QueryError::Overloaded`] when its estimated cost cannot fit the
+    /// per-worker budget, or when brownout is active and the query is
+    /// cache-cold. Returns the estimated cost and whether the query runs
+    /// browned-out (degraded to partial semantics).
+    fn admit_cost(&self, plan: &QueryPlan) -> Result<(u64, bool), QueryError> {
+        let cost = plan.estimated_cost(&self.cost_params);
+        if !self.gauge.enabled() {
+            self.gauge.note_admitted();
+            return Ok((cost, false));
+        }
+        if self.gauge.would_overflow(cost) {
+            let retry = self.gauge.shed(0, cost);
+            return Err(QueryError::Overloaded {
+                retry_after_millis: (retry.as_millis() as u64).max(1),
+            });
+        }
+        let browned = self.gauge.brownout_at(0);
+        if browned && self.has_cold_slot(plan) {
+            let retry = self.gauge.shed(0, cost);
+            return Err(QueryError::Overloaded {
+                retry_after_millis: (retry.as_millis() as u64).max(1),
+            });
+        }
+        self.gauge.note_admitted();
+        if browned {
+            self.gauge.note_browned_out();
+        }
+        Ok((cost, browned))
+    }
+
     /// Run a D-function distributedly: lower it to a [`QueryPlan`], admit
-    /// it, dispatch to busy machines, gather one response per fragment,
-    /// union the results (Lemma 1).
+    /// it (validity, then estimated cost against the overload budget),
+    /// dispatch to busy machines, gather one response per fragment, union
+    /// the results (Lemma 1).
     pub fn run(&self, f: &DFunction) -> Result<QueryOutcome, QueryError> {
         let plan = QueryPlan::lower(f);
         self.admit(&plan)?;
+        let (cost, browned) = self.admit_cost(&plan)?;
+        self.charge_heat(&plan);
+        self.gauge.charge(cost);
         let start = Instant::now();
         let base = self.query_counter.get();
         let query_id = base + 1;
@@ -787,6 +1129,7 @@ impl Cluster {
         let mut dispatch_respawns = 0u32;
         for m in self.assignment.busy_machines() {
             self.send_to_worker(m, &request, &mut dispatch_respawns);
+            self.gauge.note_dispatch_frames(1);
         }
         self.note_respawns(dispatch_respawns);
 
@@ -804,7 +1147,10 @@ impl Cluster {
                 results.extend(nodes);
             }
         };
-        let report = self.gather(base, 1, &make_request, &mut on_response)?;
+        let allow_partial = self.allow_partial || browned;
+        let gathered = self.gather(base, 1, allow_partial, &make_request, &mut on_response);
+        self.gauge.release(cost);
+        let report = gathered?;
         results.sort_unstable();
 
         let (c2w_after, w2c_after) = self.link_bytes();
@@ -817,6 +1163,8 @@ impl Cluster {
             request_bytes,
             &report,
             dispatch_respawns,
+            cost,
+            browned,
         );
         Ok(QueryOutcome { results, stats })
     }
@@ -832,6 +1180,8 @@ impl Cluster {
         request_bytes: u64,
         report: &GatherReport,
         dispatch_respawns: u32,
+        estimated_cost: u64,
+        browned_out: bool,
     ) -> QueryStats {
         let mut degraded: Vec<u32> = report.degraded.iter().map(|&(_, f)| f).collect();
         degraded.sort_unstable();
@@ -855,20 +1205,169 @@ impl Cluster {
             cache_hits: report.cache.hits,
             cache_misses: report.cache.misses,
             cache_evictions: report.cache.evictions,
+            estimated_cost,
+            browned_out,
             ..QueryStats::default()
         }
         .finalize(&self.network, request_bytes)
     }
 
-    /// Run a batch of D-functions *pipelined*: all requests are dispatched
-    /// before any response is gathered, so worker machines process their
-    /// queues concurrently — the throughput mode the paper's introduction
-    /// motivates ("it will improve query throughput"). Dispatch honours
-    /// [`ClusterConfig::batch_window`]: windows of admitted plans merge into
-    /// per-worker super-plans; retries always narrow to single-query
-    /// `Evaluate` frames for only the failed queries. Returns the sorted
-    /// result set per query plus the batch wall-clock. Recovery events are
-    /// folded into [`Cluster::recovery_counters`].
+    /// The admission-grouped dispatch/gather core shared by
+    /// [`Cluster::run_pipelined`], [`Cluster::run_batched`], and
+    /// [`Cluster::run_stream`]. Walks the stream in order, applying the
+    /// overload ladder per query:
+    ///
+    /// 1. invalid (failed [`Cluster::admit`]) → typed error, no dispatch;
+    /// 2. estimated cost alone over the budget → shed, no dispatch;
+    /// 3. brownout active and the query cache-cold → shed, no dispatch;
+    /// 4. cost does not fit the budget on top of the queued group → the
+    ///    group is flushed first (a *queue pause*: dispatch + gather, which
+    ///    bounds every worker's in-flight cost), then the query queues;
+    /// 5. otherwise the query joins the current group.
+    ///
+    /// A group that flushes at ≥ the brownout fraction of the budget runs
+    /// with partial-result semantics (degrade before shedding). With
+    /// overload control disabled (`cost_limit = 0`) the whole stream is one
+    /// group and the ladder is inert — exactly the pre-overload behavior.
+    ///
+    /// `on_response` receives first-seen `Results` payloads keyed by the
+    /// query's *original stream index*.
+    fn run_stream_core(
+        &self,
+        plans: Vec<Result<QueryPlan, QueryError>>,
+        start: Instant,
+        on_response: &mut dyn FnMut(usize, Response, u64),
+    ) -> StreamRun {
+        let mut disposition: Vec<Disposition> = Vec::with_capacity(plans.len());
+        let mut groups: Vec<GroupRun> = Vec::new();
+        let mut pending: Vec<(usize, QueryPlan, u64)> = Vec::new();
+        let mut pending_cost: u64 = 0;
+        for (i, plan) in plans.into_iter().enumerate() {
+            let plan = match plan {
+                Ok(p) => p,
+                Err(e) => {
+                    disposition.push(Disposition::Invalid(e));
+                    continue;
+                }
+            };
+            let cost = plan.estimated_cost(&self.cost_params);
+            if self.gauge.enabled() {
+                if cost > self.gauge.cost_limit() {
+                    let retry = self.gauge.shed(pending_cost, cost);
+                    disposition.push(Disposition::Shed((retry.as_millis() as u64).max(1)));
+                    continue;
+                }
+                if self.gauge.brownout_at(pending_cost) && self.has_cold_slot(&plan) {
+                    let retry = self.gauge.shed(pending_cost, cost);
+                    disposition.push(Disposition::Shed((retry.as_millis() as u64).max(1)));
+                    continue;
+                }
+                if pending_cost.saturating_add(cost) > self.gauge.cost_limit()
+                    && !pending.is_empty()
+                {
+                    self.gauge.note_queue_pause();
+                    self.flush_group(
+                        &mut pending,
+                        &mut pending_cost,
+                        &mut disposition,
+                        &mut groups,
+                        start,
+                        on_response,
+                    );
+                }
+            }
+            self.gauge.note_admitted();
+            self.charge_heat(&plan);
+            disposition.push(Disposition::Pending);
+            pending_cost = pending_cost.saturating_add(cost);
+            pending.push((i, plan, cost));
+        }
+        self.flush_group(
+            &mut pending,
+            &mut pending_cost,
+            &mut disposition,
+            &mut groups,
+            start,
+            on_response,
+        );
+        StreamRun { disposition, groups }
+    }
+
+    /// Dispatch and gather the queued admission group, releasing its cost
+    /// from the gauge when the gather completes (or fails).
+    fn flush_group(
+        &self,
+        pending: &mut Vec<(usize, QueryPlan, u64)>,
+        pending_cost: &mut u64,
+        disposition: &mut [Disposition],
+        groups: &mut Vec<GroupRun>,
+        start: Instant,
+        on_response: &mut dyn FnMut(usize, Response, u64),
+    ) {
+        if pending.is_empty() {
+            return;
+        }
+        let group_cost = std::mem::take(pending_cost);
+        let mut members: Vec<usize> = Vec::with_capacity(pending.len());
+        let mut plans: Vec<QueryPlan> = Vec::with_capacity(pending.len());
+        let mut costs: Vec<u64> = Vec::with_capacity(pending.len());
+        for (i, plan, cost) in pending.drain(..) {
+            members.push(i);
+            plans.push(plan);
+            costs.push(cost);
+        }
+        let n = plans.len();
+        let gidx = groups.len();
+        let browned = self.gauge.brownout_at(group_cost);
+        for (pos, &i) in members.iter().enumerate() {
+            disposition[i] = Disposition::Ran { group: gidx, pos };
+            if browned {
+                self.gauge.note_browned_out();
+            }
+        }
+        let base = self.query_counter.get();
+        self.query_counter.set(base + n as u64);
+        self.gauge.charge(group_cost);
+        let dispatch_respawns = self.dispatch_plans(base, &plans);
+        let make_request = |slot: usize, frags: Vec<u32>| Request::Evaluate {
+            query_id: base + 1 + slot as u64,
+            plan: plans[slot].clone(),
+            fragments: frags,
+        };
+        let allow_partial = self.allow_partial || browned;
+        let mut slot_on_response =
+            |slot: usize, resp: Response, bytes: u64| on_response(members[slot], resp, bytes);
+        let gathered = self.gather(base, n, allow_partial, &make_request, &mut slot_on_response);
+        self.gauge.release(group_cost);
+        let (report, error) = match gathered {
+            Ok(r) => (r, None),
+            Err(e) => {
+                (GatherReport { retries_by_slot: vec![0; n], ..GatherReport::default() }, Some(e))
+            }
+        };
+        groups.push(GroupRun {
+            costs,
+            report,
+            error,
+            dispatch_respawns,
+            elapsed: start.elapsed(),
+            browned,
+        });
+    }
+
+    /// Run a batch of D-functions *pipelined*: all requests of an admission
+    /// group are dispatched before any response is gathered, so worker
+    /// machines process their queues concurrently — the throughput mode the
+    /// paper's introduction motivates ("it will improve query throughput").
+    /// Dispatch honours [`ClusterConfig::batch_window`]: windows of admitted
+    /// plans merge into per-worker super-plans; retries always narrow to
+    /// single-query `Evaluate` frames for only the failed queries. Returns
+    /// the sorted result set per query plus the batch wall-clock. Recovery
+    /// events are folded into [`Cluster::recovery_counters`].
+    ///
+    /// Under a [`ClusterConfig::cost_limit`], any shed query fails the
+    /// whole call with [`QueryError::Overloaded`] — use
+    /// [`Cluster::run_stream`] for per-query outcomes.
     pub fn run_pipelined(
         &self,
         fs: &[DFunction],
@@ -878,26 +1377,140 @@ impl Cluster {
             self.admit(plan)?;
         }
         let start = Instant::now();
-        let base = self.query_counter.get();
-        self.query_counter.set(base + fs.len() as u64);
-        self.dispatch_plans(base, &plans);
-
         let mut results: Vec<Vec<NodeId>> = vec![Vec::new(); fs.len()];
-        let make_request = |slot: usize, frags: Vec<u32>| Request::Evaluate {
-            query_id: base + 1 + slot as u64,
-            plan: plans[slot].clone(),
-            fragments: frags,
-        };
-        let mut on_response = |slot: usize, response: Response, _bytes: u64| {
+        let mut on_response = |i: usize, response: Response, _bytes: u64| {
             if let Response::Results { nodes, .. } = response {
-                results[slot].extend(nodes);
+                results[i].extend(nodes);
             }
         };
-        self.gather(base, fs.len(), &make_request, &mut on_response)?;
+        let stream =
+            self.run_stream_core(plans.into_iter().map(Ok).collect(), start, &mut on_response);
+        for d in &stream.disposition {
+            match d {
+                Disposition::Invalid(e) => return Err(e.clone()),
+                Disposition::Shed(ms) => {
+                    return Err(QueryError::Overloaded { retry_after_millis: *ms })
+                }
+                Disposition::Ran { group, .. } => {
+                    if let Some(e) = &stream.groups[*group].error {
+                        return Err(e.clone());
+                    }
+                }
+                Disposition::Pending => unreachable!("all admitted queries are flushed"),
+            }
+        }
         for r in &mut results {
             r.sort_unstable();
         }
         Ok((results, start.elapsed()))
+    }
+
+    /// Run a stream of D-functions through the overload-controlled batched
+    /// dispatch path, returning a **per-query** `Result`: each query ends in
+    /// exactly one of full results, typed-partial results (degraded
+    /// fragments listed in its stats), or a typed error — notably
+    /// [`QueryError::Overloaded`] for queries shed by cost admission, which
+    /// provably cost zero wire bytes. This is the API overload-tolerant
+    /// clients drive: shed queries are resubmitted after their
+    /// `retry_after` instead of failing the whole stream.
+    ///
+    /// Per-query stats follow [`Cluster::run_batched`] conventions;
+    /// `wall_time` is the query's *group* completion offset from stream
+    /// start, so queueing delay behind earlier admission groups is visible
+    /// in tail latencies.
+    pub fn run_stream(
+        &self,
+        fs: &[DFunction],
+    ) -> (Vec<Result<QueryOutcome, QueryError>>, Duration) {
+        let start = Instant::now();
+        let n = fs.len();
+        let machines = self.num_machines();
+        let plans: Vec<Result<QueryPlan, QueryError>> = fs
+            .iter()
+            .map(|f| {
+                let p = QueryPlan::lower(f);
+                self.admit(&p).map(|()| p)
+            })
+            .collect();
+        let (c2w_before, _) = self.link_bytes();
+        let mut results: Vec<Vec<NodeId>> = vec![Vec::new(); n];
+        let mut per_machine: Vec<Vec<MachineCost>> =
+            vec![vec![MachineCost::default(); machines]; n];
+        let mut cache_by_slot: Vec<CacheCounters> = vec![CacheCounters::default(); n];
+        let mut on_response = |i: usize, response: Response, bytes: u64| {
+            if let Response::Results { fragment, nodes, cost, .. } = response {
+                let m = self.assignment.machine_of(FragmentId(fragment));
+                per_machine[i][m].absorb(fragment, &cost, nodes.len() as u64, bytes);
+                cache_by_slot[i].absorb(&CacheCounters {
+                    hits: cost.cache_hits,
+                    misses: cost.cache_misses,
+                    evictions: cost.cache_evictions,
+                });
+                results[i].extend(nodes);
+            }
+        };
+        let stream = self.run_stream_core(plans, start, &mut on_response);
+        let elapsed = start.elapsed();
+        let (c2w_after, _) = self.link_bytes();
+        let ran = stream.disposition.iter().filter(|d| matches!(d, Disposition::Ran { .. })).count()
+            as u64;
+        let c2w_each = (c2w_after - c2w_before).checked_div(ran).unwrap_or(0);
+
+        let mut out: Vec<Result<QueryOutcome, QueryError>> = Vec::with_capacity(n);
+        for (i, d) in stream.disposition.iter().enumerate() {
+            match d {
+                Disposition::Invalid(e) => out.push(Err(e.clone())),
+                Disposition::Shed(ms) => {
+                    out.push(Err(QueryError::Overloaded { retry_after_millis: *ms }))
+                }
+                Disposition::Pending => unreachable!("all admitted queries are flushed"),
+                Disposition::Ran { group, pos } => {
+                    let g = &stream.groups[*group];
+                    if let Some(e) = &g.error {
+                        out.push(Err(e.clone()));
+                        continue;
+                    }
+                    let mut nodes = std::mem::take(&mut results[i]);
+                    nodes.sort_unstable();
+                    let machine_costs = std::mem::take(&mut per_machine[i]);
+                    let mut degraded: Vec<u32> = g
+                        .report
+                        .degraded
+                        .iter()
+                        .filter(|&&(s, _)| s == *pos)
+                        .map(|&(_, f)| f)
+                        .collect();
+                    degraded.sort_unstable();
+                    degraded.dedup();
+                    let w2c: u64 = machine_costs.iter().map(|m| m.response_bytes).sum();
+                    let stats = QueryStats {
+                        wall_time: g.elapsed,
+                        per_machine: machine_costs,
+                        coordinator_to_worker_bytes: c2w_each,
+                        worker_to_coordinator_bytes: w2c,
+                        inter_worker_bytes: 0, // Theorem 3: no worker↔worker links
+                        rounds: 1 + g.report.retries_by_slot[*pos],
+                        results: nodes.len(),
+                        retries: g.report.retries_by_slot[*pos],
+                        timeouts: g.report.timeouts,
+                        respawned_workers: g.dispatch_respawns + g.report.respawned_workers,
+                        degraded_fragments: degraded,
+                        duplicate_responses: g.report.duplicate_responses,
+                        corrupt_frames: g.report.corrupt_frames,
+                        out_of_window_responses: g.report.out_of_window_responses,
+                        cache_hits: cache_by_slot[i].hits,
+                        cache_misses: cache_by_slot[i].misses,
+                        cache_evictions: cache_by_slot[i].evictions,
+                        estimated_cost: g.costs[*pos],
+                        browned_out: g.browned,
+                        ..QueryStats::default()
+                    }
+                    .finalize(&self.network, c2w_each);
+                    out.push(Ok(QueryOutcome { results: nodes, stats }));
+                }
+            }
+        }
+        (out, elapsed)
     }
 
     /// Run a batch of D-functions through the batched dispatch path with
@@ -906,87 +1519,29 @@ impl Cluster {
     /// costs, cache counters, and retry count (`GatherReport` attribution
     /// is per query slot even inside a shared batch frame).
     ///
-    /// Shared-by-construction fields are documented batch-level values:
-    /// `wall_time` is the batch wall-clock (queries complete together), and
+    /// Shared-by-construction fields are documented group-level values:
+    /// `wall_time` is the query's admission-group completion offset, and
     /// `coordinator_to_worker_bytes` apportions the dispatch bytes evenly
     /// across the batch (a super-plan frame has no exact per-query split).
+    ///
+    /// The whole call fails on the first per-query error — including
+    /// [`QueryError::Overloaded`] for a shed query when a
+    /// [`ClusterConfig::cost_limit`] is set; use [`Cluster::run_stream`]
+    /// when individual outcomes should survive shedding.
     pub fn run_batched(
         &self,
         fs: &[DFunction],
     ) -> Result<(Vec<QueryOutcome>, Duration), QueryError> {
-        let n = fs.len();
-        let plans: Vec<QueryPlan> = fs.iter().map(QueryPlan::lower).collect();
-        for plan in &plans {
-            self.admit(plan)?;
+        // Validity pre-pass: reject the whole batch before any dispatch,
+        // matching single-query admission semantics.
+        for f in fs {
+            self.admit(&QueryPlan::lower(f))?;
         }
-        let start = Instant::now();
-        let base = self.query_counter.get();
-        self.query_counter.set(base + n as u64);
-        let (c2w_before, _) = self.link_bytes();
-        let dispatch_respawns = self.dispatch_plans(base, &plans);
-
-        let machines = self.num_machines();
-        let mut results: Vec<Vec<NodeId>> = vec![Vec::new(); n];
-        let mut per_machine: Vec<Vec<MachineCost>> =
-            vec![vec![MachineCost::default(); machines]; n];
-        let mut cache_by_slot: Vec<CacheCounters> = vec![CacheCounters::default(); n];
-        let make_request = |slot: usize, frags: Vec<u32>| Request::Evaluate {
-            query_id: base + 1 + slot as u64,
-            plan: plans[slot].clone(),
-            fragments: frags,
-        };
-        let mut on_response = |slot: usize, response: Response, bytes: u64| {
-            if let Response::Results { fragment, nodes, cost, .. } = response {
-                let m = self.assignment.machine_of(FragmentId(fragment));
-                per_machine[slot][m].absorb(fragment, &cost, nodes.len() as u64, bytes);
-                cache_by_slot[slot].absorb(&CacheCounters {
-                    hits: cost.cache_hits,
-                    misses: cost.cache_misses,
-                    evictions: cost.cache_evictions,
-                });
-                results[slot].extend(nodes);
-            }
-        };
-        let report = self.gather(base, n, &make_request, &mut on_response)?;
-        let elapsed = start.elapsed();
-        let (c2w_after, _) = self.link_bytes();
-        let c2w_each = if n == 0 { 0 } else { (c2w_after - c2w_before) / n as u64 };
-
-        let outcomes = results
-            .into_iter()
-            .zip(per_machine)
-            .enumerate()
-            .map(|(slot, (mut nodes, machines))| {
-                nodes.sort_unstable();
-                let mut degraded: Vec<u32> =
-                    report.degraded.iter().filter(|&&(s, _)| s == slot).map(|&(_, f)| f).collect();
-                degraded.sort_unstable();
-                degraded.dedup();
-                let w2c: u64 = machines.iter().map(|m| m.response_bytes).sum();
-                let stats = QueryStats {
-                    wall_time: elapsed,
-                    per_machine: machines,
-                    coordinator_to_worker_bytes: c2w_each,
-                    worker_to_coordinator_bytes: w2c,
-                    inter_worker_bytes: 0, // Theorem 3: no worker↔worker links
-                    rounds: 1 + report.retries_by_slot[slot],
-                    results: nodes.len(),
-                    retries: report.retries_by_slot[slot],
-                    timeouts: report.timeouts,
-                    respawned_workers: dispatch_respawns + report.respawned_workers,
-                    degraded_fragments: degraded,
-                    duplicate_responses: report.duplicate_responses,
-                    corrupt_frames: report.corrupt_frames,
-                    out_of_window_responses: report.out_of_window_responses,
-                    cache_hits: cache_by_slot[slot].hits,
-                    cache_misses: cache_by_slot[slot].misses,
-                    cache_evictions: cache_by_slot[slot].evictions,
-                    ..QueryStats::default()
-                }
-                .finalize(&self.network, c2w_each);
-                QueryOutcome { results: nodes, stats }
-            })
-            .collect();
+        let (items, elapsed) = self.run_stream(fs);
+        let mut outcomes = Vec::with_capacity(items.len());
+        for item in items {
+            outcomes.push(item?);
+        }
         Ok((outcomes, elapsed))
     }
 
@@ -1005,6 +1560,11 @@ impl Cluster {
                 max_r: self.admission_max_r,
             });
         }
+        // Cost admission: a top-k query's work is bounded by the coverage
+        // Dijkstras of its keyword terms at the horizon radius.
+        let topk_plan = QueryPlan::lower(&DFunction::intersection_of(&q.keywords, q.horizon));
+        let (cost, browned) = self.admit_cost(&topk_plan)?;
+        self.gauge.charge(cost);
         let start = Instant::now();
         let base = self.query_counter.get();
         let query_id = base + 1;
@@ -1017,6 +1577,7 @@ impl Cluster {
         let mut dispatch_respawns = 0u32;
         for m in self.assignment.busy_machines() {
             self.send_to_worker(m, &request, &mut dispatch_respawns);
+            self.gauge.note_dispatch_frames(1);
         }
         self.note_respawns(dispatch_respawns);
 
@@ -1034,7 +1595,10 @@ impl Cluster {
                 lists.push(ranked);
             }
         };
-        let report = self.gather(base, 1, &make_request, &mut on_response)?;
+        let allow_partial = self.allow_partial || browned;
+        let gathered = self.gather(base, 1, allow_partial, &make_request, &mut on_response);
+        self.gauge.release(cost);
+        let report = gathered?;
         let merged = disks_core::merge_topk(lists, q.k);
         let (c2w_after, w2c_after) = self.link_bytes();
         let stats = self.build_stats(
@@ -1046,6 +1610,8 @@ impl Cluster {
             request_bytes,
             &report,
             dispatch_respawns,
+            cost,
+            browned,
         );
         Ok((merged, stats))
     }

@@ -44,10 +44,24 @@
 //! multi-answer frame back. Answers stay byte-identical to the unbatched
 //! path, attribution stays per-query exact, and faults inside a batch narrow
 //! to per-query retries (see `DESIGN.md` §"Batched dispatch").
+//!
+//! Under overload the coordinator controls admission instead of collapsing
+//! ([`overload`], `DESIGN.md` §6e): the Theorem 5 cost model prices every
+//! plan, a [`PressureGauge`] bounds in-flight estimated cost per worker
+//! ([`ClusterConfig::cost_limit`], env `DISKS_COST_LIMIT`), over-budget
+//! queries are shed with a typed [`disks_core::QueryError::Overloaded`] and
+//! a pressure-monotone `retry_after` hint *before any frame is encoded*
+//! (zero wire bytes), and above the [`ClusterConfig::brownout`] threshold
+//! the cluster degrades (partial results, cache-cold queries turned away)
+//! before it sheds. Narrowed retries back off exponentially with
+//! deterministic seeded jitter ([`ClusterConfig::retry_backoff`], env
+//! `DISKS_RETRY_BACKOFF`), and respawned workers are pre-warmed with the
+//! hottest coverage slots before retry traffic reaches them.
 
 pub mod cache;
 pub mod cluster;
 pub mod message;
+pub mod overload;
 pub mod scheduler;
 pub mod stats;
 pub mod transport;
@@ -56,6 +70,7 @@ pub mod worker;
 pub use cache::{CacheCounters, CoverageCache};
 pub use cluster::{Cluster, ClusterConfig, QueryOutcome};
 pub use message::{BatchAnswer, Request, Response, WireCost};
+pub use overload::{retry_after, OverloadCounters, PressureGauge};
 pub use scheduler::Assignment;
 pub use stats::{MachineCost, QueryStats, RecoveryCounters};
 pub use transport::{FaultAction, FaultPlan, LinkCounters, LinkDirection, LinkFault, NetworkModel};

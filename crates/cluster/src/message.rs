@@ -28,6 +28,12 @@ pub enum Request {
     /// fragment, answers in batch order. Same fragment-narrowing rule as
     /// `Evaluate`.
     Batch { base: u64, plan: SuperPlan, fragments: Vec<u32> },
+    /// Populate the worker's coverage cache with the listed slots before
+    /// serving further traffic (sent to freshly respawned workers ahead of
+    /// any retry re-delivery, so the replacement does not face a thundering
+    /// herd of cache-cold misses). No response is produced. Same
+    /// fragment-narrowing rule as `Evaluate`.
+    Prewarm { slots: Vec<disks_core::DTerm>, fragments: Vec<u32> },
     /// Terminate the worker loop.
     Shutdown,
 }
@@ -195,6 +201,11 @@ impl Encode for Request {
                 plan.encode(buf);
                 fragments.encode(buf);
             }
+            Request::Prewarm { slots, fragments } => {
+                4u8.encode(buf);
+                slots.encode(buf);
+                fragments.encode(buf);
+            }
         }
     }
 }
@@ -217,6 +228,7 @@ impl Decode for Request {
                 plan: SuperPlan::decode(buf)?,
                 fragments: Vec::decode(buf)?,
             }),
+            4 => Ok(Request::Prewarm { slots: Vec::decode(buf)?, fragments: Vec::decode(buf)? }),
             tag => Err(DecodeError::BadTag { context: "Request", tag }),
         }
     }
@@ -393,6 +405,23 @@ mod tests {
         };
         let frame = encode_frame(&resp);
         assert_eq!(decode_frame::<Response>(frame).unwrap(), resp);
+    }
+
+    #[test]
+    fn prewarm_round_trip() {
+        use disks_core::DTerm;
+        let req = Request::Prewarm {
+            slots: vec![
+                DTerm { term: Term::Keyword(KeywordId(2)), radius: 40 },
+                DTerm { term: Term::Keyword(KeywordId(7)), radius: 80 },
+            ],
+            fragments: vec![1, 4],
+        };
+        let frame = encode_frame(&req);
+        assert_eq!(decode_frame::<Request>(frame).unwrap(), req);
+        let empty = Request::Prewarm { slots: vec![], fragments: vec![] };
+        let frame = encode_frame(&empty);
+        assert_eq!(decode_frame::<Request>(frame).unwrap(), empty);
     }
 
     #[test]

@@ -94,6 +94,14 @@ pub struct QueryStats {
     pub cache_misses: u64,
     /// Worker coverage-cache evictions triggered while serving this query.
     pub cache_evictions: u64,
+    /// Theorem 5 estimated cost charged against the overload budget at
+    /// admission (`QueryPlan::estimated_cost`; 0 when stats predate
+    /// admission, e.g. defaults).
+    pub estimated_cost: u64,
+    /// Whether the query ran under brownout degradation: the pressure gauge
+    /// was above `ClusterConfig::brownout`, so partial-result semantics
+    /// applied regardless of `allow_partial`.
+    pub browned_out: bool,
 }
 
 /// Cumulative recovery events over a cluster's lifetime (all queries,
@@ -116,6 +124,11 @@ pub struct RecoveryCounters {
     /// Well-formed responses outside the active gather window (stale
     /// answers to abandoned queries).
     pub out_of_window_responses: u64,
+    /// `Prewarm` frames sent to respawned workers (one per respawn with a
+    /// non-empty heat map and caching enabled).
+    pub prewarm_frames: u64,
+    /// Coverage slots shipped in those `Prewarm` frames.
+    pub prewarmed_slots: u64,
 }
 
 impl QueryStats {
@@ -171,6 +184,8 @@ impl Default for QueryStats {
             cache_hits: 0,
             cache_misses: 0,
             cache_evictions: 0,
+            estimated_cost: 0,
+            browned_out: false,
         }
     }
 }

@@ -255,6 +255,24 @@ pub fn worker_loop(
                     }
                 }
             }
+            Request::Prewarm { slots, fragments } => {
+                // Cold-cache fix for respawned workers: resolve each hot
+                // coverage slot once per hosted fragment so retry traffic
+                // lands on a warm cache. Fire-and-forget — no response
+                // frame; failures (e.g. out-of-contract radii) are ignored
+                // because pre-warming is purely an accelerator.
+                for (_, engine) in hosted(&mut engines, &fragments) {
+                    for slot in &slots {
+                        let plan = QueryPlan::lower(&disks_core::DFunction::single(
+                            slot.term,
+                            slot.radius,
+                        ));
+                        let _ = panic::catch_unwind(AssertUnwindSafe(|| {
+                            engine.evaluate_plan(&plan, &mut cache)
+                        }));
+                    }
+                }
+            }
             Request::Batch { base, plan, fragments } => {
                 // Split once: each query evaluates through the shared-slot
                 // store below, so per-query results are bit-identical to the

@@ -1,9 +1,10 @@
 //! Coverage-cache equivalence: the per-worker cache is a pure
 //! memoization, so a cached cluster and a cache-disabled cluster must be
 //! *observably identical* on answers — over a Zipf-skewed stream, across a
-//! mid-stream worker kill/respawn (which cold-starts the dead worker's
-//! cache), and against the centralized oracle — while Theorem 3's zero
-//! inter-worker bytes holds in both modes.
+//! mid-stream worker kill/respawn (whose fresh cache is pre-warmed with the
+//! hottest slots before retry traffic reaches it), and against the
+//! centralized oracle — while Theorem 3's zero inter-worker bytes holds in
+//! both modes.
 
 use std::time::Duration;
 
@@ -105,11 +106,14 @@ fn cached_and_disabled_clusters_answer_identically_across_respawn() {
     uncached.shutdown();
 }
 
-/// A respawned worker starts with a cold cache: the same query run three
-/// times with a kill at the second run forces an extra miss that a
-/// surviving cache would have served as a hit.
+/// A respawned worker is pre-warmed with the hottest coverage slots before
+/// any retry traffic reaches it: the same query run three times with a kill
+/// at the second run shows *no* extra cold-cache miss on the wire — the
+/// respawn's fresh cache resolved the hot slot during the `Prewarm` frame
+/// (which carries no response, so the wire ledger records only run 1's
+/// misses), and the retried task lands on a warm cache.
 #[test]
-fn respawned_worker_starts_with_a_cold_cache() {
+fn respawned_worker_is_prewarmed_before_retry_traffic() {
     let net = GridNetworkConfig::tiny(0xC01D).generate();
     let p = MultilevelPartitioner::default().partition(&net, 2);
     let cluster = build_cluster(&net, &p, 64 << 20, Some(2));
@@ -119,17 +123,22 @@ fn respawned_worker_starts_with_a_cold_cache() {
     let mut oracle = CentralizedCoverage::new(&net);
     let expect = oracle.sgkq(&q).unwrap();
 
-    // Run 1 warms both workers; run 2 kills machine 0 (cold respawn
-    // re-misses its slot); run 3 hits everywhere.
+    // Run 1 warms both workers (and the coordinator's slot-heat ledger);
+    // run 2 kills machine 0 — the respawn is pre-warmed, so its retried
+    // task hits; run 3 hits everywhere.
     for i in 0..3 {
         let outcome = cluster.run_sgkq(&q).unwrap_or_else(|e| panic!("run {i}: {e}"));
         assert_eq!(outcome.results, expect, "run {i} not exact across respawn");
     }
-    assert!(cluster.recovery_counters().respawned_workers >= 1, "kill must have fired");
+    let recovery = cluster.recovery_counters();
+    assert!(recovery.respawned_workers >= 1, "kill must have fired");
+    assert!(recovery.prewarm_frames >= 1, "respawn must have been pre-warmed");
+    assert!(recovery.prewarmed_slots >= 1, "pre-warm must have shipped the hot slot");
     let counters = cluster.cache_counters();
-    // A surviving cache would miss exactly twice (once per machine, run 1).
-    // The cold respawn forces at least one extra miss.
-    assert!(counters.misses >= 3, "expected a cold-cache re-miss, got {counters:?}");
-    assert!(counters.hits >= 2);
+    // Without pre-warming the cold respawn would re-miss its slot on the
+    // retried task (≥3 wire misses); pre-warming absorbs that miss off the
+    // response ledger, so exactly run 1's two misses remain.
+    assert_eq!(counters.misses, 2, "pre-warm must absorb the cold re-miss: {counters:?}");
+    assert!(counters.hits >= 3, "retried task and run 3 must all hit: {counters:?}");
     cluster.shutdown();
 }

@@ -1,0 +1,114 @@
+//! Overload-control properties:
+//!
+//! 1. A shed query costs **zero** wire traffic — neither
+//!    `link_message_totals` nor `link_totals` move, in either direction —
+//!    while the same query against a generous budget runs and moves bytes.
+//! 2. The `retry_after` hint is monotone (non-decreasing) in the measured
+//!    pressure, both as a pure function and as observed through
+//!    [`PressureGauge::shed`] under growing backlog.
+
+use proptest::prelude::*;
+
+use disks_cluster::{retry_after, Cluster, ClusterConfig, NetworkModel, PressureGauge};
+use disks_core::{
+    build_all_indexes, CostParams, DFunction, IndexConfig, QueryError, QueryPlan, Term,
+};
+use disks_partition::{MultilevelPartitioner, Partitioner, Partitioning};
+use disks_roadnet::generator::GridNetworkConfig;
+use disks_roadnet::{KeywordId, RoadNetwork};
+
+fn build_cluster(net: &RoadNetwork, p: &Partitioning, cost_limit: u64) -> Cluster {
+    let indexes = build_all_indexes(net, p, &IndexConfig::unbounded());
+    Cluster::build(
+        net,
+        p,
+        indexes,
+        ClusterConfig {
+            network: NetworkModel::instant(),
+            coverage_cache_bytes: 64 << 20,
+            cost_limit,
+            brownout: f64::INFINITY,
+            ..ClusterConfig::default()
+        },
+    )
+}
+
+/// The `rank`-th most frequent keyword actually present in the network.
+fn ranked_keyword(net: &RoadNetwork, rank: usize) -> KeywordId {
+    let freqs = net.keyword_frequencies();
+    let mut ranked: Vec<usize> = (0..freqs.len()).filter(|&k| freqs[k] > 0).collect();
+    ranked.sort_unstable_by_key(|&k| std::cmp::Reverse(freqs[k]));
+    KeywordId(ranked[rank % ranked.len()] as u32)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Shed ⇒ zero wire traffic; admitted ⇒ the wire moved. The same query
+    /// against a budget of 1 (below any real plan's cost) and against an
+    /// unlimited budget.
+    #[test]
+    fn shed_queries_leave_the_wire_untouched(seed in 0u64..500, rank in 0usize..5, mult in 1u64..4) {
+        let net = GridNetworkConfig::tiny(seed).generate();
+        let p = MultilevelPartitioner::default().partition(&net, 2);
+        let f = DFunction::single(
+            Term::Keyword(ranked_keyword(&net, rank)),
+            mult * net.avg_edge_weight(),
+        );
+        let cost = QueryPlan::lower(&f).estimated_cost(&CostParams::from_network(&net));
+        prop_assert!(cost > 1, "a real plan costs more than the starvation budget");
+
+        let shedder = build_cluster(&net, &p, 1);
+        let frames_before = shedder.link_message_totals();
+        let bytes_before = shedder.link_totals();
+        match shedder.run(&f) {
+            Err(QueryError::Overloaded { retry_after_millis }) => {
+                prop_assert!(retry_after_millis >= 1);
+            }
+            other => {
+                prop_assert!(false, "over-budget query must shed, got {other:?}");
+            }
+        }
+        prop_assert_eq!(shedder.link_message_totals(), frames_before,
+            "a shed query must not put a single frame on the wire");
+        prop_assert_eq!(shedder.link_totals(), bytes_before,
+            "a shed query must not put a single byte on the wire");
+        let oc = shedder.overload_counters();
+        prop_assert_eq!(oc.shed, 1);
+        prop_assert_eq!(oc.admitted, 0);
+        prop_assert_eq!(oc.dispatch_frames, 0);
+
+        let generous = build_cluster(&net, &p, u64::MAX);
+        let bytes_idle = generous.link_totals();
+        let outcome = generous.run(&f);
+        prop_assert!(outcome.is_ok(), "unlimited budget must admit: {:?}", outcome.err());
+        prop_assert!(generous.link_totals().0 > bytes_idle.0, "admitted queries move bytes");
+        prop_assert_eq!(generous.overload_counters().shed, 0);
+
+        shedder.shutdown();
+        generous.shutdown();
+    }
+
+    /// `retry_after` is monotone in pressure as a pure function.
+    #[test]
+    fn retry_after_is_monotone_in_pressure(a in 0u32..4000, b in 0u32..4000) {
+        let (lo, hi) = (a.min(b) as f64 / 100.0, a.max(b) as f64 / 100.0);
+        prop_assert!(retry_after(lo) <= retry_after(hi),
+            "retry_after({lo}) > retry_after({hi})");
+    }
+
+    /// The hint a shed query receives through the gauge never shrinks as
+    /// the backlog deepens.
+    #[test]
+    fn shed_hint_grows_with_backlog(limit in 1u64..1000, step in 1u64..500, n in 1usize..8) {
+        let g = PressureGauge::new(limit, f64::INFINITY);
+        let mut last = std::time::Duration::ZERO;
+        for i in 0..n {
+            let hint = g.shed(0, step);
+            prop_assert!(hint >= last, "hint shrank at backlog step {i}");
+            last = hint;
+            g.charge(step);
+        }
+        prop_assert_eq!(g.counters().shed, n as u64);
+    }
+}

@@ -1,19 +1,35 @@
 //! Vendored minimal re-implementation of the subset of `crossbeam` this
-//! workspace uses: unbounded MPSC channels. Delegates to `std::sync::mpsc`,
-//! whose unbounded-channel semantics (FIFO per sender, disconnect on last
-//! sender/receiver drop, `recv_timeout`) match crossbeam's for the covered
+//! workspace uses: unbounded and bounded MPSC channels. Delegates to
+//! `std::sync::mpsc` (`channel` / `sync_channel`), whose semantics (FIFO per
+//! sender, disconnect on last sender/receiver drop, `recv_timeout`, blocking
+//! `send` on a full bounded channel) match crossbeam's for the covered
 //! surface.
 
 pub mod channel {
     use std::sync::mpsc;
     use std::time::Duration;
 
-    pub use std::sync::mpsc::{RecvError, RecvTimeoutError, SendError, TryRecvError};
+    pub use std::sync::mpsc::{RecvError, RecvTimeoutError, SendError, TryRecvError, TrySendError};
 
-    /// The sending half of an unbounded channel. Cloneable; the channel
-    /// disconnects when every sender is dropped.
+    enum SenderKind<T> {
+        Unbounded(mpsc::Sender<T>),
+        Bounded(mpsc::SyncSender<T>),
+    }
+
+    impl<T> Clone for SenderKind<T> {
+        fn clone(&self) -> Self {
+            match self {
+                SenderKind::Unbounded(tx) => SenderKind::Unbounded(tx.clone()),
+                SenderKind::Bounded(tx) => SenderKind::Bounded(tx.clone()),
+            }
+        }
+    }
+
+    /// The sending half of a channel. Cloneable; the channel disconnects
+    /// when every sender is dropped. For bounded channels `send` blocks
+    /// while the queue is full and `try_send` fails fast.
     pub struct Sender<T> {
-        inner: mpsc::Sender<T>,
+        inner: SenderKind<T>,
     }
 
     impl<T> std::fmt::Debug for Sender<T> {
@@ -35,8 +51,23 @@ pub mod channel {
     }
 
     impl<T> Sender<T> {
+        /// Send, blocking while a bounded channel is full.
         pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
-            self.inner.send(msg)
+            match &self.inner {
+                SenderKind::Unbounded(tx) => tx.send(msg),
+                SenderKind::Bounded(tx) => tx.send(msg),
+            }
+        }
+
+        /// Non-blocking send: `Err(TrySendError::Full)` when a bounded
+        /// channel is at capacity (unbounded channels never report full).
+        pub fn try_send(&self, msg: T) -> Result<(), TrySendError<T>> {
+            match &self.inner {
+                SenderKind::Unbounded(tx) => {
+                    tx.send(msg).map_err(|SendError(m)| TrySendError::Disconnected(m))
+                }
+                SenderKind::Bounded(tx) => tx.try_send(msg),
+            }
         }
     }
 
@@ -82,13 +113,20 @@ pub mod channel {
     /// Create an unbounded channel.
     pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
         let (tx, rx) = mpsc::channel();
-        (Sender { inner: tx }, Receiver { inner: rx })
+        (Sender { inner: SenderKind::Unbounded(tx) }, Receiver { inner: rx })
+    }
+
+    /// Create a bounded channel holding at most `cap` queued messages.
+    /// `send` blocks while full; `try_send` returns `TrySendError::Full`.
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::sync_channel(cap);
+        (Sender { inner: SenderKind::Bounded(tx) }, Receiver { inner: rx })
     }
 }
 
 #[cfg(test)]
 mod tests {
-    use super::channel::{unbounded, RecvTimeoutError};
+    use super::channel::{bounded, unbounded, RecvTimeoutError, TrySendError};
     use std::time::Duration;
 
     #[test]
@@ -124,5 +162,38 @@ mod tests {
         let (tx, rx) = unbounded();
         drop(rx);
         assert!(tx.send(1).is_err());
+    }
+
+    #[test]
+    fn bounded_try_send_reports_full_until_drained() {
+        let (tx, rx) = bounded(2);
+        tx.try_send(1).unwrap();
+        tx.try_send(2).unwrap();
+        assert!(matches!(tx.try_send(3), Err(TrySendError::Full(3))));
+        assert_eq!(rx.recv().unwrap(), 1);
+        tx.try_send(3).unwrap();
+        assert_eq!(rx.recv().unwrap(), 2);
+        assert_eq!(rx.recv().unwrap(), 3);
+    }
+
+    #[test]
+    fn bounded_blocking_send_waits_for_capacity() {
+        let (tx, rx) = bounded(1);
+        tx.send(1).unwrap();
+        let writer = std::thread::spawn(move || tx.send(2).unwrap());
+        std::thread::sleep(Duration::from_millis(20));
+        assert_eq!(rx.recv().unwrap(), 1);
+        writer.join().unwrap();
+        assert_eq!(rx.recv().unwrap(), 2);
+    }
+
+    #[test]
+    fn unbounded_try_send_never_full() {
+        let (tx, rx) = unbounded();
+        for i in 0..1000 {
+            tx.try_send(i).unwrap();
+        }
+        drop(rx);
+        assert!(matches!(tx.try_send(0), Err(TrySendError::Disconnected(0))));
     }
 }
