@@ -249,6 +249,26 @@ fn main() {
                         p.qps_batched / p.qps_uncached
                     );
                 }
+                // Adaptive streaming dispatch vs the best fixed window
+                // (w=64): throughput ratio and the dispatch-byte savings
+                // from slot-reference elision in steady state.
+                if let Some(w64) = p.batch_sweep.iter().find(|b| b.window == 64) {
+                    let a = &p.adaptive;
+                    if w64.qps > 0.0 && w64.c2w_bytes_per_query > 0.0 {
+                        println!(
+                            "[adaptive] machines={}: {:.0} q/s ({:.2}x of w=64), \
+                             c2w {:.0} -> {:.0} B/query ({:.0}% saved), p99 {}us, nacks={}",
+                            p.machines,
+                            a.qps,
+                            a.qps / w64.qps,
+                            w64.c2w_bytes_per_query,
+                            a.c2w_bytes_per_query,
+                            (1.0 - a.c2w_bytes_per_query / w64.c2w_bytes_per_query) * 100.0,
+                            a.p99_micros,
+                            a.slot_nacks
+                        );
+                    }
+                }
             }
             println!();
         }

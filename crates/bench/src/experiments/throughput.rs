@@ -30,6 +30,9 @@ const HEADLINE_WINDOW: usize = 16;
 /// unbatched baseline (one `Evaluate` frame per query per worker).
 const SWEEP_WINDOWS: [usize; 4] = [1, 4, 16, 64];
 
+/// Window-trace entries kept in the JSON artifact per machine point.
+const TRACE_LIMIT: usize = 64;
+
 /// One batch-window measurement over the uncached cluster.
 #[derive(Debug, Clone, PartialEq)]
 pub struct BatchSweepPoint {
@@ -41,6 +44,37 @@ pub struct BatchSweepPoint {
     pub frames_per_query_per_worker: f64,
     /// Total link bytes (both directions) per query over the measured batch.
     pub bytes_per_query: f64,
+    /// Coordinator→worker (dispatch) bytes per query over the measured
+    /// batch — the side slot-reference elision shrinks.
+    pub c2w_bytes_per_query: f64,
+    /// Per-query *service* latency percentiles over the measured batch
+    /// (dispatch → last fragment response): what batching costs the queries
+    /// held inside a window.
+    pub p50_micros: u64,
+    pub p99_micros: u64,
+}
+
+/// The adaptive streaming dispatch row at one machine count
+/// (`DISKS_BATCH=adaptive`): AIMD-chosen windows with slot-reference
+/// elision, measured over the same warmup + measured batch as the sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdaptivePoint {
+    /// Pipelined queries/sec, cache disabled (comparable to the sweep rows).
+    pub qps: f64,
+    /// Per-query service latency percentiles over the measured batch, on
+    /// the same metric as the sweep rows'.
+    pub p50_micros: u64,
+    pub p99_micros: u64,
+    pub frames_per_query_per_worker: f64,
+    pub bytes_per_query: f64,
+    /// Dispatch-side bytes per query: steady state ships believed-known
+    /// slots as 5-byte references instead of full specs.
+    pub c2w_bytes_per_query: f64,
+    /// `SlotUnknown` NACKs over the measured batch (0 on a fault-free run).
+    pub slot_nacks: u64,
+    /// Controller window size after each closed window of the measured
+    /// batch (trimmed to the first [`TRACE_LIMIT`] entries).
+    pub window_trace: Vec<u32>,
 }
 
 /// One machine-count measurement of the throughput sweep.
@@ -61,6 +95,8 @@ pub struct ThroughputPoint {
     pub p99_micros: u64,
     /// Uncached batch-window sweep at this machine count.
     pub batch_sweep: Vec<BatchSweepPoint>,
+    /// Adaptive streaming dispatch at this machine count.
+    pub adaptive: AdaptivePoint,
 }
 
 /// Machine-readable summary of the throughput sweep.
@@ -99,11 +135,32 @@ impl ThroughputSummary {
                 let bsep = if j + 1 == p.batch_sweep.len() { "" } else { ", " };
                 s.push_str(&format!(
                     "{{\"window\": {}, \"qps\": {:.1}, \"frames_per_query_per_worker\": {:.4}, \
-                     \"bytes_per_query\": {:.1}}}{bsep}",
-                    b.window, b.qps, b.frames_per_query_per_worker, b.bytes_per_query
+                     \"bytes_per_query\": {:.1}, \"c2w_bytes_per_query\": {:.1}, \
+                     \"p50_micros\": {}, \"p99_micros\": {}}}{bsep}",
+                    b.window,
+                    b.qps,
+                    b.frames_per_query_per_worker,
+                    b.bytes_per_query,
+                    b.c2w_bytes_per_query,
+                    b.p50_micros,
+                    b.p99_micros
                 ));
             }
-            s.push_str(&format!("]}}{sep}\n"));
+            let a = &p.adaptive;
+            s.push_str(&format!(
+                "], \"adaptive\": {{\"qps\": {:.1}, \"p50_micros\": {}, \"p99_micros\": {}, \
+                 \"frames_per_query_per_worker\": {:.4}, \"bytes_per_query\": {:.1}, \
+                 \"c2w_bytes_per_query\": {:.1}, \"slot_nacks\": {}, \"window_trace\": [{}]}}",
+                a.qps,
+                a.p50_micros,
+                a.p99_micros,
+                a.frames_per_query_per_worker,
+                a.bytes_per_query,
+                a.c2w_bytes_per_query,
+                a.slot_nacks,
+                a.window_trace.iter().map(u32::to_string).collect::<Vec<_>>().join(", ")
+            ));
+            s.push_str(&format!("}}{sep}\n"));
         }
         s.push_str("  ]\n}\n");
         s
@@ -117,6 +174,7 @@ fn build(
     machines: usize,
     cache_bytes: usize,
     batch_window: usize,
+    adaptive: bool,
 ) -> Cluster {
     Cluster::build(
         &ds.net,
@@ -127,25 +185,87 @@ fn build(
             network: NetworkModel::instant(),
             coverage_cache_bytes: cache_bytes,
             batch_window,
+            // Pinned explicitly so the sweep measures what its column says
+            // regardless of DISKS_BATCH* lane variables, and the adaptive
+            // row is reproducible across environments. The latency target
+            // and time bound are deliberately non-binding: this is a
+            // closed-loop benchmark where the full batch is backlogged at
+            // dispatch, so every query's service latency includes queue
+            // wait behind the whole batch — a binding target would read
+            // that as degradation and collapse the window, measuring the
+            // guard instead of the controller. The guard itself is pinned
+            // by the unit tests on `WindowController`.
+            batch_adaptive: adaptive,
+            batch_window_ms: std::time::Duration::from_millis(100),
+            batch_p99_target: std::time::Duration::from_secs(30),
             ..ClusterConfig::default()
         },
     )
 }
 
-/// One warmup + one measured pipelined run; returns the measured qps and
-/// the link deltas (c2w frames, total bytes) over the measured batch.
-fn measure(cluster: &Cluster, fs: &[DFunction]) -> (f64, u64, u64) {
+/// Link and latency deltas of one measured pipelined batch.
+struct Measured {
+    qps: f64,
+    /// Coordinator→worker frames.
+    frames: u64,
+    /// Link bytes, both directions.
+    bytes: u64,
+    /// Coordinator→worker bytes alone.
+    c2w: u64,
+    /// Per-query service latency percentiles (µs).
+    p50_micros: u64,
+    p99_micros: u64,
+}
+
+/// Measured pipelined batches per point: single batches are noisy on a
+/// shared host, so each reported row is the best-throughput run of these.
+const MEASURED_REPS: usize = 3;
+
+/// One warmup then [`MEASURED_REPS`] measured pipelined runs, keeping the
+/// best-throughput one — the sweep compares windows, not host scheduling.
+fn measure(cluster: &Cluster, fs: &[DFunction]) -> Measured {
     let _ = cluster.run_pipelined(fs).expect("warmup batch");
+    let mut best: Option<Measured> = None;
+    for _ in 0..MEASURED_REPS {
+        let m = measure_once(cluster, fs);
+        if best.as_ref().is_none_or(|b| m.qps > b.qps) {
+            best = Some(m);
+        }
+    }
+    best.expect("at least one measured batch")
+}
+
+/// One measured pipelined run; link counters and service latencies are
+/// delta'd so they cover exactly this batch.
+fn measure_once(cluster: &Cluster, fs: &[DFunction]) -> Measured {
+    let _ = cluster.take_service_latencies();
     let (fr_before, _) = cluster.link_message_totals();
     let (c2w_before, w2c_before) = cluster.link_totals();
     let (results, elapsed) = cluster.run_pipelined(fs).expect("measured batch");
     assert_eq!(results.len(), fs.len());
     let (fr_after, _) = cluster.link_message_totals();
     let (c2w_after, w2c_after) = cluster.link_totals();
-    let qps = fs.len() as f64 / elapsed.as_secs_f64().max(1e-9);
-    let frames = fr_after - fr_before;
-    let bytes = (c2w_after - c2w_before) + (w2c_after - w2c_before);
-    (qps, frames, bytes)
+    let lat: Vec<u64> =
+        cluster.take_service_latencies().iter().map(|d| d.as_micros() as u64).collect();
+    let (p50_micros, p99_micros) = percentiles(lat);
+    let c2w = c2w_after - c2w_before;
+    Measured {
+        qps: fs.len() as f64 / elapsed.as_secs_f64().max(1e-9),
+        frames: fr_after - fr_before,
+        bytes: c2w + (w2c_after - w2c_before),
+        c2w,
+        p50_micros,
+        p99_micros,
+    }
+}
+
+/// (p50, p99) of a latency sample in µs; (0, 0) on an empty sample.
+fn percentiles(mut lat: Vec<u64>) -> (u64, u64) {
+    if lat.is_empty() {
+        return (0, 0);
+    }
+    lat.sort_unstable();
+    (lat[lat.len() / 2], lat[(lat.len() * 99 / 100).min(lat.len() - 1)])
 }
 
 /// Pipelined throughput vs number of machines: cached vs cache-disabled vs
@@ -172,6 +292,7 @@ pub fn throughput(ds: &Dataset, params: &Params) -> (Table, ThroughputSummary) {
             "q/s cached".into(),
             "q/s uncached".into(),
             format!("q/s batched(w={HEADLINE_WINDOW})"),
+            "q/s adaptive".into(),
             "frames/q/w".into(),
             "hit rate".into(),
             "p50".into(),
@@ -198,7 +319,7 @@ pub fn throughput(ds: &Dataset, params: &Params) -> (Table, ThroughputSummary) {
         // worker's cache (the Zipf stream repeats (keyword, radius) slots),
         // then the measured batch runs warm and its counter delta yields
         // the hit rate.
-        let cached = build(ds, &partitioning, indexes.clone(), machines, 64 << 20, 1);
+        let cached = build(ds, &partitioning, indexes.clone(), machines, 64 << 20, 1, false);
         let _ = cached.run_pipelined(&fs).expect("warmup batch");
         let before = cached.cache_counters();
         let (results, elapsed) = cached.run_pipelined(&fs).expect("cached batch");
@@ -206,13 +327,11 @@ pub fn throughput(ds: &Dataset, params: &Params) -> (Table, ThroughputSummary) {
         let delta = cached.cache_counters().since(&before);
         let qps_cached = fs.len() as f64 / elapsed.as_secs_f64().max(1e-9);
         // Sequential warm runs for per-query latency percentiles.
-        let mut lat: Vec<u64> = fs
-            .iter()
-            .map(|f| cached.run(f).expect("latency run").stats.wall_time.as_micros() as u64)
-            .collect();
-        lat.sort_unstable();
-        let p50 = lat[lat.len() / 2];
-        let p99 = lat[(lat.len() * 99 / 100).min(lat.len() - 1)];
+        let (p50, p99) = percentiles(
+            fs.iter()
+                .map(|f| cached.run(f).expect("latency run").stats.wall_time.as_micros() as u64)
+                .collect(),
+        );
         cached.shutdown();
 
         // Uncached batch-window sweep — window 1 is the unbatched baseline,
@@ -220,14 +339,17 @@ pub fn throughput(ds: &Dataset, params: &Params) -> (Table, ThroughputSummary) {
         // cache budget so batching is the only variable.
         let mut batch_sweep = Vec::new();
         for &window in &SWEEP_WINDOWS {
-            let cluster = build(ds, &partitioning, indexes.clone(), machines, 0, window);
-            let (qps, frames, bytes) = measure(&cluster, &fs);
+            let cluster = build(ds, &partitioning, indexes.clone(), machines, 0, window, false);
+            let m = measure(&cluster, &fs);
             cluster.shutdown();
             batch_sweep.push(BatchSweepPoint {
                 window,
-                qps,
-                frames_per_query_per_worker: frames as f64 / (fs.len() * machines) as f64,
-                bytes_per_query: bytes as f64 / fs.len() as f64,
+                qps: m.qps,
+                frames_per_query_per_worker: m.frames as f64 / (fs.len() * machines) as f64,
+                bytes_per_query: m.bytes as f64 / fs.len() as f64,
+                c2w_bytes_per_query: m.c2w as f64 / fs.len() as f64,
+                p50_micros: m.p50_micros,
+                p99_micros: m.p99_micros,
             });
         }
         let qps_uncached = batch_sweep[0].qps;
@@ -237,12 +359,65 @@ pub fn throughput(ds: &Dataset, params: &Params) -> (Table, ThroughputSummary) {
             .expect("headline window in sweep")
             .clone();
 
+        // Adaptive streaming dispatch, same protocol as the sweep rows
+        // (uncached, warmup + measured batch): the warmup teaches every
+        // worker's slot directory, so the measured batch is the steady
+        // state — windows chosen by the AIMD controller, believed-known
+        // slots shipped as 5-byte references.
+        let adaptive = {
+            let cluster =
+                build(ds, &partitioning, indexes.clone(), machines, 0, HEADLINE_WINDOW, true);
+            // Warmup inlined (not `measure`): the AIMD controller grows
+            // additively, so one batch is not enough to reach the
+            // steady-state window — repeat until the window stops climbing
+            // (growth stalls once the remaining backlog can no longer fill
+            // a bigger window), bounded for safety. The first batch also
+            // teaches every worker's slot directory; the trace snapshot
+            // below then isolates the measured batch's controller
+            // decisions.
+            let _ = cluster.run_pipelined(&fs).expect("warmup batch");
+            for _ in 0..8 {
+                let before = cluster.window_trace().iter().max().copied();
+                let _ = cluster.run_pipelined(&fs).expect("warmup batch");
+                if cluster.window_trace().iter().max().copied() == before {
+                    break;
+                }
+            }
+            let _ = cluster.take_service_latencies();
+            let trace_before = cluster.window_trace().len();
+            let mut best: Option<Measured> = None;
+            for _ in 0..MEASURED_REPS {
+                let m = measure_once(&cluster, &fs);
+                if best.as_ref().is_none_or(|b| m.qps > b.qps) {
+                    best = Some(m);
+                }
+            }
+            let m = best.expect("at least one measured batch");
+            // Repeat batches produce the same steady-state window pattern,
+            // so trimming the concatenated trace keeps it representative.
+            let mut window_trace = cluster.window_trace().split_off(trace_before);
+            window_trace.truncate(TRACE_LIMIT);
+            let slot_nacks = cluster.recovery_counters().slot_nacks;
+            cluster.shutdown();
+            AdaptivePoint {
+                qps: m.qps,
+                p50_micros: m.p50_micros,
+                p99_micros: m.p99_micros,
+                frames_per_query_per_worker: m.frames as f64 / (fs.len() * machines) as f64,
+                bytes_per_query: m.bytes as f64 / fs.len() as f64,
+                c2w_bytes_per_query: m.c2w as f64 / fs.len() as f64,
+                slot_nacks,
+                window_trace,
+            }
+        };
+
         t.push(vec![
             machines.to_string(),
             crate::report::fmt_duration(elapsed),
             format!("{qps_cached:.0}"),
             format!("{qps_uncached:.0}"),
             format!("{:.0}", headline.qps),
+            format!("{:.0}", adaptive.qps),
             format!("{:.3}", headline.frames_per_query_per_worker),
             format!("{:.1}%", delta.hit_rate() * 100.0),
             format!("{p50}us"),
@@ -257,6 +432,7 @@ pub fn throughput(ds: &Dataset, params: &Params) -> (Table, ThroughputSummary) {
             p50_micros: p50,
             p99_micros: p99,
             batch_sweep,
+            adaptive,
         });
     }
     (t, summary)
@@ -310,12 +486,32 @@ mod tests {
             );
             // Slot sharing must shrink the dispatched bytes too.
             assert!(headline.bytes_per_query < unbatched.bytes_per_query);
+
+            // The adaptive row: a live controller trace, no NACKs on a
+            // fault-free run, and reference elision keeping the dispatch
+            // link below the unbatched full-spec baseline.
+            let a = &p.adaptive;
+            assert!(a.qps > 0.0);
+            assert!(a.p50_micros <= a.p99_micros);
+            assert!(!a.window_trace.is_empty(), "controller must close windows");
+            assert!(a.window_trace.iter().all(|&w| (1..=256).contains(&w)));
+            assert_eq!(a.slot_nacks, 0, "fault-free run must not NACK");
+            assert!(a.frames_per_query_per_worker < 1.0);
+            assert!(
+                a.c2w_bytes_per_query < unbatched.c2w_bytes_per_query,
+                "elision must beat per-query full-spec dispatch: {} vs {}",
+                a.c2w_bytes_per_query,
+                unbatched.c2w_bytes_per_query
+            );
         }
         let json = summary.to_json();
         assert!(json.contains("\"qps_cached\""));
         assert!(json.contains("\"qps_batched\""));
         assert!(json.contains("\"batch_sweep\""));
         assert!(json.contains("\"frames_per_query_per_worker\""));
+        assert!(json.contains("\"c2w_bytes_per_query\""));
+        assert!(json.contains("\"adaptive\""));
+        assert!(json.contains("\"window_trace\""));
         assert!(json.trim_start().starts_with('{') && json.trim_end().ends_with('}'));
     }
 }

@@ -1,0 +1,186 @@
+//! Latency-aware batch-window controller (adaptive streaming dispatch).
+//!
+//! Fixed batching windows (`DISKS_BATCH=<n>`) trade latency for throughput
+//! statically: a large window amortizes frame overhead but holds early
+//! queries hostage to the merge, a small one ships promptly but pays a
+//! round-trip per query. The [`WindowController`] picks the window
+//! dynamically, AIMD-style — the classic congestion-control shape, applied
+//! to batching:
+//!
+//! * **Additive increase** — while a backlog of admitted queries is waiting
+//!   (the stream is arriving faster than windows drain) and the observed
+//!   per-query p99 service latency stays under the target, the window grows
+//!   by a quarter of its size (at least 1) per closed window.
+//! * **Multiplicative decrease** — when p99 degrades past the target, the
+//!   window halves immediately. Latency recovers in one decision instead of
+//!   bleeding across many windows.
+//!
+//! Service latency is measured per query from window dispatch to the last
+//! fragment response, over a sliding sample ring, so the controller reacts
+//! to what queries actually experienced rather than to queue-depth proxies.
+//! The full per-window trace is retained for offline inspection
+//! (`Cluster::window_trace`, surfaced by the throughput benchmark).
+
+use std::collections::VecDeque;
+use std::time::Duration;
+
+/// Hard bounds of the controller's window, independent of configuration:
+/// a window of 1 is unbatched dispatch, 256 is far past the point where
+/// per-frame overhead amortization flattens.
+const MIN_WINDOW: usize = 1;
+const MAX_WINDOW: usize = 256;
+
+/// Per-query service latencies retained for the p99 estimate. Small enough
+/// to recompute per window, large enough to smooth single-query spikes.
+const SAMPLE_RING: usize = 256;
+
+/// AIMD controller for the cross-query batching window.
+#[derive(Debug)]
+pub struct WindowController {
+    window: usize,
+    target_p99: Duration,
+    samples: VecDeque<u64>,
+    trace: Vec<u32>,
+}
+
+impl WindowController {
+    /// A controller starting at `initial` (clamped to `[1, 256]`) that
+    /// shrinks whenever observed p99 service latency exceeds `target_p99`.
+    pub fn new(initial: usize, target_p99: Duration) -> Self {
+        WindowController {
+            window: initial.clamp(MIN_WINDOW, MAX_WINDOW),
+            target_p99,
+            samples: VecDeque::with_capacity(SAMPLE_RING),
+            trace: Vec::new(),
+        }
+    }
+
+    /// The window size the next batch should close at.
+    pub fn window(&self) -> usize {
+        self.window
+    }
+
+    /// Record one query's service latency (window dispatch → last fragment
+    /// response).
+    pub fn observe(&mut self, service: Duration) {
+        if self.samples.len() == SAMPLE_RING {
+            self.samples.pop_front();
+        }
+        self.samples.push_back(service.as_micros() as u64);
+    }
+
+    /// Current p99 over the sample ring (`None` before any sample). The
+    /// ring is small, so a per-window sort is cheaper than maintaining a
+    /// sketch.
+    pub fn p99(&self) -> Option<Duration> {
+        if self.samples.is_empty() {
+            return None;
+        }
+        let mut v: Vec<u64> = self.samples.iter().copied().collect();
+        v.sort_unstable();
+        let idx = ((v.len() * 99) / 100).min(v.len() - 1);
+        Some(Duration::from_micros(v[idx]))
+    }
+
+    /// AIMD decision point, called once per closed window with the size it
+    /// closed at and the number of admitted queries still waiting behind it.
+    pub fn on_window_closed(&mut self, closed_size: usize, backlog: usize) {
+        match self.p99() {
+            Some(p99) if p99 > self.target_p99 => {
+                self.window = (self.window / 2).max(MIN_WINDOW);
+            }
+            _ => {
+                // Grow only under pressure: an idle stream keeps its window,
+                // so a latency-sensitive trickle is never over-batched.
+                if backlog >= self.window && closed_size >= self.window {
+                    self.window = (self.window + (self.window / 4).max(1)).min(MAX_WINDOW);
+                }
+            }
+        }
+        self.trace.push(self.window as u32);
+    }
+
+    /// Window size after each closed window, in close order.
+    pub fn trace(&self) -> &[u32] {
+        &self.trace
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TARGET: Duration = Duration::from_millis(10);
+
+    fn feed(c: &mut WindowController, micros: u64, n: usize) {
+        for _ in 0..n {
+            c.observe(Duration::from_micros(micros));
+        }
+    }
+
+    #[test]
+    fn grows_additively_under_backlog_with_healthy_latency() {
+        let mut c = WindowController::new(16, TARGET);
+        feed(&mut c, 1_000, 32); // well under target
+        c.on_window_closed(16, 500);
+        assert_eq!(c.window(), 20, "16 + 16/4");
+        c.on_window_closed(20, 480);
+        assert_eq!(c.window(), 25, "20 + 20/4");
+        assert_eq!(c.trace(), &[20, 25]);
+    }
+
+    #[test]
+    fn holds_without_backlog() {
+        let mut c = WindowController::new(16, TARGET);
+        feed(&mut c, 1_000, 32);
+        c.on_window_closed(3, 0); // trickle: window closed early, nothing waiting
+        assert_eq!(c.window(), 16);
+    }
+
+    #[test]
+    fn halves_when_p99_degrades() {
+        let mut c = WindowController::new(64, TARGET);
+        feed(&mut c, 50_000, 32); // 5× over target
+        c.on_window_closed(64, 500);
+        assert_eq!(c.window(), 32);
+        c.on_window_closed(32, 500);
+        assert_eq!(c.window(), 16);
+    }
+
+    #[test]
+    fn recovers_after_latency_improves() {
+        let mut c = WindowController::new(64, TARGET);
+        feed(&mut c, 50_000, 16);
+        c.on_window_closed(64, 500);
+        assert_eq!(c.window(), 32);
+        // Healthy samples push the spike out of the ring.
+        feed(&mut c, 100, SAMPLE_RING);
+        c.on_window_closed(32, 500);
+        assert_eq!(c.window(), 40);
+    }
+
+    #[test]
+    fn clamps_to_bounds() {
+        let mut c = WindowController::new(4096, TARGET);
+        assert_eq!(c.window(), MAX_WINDOW);
+        feed(&mut c, 1_000, 8);
+        c.on_window_closed(MAX_WINDOW, 10_000);
+        assert_eq!(c.window(), MAX_WINDOW);
+
+        let mut c = WindowController::new(2, TARGET);
+        feed(&mut c, 50_000, 8);
+        c.on_window_closed(2, 500);
+        assert_eq!(c.window(), MIN_WINDOW);
+        c.on_window_closed(1, 500);
+        assert_eq!(c.window(), MIN_WINDOW, "never below 1");
+    }
+
+    #[test]
+    fn p99_is_none_without_samples_and_tracks_the_tail() {
+        let mut c = WindowController::new(16, TARGET);
+        assert!(c.p99().is_none());
+        feed(&mut c, 100, 99);
+        c.observe(Duration::from_micros(9_999));
+        assert_eq!(c.p99(), Some(Duration::from_micros(9_999)));
+    }
+}

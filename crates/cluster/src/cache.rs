@@ -24,18 +24,25 @@ use std::sync::Arc;
 use disks_core::bitset::BitSet;
 use disks_core::Term;
 
-/// Hit/miss/eviction counters, cumulative over a cache's lifetime.
+/// Hit/miss/eviction/bypass counters, cumulative over a cache's lifetime.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CacheCounters {
     pub hits: u64,
     pub misses: u64,
     pub evictions: u64,
+    /// Coverages refused at insert because their content was below the
+    /// per-entry bookkeeping overhead (caching them would spend more bytes
+    /// on keys and metadata than on coverage).
+    pub bypassed: u64,
 }
 
 impl CacheCounters {
-    /// Hits over lookups, or 0 when the cache saw no traffic.
+    /// Hits over admissible lookups, or 0 when the cache saw none. A
+    /// bypassed coverage misses on every lookup by design — the cache
+    /// *declined* that traffic rather than failing on it — so each bypass
+    /// cancels its miss instead of diluting the rate.
     pub fn hit_rate(&self) -> f64 {
-        let lookups = self.hits + self.misses;
+        let lookups = self.hits + self.misses.saturating_sub(self.bypassed);
         if lookups == 0 {
             0.0
         } else {
@@ -49,6 +56,7 @@ impl CacheCounters {
             hits: self.hits - earlier.hits,
             misses: self.misses - earlier.misses,
             evictions: self.evictions - earlier.evictions,
+            bypassed: self.bypassed - earlier.bypassed,
         }
     }
 
@@ -57,6 +65,7 @@ impl CacheCounters {
         self.hits += other.hits;
         self.misses += other.misses;
         self.evictions += other.evictions;
+        self.bypassed += other.bypassed;
     }
 }
 
@@ -139,9 +148,20 @@ impl CoverageCache {
     }
 
     /// Insert a coverage, evicting least-recently-used entries until it
-    /// fits. A coverage larger than the whole budget is not cached.
+    /// fits. A coverage larger than the whole budget is not cached, and
+    /// neither is one whose *content* is below the per-entry bookkeeping
+    /// overhead: a dense bitset's resident size is fragment-constant, so
+    /// the meaningful size of a coverage is its content at 4 bytes per
+    /// covered node (its wire size as a result set) — an entry below
+    /// [`ENTRY_OVERHEAD`] on that measure spends more budget on keys and
+    /// metadata than on coverage, polluting the LRU. Such inserts are
+    /// counted as `bypassed` instead.
     pub fn insert(&mut self, fragment: u32, term: Term, radius: u64, coverage: Arc<BitSet>) {
         if self.is_disabled() {
+            return;
+        }
+        if coverage.count() * 4 < ENTRY_OVERHEAD {
+            self.counters.bypassed += 1;
             return;
         }
         let bytes = coverage.memory_bytes() + ENTRY_OVERHEAD;
@@ -188,6 +208,16 @@ mod tests {
         Arc::new(s)
     }
 
+    /// A coverage fat enough (16 nodes = 64 content bytes) to clear the
+    /// bypass threshold, starting at `start`.
+    fn fat(cap: usize, start: usize) -> Arc<BitSet> {
+        let mut s = BitSet::new(cap);
+        for e in start..start + 16 {
+            s.insert(e);
+        }
+        Arc::new(s)
+    }
+
     fn kw(k: u32) -> Term {
         Term::Keyword(KeywordId(k))
     }
@@ -196,9 +226,9 @@ mod tests {
     fn hit_after_insert_and_counters() {
         let mut c = CoverageCache::new(1 << 20);
         assert!(c.get(0, kw(1), 5).is_none());
-        c.insert(0, kw(1), 5, cov(64, &[1, 2]));
+        c.insert(0, kw(1), 5, fat(64, 2));
         let hit = c.get(0, kw(1), 5).expect("hit");
-        assert_eq!(hit.iter().collect::<Vec<_>>(), vec![1, 2]);
+        assert_eq!(hit.iter().collect::<Vec<_>>(), (2..18).collect::<Vec<_>>());
         // Distinct fragment, term, or radius are distinct keys.
         assert!(c.get(1, kw(1), 5).is_none());
         assert!(c.get(0, kw(2), 5).is_none());
@@ -212,13 +242,13 @@ mod tests {
     fn byte_budget_evicts_lru() {
         // Each 64-capacity bitset costs 40 (struct+1 word) + 64 overhead =
         // 104 bytes; a 250-byte budget holds two.
-        let one = cov(64, &[0]).memory_bytes() + ENTRY_OVERHEAD;
+        let one = fat(64, 0).memory_bytes() + ENTRY_OVERHEAD;
         let mut c = CoverageCache::new(2 * one + one / 2);
-        c.insert(0, kw(1), 0, cov(64, &[1]));
-        c.insert(0, kw(2), 0, cov(64, &[2]));
+        c.insert(0, kw(1), 0, fat(64, 1));
+        c.insert(0, kw(2), 0, fat(64, 2));
         assert_eq!(c.len(), 2);
         let _ = c.get(0, kw(1), 0); // refresh #1 → #2 becomes LRU
-        c.insert(0, kw(3), 0, cov(64, &[3]));
+        c.insert(0, kw(3), 0, fat(64, 3));
         assert_eq!(c.len(), 2);
         assert_eq!(c.counters().evictions, 1);
         assert!(c.get(0, kw(2), 0).is_none(), "LRU entry evicted");
@@ -230,20 +260,38 @@ mod tests {
     #[test]
     fn oversized_entry_not_cached() {
         let mut c = CoverageCache::new(16);
-        c.insert(0, kw(1), 0, cov(10_000, &[1]));
+        c.insert(0, kw(1), 0, fat(10_000, 1));
         assert!(c.is_empty());
         assert_eq!(c.resident_bytes(), 0);
+        assert_eq!(c.counters().bypassed, 0, "oversized is not the bypass path");
+    }
+
+    #[test]
+    fn undersized_content_bypassed_not_cached() {
+        let mut c = CoverageCache::new(1 << 20);
+        // 15 covered nodes = 60 content bytes < 64 overhead → bypass.
+        c.insert(0, kw(1), 0, cov(64, &(0..15).collect::<Vec<_>>()));
+        assert!(c.is_empty());
+        assert_eq!(c.counters().bypassed, 1);
+        // 16 nodes = 64 content bytes clears the threshold exactly.
+        c.insert(0, kw(2), 0, fat(64, 0));
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.counters().bypassed, 1);
+        assert!(c.get(0, kw(2), 0).is_some());
     }
 
     #[test]
     fn reinsert_replaces_without_double_counting() {
         let mut c = CoverageCache::new(1 << 20);
-        c.insert(0, kw(1), 0, cov(64, &[1]));
+        c.insert(0, kw(1), 0, fat(64, 1));
         let before = c.resident_bytes();
-        c.insert(0, kw(1), 0, cov(64, &[2]));
+        c.insert(0, kw(1), 0, fat(64, 2));
         assert_eq!(c.resident_bytes(), before);
         assert_eq!(c.len(), 1);
-        assert_eq!(c.get(0, kw(1), 0).unwrap().iter().collect::<Vec<_>>(), vec![2]);
+        assert_eq!(
+            c.get(0, kw(1), 0).unwrap().iter().collect::<Vec<_>>(),
+            (2..18).collect::<Vec<_>>()
+        );
     }
 
     #[test]
@@ -258,11 +306,11 @@ mod tests {
 
     #[test]
     fn counters_since_and_absorb() {
-        let a = CacheCounters { hits: 5, misses: 3, evictions: 1 };
-        let b = CacheCounters { hits: 2, misses: 1, evictions: 0 };
-        assert_eq!(a.since(&b), CacheCounters { hits: 3, misses: 2, evictions: 1 });
+        let a = CacheCounters { hits: 5, misses: 3, evictions: 1, bypassed: 4 };
+        let b = CacheCounters { hits: 2, misses: 1, evictions: 0, bypassed: 1 };
+        assert_eq!(a.since(&b), CacheCounters { hits: 3, misses: 2, evictions: 1, bypassed: 3 });
         let mut acc = b;
         acc.absorb(&a);
-        assert_eq!(acc, CacheCounters { hits: 7, misses: 4, evictions: 1 });
+        assert_eq!(acc, CacheCounters { hits: 7, misses: 4, evictions: 1, bypassed: 5 });
     }
 }

@@ -24,7 +24,7 @@
 //! fragment in [`QueryStats::degraded_fragments`].
 
 use std::cell::{Cell, RefCell};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -34,11 +34,12 @@ use crossbeam::channel::{Receiver, RecvTimeoutError, Sender, TryRecvError, TrySe
 use bytes::Bytes;
 use disks_core::{
     CostParams, DFunction, DTerm, DlScope, FragmentEngine, NpdIndex, QClassQuery, QueryError,
-    QueryPlan, RangeKeywordQuery, SgkQuery, SuperPlan, Term,
+    QueryPlan, RangeKeywordQuery, SgkQuery, SlotIdTable, SuperPlan, Term,
 };
 use disks_partition::{FragmentId, Partitioning};
 use disks_roadnet::{NodeId, RoadNetwork, INF};
 
+use crate::adaptive::WindowController;
 use crate::cache::CacheCounters;
 use crate::message::{
     decode_frame, encode_frame, results_frame_len, BatchAnswer, Request, Response,
@@ -86,8 +87,30 @@ pub struct ClusterConfig {
     /// into one [`SuperPlan`] per worker per round. `0` or `1` disables
     /// batching (one `Evaluate` frame per query per worker). The default
     /// honours the `DISKS_BATCH` environment variable (a window size, or
-    /// `0`/`1`/`off`/`false` to disable; unset → 16).
+    /// `0`/`1`/`off`/`false` to disable; unset → 16). `DISKS_BATCH=adaptive`
+    /// keeps this as the *initial* window and sets
+    /// [`ClusterConfig::batch_adaptive`].
     pub batch_window: usize,
+    /// Latency-aware adaptive batching: the window size is chosen per batch
+    /// by an AIMD [`WindowController`] seeded with `batch_window`, growing
+    /// while a backlog waits and per-query p99 stays under
+    /// [`ClusterConfig::batch_p99_target`], halving when it degrades.
+    /// Adaptive windows also ship slot-reference–elided `BatchRef` frames
+    /// to workers whose slot directory is believed warm. The default
+    /// honours `DISKS_BATCH=adaptive` (any other value → fixed windows).
+    pub batch_adaptive: bool,
+    /// Time bound on an open adaptive window: ingress closes a window when
+    /// it reaches the controller-chosen size *or* this much time has
+    /// elapsed since it opened, whichever comes first — a latency floor for
+    /// sparse streams. Ignored under fixed windows. The default honours the
+    /// `DISKS_BATCH_WINDOW_MS` environment variable (milliseconds, or
+    /// `0`/`off`/`false` for size-only closing; unset → 2 ms).
+    pub batch_window_ms: Duration,
+    /// Per-query p99 service-latency target (window dispatch → last
+    /// fragment response) the adaptive controller steers toward. The
+    /// default honours the `DISKS_BATCH_P99_US` environment variable
+    /// (microseconds; unset or unparseable → 50 000 µs).
+    pub batch_p99_target: Duration,
     /// Per-worker in-flight estimated-cost budget ([`disks_core::CostParams`]
     /// units) for cost-model admission; `0` disables overload control
     /// entirely. Queries whose cost cannot fit are shed with
@@ -148,6 +171,45 @@ impl ClusterConfig {
                     v.parse().unwrap_or(DEFAULT).max(1)
                 }
             }
+            Err(_) => DEFAULT,
+        }
+    }
+
+    /// Whether `DISKS_BATCH` selects adaptive batching (`adaptive`,
+    /// case-insensitive).
+    pub fn batch_adaptive_from_env() -> bool {
+        std::env::var("DISKS_BATCH")
+            .map(|v| v.trim().eq_ignore_ascii_case("adaptive"))
+            .unwrap_or(false)
+    }
+
+    /// Adaptive window time bound from `DISKS_BATCH_WINDOW_MS`
+    /// (milliseconds, or `0`/`off`/`false` for size-only window closing);
+    /// 2 ms when unset or unparseable.
+    pub fn batch_window_ms_from_env() -> Duration {
+        const DEFAULT: Duration = Duration::from_millis(2);
+        match std::env::var("DISKS_BATCH_WINDOW_MS") {
+            Ok(v) => {
+                let v = v.trim();
+                if v.eq_ignore_ascii_case("off") || v.eq_ignore_ascii_case("false") || v == "0" {
+                    Duration::MAX
+                } else {
+                    v.parse().map(Duration::from_millis).unwrap_or(DEFAULT)
+                }
+            }
+            Err(_) => DEFAULT,
+        }
+    }
+
+    /// Adaptive p99 service-latency target from `DISKS_BATCH_P99_US`
+    /// (microseconds); 50 000 µs when unset, unparseable, or zero.
+    pub fn batch_p99_target_from_env() -> Duration {
+        const DEFAULT: Duration = Duration::from_micros(50_000);
+        match std::env::var("DISKS_BATCH_P99_US") {
+            Ok(v) => match v.trim().parse::<u64>() {
+                Ok(us) if us > 0 => Duration::from_micros(us),
+                _ => DEFAULT,
+            },
             Err(_) => DEFAULT,
         }
     }
@@ -222,6 +284,9 @@ impl Default for ClusterConfig {
             faults: None,
             coverage_cache_bytes: Self::coverage_cache_bytes_from_env(),
             batch_window: Self::batch_window_from_env(),
+            batch_adaptive: Self::batch_adaptive_from_env(),
+            batch_window_ms: Self::batch_window_ms_from_env(),
+            batch_p99_target: Self::batch_p99_target_from_env(),
             cost_limit: Self::cost_limit_from_env(),
             brownout: Self::brownout_from_env(),
             retry_backoff: Self::retry_backoff_from_env(),
@@ -288,12 +353,97 @@ struct GatherReport {
     duplicate_responses: u64,
     corrupt_frames: u64,
     out_of_window_responses: u64,
+    /// `SlotUnknown` NACKs for elided frames, each repaired by a full-spec
+    /// narrowed retry (counted in `retries` too).
+    slot_nacks: u32,
     degraded: Vec<(usize, u32)>,
     /// Worker coverage-cache activity summed over this gather's responses.
     cache: CacheCounters,
     /// Narrowed re-dispatches per query slot — keeps retry attribution
     /// per-query exact even when the original dispatch was batched.
     retries_by_slot: Vec<u32>,
+}
+
+/// Resumable gather bookkeeping: which query slots are active (dispatched),
+/// which `(slot, fragment)` pairs answered, per-pair retry budgets, and
+/// per-slot dispatch/completion timing. The all-at-once [`Cluster::gather`]
+/// is a thin wrapper — activate every slot, then finish — while adaptive
+/// streaming dispatch activates window by window, draining in-flight
+/// responses between windows.
+struct GatherState {
+    n: usize,
+    k: usize,
+    allow_partial: bool,
+    /// Whether each query slot has been dispatched yet.
+    active: Vec<bool>,
+    responded: Vec<Vec<bool>>,
+    attempts: Vec<Vec<u32>>,
+    report: GatherReport,
+    /// Outstanding responses among active slots.
+    missing: usize,
+    missing_by_slot: Vec<usize>,
+    /// Narrowed retries waiting out their backoff: (due, slot, fragments).
+    pending_retries: Vec<(Instant, usize, Vec<u32>)>,
+    stall_deadline: Instant,
+    dispatched_at: Vec<Option<Instant>>,
+    /// Service latencies (dispatch → last fragment response) of slots
+    /// completed since the last `take_latencies` — the window controller's
+    /// feedback signal.
+    latencies: Vec<Duration>,
+}
+
+impl GatherState {
+    fn new(cluster: &Cluster, n: usize, allow_partial: bool) -> GatherState {
+        let k = cluster.assignment.num_fragments();
+        GatherState {
+            n,
+            k,
+            allow_partial,
+            active: vec![false; n],
+            responded: vec![vec![false; k]; n],
+            attempts: vec![vec![1u32; k]; n],
+            report: GatherReport { retries_by_slot: vec![0; n], ..GatherReport::default() },
+            missing: 0,
+            missing_by_slot: vec![0; n],
+            pending_retries: Vec::new(),
+            // The deadline measures *silence*, not total time: any
+            // in-window frame resets it, so a long streak of slow-but-live
+            // responses is never mistaken for a stall.
+            stall_deadline: Instant::now() + cluster.deadline,
+            dispatched_at: vec![None; n],
+            latencies: Vec::new(),
+        }
+    }
+
+    /// Mark slots `[from, to)` dispatched: their fragments join the
+    /// outstanding set and their service-latency clocks start.
+    fn activate(&mut self, from: usize, to: usize) {
+        let now = Instant::now();
+        for slot in from..to {
+            debug_assert!(!self.active[slot], "slot activated twice");
+            self.active[slot] = true;
+            self.missing += self.k;
+            self.missing_by_slot[slot] = self.k;
+            self.dispatched_at[slot] = Some(now);
+        }
+    }
+
+    /// Record one answered `(slot, fragment)` pair, closing the slot's
+    /// service-latency sample when its last fragment answers.
+    fn note_answered(&mut self, slot: usize) {
+        self.missing -= 1;
+        self.missing_by_slot[slot] -= 1;
+        if self.missing_by_slot[slot] == 0 {
+            if let Some(t0) = self.dispatched_at[slot] {
+                self.latencies.push(t0.elapsed());
+            }
+        }
+    }
+
+    /// Drain the service-latency samples accumulated since the last call.
+    fn take_latencies(&mut self) -> Vec<Duration> {
+        std::mem::take(&mut self.latencies)
+    }
 }
 
 /// What the overload ladder decided for one query of a stream.
@@ -358,8 +508,29 @@ pub struct Cluster {
     admission_max_r: u64,
     /// Byte budget handed to each worker's coverage cache (0 = disabled).
     cache_budget: usize,
-    /// Cross-query batching window (≤1 = unbatched dispatch).
+    /// Cross-query batching window (≤1 = unbatched dispatch). Under
+    /// adaptive batching this is the controller's seed.
     batch_window: usize,
+    /// Whether the batching window is chosen per batch by the AIMD
+    /// controller (and elided `BatchRef` frames are used).
+    batch_adaptive: bool,
+    /// Time bound on an open adaptive window (`Duration::MAX` = size-only).
+    batch_window_ms: Duration,
+    /// The latency-aware window controller (adaptive mode only).
+    controller: RefCell<WindowController>,
+    /// Fragment-stable global slot ids, grown monotonically as slots are
+    /// first dispatched — the coordinator side of reference elision.
+    slot_ids: RefCell<SlotIdTable>,
+    /// Per-machine slot ids the coordinator believes the worker's directory
+    /// knows (taught by earlier `BatchRef` full-spec entries). Beliefs are
+    /// *not* cleared on respawn: staleness is repaired by the worker's
+    /// `SlotUnknown` NACK followed by a full-spec re-dispatch, so
+    /// correctness never depends on this view being fresh.
+    believed: RefCell<Vec<HashSet<u32>>>,
+    /// Ring of recent per-query service latencies (µs, dispatch → last
+    /// fragment response) from grouped runs on either dispatch path —
+    /// drained by [`Cluster::take_service_latencies`] for benchmarking.
+    service_lat: RefCell<VecDeque<u64>>,
     /// Capacity of each worker's bounded request queue.
     queue_capacity: usize,
     /// Theorem 5 cost-model parameters derived from the global network's
@@ -488,6 +659,15 @@ impl Cluster {
             admission_max_r,
             cache_budget: config.coverage_cache_bytes,
             batch_window: config.batch_window,
+            batch_adaptive: config.batch_adaptive,
+            batch_window_ms: config.batch_window_ms,
+            controller: RefCell::new(WindowController::new(
+                config.batch_window,
+                config.batch_p99_target,
+            )),
+            slot_ids: RefCell::new(SlotIdTable::new()),
+            believed: RefCell::new(vec![HashSet::new(); machines]),
+            service_lat: RefCell::new(VecDeque::new()),
             queue_capacity: config.queue_capacity.max(1),
             cost_params,
             gauge: PressureGauge::new(config.cost_limit, config.brownout),
@@ -760,34 +940,232 @@ impl Cluster {
         make_request: &dyn Fn(usize, Vec<u32>) -> Request,
         on_response: &mut dyn FnMut(usize, Response, u64),
     ) -> Result<GatherReport, QueryError> {
-        let k = self.assignment.num_fragments();
-        let mut responded = vec![vec![false; k]; n];
-        let mut attempts = vec![vec![1u32; k]; n];
-        let mut report = GatherReport { retries_by_slot: vec![0; n], ..GatherReport::default() };
-        let mut missing = n * k;
-        // Narrowed retries waiting out their backoff: (due, slot, fragments).
-        let mut pending_retries: Vec<(Instant, usize, Vec<u32>)> = Vec::new();
-        // The deadline measures *silence*, not total time: any in-window
-        // frame resets it, so a long streak of slow-but-live responses is
-        // never mistaken for a stall.
-        let mut stall_deadline = Instant::now() + self.deadline;
+        let mut gs = GatherState::new(self, n, allow_partial);
+        gs.activate(0, n);
+        let out = self.gather_finish(base, &mut gs, make_request, on_response);
+        self.note_service_latencies(&mut gs);
+        out
+    }
 
-        let outcome = 'gather: loop {
-            if missing == 0 {
+    /// Drain the gather state's completed-query service latencies into the
+    /// cluster's sample ring (for [`Cluster::take_service_latencies`]) and
+    /// return them — the adaptive path feeds the same values to the window
+    /// controller.
+    fn note_service_latencies(&self, gs: &mut GatherState) -> Vec<Duration> {
+        let lats = gs.take_latencies();
+        let mut ring = self.service_lat.borrow_mut();
+        for l in &lats {
+            if ring.len() == 4096 {
+                ring.pop_front();
+            }
+            ring.push_back(l.as_micros() as u64);
+        }
+        lats
+    }
+
+    /// Drain the recorded per-query service latencies (dispatch → last
+    /// fragment response) of grouped runs since the last call, in
+    /// completion order. Recorded on the fixed-window and adaptive paths
+    /// alike, so benchmarks can compare tail latency across dispatch modes
+    /// on the same metric.
+    pub fn take_service_latencies(&self) -> Vec<Duration> {
+        self.service_lat.borrow_mut().drain(..).map(Duration::from_micros).collect()
+    }
+
+    /// Flush scheduled retries whose backoff has elapsed, skipping
+    /// fragments that answered while the retry waited.
+    fn gather_flush_retries(
+        &self,
+        gs: &mut GatherState,
+        make_request: &dyn Fn(usize, Vec<u32>) -> Request,
+    ) {
+        if gs.pending_retries.is_empty() {
+            return;
+        }
+        let now = Instant::now();
+        let mut i = 0;
+        while i < gs.pending_retries.len() {
+            if gs.pending_retries[i].0 <= now {
+                let (_, slot, frags) = gs.pending_retries.swap_remove(i);
+                let frags: Vec<u32> =
+                    frags.into_iter().filter(|&f| !gs.responded[slot][f as usize]).collect();
+                if !frags.is_empty() {
+                    self.redispatch(slot, &frags, make_request, &mut gs.report);
+                }
+            } else {
+                i += 1;
+            }
+        }
+    }
+
+    /// Non-blocking drain: flush due retries, then process every response
+    /// frame already queued. The adaptive ingress calls this between
+    /// admissions to an open window so `SuperPlan::merge` and dispatch of
+    /// the next window overlap in-flight gathers instead of queueing
+    /// behind them.
+    fn gather_drain(
+        &self,
+        base: u64,
+        gs: &mut GatherState,
+        make_request: &dyn Fn(usize, Vec<u32>) -> Request,
+        on_response: &mut dyn FnMut(usize, Response, u64),
+    ) -> Result<(), QueryError> {
+        self.gather_flush_retries(gs, make_request);
+        while let Ok(frame) = self.responses.try_recv() {
+            self.gather_process_frame(base, gs, frame, make_request, on_response)?;
+        }
+        Ok(())
+    }
+
+    /// Process one response frame against the gather state: window and
+    /// duplicate filtering, retry scheduling for retryable failures, and
+    /// first-seen payload delivery. Returns only fatal (non-retryable,
+    /// non-degradable) errors.
+    fn gather_process_frame(
+        &self,
+        base: u64,
+        gs: &mut GatherState,
+        frame: Bytes,
+        make_request: &dyn Fn(usize, Vec<u32>) -> Request,
+        on_response: &mut dyn FnMut(usize, Response, u64),
+    ) -> Result<(), QueryError> {
+        let frame_bytes = frame.len() as u64;
+        let response = match decode_frame::<Response>(frame) {
+            Ok(r) => r,
+            Err(_) => {
+                gs.report.corrupt_frames += 1;
+                return Ok(());
+            }
+        };
+        // A batch frame expands into one positional answer per member
+        // query; each then flows through the same window/dedup/retry
+        // machinery as a standalone frame. Per-answer bytes are what the
+        // answer's standalone result frame would have cost
+        // (`results_frame_len`), keeping per-query byte attribution
+        // comparable across batched and unbatched runs.
+        let items: Vec<(Response, u64)> = match response {
+            Response::BatchResults { base: chunk_base, fragment, answers } => answers
+                .into_iter()
+                .enumerate()
+                .map(|(i, answer)| {
+                    let query_id = chunk_base + 1 + i as u64;
+                    match answer {
+                        BatchAnswer::Results { nodes, cost } => {
+                            let bytes = results_frame_len(nodes.len() as u64);
+                            (Response::Results { query_id, fragment, nodes, cost }, bytes)
+                        }
+                        BatchAnswer::Failed(error) => {
+                            (Response::Failed { query_id, fragment, error }, 0)
+                        }
+                    }
+                })
+                .collect(),
+            other => vec![(other, frame_bytes)],
+        };
+        for (response, bytes) in items {
+            let (qid, fragment) = match &response {
+                Response::Results { query_id, fragment, .. }
+                | Response::TopKResults { query_id, fragment, .. }
+                | Response::Failed { query_id, fragment, .. } => (*query_id, *fragment),
+                Response::BatchResults { .. } => unreachable!("expanded above"),
+            };
+            if qid <= base || qid > base + gs.n as u64 || fragment as usize >= gs.k {
+                gs.report.out_of_window_responses += 1;
+                continue;
+            }
+            let slot = (qid - base - 1) as usize;
+            let f = fragment as usize;
+            if !gs.active[slot] {
+                gs.report.out_of_window_responses += 1;
+                continue;
+            }
+            if gs.responded[slot][f] {
+                gs.report.duplicate_responses += 1;
+                continue;
+            }
+            gs.stall_deadline = Instant::now() + self.deadline;
+            match response {
+                Response::Failed { error, .. } => {
+                    if let QueryError::SlotUnknown { .. } = &error {
+                        // An elided reference outran the worker's directory
+                        // (typically a respawn wiped it): drop every belief
+                        // about that machine and fall back to full-spec
+                        // narrowed re-dispatches through the retry path.
+                        gs.report.slot_nacks += 1;
+                        let m = self.assignment.machine_of(FragmentId(fragment));
+                        self.believed.borrow_mut()[m].clear();
+                    }
+                    if !error.is_retryable() {
+                        return Err(error);
+                    }
+                    if gs.attempts[slot][f] < self.max_attempts {
+                        gs.attempts[slot][f] += 1;
+                        let retry_index = gs.attempts[slot][f] - 1;
+                        self.schedule_retry(
+                            base,
+                            slot,
+                            vec![fragment],
+                            retry_index,
+                            &mut gs.pending_retries,
+                            make_request,
+                            &mut gs.report,
+                        );
+                    } else if gs.allow_partial {
+                        gs.responded[slot][f] = true;
+                        gs.note_answered(slot);
+                        gs.report.degraded.push((slot, fragment));
+                    } else {
+                        return Err(error);
+                    }
+                }
+                payload => {
+                    gs.responded[slot][f] = true;
+                    gs.note_answered(slot);
+                    if let Response::Results { cost, .. } | Response::TopKResults { cost, .. } =
+                        &payload
+                    {
+                        gs.report.cache.absorb(&CacheCounters {
+                            hits: cost.cache_hits,
+                            misses: cost.cache_misses,
+                            evictions: cost.cache_evictions,
+                            bypassed: cost.cache_bypassed,
+                        });
+                    }
+                    on_response(slot, payload, bytes);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Blocking completion of a gather: collect one response per fragment
+    /// for every *active* slot, retrying stalled or transiently failed
+    /// fragments with narrowed re-dispatches, then drain stragglers. Folds
+    /// the report into the lifetime counters on success and failure alike.
+    fn gather_finish(
+        &self,
+        base: u64,
+        gs: &mut GatherState,
+        make_request: &dyn Fn(usize, Vec<u32>) -> Request,
+        on_response: &mut dyn FnMut(usize, Response, u64),
+    ) -> Result<GatherReport, QueryError> {
+        let (n, k) = (gs.n, gs.k);
+        let outcome = loop {
+            if gs.missing == 0 {
                 // Drain stragglers already queued (duplicated frames, late
                 // answers landing just after the last needed response) so
                 // duplicate accounting does not depend on how the final
                 // frames interleaved in the channel.
                 while let Ok(frame) = self.responses.try_recv() {
                     match decode_frame::<Response>(frame) {
-                        Err(_) => report.corrupt_frames += 1,
+                        Err(_) => gs.report.corrupt_frames += 1,
                         Ok(Response::BatchResults { base: b, fragment, answers }) => {
                             for i in 0..answers.len() {
                                 let qid = b + 1 + i as u64;
                                 if qid > base && qid <= base + n as u64 && (fragment as usize) < k {
-                                    report.duplicate_responses += 1;
+                                    gs.report.duplicate_responses += 1;
                                 } else {
-                                    report.out_of_window_responses += 1;
+                                    gs.report.out_of_window_responses += 1;
                                 }
                             }
                         }
@@ -798,33 +1176,16 @@ impl Cluster {
                                 && query_id <= base + n as u64
                                 && (fragment as usize) < k
                             {
-                                report.duplicate_responses += 1;
+                                gs.report.duplicate_responses += 1;
                             } else {
-                                report.out_of_window_responses += 1;
+                                gs.report.out_of_window_responses += 1;
                             }
                         }
                     }
                 }
                 break Ok(());
             }
-            // Flush retries whose backoff has elapsed, skipping fragments
-            // that answered while the retry waited.
-            if !pending_retries.is_empty() {
-                let now = Instant::now();
-                let mut i = 0;
-                while i < pending_retries.len() {
-                    if pending_retries[i].0 <= now {
-                        let (_, slot, frags) = pending_retries.swap_remove(i);
-                        let frags: Vec<u32> =
-                            frags.into_iter().filter(|&f| !responded[slot][f as usize]).collect();
-                        if !frags.is_empty() {
-                            self.redispatch(slot, &frags, make_request, &mut report);
-                        }
-                    } else {
-                        i += 1;
-                    }
-                }
-            }
+            self.gather_flush_retries(gs, make_request);
             // Fast path: drain already-queued frames without the
             // park/unpark round-trip `recv_timeout` pays even when a frame
             // is ready (the machines=2 throughput cliff; see
@@ -835,142 +1196,55 @@ impl Cluster {
                 Err(TryRecvError::Empty) => {
                     // Wake at whichever comes first: the stall deadline or
                     // the next scheduled retry.
-                    let wake = pending_retries
+                    let wake = gs
+                        .pending_retries
                         .iter()
                         .map(|&(due, _, _)| due)
                         .min()
-                        .map_or(stall_deadline, |due| due.min(stall_deadline));
+                        .map_or(gs.stall_deadline, |due| due.min(gs.stall_deadline));
                     let timeout = wake.saturating_duration_since(Instant::now());
                     self.responses.recv_timeout(timeout)
                 }
             };
             match received {
                 Ok(frame) => {
-                    let frame_bytes = frame.len() as u64;
-                    let response = match decode_frame::<Response>(frame) {
-                        Ok(r) => r,
-                        Err(_) => {
-                            report.corrupt_frames += 1;
-                            continue;
-                        }
-                    };
-                    // A batch frame expands into one positional answer per
-                    // member query; each then flows through the same
-                    // window/dedup/retry machinery as a standalone frame.
-                    // Per-answer bytes are what the answer's standalone
-                    // result frame would have cost (`results_frame_len`),
-                    // keeping per-query byte attribution comparable across
-                    // batched and unbatched runs.
-                    let items: Vec<(Response, u64)> = match response {
-                        Response::BatchResults { base: chunk_base, fragment, answers } => answers
-                            .into_iter()
-                            .enumerate()
-                            .map(|(i, answer)| {
-                                let query_id = chunk_base + 1 + i as u64;
-                                match answer {
-                                    BatchAnswer::Results { nodes, cost } => {
-                                        let bytes = results_frame_len(nodes.len() as u64);
-                                        (
-                                            Response::Results { query_id, fragment, nodes, cost },
-                                            bytes,
-                                        )
-                                    }
-                                    BatchAnswer::Failed(error) => {
-                                        (Response::Failed { query_id, fragment, error }, 0)
-                                    }
-                                }
-                            })
-                            .collect(),
-                        other => vec![(other, frame_bytes)],
-                    };
-                    for (response, bytes) in items {
-                        let (qid, fragment) = match &response {
-                            Response::Results { query_id, fragment, .. }
-                            | Response::TopKResults { query_id, fragment, .. }
-                            | Response::Failed { query_id, fragment, .. } => (*query_id, *fragment),
-                            Response::BatchResults { .. } => unreachable!("expanded above"),
-                        };
-                        if qid <= base || qid > base + n as u64 || fragment as usize >= k {
-                            report.out_of_window_responses += 1;
-                            continue;
-                        }
-                        let slot = (qid - base - 1) as usize;
-                        let f = fragment as usize;
-                        if responded[slot][f] {
-                            report.duplicate_responses += 1;
-                            continue;
-                        }
-                        stall_deadline = Instant::now() + self.deadline;
-                        match response {
-                            Response::Failed { error, .. } => {
-                                if !error.is_retryable() {
-                                    break 'gather Err(error);
-                                }
-                                if attempts[slot][f] < self.max_attempts {
-                                    attempts[slot][f] += 1;
-                                    let retry_index = attempts[slot][f] - 1;
-                                    self.schedule_retry(
-                                        base,
-                                        slot,
-                                        vec![fragment],
-                                        retry_index,
-                                        &mut pending_retries,
-                                        make_request,
-                                        &mut report,
-                                    );
-                                } else if allow_partial {
-                                    responded[slot][f] = true;
-                                    missing -= 1;
-                                    report.degraded.push((slot, fragment));
-                                } else {
-                                    break 'gather Err(error);
-                                }
-                            }
-                            payload => {
-                                responded[slot][f] = true;
-                                missing -= 1;
-                                if let Response::Results { cost, .. }
-                                | Response::TopKResults { cost, .. } = &payload
-                                {
-                                    report.cache.absorb(&CacheCounters {
-                                        hits: cost.cache_hits,
-                                        misses: cost.cache_misses,
-                                        evictions: cost.cache_evictions,
-                                    });
-                                }
-                                on_response(slot, payload, bytes);
-                            }
-                        }
+                    if let Err(e) =
+                        self.gather_process_frame(base, gs, frame, make_request, on_response)
+                    {
+                        break Err(e);
                     }
                 }
                 Err(RecvTimeoutError::Timeout) => {
-                    if Instant::now() < stall_deadline {
+                    if Instant::now() < gs.stall_deadline {
                         // Woke early to flush a scheduled retry (handled at
                         // the top of the loop), not a stall.
                         continue;
                     }
-                    report.timeouts += 1;
+                    gs.report.timeouts += 1;
                     let mut exhausted: Vec<u32> = Vec::new();
                     let mut retry_by_slot: Vec<Vec<u32>> = vec![Vec::new(); n];
-                    for slot in 0..n {
+                    for (slot, retries) in retry_by_slot.iter_mut().enumerate() {
+                        if !gs.active[slot] {
+                            continue;
+                        }
                         for f in 0..k {
-                            if responded[slot][f] {
+                            if gs.responded[slot][f] {
                                 continue;
                             }
-                            if attempts[slot][f] < self.max_attempts {
-                                attempts[slot][f] += 1;
-                                retry_by_slot[slot].push(f as u32);
+                            if gs.attempts[slot][f] < self.max_attempts {
+                                gs.attempts[slot][f] += 1;
+                                retries.push(f as u32);
                             } else {
                                 exhausted.push(f as u32);
-                                if allow_partial {
-                                    responded[slot][f] = true;
-                                    missing -= 1;
-                                    report.degraded.push((slot, f as u32));
+                                if gs.allow_partial {
+                                    gs.responded[slot][f] = true;
+                                    gs.note_answered(slot);
+                                    gs.report.degraded.push((slot, f as u32));
                                 }
                             }
                         }
                     }
-                    if !exhausted.is_empty() && !allow_partial {
+                    if !exhausted.is_empty() && !gs.allow_partial {
                         exhausted.sort_unstable();
                         exhausted.dedup();
                         break Err(QueryError::WorkerTimeout {
@@ -980,27 +1254,27 @@ impl Cluster {
                     }
                     for (slot, frags) in retry_by_slot.into_iter().enumerate() {
                         if !frags.is_empty() {
-                            let retry_index = attempts[slot][frags[0] as usize] - 1;
+                            let retry_index = gs.attempts[slot][frags[0] as usize] - 1;
                             self.schedule_retry(
                                 base,
                                 slot,
                                 frags,
                                 retry_index,
-                                &mut pending_retries,
+                                &mut gs.pending_retries,
                                 make_request,
-                                &mut report,
+                                &mut gs.report,
                             );
                         }
                     }
-                    stall_deadline = Instant::now() + self.deadline;
+                    gs.stall_deadline = Instant::now() + self.deadline;
                 }
                 Err(RecvTimeoutError::Disconnected) => {
                     unreachable!("cluster retains a response sender half")
                 }
             }
         };
-        self.note_recovery(&report);
-        outcome.map(|()| report)
+        self.note_recovery(&gs.report);
+        outcome.map(|()| std::mem::take(&mut gs.report))
     }
 
     /// Fold one gather's recovery events into the lifetime counters.
@@ -1012,6 +1286,7 @@ impl Cluster {
         c.duplicate_responses += report.duplicate_responses;
         c.corrupt_frames += report.corrupt_frames;
         c.out_of_window_responses += report.out_of_window_responses;
+        c.slot_nacks += report.slot_nacks as u64;
         self.recovery.set(c);
         let mut cache = self.cache.get();
         cache.absorb(&report.cache);
@@ -1072,6 +1347,138 @@ impl Cluster {
             s = end;
         }
         self.note_respawns(respawns);
+        respawns
+    }
+
+    /// Whether adaptive streaming dispatch is active for grouped streams
+    /// ([`ClusterConfig::batch_adaptive`] with a batching window > 1).
+    pub fn adaptive_enabled(&self) -> bool {
+        self.batch_adaptive && self.batch_window > 1
+    }
+
+    /// The adaptive controller's window size after each closed window, in
+    /// close order (empty under fixed windows).
+    pub fn window_trace(&self) -> Vec<u32> {
+        self.controller.borrow().trace().to_vec()
+    }
+
+    /// Adaptive streaming dispatch of one admission group: plans are
+    /// admitted into an *open* window, draining in-flight responses of
+    /// earlier windows between admissions; the window closes at the
+    /// controller-chosen size or after [`ClusterConfig::batch_window_ms`],
+    /// whichever comes first, is dispatched (reference-elided where the
+    /// target's slot directory is believed warm), and feeds the controller
+    /// its completed-query latencies. Answers are byte-identical to the
+    /// fixed-window path — only frame boundaries and slot encodings differ.
+    fn run_group_adaptive(
+        &self,
+        base: u64,
+        plans: &[QueryPlan],
+        allow_partial: bool,
+        make_request: &dyn Fn(usize, Vec<u32>) -> Request,
+        on_response: &mut dyn FnMut(usize, Response, u64),
+    ) -> (Result<GatherReport, QueryError>, u32) {
+        let n = plans.len();
+        let mut gs = GatherState::new(self, n, allow_partial);
+        let mut respawns = 0u32;
+        let mut s = 0usize;
+        while s < n {
+            let target = self.controller.borrow().window().max(1);
+            let mut opened = Instant::now();
+            // A window never closes empty; past that, time-closed ingress:
+            // admit until the controller's size is reached or the window's
+            // time budget elapses, using the wait to overlap gathers.
+            let mut end = s + 1;
+            while end < n && end - s < target {
+                let drain_start = Instant::now();
+                if let Err(e) = self.gather_drain(base, &mut gs, make_request, on_response) {
+                    self.note_respawns(respawns);
+                    return (Err(e), respawns);
+                }
+                // The time budget bounds how long early queries wait on
+                // *ingress* — time spent usefully draining earlier windows'
+                // responses doesn't count against it, or heavy gathers
+                // would shrink every window to the clock instead of the
+                // controller's choice.
+                opened += drain_start.elapsed();
+                if opened.elapsed() >= self.batch_window_ms {
+                    break;
+                }
+                end += 1;
+            }
+            respawns += self.dispatch_window(base + s as u64, &plans[s..end]);
+            gs.activate(s, end);
+            let mut controller = self.controller.borrow_mut();
+            for l in self.note_service_latencies(&mut gs) {
+                controller.observe(l);
+            }
+            controller.on_window_closed(end - s, n - end);
+            drop(controller);
+            s = end;
+        }
+        self.note_respawns(respawns);
+        let out = self.gather_finish(base, &mut gs, make_request, on_response);
+        let mut controller = self.controller.borrow_mut();
+        for l in self.note_service_latencies(&mut gs) {
+            controller.observe(l);
+        }
+        (out, respawns)
+    }
+
+    /// Dispatch one closed window of admitted plans for queries
+    /// `window_base+1 ..= window_base+chunk.len()`. Windows of ≥2 plans
+    /// merge into one super-plan per busy machine and ship
+    /// **reference-elided**: coverage slots the machine's directory is
+    /// believed to know are encoded as compact slot ids
+    /// (`ElidedSlot::Cached`, 5 bytes) instead of full `DTerm` specs, and
+    /// full-spec entries teach the directory for next time. A machine whose
+    /// directory turns out stale NACKs with `QueryError::SlotUnknown`,
+    /// repaired by full-spec narrowed retries — see `gather_process_frame`.
+    fn dispatch_window(&self, window_base: u64, chunk: &[QueryPlan]) -> u32 {
+        let mut respawns = 0u32;
+        if chunk.len() < 2 {
+            let frame = encode_frame(&Request::Evaluate {
+                query_id: window_base + 1,
+                plan: chunk[0].clone(),
+                fragments: vec![],
+            });
+            for m in self.assignment.busy_machines() {
+                self.send_to_worker(m, &frame, &mut respawns);
+                self.gauge.note_dispatch_frames(1);
+            }
+            return respawns;
+        }
+        let sp = SuperPlan::merge(chunk);
+        let mut table = self.slot_ids.borrow_mut();
+        for m in self.assignment.busy_machines() {
+            let frame = {
+                let mut believed = self.believed.borrow_mut();
+                match sp.try_elide(&mut table, &believed[m]) {
+                    Some(elided) => {
+                        // Once this FIFO frame lands, every id in it is in
+                        // the worker's directory: full-spec entries teach
+                        // it, references were already believed known.
+                        for id in elided.slot_ids() {
+                            believed[m].insert(id);
+                        }
+                        encode_frame(&Request::BatchRef {
+                            base: window_base,
+                            plan: elided,
+                            fragments: vec![],
+                        })
+                    }
+                    // Over-wide plan (beyond the compact codec's u16/u8
+                    // ranges): fall back to full specs.
+                    None => encode_frame(&Request::Batch {
+                        base: window_base,
+                        plan: sp.clone(),
+                        fragments: vec![],
+                    }),
+                }
+            };
+            self.send_to_worker(m, &frame, &mut respawns);
+            self.gauge.note_dispatch_frames(1);
+        }
         respawns
     }
 
@@ -1205,6 +1612,7 @@ impl Cluster {
             cache_hits: report.cache.hits,
             cache_misses: report.cache.misses,
             cache_evictions: report.cache.evictions,
+            cache_bypassed: report.cache.bypassed,
             estimated_cost,
             browned_out,
             ..QueryStats::default()
@@ -1328,7 +1736,6 @@ impl Cluster {
         let base = self.query_counter.get();
         self.query_counter.set(base + n as u64);
         self.gauge.charge(group_cost);
-        let dispatch_respawns = self.dispatch_plans(base, &plans);
         let make_request = |slot: usize, frags: Vec<u32>| Request::Evaluate {
             query_id: base + 1 + slot as u64,
             plan: plans[slot].clone(),
@@ -1337,7 +1744,18 @@ impl Cluster {
         let allow_partial = self.allow_partial || browned;
         let mut slot_on_response =
             |slot: usize, resp: Response, bytes: u64| on_response(members[slot], resp, bytes);
-        let gathered = self.gather(base, n, allow_partial, &make_request, &mut slot_on_response);
+        let (gathered, dispatch_respawns) = if self.adaptive_enabled() {
+            self.run_group_adaptive(
+                base,
+                &plans,
+                allow_partial,
+                &make_request,
+                &mut slot_on_response,
+            )
+        } else {
+            let respawns = self.dispatch_plans(base, &plans);
+            (self.gather(base, n, allow_partial, &make_request, &mut slot_on_response), respawns)
+        };
         self.gauge.release(group_cost);
         let (report, error) = match gathered {
             Ok(r) => (r, None),
@@ -1445,6 +1863,7 @@ impl Cluster {
                     hits: cost.cache_hits,
                     misses: cost.cache_misses,
                     evictions: cost.cache_evictions,
+                    bypassed: cost.cache_bypassed,
                 });
                 results[i].extend(nodes);
             }
@@ -1501,6 +1920,7 @@ impl Cluster {
                         cache_hits: cache_by_slot[i].hits,
                         cache_misses: cache_by_slot[i].misses,
                         cache_evictions: cache_by_slot[i].evictions,
+                        cache_bypassed: cache_by_slot[i].bypassed,
                         estimated_cost: g.costs[*pos],
                         browned_out: g.browned,
                         ..QueryStats::default()
@@ -1825,15 +2245,22 @@ mod tests {
         let cold = cluster.run_sgkq(&q).unwrap();
         assert_eq!(cold.stats.cache_hits, 0, "cold cache");
         assert!(cold.stats.cache_misses > 0);
+        // This net yields both cacheable coverages and ones small enough for
+        // the content bypass, so the test covers their interplay.
+        assert!(cold.stats.cache_bypassed > 0, "expected some bypass-small coverages");
+        assert!(cold.stats.cache_bypassed < cold.stats.cache_misses, "and some cacheable ones");
         let warm = cluster.run_sgkq(&q).unwrap();
         assert_eq!(warm.results, cold.results);
-        assert_eq!(warm.stats.cache_misses, 0, "fully warm");
-        assert_eq!(warm.stats.cache_hits, cold.stats.cache_misses);
-        // Warm hits skip the per-slot Dijkstra entirely.
-        assert_eq!(warm.stats.total_settled(), 0);
+        // Bypassed slots miss (and bypass) again; every cached slot hits.
+        assert_eq!(warm.stats.cache_misses, cold.stats.cache_bypassed, "only bypassed slots miss");
+        assert_eq!(warm.stats.cache_hits, cold.stats.cache_misses - cold.stats.cache_bypassed);
+        assert_eq!(warm.stats.cache_bypassed, cold.stats.cache_bypassed);
+        // Warm hits skip their per-slot Dijkstras; only bypassed slots settle.
+        assert!(warm.stats.total_settled() < cold.stats.total_settled());
         let lifetime = cluster.cache_counters();
         assert_eq!(lifetime.hits, warm.stats.cache_hits);
-        assert_eq!(lifetime.misses, cold.stats.cache_misses);
+        assert_eq!(lifetime.misses, cold.stats.cache_misses + warm.stats.cache_misses);
+        assert_eq!(lifetime.bypassed, cold.stats.cache_bypassed + warm.stats.cache_bypassed);
         cluster.shutdown();
     }
 

@@ -58,6 +58,7 @@
 //! `DISKS_RETRY_BACKOFF`), and respawned workers are pre-warmed with the
 //! hottest coverage slots before retry traffic reaches them.
 
+pub mod adaptive;
 pub mod cache;
 pub mod cluster;
 pub mod message;
@@ -67,6 +68,7 @@ pub mod stats;
 pub mod transport;
 pub mod worker;
 
+pub use adaptive::WindowController;
 pub use cache::{CacheCounters, CoverageCache};
 pub use cluster::{Cluster, ClusterConfig, QueryOutcome};
 pub use message::{BatchAnswer, Request, Response, WireCost};

@@ -6,7 +6,7 @@
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 
-use disks_core::{QueryCost, QueryError, QueryPlan, Ranked, SuperPlan, TopKQuery};
+use disks_core::{ElidedSuperPlan, QueryCost, QueryError, QueryPlan, Ranked, SuperPlan, TopKQuery};
 use disks_roadnet::codec::{Decode, Encode};
 use disks_roadnet::{DecodeError, NodeId};
 
@@ -34,6 +34,13 @@ pub enum Request {
     /// herd of cache-cold misses). No response is produced. Same
     /// fragment-narrowing rule as `Evaluate`.
     Prewarm { slots: Vec<disks_core::DTerm>, fragments: Vec<u32> },
+    /// A [`Request::Batch`] with known-cached slots elided to compact slot
+    /// ids (same id ↔ spec binding for the cluster's lifetime). The worker
+    /// resolves references against its slot directory; queries touching an
+    /// unknown id are NACKed with [`QueryError::SlotUnknown`] and the
+    /// coordinator re-dispatches them full-spec, so correctness never
+    /// depends on the coordinator's cached-slot view being fresh.
+    BatchRef { base: u64, plan: ElidedSuperPlan, fragments: Vec<u32> },
     /// Terminate the worker loop.
     Shutdown,
 }
@@ -59,6 +66,11 @@ pub struct WireCost {
     /// single-query path; not counted as LRU hits so the cache ledger stays
     /// exact.
     pub batch_shared: u64,
+    /// Coverages whose payload was below the cache's per-entry bookkeeping
+    /// overhead and therefore skipped insertion (counted as misses too —
+    /// they were computed; this field just explains why they never became
+    /// hits).
+    pub cache_bypassed: u64,
 }
 
 impl From<&QueryCost> for WireCost {
@@ -74,6 +86,7 @@ impl From<&QueryCost> for WireCost {
             cache_misses: 0,
             cache_evictions: 0,
             batch_shared: 0,
+            cache_bypassed: 0,
         }
     }
 }
@@ -133,8 +146,8 @@ impl Decode for BatchAnswer {
     }
 }
 
-/// Encoded size of a [`WireCost`]: ten fixed-width `u64` fields.
-pub(crate) const WIRE_COST_LEN: u64 = 10 * 8;
+/// Encoded size of a [`WireCost`]: eleven fixed-width `u64` fields.
+pub(crate) const WIRE_COST_LEN: u64 = 11 * 8;
 
 /// Exact encoded size of a [`Response::Results`] frame carrying `n_nodes`
 /// result ids: tag + query id + fragment + length prefix + ids + cost.
@@ -160,6 +173,7 @@ impl Encode for WireCost {
         self.cache_misses.encode(buf);
         self.cache_evictions.encode(buf);
         self.batch_shared.encode(buf);
+        self.cache_bypassed.encode(buf);
     }
 }
 impl Decode for WireCost {
@@ -175,6 +189,7 @@ impl Decode for WireCost {
             cache_misses: u64::decode(buf)?,
             cache_evictions: u64::decode(buf)?,
             batch_shared: u64::decode(buf)?,
+            cache_bypassed: u64::decode(buf)?,
         })
     }
 }
@@ -206,6 +221,12 @@ impl Encode for Request {
                 slots.encode(buf);
                 fragments.encode(buf);
             }
+            Request::BatchRef { base, plan, fragments } => {
+                5u8.encode(buf);
+                base.encode(buf);
+                plan.encode(buf);
+                fragments.encode(buf);
+            }
         }
     }
 }
@@ -229,6 +250,11 @@ impl Decode for Request {
                 fragments: Vec::decode(buf)?,
             }),
             4 => Ok(Request::Prewarm { slots: Vec::decode(buf)?, fragments: Vec::decode(buf)? }),
+            5 => Ok(Request::BatchRef {
+                base: u64::decode(buf)?,
+                plan: ElidedSuperPlan::decode(buf)?,
+                fragments: Vec::decode(buf)?,
+            }),
             tag => Err(DecodeError::BadTag { context: "Request", tag }),
         }
     }
@@ -374,6 +400,7 @@ mod tests {
                 cache_misses: 8,
                 cache_evictions: 9,
                 batch_shared: 10,
+                cache_bypassed: 11,
             },
         };
         let frame = encode_frame(&resp);
@@ -501,6 +528,32 @@ mod tests {
             })
             .sum();
         assert!(batched < single / 2, "batched {batched} vs unbatched {single}");
+    }
+
+    #[test]
+    fn batch_ref_round_trip_and_elided_frame_is_smaller() {
+        use disks_core::{SetOp, SlotIdTable};
+        use std::collections::HashSet;
+        let f = DFunction::single(Term::Keyword(KeywordId(0)), 5).then(
+            SetOp::Intersect,
+            Term::Keyword(KeywordId(1)),
+            5,
+        );
+        let plans = vec![QueryPlan::lower(&f); 4];
+        let sp = SuperPlan::merge(&plans);
+        let mut table = SlotIdTable::new();
+        let cold = sp.try_elide(&mut table, &HashSet::new()).unwrap();
+        let believed: HashSet<u32> = cold.slot_ids().collect();
+        let warm = sp.try_elide(&mut table, &believed).unwrap();
+        let req = Request::BatchRef { base: 100, plan: warm.clone(), fragments: vec![0, 3] };
+        let frame = encode_frame(&req);
+        assert_eq!(decode_frame::<Request>(frame).unwrap(), req);
+        // The warm reference frame beats the equivalent full-spec Batch frame.
+        let full_len =
+            encode_frame(&Request::Batch { base: 100, plan: sp, fragments: vec![0, 3] }).len();
+        let warm_len =
+            encode_frame(&Request::BatchRef { base: 100, plan: warm, fragments: vec![0, 3] }).len();
+        assert!(warm_len < full_len, "elided {warm_len} vs full {full_len}");
     }
 
     #[test]

@@ -94,6 +94,9 @@ pub struct QueryStats {
     pub cache_misses: u64,
     /// Worker coverage-cache evictions triggered while serving this query.
     pub cache_evictions: u64,
+    /// Coverages refused at cache insert because their content was below
+    /// the per-entry bookkeeping overhead (see `CacheCounters::bypassed`).
+    pub cache_bypassed: u64,
     /// Theorem 5 estimated cost charged against the overload budget at
     /// admission (`QueryPlan::estimated_cost`; 0 when stats predate
     /// admission, e.g. defaults).
@@ -129,6 +132,10 @@ pub struct RecoveryCounters {
     pub prewarm_frames: u64,
     /// Coverage slots shipped in those `Prewarm` frames.
     pub prewarmed_slots: u64,
+    /// `SlotUnknown` NACKs received for elided batch frames whose slot
+    /// references a (typically respawned) worker could not resolve; each is
+    /// repaired by a narrowed full-spec re-dispatch counted in `retries`.
+    pub slot_nacks: u64,
 }
 
 impl QueryStats {
@@ -184,6 +191,7 @@ impl Default for QueryStats {
             cache_hits: 0,
             cache_misses: 0,
             cache_evictions: 0,
+            cache_bypassed: 0,
             estimated_cost: 0,
             browned_out: false,
         }

@@ -1,0 +1,212 @@
+//! Adaptive streaming dispatch equivalence: the latency-aware window
+//! controller and slot-reference elision are pure transport optimizations,
+//! so an adaptive cluster must return *byte-identical* answers to a
+//! fixed-window cluster and the centralized oracle over a Zipf-skewed
+//! stream — with zero inter-worker bytes, fewer coordinator→worker bytes
+//! (elided references replace repeated slot specs), and no NACKs on the
+//! fault-free path. A worker killed mid-stream respawns with an empty slot
+//! directory: the coordinator's stale beliefs draw a typed `SlotUnknown`
+//! NACK, repaired by full-spec narrowed re-dispatches, with answers still
+//! exact and the frame ledger still closing.
+
+use std::time::Duration;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use disks_cluster::{Cluster, ClusterConfig, FaultPlan, NetworkModel};
+use disks_core::{build_all_indexes, CentralizedCoverage, DFunction, IndexConfig, SgkQuery};
+use disks_partition::{MultilevelPartitioner, Partitioner, Partitioning};
+use disks_roadnet::generator::GridNetworkConfig;
+use disks_roadnet::zipf::Zipf;
+use disks_roadnet::{KeywordId, RoadNetwork};
+
+/// A seeded Zipf-skewed SGKQ stream: keywords drawn by popularity rank,
+/// radii from a small pool — the slot repetition reference elision exploits.
+fn zipf_stream(net: &RoadNetwork, seed: u64, n: usize) -> Vec<SgkQuery> {
+    let freqs = net.keyword_frequencies();
+    let mut ranked: Vec<usize> = (0..freqs.len()).filter(|&k| freqs[k] > 0).collect();
+    ranked.sort_unstable_by_key(|&k| std::cmp::Reverse(freqs[k]));
+    ranked.truncate(10);
+    let zipf = Zipf::new(ranked.len(), 1.0);
+    let e = net.avg_edge_weight();
+    let radii = [2 * e, 3 * e, 4 * e];
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            let num_kw = 1 + rng.gen_range(0..2);
+            let kws: Vec<KeywordId> =
+                (0..num_kw).map(|_| KeywordId(ranked[zipf.sample(&mut rng)] as u32)).collect();
+            SgkQuery::new(kws, radii[rng.gen_range(0..radii.len())])
+        })
+        .collect()
+}
+
+/// Explicit knobs so this suite exercises the adaptive path in *every* CI
+/// lane (including fixed-window and cache-disabled lanes) and stays
+/// deterministic: a generous time bound keeps windows size-closed, and a
+/// generous p99 target keeps the controller from halving on CI jitter.
+fn build_cluster(
+    net: &RoadNetwork,
+    p: &Partitioning,
+    adaptive: bool,
+    kill_at: Option<u64>,
+) -> Cluster {
+    let indexes = build_all_indexes(net, p, &IndexConfig::unbounded());
+    let faults = kill_at.map(|nth| FaultPlan::new(0xADA7).kill_worker(0, nth));
+    Cluster::build(
+        net,
+        p,
+        indexes,
+        ClusterConfig {
+            network: NetworkModel::instant(),
+            deadline: Duration::from_secs(1),
+            coverage_cache_bytes: 64 << 20,
+            batch_window: 16,
+            batch_adaptive: adaptive,
+            batch_window_ms: Duration::from_millis(100),
+            batch_p99_target: Duration::from_secs(5),
+            faults,
+            ..ClusterConfig::default()
+        },
+    )
+}
+
+/// The acceptance property: 200 Zipf queries through an adaptive cluster
+/// and a fixed window-16 cluster return byte-identical answers, each exact
+/// against the centralized oracle, with zero inter-worker bytes and zero
+/// retries or NACKs (fault-free FIFO dispatch teaches every directory
+/// before referencing it). Reference elision makes the adaptive run
+/// strictly cheaper on the coordinator→worker link, the controller leaves
+/// a non-empty window trace, and the frame ledger closes exactly.
+#[test]
+fn adaptive_matches_fixed_windows_and_oracle_on_zipf_stream() {
+    let net = GridNetworkConfig::tiny(0xD15C).generate();
+    let p = MultilevelPartitioner::default().partition(&net, 3);
+    let stream = zipf_stream(&net, 0x5EED, 200);
+    let fs: Vec<DFunction> = stream.iter().map(|q| q.to_dfunction()).collect();
+
+    let adaptive = build_cluster(&net, &p, true, None);
+    let fixed = build_cluster(&net, &p, false, None);
+    assert!(adaptive.adaptive_enabled());
+    assert!(!fixed.adaptive_enabled());
+    let (a, _) = adaptive.run_batched(&fs).expect("adaptive stream");
+    let (f, _) = fixed.run_batched(&fs).expect("fixed stream");
+    assert_eq!(a.len(), fs.len());
+    assert_eq!(f.len(), fs.len());
+
+    let mut oracle = CentralizedCoverage::new(&net);
+    for (i, q) in stream.iter().enumerate() {
+        assert_eq!(a[i].results, f[i].results, "query {i}: adaptive != fixed");
+        assert_eq!(a[i].results, oracle.sgkq(q).unwrap(), "query {i} not exact");
+        assert_eq!(a[i].stats.results, f[i].stats.results, "query {i} result counts diverge");
+        // Theorem 3 holds identically under adaptive dispatch.
+        assert_eq!(a[i].stats.inter_worker_bytes, 0);
+        assert_eq!(a[i].stats.retries, 0, "fault-free adaptive stream must not retry");
+    }
+
+    // FIFO teach-then-reference: a fault-free run never outruns a worker's
+    // directory, so elision is invisible to the recovery ledger.
+    assert_eq!(adaptive.recovery_counters().slot_nacks, 0);
+    assert_eq!(adaptive.recovery_counters().retries, 0);
+
+    // The controller actually ran (one trace entry per closed window) and
+    // the fixed path never touched it.
+    let trace = adaptive.window_trace();
+    assert!(!trace.is_empty(), "adaptive run must close windows through the controller");
+    assert!(trace.iter().all(|&w| (1..=256).contains(&w)));
+    assert!(fixed.window_trace().is_empty(), "fixed windows must not consult the controller");
+
+    // Slot-reference elision: after the first windows teach the per-worker
+    // directories, repeated Zipf slots ship as 5-byte references instead of
+    // full specs — strictly fewer coordinator→worker bytes for the same
+    // stream and identical answers.
+    let (a_c2w, _) = adaptive.link_totals();
+    let (f_c2w, _) = fixed.link_totals();
+    assert!(
+        a_c2w < f_c2w,
+        "elision must shrink the dispatch link: adaptive {a_c2w} >= fixed {f_c2w}"
+    );
+
+    // The frame ledger closes on both paths: every coordinator→worker frame
+    // is an initial dispatch, a retry, or a pre-warm.
+    for c in [&adaptive, &fixed] {
+        let (c2w_frames, _) = c.link_message_totals();
+        let (oc, rc) = (c.overload_counters(), c.recovery_counters());
+        assert_eq!(c2w_frames, oc.dispatch_frames + rc.retries + rc.prewarm_frames);
+    }
+
+    adaptive.shutdown();
+    fixed.shutdown();
+}
+
+/// A worker killed mid-stream respawns with an *empty* slot directory while
+/// the coordinator still believes it warm: the next reference-elided window
+/// to reach it draws a typed `SlotUnknown` NACK, the coordinator drops its
+/// beliefs for that machine and repairs through full-spec narrowed
+/// re-dispatches — answers stay exact for every query, and the frame ledger
+/// still closes with the NACK repairs riding the retry path.
+///
+/// The stream is run twice. The first pass teaches every directory, kills
+/// machine 0, and repairs the lost queries (those retries are full-spec, so
+/// the respawn itself completes cleanly). Where the stale beliefs bite
+/// depends on when the respawn lands: if mid-stream, the remaining pass-1
+/// windows NACK against the cold directory; if during the retry drain, the
+/// second pass's reference-only windows draw the NACK instead. Both
+/// timings are correct protocol behavior, so the assertions accept either.
+#[test]
+fn mid_stream_kill_under_adaptive_batching_nacks_and_repairs() {
+    let net = GridNetworkConfig::tiny(0xC0DE).generate();
+    let p = MultilevelPartitioner::default().partition(&net, 3);
+    let stream = zipf_stream(&net, 0xFA11, 100);
+    let fs: Vec<DFunction> = stream.iter().map(|q| q.to_dfunction()).collect();
+    let mut oracle = CentralizedCoverage::new(&net);
+
+    // Machine 0 crashes on its 3rd dispatch frame of the first pass.
+    let cluster = build_cluster(&net, &p, true, Some(3));
+    let (first, _) = cluster.run_batched(&fs).expect("adaptive stream with mid-stream kill");
+    assert_eq!(first.len(), fs.len());
+    for (i, q) in stream.iter().enumerate() {
+        assert_eq!(first[i].results, oracle.sgkq(q).unwrap(), "pass 1 query {i} not exact");
+        assert_eq!(first[i].stats.inter_worker_bytes, 0);
+    }
+    let rc1 = cluster.recovery_counters();
+    assert!(rc1.respawned_workers >= 1, "kill must have fired during pass 1");
+
+    // Pass 2: every slot is believed taught, so windows ship bare
+    // references — machine 0's respawned directory knows none of them.
+    let (second, _) = cluster.run_batched(&fs).expect("adaptive stream after respawn");
+    for (i, q) in stream.iter().enumerate() {
+        assert_eq!(second[i].results, oracle.sgkq(q).unwrap(), "pass 2 query {i} not exact");
+        assert_eq!(second[i].results, first[i].results, "passes must agree bit-for-bit");
+        assert_eq!(second[i].stats.inter_worker_bytes, 0);
+    }
+
+    let rc2 = cluster.recovery_counters();
+    assert!(rc2.slot_nacks >= 1, "stale references must NACK: {rc1:?} -> {rc2:?}");
+    // Recovery narrows: the NACKed window repairs per query; the rest of
+    // the stream proceeds (and machine 0's directory is re-taught, so later
+    // windows resolve).
+    let retried1 = first.iter().filter(|o| o.stats.retries > 0).count();
+    let retried2 = second.iter().filter(|o| o.stats.retries > 0).count();
+    assert!(retried1 >= 1, "kill repairs must ride the retry path");
+    assert!(retried1 + retried2 < 2 * fs.len(), "retries must narrow, not resend the stream");
+    if rc2.slot_nacks > rc1.slot_nacks {
+        // The respawn outlived pass 1, so the NACK fired in pass 2 and its
+        // repairs must be attributed to pass-2 queries.
+        assert!(retried2 >= 1, "pass-2 NACKed queries must be retried");
+    }
+    // Per-query retry attribution stays exact across kill and NACK alike.
+    let total: u64 = first.iter().chain(second.iter()).map(|o| o.stats.retries as u64).sum();
+    assert_eq!(rc2.retries, total, "per-query retry attribution");
+
+    // The ledger closes across kill, respawn, NACK, and repair alike.
+    let (c2w_frames, _) = cluster.link_message_totals();
+    let oc = cluster.overload_counters();
+    assert_eq!(
+        c2w_frames,
+        oc.dispatch_frames + rc2.retries + rc2.prewarm_frames,
+        "frame ledger must reconcile exactly: {oc:?} {rc2:?}"
+    );
+    cluster.shutdown();
+}

@@ -57,6 +57,10 @@ fn build_cluster(
             deadline: Duration::from_millis(200),
             coverage_cache_bytes: 64 << 20,
             batch_window,
+            // These tests pin exact frame counts per fixed window, so the
+            // adaptive controller stays off even under `DISKS_BATCH=adaptive`
+            // CI lanes (adaptive equivalence has its own suite).
+            batch_adaptive: false,
             faults,
             ..ClusterConfig::default()
         },
@@ -72,6 +76,7 @@ fn summed_cache(outcomes: &[QueryOutcome]) -> CacheCounters {
             hits: o.stats.cache_hits,
             misses: o.stats.cache_misses,
             evictions: o.stats.cache_evictions,
+            bypassed: o.stats.cache_bypassed,
         });
     }
     sum

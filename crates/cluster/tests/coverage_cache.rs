@@ -119,7 +119,10 @@ fn respawned_worker_is_prewarmed_before_retry_traffic() {
     let cluster = build_cluster(&net, &p, 64 << 20, Some(2));
     let freqs = net.keyword_frequencies();
     let kw = KeywordId((0..freqs.len()).max_by_key(|&k| freqs[k]).unwrap() as u32);
-    let q = SgkQuery::new(vec![kw], 3 * net.avg_edge_weight());
+    // Fat radius: both fragments' coverages must clear the 16-node content
+    // bypass threshold, or the exact miss pin below would count re-misses
+    // of a deliberately uncached slot.
+    let q = SgkQuery::new(vec![kw], 6 * net.avg_edge_weight());
     let mut oracle = CentralizedCoverage::new(&net);
     let expect = oracle.sgkq(&q).unwrap();
 

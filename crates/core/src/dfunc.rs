@@ -94,7 +94,7 @@ impl Decode for Term {
 }
 
 /// One coverage variable `Xᵢ = R(term, radius)` of a D-function.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct DTerm {
     pub term: Term,
     pub radius: u64,

@@ -85,6 +85,12 @@ pub enum QueryError {
     /// monotonically with the measured pressure at shed time). Shedding
     /// happens coordinator-side, so a shed query costs zero wire bytes.
     Overloaded { retry_after_millis: u64 },
+    /// A slot-reference NACK: the worker received an elided plan referencing
+    /// global slot ids it has never been taught the `(term, radius)` spec
+    /// for (it respawned since the coordinator last sent the full spec).
+    /// Retryable — the coordinator falls back to a full-spec re-dispatch,
+    /// so correctness never depends on the coordinator's view being fresh.
+    SlotUnknown { ids: Vec<u32> },
 }
 
 impl QueryError {
@@ -97,7 +103,12 @@ impl QueryError {
     /// *immediately* retryable — the same submission would be shed again;
     /// the client must wait out `retry_after_millis` first.
     pub fn is_retryable(&self) -> bool {
-        matches!(self, QueryError::WorkerPanic(_) | QueryError::WorkerTimeout { .. })
+        matches!(
+            self,
+            QueryError::WorkerPanic(_)
+                | QueryError::WorkerTimeout { .. }
+                | QueryError::SlotUnknown { .. }
+        )
     }
 }
 
@@ -118,6 +129,9 @@ impl fmt::Display for QueryError {
             }
             QueryError::Overloaded { retry_after_millis } => {
                 write!(f, "cluster overloaded; retry after {retry_after_millis}ms")
+            }
+            QueryError::SlotUnknown { ids } => {
+                write!(f, "worker does not know slot ids {ids:?}; re-send full specs")
             }
         }
     }
@@ -157,6 +171,10 @@ impl Encode for QueryError {
                 6u8.encode(buf);
                 retry_after_millis.encode(buf);
             }
+            QueryError::SlotUnknown { ids } => {
+                7u8.encode(buf);
+                ids.encode(buf);
+            }
         }
     }
 }
@@ -175,6 +193,7 @@ impl Decode for QueryError {
                 attempts: u32::decode(buf)?,
             }),
             6 => Ok(QueryError::Overloaded { retry_after_millis: u64::decode(buf)? }),
+            7 => Ok(QueryError::SlotUnknown { ids: Vec::decode(buf)? }),
             tag => Err(DecodeError::BadTag { context: "QueryError", tag }),
         }
     }
@@ -195,6 +214,7 @@ mod tests {
             QueryError::WorkerPanic("index out of bounds".into()),
             QueryError::WorkerTimeout { fragments: vec![1, 3], attempts: 3 },
             QueryError::Overloaded { retry_after_millis: 12 },
+            QueryError::SlotUnknown { ids: vec![0, 7, 31] },
         ];
         for e in cases {
             let mut buf = BytesMut::new();
@@ -209,6 +229,7 @@ mod tests {
     fn retryability_classification() {
         assert!(QueryError::WorkerPanic("x".into()).is_retryable());
         assert!(QueryError::WorkerTimeout { fragments: vec![0], attempts: 1 }.is_retryable());
+        assert!(QueryError::SlotUnknown { ids: vec![4] }.is_retryable());
         assert!(!QueryError::EmptyQuery.is_retryable());
         assert!(!QueryError::RadiusExceedsMaxR { r: 2, max_r: 1 }.is_retryable());
         assert!(!QueryError::Engine("x".into()).is_retryable());

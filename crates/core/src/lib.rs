@@ -49,6 +49,8 @@ pub use index::{
     build_all_indexes, build_index, build_index_with_threads, build_naive_index, DlScope,
     IndexConfig, IndexStats, NpdIndex,
 };
-pub use plan::{CostParams, QueryPlan, SuperPlan};
+pub use plan::{
+    CostParams, ElidedSlot, ElidedSuperPlan, QueryPlan, ResolvedBatch, SlotIdTable, SuperPlan,
+};
 pub use query::{QClassQuery, RangeKeywordQuery, SgkQuery};
 pub use topk::{centralized_topk, merge_topk, Ranked, ScoreCombine, TopKQuery};

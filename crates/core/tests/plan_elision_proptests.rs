@@ -1,0 +1,119 @@
+//! Properties of the elided super-plan codec (slot-reference elision):
+//!
+//! 1. Merge → elide (mixed full-spec / slot-reference entries) → encode →
+//!    decode → resolve → split reproduces the original plans exactly, for
+//!    any believed-cached subset of the slot ids.
+//! 2. A wiped directory (worker respawn) NACKs precisely the elided ids and
+//!    flags exactly the programs that touch them.
+//! 3. Out-of-range program indexes are rejected by the decoder — the
+//!    PR 3 index-bounds checks extend to the compact encoding.
+
+use std::collections::{HashMap, HashSet};
+
+use bytes::{Buf, BytesMut};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use disks_core::{DFunction, ElidedSuperPlan, QueryPlan, SetOp, SlotIdTable, SuperPlan, Term};
+use disks_roadnet::codec::{Decode, Encode};
+use disks_roadnet::{DecodeError, KeywordId};
+
+/// Seeded random plans over a tiny `(keyword, radius)` space so slots are
+/// shared both within and across queries.
+fn random_plans(seed: u64, n: usize) -> Vec<QueryPlan> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let term = |rng: &mut StdRng| Term::Keyword(KeywordId(rng.gen_range(0..6)));
+    (0..n)
+        .map(|_| {
+            let mut f = DFunction::single(term(&mut rng), 1 + rng.gen_range(0..4) as u64);
+            for _ in 0..rng.gen_range(0..4) {
+                let op = match rng.gen_range(0..3) {
+                    0 => SetOp::Union,
+                    1 => SetOp::Intersect,
+                    _ => SetOp::Subtract,
+                };
+                f = f.then(op, term(&mut rng), 1 + rng.gen_range(0..4) as u64);
+            }
+            QueryPlan::lower(&f)
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn mixed_encoding_round_trip_preserves_merge_split(
+        seed in 0u64..10_000, n in 1usize..6, mask in 0u64..256
+    ) {
+        let plans = random_plans(seed, n);
+        let sp = SuperPlan::merge(&plans);
+        let mut table = SlotIdTable::new();
+        let all: Vec<u32> =
+            sp.try_elide(&mut table, &HashSet::new()).unwrap().slot_ids().collect();
+        // The believed-cached subset is mask-driven → frames mix full-spec
+        // and reference entries in every ratio.
+        let believed: HashSet<u32> =
+            all.iter().copied().filter(|&id| mask & (1 << (id % 64)) != 0).collect();
+        let elided = sp.try_elide(&mut table, &believed).unwrap();
+        prop_assert_eq!(elided.num_elided(), believed.len());
+
+        // Codec round-trip is exact and consumes the frame fully.
+        let mut buf = BytesMut::new();
+        elided.encode(&mut buf);
+        let mut bytes = buf.freeze();
+        let decoded = ElidedSuperPlan::decode(&mut bytes).unwrap();
+        prop_assert!(!bytes.has_remaining());
+        prop_assert_eq!(&decoded, &elided);
+
+        // A directory taught exactly the believed bindings resolves the
+        // frame, and merge/split round-trips to the original plans.
+        let mut dir = HashMap::new();
+        for (i, s) in sp.slots().iter().enumerate() {
+            if believed.contains(&all[i]) {
+                dir.insert(all[i], *s);
+            }
+        }
+        let resolved = decoded.resolve(&mut dir);
+        prop_assert!(resolved.unknown.is_empty());
+        prop_assert!(resolved.affected.iter().all(|&a| !a));
+        prop_assert_eq!(&resolved.plan, &sp);
+        prop_assert_eq!(resolved.plan.split(), plans);
+
+        // A wiped directory (respawn) NACKs every elided id, and flags
+        // exactly the programs that reference one.
+        let mut fresh = HashMap::new();
+        let r = decoded.resolve(&mut fresh);
+        let mut want: Vec<u32> = believed.iter().copied().collect();
+        want.sort_unstable();
+        prop_assert_eq!(r.unknown, want);
+        for (qi, plan) in sp.split().iter().enumerate() {
+            let touches = plan.slots().iter().any(|t| {
+                let gi = sp.slots().iter().position(|s| s == t).unwrap();
+                believed.contains(&all[gi])
+            });
+            prop_assert_eq!(r.affected[qi], touches, "query {} affected flag", qi);
+        }
+    }
+
+    #[test]
+    fn out_of_range_reference_index_rejected(ns in 1u16..8, excess in 0u16..5) {
+        // Hand-build a frame whose single program's first operand references
+        // slot `ns + excess` — always out of range.
+        let mut buf = BytesMut::new();
+        ns.encode(&mut buf);
+        for id in 0..ns {
+            1u8.encode(&mut buf); // Cached reference
+            u32::from(id).encode(&mut buf);
+        }
+        1u16.encode(&mut buf);
+        (ns + excess).encode(&mut buf);
+        0u8.encode(&mut buf); // no ops
+        let mut bytes = buf.freeze();
+        prop_assert!(matches!(
+            ElidedSuperPlan::decode(&mut bytes),
+            Err(DecodeError::LengthOutOfRange { context: "ElidedSuperPlan slot index", .. })
+        ));
+    }
+}
