@@ -5,7 +5,8 @@
 //! repro [--scale paper|bench|smoke] [--exp <id>[,<id>...]] [--out DIR]
 //!
 //! ids: tab1 tab2 tab3 fig7 fig8 fig9 fig10 fig11 fig12 fig13 fig14 fig15
-//!      fig16 fig17 comm ablation throughput overload topk all (default: all)
+//!      fig16 fig17 comm ablation throughput overload transport topk all
+//!      (default: all)
 //! ```
 //!
 //! Results are printed and written under `--out` (default `results/`) as
@@ -120,6 +121,7 @@ fn main() {
         "ablation",
         "throughput",
         "overload",
+        "transport",
         "topk",
     ]
     .iter()
@@ -296,6 +298,31 @@ fn main() {
                     p4.goodput_off,
                     100.0 * p4.shed_rate_on
                 );
+            }
+            println!();
+        }
+    }
+    if wants("transport") {
+        if let Some(ds) = &aus {
+            let (table, summary) = exp::transport(ds, &params);
+            emit("transport_aus", table);
+            let path = std::path::Path::new(&args.out).join("BENCH_transport.json");
+            if let Err(e) = std::fs::create_dir_all(&args.out)
+                .and_then(|()| std::fs::write(&path, summary.to_json()))
+            {
+                eprintln!("failed to save BENCH_transport.json: {e}");
+            } else {
+                println!("[json] {} ({} points)", path.display(), summary.points.len());
+            }
+            // Socket-cost headline: TCP throughput as a fraction of the
+            // in-process channel links, per dispatch mode.
+            for mode in ["window16", "adaptive"] {
+                if let Some(ratio) = summary.tcp_ratio(mode) {
+                    println!(
+                        "[transport] {mode}: tcp at {:.0}% of channel throughput",
+                        ratio * 100.0
+                    );
+                }
             }
             println!();
         }

@@ -18,6 +18,7 @@ mod overload;
 mod size;
 mod throughput;
 mod time;
+mod transport;
 
 pub use ablation::{ablation_keyword_aggregation, ablation_minimality, ablation_partitioner};
 pub use comm::comm_contrast;
@@ -26,6 +27,7 @@ pub use overload::{overload, OverloadPoint, OverloadSummary};
 pub use size::{fig7_index_size, fig8_index_size_unbounded, tab1_datasets, tab3_indexing_time};
 pub use throughput::{throughput, ThroughputPoint, ThroughputSummary};
 pub use time::{fig10_11_keywords, fig12_13_fragments, fig14_15_radius, fig9_query_time_vs_maxr};
+pub use transport::{transport, TransportPoint, TransportSummary};
 
 use std::time::Duration;
 

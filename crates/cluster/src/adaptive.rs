@@ -9,17 +9,24 @@
 //!
 //! * **Additive increase** — while a backlog of admitted queries is waiting
 //!   (the stream is arriving faster than windows drain) and the observed
-//!   per-query p99 service latency stays under the target, the window grows
+//!   per-query p99 evaluation latency stays under the target, the window grows
 //!   by a quarter of its size (at least 1) per closed window.
 //! * **Multiplicative decrease** — when p99 degrades past the target, the
 //!   window halves immediately. Latency recovers in one decision instead of
 //!   bleeding across many windows.
 //!
-//! Service latency is measured per query from window dispatch to the last
-//! fragment response, over a sliding sample ring, so the controller reacts
-//! to what queries actually experienced rather than to queue-depth proxies.
-//! The full per-window trace is retained for offline inspection
-//! (`Cluster::window_trace`, surfaced by the throughput benchmark).
+//! The latency signal is split in two. Each completed query reports its
+//! *service* latency (window dispatch → last fragment response) and its
+//! *evaluation* latency (the worker-reported time of its slowest
+//! fragment); the difference is queue wait — time spent behind earlier
+//! windows and on the wire. The AIMD decision keys on the **evaluation**
+//! p99: under a deep backlog, service latency includes the whole queue
+//! wait, which saturates any fixed p99 target and would pin the window at
+//! minimum exactly when batching helps most. Queue wait is retained in its
+//! own ring ([`WindowController::queue_wait_p99`]) so saturation stays
+//! observable without steering the window. The full per-window trace is
+//! retained for offline inspection (`Cluster::window_trace`, surfaced by
+//! the throughput benchmark).
 
 use std::collections::VecDeque;
 use std::time::Duration;
@@ -30,7 +37,7 @@ use std::time::Duration;
 const MIN_WINDOW: usize = 1;
 const MAX_WINDOW: usize = 256;
 
-/// Per-query service latencies retained for the p99 estimate. Small enough
+/// Per-query latency samples retained for the p99 estimates. Small enough
 /// to recompute per window, large enough to smooth single-query spikes.
 const SAMPLE_RING: usize = 256;
 
@@ -39,18 +46,34 @@ const SAMPLE_RING: usize = 256;
 pub struct WindowController {
     window: usize,
     target_p99: Duration,
+    /// Evaluation latencies (µs) — the AIMD decision signal.
     samples: VecDeque<u64>,
+    /// Queue-wait latencies (µs, service − evaluation) — introspection
+    /// only, never a halving trigger.
+    queue_wait: VecDeque<u64>,
     trace: Vec<u32>,
+}
+
+fn ring_p99(ring: &VecDeque<u64>) -> Option<Duration> {
+    if ring.is_empty() {
+        return None;
+    }
+    let mut v: Vec<u64> = ring.iter().copied().collect();
+    v.sort_unstable();
+    let idx = ((v.len() * 99) / 100).min(v.len() - 1);
+    Some(Duration::from_micros(v[idx]))
 }
 
 impl WindowController {
     /// A controller starting at `initial` (clamped to `[1, 256]`) that
-    /// shrinks whenever observed p99 service latency exceeds `target_p99`.
+    /// shrinks whenever observed p99 evaluation latency exceeds
+    /// `target_p99`.
     pub fn new(initial: usize, target_p99: Duration) -> Self {
         WindowController {
             window: initial.clamp(MIN_WINDOW, MAX_WINDOW),
             target_p99,
             samples: VecDeque::with_capacity(SAMPLE_RING),
+            queue_wait: VecDeque::with_capacity(SAMPLE_RING),
             trace: Vec::new(),
         }
     }
@@ -60,26 +83,33 @@ impl WindowController {
         self.window
     }
 
-    /// Record one query's service latency (window dispatch → last fragment
-    /// response).
-    pub fn observe(&mut self, service: Duration) {
+    /// Record one query's latency split: `service` is window dispatch →
+    /// last fragment response, `eval` the worker-reported evaluation time
+    /// of its slowest fragment. Evaluation feeds the AIMD decision ring;
+    /// the queue wait (`service − eval`) goes to its own ring so backlog
+    /// depth never saturates the halving signal.
+    pub fn observe(&mut self, service: Duration, eval: Duration) {
         if self.samples.len() == SAMPLE_RING {
             self.samples.pop_front();
         }
-        self.samples.push_back(service.as_micros() as u64);
+        self.samples.push_back(eval.as_micros() as u64);
+        if self.queue_wait.len() == SAMPLE_RING {
+            self.queue_wait.pop_front();
+        }
+        self.queue_wait.push_back(service.saturating_sub(eval).as_micros() as u64);
     }
 
-    /// Current p99 over the sample ring (`None` before any sample). The
-    /// ring is small, so a per-window sort is cheaper than maintaining a
-    /// sketch.
+    /// Current p99 evaluation latency over the sample ring (`None` before
+    /// any sample). The ring is small, so a per-window sort is cheaper
+    /// than maintaining a sketch.
     pub fn p99(&self) -> Option<Duration> {
-        if self.samples.is_empty() {
-            return None;
-        }
-        let mut v: Vec<u64> = self.samples.iter().copied().collect();
-        v.sort_unstable();
-        let idx = ((v.len() * 99) / 100).min(v.len() - 1);
-        Some(Duration::from_micros(v[idx]))
+        ring_p99(&self.samples)
+    }
+
+    /// Current p99 queue wait (service minus evaluation) over the sample
+    /// ring (`None` before any sample).
+    pub fn queue_wait_p99(&self) -> Option<Duration> {
+        ring_p99(&self.queue_wait)
     }
 
     /// AIMD decision point, called once per closed window with the size it
@@ -114,7 +144,8 @@ mod tests {
 
     fn feed(c: &mut WindowController, micros: u64, n: usize) {
         for _ in 0..n {
-            c.observe(Duration::from_micros(micros));
+            // Service == eval: no queue wait, the decision ring sees `micros`.
+            c.observe(Duration::from_micros(micros), Duration::from_micros(micros));
         }
     }
 
@@ -180,7 +211,26 @@ mod tests {
         let mut c = WindowController::new(16, TARGET);
         assert!(c.p99().is_none());
         feed(&mut c, 100, 99);
-        c.observe(Duration::from_micros(9_999));
+        c.observe(Duration::from_micros(9_999), Duration::from_micros(9_999));
         assert_eq!(c.p99(), Some(Duration::from_micros(9_999)));
+    }
+
+    #[test]
+    fn queue_wait_does_not_trigger_halving() {
+        let mut c = WindowController::new(64, TARGET);
+        assert!(c.queue_wait_p99().is_none());
+        // Deep backlog: queries wait 50 ms behind earlier windows but
+        // evaluate in 1 ms. Service p99 is 5× over target; eval p99 is not.
+        for _ in 0..32 {
+            c.observe(Duration::from_micros(51_000), Duration::from_micros(1_000));
+        }
+        c.on_window_closed(64, 500);
+        assert_eq!(c.window(), 80, "backlog wait must not halve the window");
+        assert_eq!(c.p99(), Some(Duration::from_micros(1_000)));
+        assert_eq!(
+            c.queue_wait_p99(),
+            Some(Duration::from_micros(50_000)),
+            "the wait stays observable in its own ring"
+        );
     }
 }

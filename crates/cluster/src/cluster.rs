@@ -25,11 +25,15 @@
 
 use std::cell::{Cell, RefCell};
 use std::collections::{HashMap, HashSet, VecDeque};
+use std::io;
+use std::net::{TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::process::Child;
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use crossbeam::channel::{Receiver, RecvTimeoutError, Sender, TryRecvError, TrySendError};
+use crossbeam::channel::{Receiver, RecvTimeoutError, TryRecvError};
 
 use bytes::Bytes;
 use disks_core::{
@@ -41,6 +45,7 @@ use disks_roadnet::{NodeId, RoadNetwork, INF};
 
 use crate::adaptive::WindowController;
 use crate::cache::CacheCounters;
+use crate::framing;
 use crate::message::{
     decode_frame, encode_frame, results_frame_len, BatchAnswer, Request, Response,
 };
@@ -48,13 +53,20 @@ use crate::overload::{backoff_delay, splitmix64, OverloadCounters, PressureGauge
 use crate::scheduler::Assignment;
 use crate::stats::{MachineCost, QueryStats, RecoveryCounters};
 use crate::transport::{
-    counted_link, FaultPlan, FrameFate, LinkCounters, LinkDirection, LinkSender, NetworkModel,
+    counted_link, loopback_pair, tcp_worker_endpoint, ChannelLink, FaultInjector, FaultPlan,
+    HeartbeatConfig, Link, LinkCounters, LinkDirection, LinkSender, NetworkModel, TcpLink,
+    TransportFaults, TransportKind,
 };
 use crate::worker::{worker_loop, WorkerEngine, WorkerFaults};
 
 /// How many of the hottest coverage slots a freshly respawned worker is
 /// pre-warmed with before any retry traffic reaches it.
 const PREWARM_TOP_K: usize = 8;
+
+/// How long the straggler drain waits for a frame the wire ledger says was
+/// sent but that has not yet been consumed (crossing the TCP pumps takes
+/// microseconds; a frame that misses this is lost and gets forgiven).
+const STRAGGLER_GRACE: Duration = Duration::from_millis(25);
 
 /// Cluster construction parameters.
 #[derive(Debug, Clone)]
@@ -136,6 +148,18 @@ pub struct ClusterConfig {
     /// [`OverloadCounters::queue_full_events`] before falling back to a
     /// blocking send, so saturation is observed instead of absorbed.
     pub queue_capacity: usize,
+    /// Transport carrying coordinator↔worker frames: in-process crossbeam
+    /// channels, or loopback TCP sockets with length-prefixed framing,
+    /// keepalives, and read-timeout supervision — same wire codec, same
+    /// counters, same fault plans. The default honours the
+    /// `DISKS_TRANSPORT` environment variable (`tcp` or `channel`; unset →
+    /// `channel`).
+    pub transport: TransportKind,
+    /// TCP supervision timing — keepalive interval and read timeout.
+    /// Ignored by the channel transport. The default honours
+    /// `DISKS_HEARTBEAT_MS` and `DISKS_TCP_READ_TIMEOUT_MS` (milliseconds;
+    /// unset → 100 ms / 1000 ms).
+    pub heartbeat: HeartbeatConfig,
 }
 
 impl ClusterConfig {
@@ -291,6 +315,8 @@ impl Default for ClusterConfig {
             brownout: Self::brownout_from_env(),
             retry_backoff: Self::retry_backoff_from_env(),
             queue_capacity: 1024,
+            transport: TransportKind::from_env(),
+            heartbeat: HeartbeatConfig::from_env(),
         }
     }
 }
@@ -305,12 +331,57 @@ pub struct QueryOutcome {
     pub stats: QueryStats,
 }
 
+/// How a worker peer is hosted: an in-process thread (channel and loopback
+/// TCP transports) or a separate OS process (remote clusters).
+enum WorkerPeer {
+    Thread(Option<JoinHandle<()>>),
+    Process(Option<Child>),
+}
+
+impl WorkerPeer {
+    /// Whether the peer has terminated (finished thread / exited process).
+    fn is_dead(&mut self) -> bool {
+        match self {
+            WorkerPeer::Thread(join) => join.as_ref().is_none_or(|j| j.is_finished()),
+            WorkerPeer::Process(child) => match child.as_mut() {
+                None => true,
+                Some(c) => c.try_wait().map(|s| s.is_some()).unwrap_or(true),
+            },
+        }
+    }
+}
+
+/// Command line relaunched whenever a remote worker must be (re)spawned —
+/// the process analogue of `RespawnSpec`'s engine rebuild. The program must
+/// rebuild its machine's engines deterministically and connect back to the
+/// coordinator's listener (see `src/bin/disks-worker.rs`).
+#[derive(Debug, Clone)]
+pub struct RemoteWorkerCommand {
+    /// Worker executable path.
+    pub program: PathBuf,
+    /// Arguments identifying the machine and its workload.
+    pub args: Vec<String>,
+}
+
+impl RemoteWorkerCommand {
+    fn spawn(&self) -> io::Result<Child> {
+        std::process::Command::new(&self.program).args(&self.args).spawn()
+    }
+}
+
 struct WorkerHandle {
-    requests: Sender<Bytes>,
-    to_worker: Arc<LinkCounters>,
-    to_faults: Option<Arc<crate::transport::FaultInjector>>,
-    from_faults: Option<Arc<crate::transport::FaultInjector>>,
-    join: Option<JoinHandle<()>>,
+    /// The coordinator end of the worker's request link — [`ChannelLink`]
+    /// or [`TcpLink`] behind the same seam, carrying this direction's
+    /// counters and fault injector.
+    link: Box<dyn Link>,
+    to_faults: Option<Arc<FaultInjector>>,
+    from_faults: Option<Arc<FaultInjector>>,
+    /// Pump-level TCP faults (mid-frame cut, stalled socket). The Arcs'
+    /// fired-ordinal state survives respawn, so one-shot nth-frame faults
+    /// fire exactly once across reconnects.
+    c2w_pump_faults: Option<Arc<TransportFaults>>,
+    w2c_pump_faults: Option<Arc<TransportFaults>>,
+    peer: WorkerPeer,
 }
 
 /// Everything needed to rebuild a dead worker's engines: the global network
@@ -326,6 +397,9 @@ enum EngineSource {
     Indexes(Vec<NpdIndex>),
     /// §5.5 bi-level deployment: rebuilt from the primary index config.
     BiLevel(disks_core::IndexConfig),
+    /// Remote workers: engines live in other processes; respawn relaunches
+    /// the machine's command and re-accepts on the retained listener.
+    Remote { listener: TcpListener, commands: Vec<RemoteWorkerCommand> },
 }
 
 impl RespawnSpec {
@@ -339,6 +413,73 @@ impl RespawnSpec {
                 disks_core::BiLevelIndex::build(&self.net, &self.partitioning, f, cfg)
                     .expect("bilevel rebuild"),
             ),
+            EngineSource::Remote { .. } => {
+                unreachable!("remote workers rebuild their own engines")
+            }
+        }
+    }
+}
+
+/// Spawn one in-process worker over the selected transport, returning the
+/// coordinator's [`Link`] end and the worker thread's join handle. The
+/// worker loop itself is transport-agnostic — it always drains a frame
+/// `Receiver` and answers through a counted [`LinkSender`]; under TCP those
+/// ends are the socket pumps of [`tcp_worker_endpoint`].
+#[allow(clippy::too_many_arguments)] // internal spawn plumbing
+fn spawn_local_worker(
+    m: usize,
+    engines: Vec<WorkerEngine>,
+    transport: TransportKind,
+    heartbeat: HeartbeatConfig,
+    queue_capacity: usize,
+    cache_budget: usize,
+    counters: Arc<LinkCounters>,
+    to_faults: Option<Arc<FaultInjector>>,
+    from_faults: Option<Arc<FaultInjector>>,
+    c2w_pump_faults: Option<Arc<TransportFaults>>,
+    w2c_pump_faults: Option<Arc<TransportFaults>>,
+    worker_faults: WorkerFaults,
+    resp_tx: &LinkSender,
+) -> (Box<dyn Link>, JoinHandle<()>) {
+    let spawn_thread = move |requests: Receiver<Bytes>, responses: LinkSender| {
+        std::thread::Builder::new()
+            .name(format!("disks-worker-{m}"))
+            .spawn(move || {
+                worker_loop(m, engines, requests, responses, worker_faults, cache_budget)
+            })
+            .expect("spawn worker")
+    };
+    match transport {
+        TransportKind::Channel => {
+            let (req_tx, req_rx) = crossbeam::channel::bounded(queue_capacity.max(1));
+            let responses = resp_tx.with_faults(from_faults);
+            let join = spawn_thread(req_rx, responses);
+            (Box::new(ChannelLink::new(req_tx, counters, to_faults)), join)
+        }
+        TransportKind::Tcp => {
+            let (coordinator_side, worker_side) = loopback_pair().expect("loopback socket pair");
+            let endpoint = tcp_worker_endpoint(worker_side, m, heartbeat, w2c_pump_faults)
+                .expect("worker tcp endpoint");
+            // The worker's sender shares the cluster-wide w2c counters and
+            // fault injector, so the wire ledger and fault ordinals stay
+            // identical to channel mode; the coordinator's ingress pump
+            // must not count again (received = None).
+            let responses = LinkSender::over(endpoint.egress, Arc::clone(resp_tx.counters()))
+                .with_faults(from_faults);
+            let join = spawn_thread(endpoint.requests, responses);
+            let link = TcpLink::spawn(
+                coordinator_side,
+                m,
+                counters,
+                to_faults,
+                c2w_pump_faults,
+                resp_tx.raw(),
+                None,
+                heartbeat,
+                queue_capacity,
+            )
+            .expect("coordinator tcp link");
+            (Box::new(link), join)
         }
     }
 }
@@ -386,10 +527,15 @@ struct GatherState {
     pending_retries: Vec<(Instant, usize, Vec<u32>)>,
     stall_deadline: Instant,
     dispatched_at: Vec<Option<Instant>>,
-    /// Service latencies (dispatch → last fragment response) of slots
-    /// completed since the last `take_latencies` — the window controller's
-    /// feedback signal.
-    latencies: Vec<Duration>,
+    /// `(service, evaluation)` latency pairs of slots completed since the
+    /// last `take_latencies` — the window controller's feedback signal.
+    /// Service is dispatch → last fragment response; evaluation is the
+    /// worker-reported time of the slot's slowest fragment, so the
+    /// controller can separate queue wait from real work.
+    latencies: Vec<(Duration, Duration)>,
+    /// Per-slot maximum worker-reported evaluation time (µs) among the
+    /// fragments answered so far.
+    eval_micros: Vec<u64>,
 }
 
 impl GatherState {
@@ -412,6 +558,7 @@ impl GatherState {
             stall_deadline: Instant::now() + cluster.deadline,
             dispatched_at: vec![None; n],
             latencies: Vec::new(),
+            eval_micros: vec![0; n],
         }
     }
 
@@ -435,13 +582,14 @@ impl GatherState {
         self.missing_by_slot[slot] -= 1;
         if self.missing_by_slot[slot] == 0 {
             if let Some(t0) = self.dispatched_at[slot] {
-                self.latencies.push(t0.elapsed());
+                self.latencies.push((t0.elapsed(), Duration::from_micros(self.eval_micros[slot])));
             }
         }
     }
 
-    /// Drain the service-latency samples accumulated since the last call.
-    fn take_latencies(&mut self) -> Vec<Duration> {
+    /// Drain the `(service, evaluation)` latency samples accumulated since
+    /// the last call.
+    fn take_latencies(&mut self) -> Vec<(Duration, Duration)> {
         std::mem::take(&mut self.latencies)
     }
 }
@@ -491,6 +639,16 @@ pub struct Cluster {
     /// a fresh counted link.
     resp_tx: LinkSender,
     from_workers: Arc<LinkCounters>,
+    /// Lifetime count of frames consumed off `responses`, matched against
+    /// `from_workers.messages()` by the straggler drain in `gather_finish`
+    /// so duplicate/late-frame attribution does not depend on how the
+    /// transport's pump threads happen to be scheduled.
+    consumed_responses: Cell<u64>,
+    /// Frames the wire ledger says were sent but that the straggler drain
+    /// gave up waiting for (dropped on the wire, torn mid-frame, stranded
+    /// in a dead worker's egress queue) — forgiven so no later drain waits
+    /// on them again.
+    forgiven_responses: Cell<u64>,
     assignment: Assignment,
     network: NetworkModel,
     deadline: Duration,
@@ -533,6 +691,10 @@ pub struct Cluster {
     service_lat: RefCell<VecDeque<u64>>,
     /// Capacity of each worker's bounded request queue.
     queue_capacity: usize,
+    /// Transport of the worker links (respawn recreates like for like).
+    transport: TransportKind,
+    /// TCP supervision timing (unused by the channel transport).
+    heartbeat: HeartbeatConfig,
     /// Theorem 5 cost-model parameters derived from the global network's
     /// keyword statistics, used to estimate plan cost at admission.
     cost_params: CostParams,
@@ -615,30 +777,43 @@ impl Cluster {
         for m in 0..machines {
             let engines: Vec<WorkerEngine> =
                 assignment.fragments_of(m).iter().map(|&f| spec.build_engine(f)).collect();
-            let (req_tx, req_rx) = crossbeam::channel::bounded(config.queue_capacity.max(1));
-            let to_worker = Arc::new(LinkCounters::default());
+            let counters = Arc::new(LinkCounters::default());
             let to_faults =
                 plan.as_ref().and_then(|p| p.injector_for(m, LinkDirection::CoordinatorToWorker));
             let from_faults =
                 plan.as_ref().and_then(|p| p.injector_for(m, LinkDirection::WorkerToCoordinator));
+            let c2w_pump_faults = plan
+                .as_ref()
+                .and_then(|p| p.transport_faults_for(m, LinkDirection::CoordinatorToWorker));
+            let w2c_pump_faults = plan
+                .as_ref()
+                .and_then(|p| p.transport_faults_for(m, LinkDirection::WorkerToCoordinator));
             let worker_faults = WorkerFaults {
                 kill_on_request: plan.as_ref().and_then(|p| p.kill_request_for(m)),
                 panic_on_request: plan.as_ref().and_then(|p| p.panic_request_for(m)),
             };
-            let responses = resp_tx.with_faults(from_faults.clone());
-            let cache_budget = config.coverage_cache_bytes;
-            let join = std::thread::Builder::new()
-                .name(format!("disks-worker-{m}"))
-                .spawn(move || {
-                    worker_loop(m, engines, req_rx, responses, worker_faults, cache_budget)
-                })
-                .expect("spawn worker");
+            let (link, join) = spawn_local_worker(
+                m,
+                engines,
+                config.transport,
+                config.heartbeat,
+                config.queue_capacity.max(1),
+                config.coverage_cache_bytes,
+                counters,
+                to_faults.clone(),
+                from_faults.clone(),
+                c2w_pump_faults.clone(),
+                w2c_pump_faults.clone(),
+                worker_faults,
+                &resp_tx,
+            );
             workers.push(WorkerHandle {
-                requests: req_tx,
-                to_worker,
+                link,
                 to_faults,
                 from_faults,
-                join: Some(join),
+                c2w_pump_faults,
+                w2c_pump_faults,
+                peer: WorkerPeer::Thread(Some(join)),
             });
         }
 
@@ -649,6 +824,8 @@ impl Cluster {
             responses: resp_rx,
             resp_tx,
             from_workers,
+            consumed_responses: Cell::new(0),
+            forgiven_responses: Cell::new(0),
             assignment,
             network: config.network,
             deadline: config.deadline,
@@ -669,6 +846,8 @@ impl Cluster {
             believed: RefCell::new(vec![HashSet::new(); machines]),
             service_lat: RefCell::new(VecDeque::new()),
             queue_capacity: config.queue_capacity.max(1),
+            transport: config.transport,
+            heartbeat: config.heartbeat,
             cost_params,
             gauge: PressureGauge::new(config.cost_limit, config.brownout),
             retry_backoff: config.retry_backoff,
@@ -678,6 +857,120 @@ impl Cluster {
             recovery: Cell::new(RecoveryCounters::default()),
             cache: Cell::new(CacheCounters::default()),
         }
+    }
+
+    /// Build a cluster whose workers are separate OS processes connected
+    /// over real TCP: spawn each [`RemoteWorkerCommand`], accept the
+    /// connections on `listener` in arrival order (each worker's hello
+    /// frame names its machine, so startup order is irrelevant), and run
+    /// the same coordinator against the sockets. Command `m` must rebuild
+    /// machine `m`'s engines deterministically under the same partitioning
+    /// and connect back to the listener's address.
+    ///
+    /// `index_config` supplies the admission metadata (`max_r`, DL scope)
+    /// the in-process builders read off the indexes themselves.
+    ///
+    /// # Panics
+    /// Panics if `config.faults` is set — fault injectors live in-process
+    /// and cannot reach remote workers.
+    pub fn build_remote(
+        net: &RoadNetwork,
+        partitioning: &Partitioning,
+        index_config: &disks_core::IndexConfig,
+        config: ClusterConfig,
+        listener: TcpListener,
+        commands: Vec<RemoteWorkerCommand>,
+    ) -> io::Result<Cluster> {
+        assert!(config.faults.is_none(), "fault plans require in-process workers");
+        let k = partitioning.num_fragments();
+        let machines = commands.len().max(1);
+        let assignment = Assignment::round_robin(k, machines);
+        let (resp_tx, resp_rx, from_workers) = counted_link();
+
+        // Launch every worker first, then accept whoever arrives.
+        let mut children: Vec<Option<Child>> = Vec::with_capacity(machines);
+        for c in &commands {
+            children.push(Some(c.spawn()?));
+        }
+        let mut streams: Vec<Option<TcpStream>> = (0..machines).map(|_| None).collect();
+        for _ in 0..machines {
+            let (mut s, _) = listener.accept()?;
+            let id = framing::read_hello(&mut s, Duration::from_secs(30))? as usize;
+            if id >= machines || streams[id].is_some() {
+                return Err(io::Error::new(io::ErrorKind::InvalidData, "unexpected worker hello"));
+            }
+            streams[id] = Some(s);
+        }
+        let mut workers = Vec::with_capacity(machines);
+        for (m, stream) in streams.into_iter().enumerate() {
+            // Remote workers cannot share the coordinator's counters, so
+            // the ingress pump counts w2c frames on receipt instead.
+            let link = TcpLink::spawn(
+                stream.expect("accepted above"),
+                m,
+                Arc::new(LinkCounters::default()),
+                None,
+                None,
+                resp_tx.raw(),
+                Some(Arc::clone(&from_workers)),
+                config.heartbeat,
+                config.queue_capacity.max(1),
+            )?;
+            workers.push(WorkerHandle {
+                link: Box::new(link),
+                to_faults: None,
+                from_faults: None,
+                c2w_pump_faults: None,
+                w2c_pump_faults: None,
+                peer: WorkerPeer::Process(children[m].take()),
+            });
+        }
+
+        let spec = RespawnSpec {
+            net: net.clone(),
+            partitioning: partitioning.clone(),
+            source: EngineSource::Remote { listener, commands },
+        };
+        let is_object = spec.net.node_ids().map(|n| spec.net.is_object(n)).collect();
+        let cost_params = CostParams::from_network(&spec.net);
+        Ok(Cluster {
+            workers: RefCell::new(workers),
+            responses: resp_rx,
+            resp_tx,
+            from_workers,
+            consumed_responses: Cell::new(0),
+            forgiven_responses: Cell::new(0),
+            assignment,
+            network: config.network,
+            deadline: config.deadline,
+            max_attempts: config.max_attempts.max(1),
+            allow_partial: config.allow_partial,
+            dl_scope: index_config.dl_scope,
+            is_object,
+            admission_max_r: index_config.max_r,
+            cache_budget: config.coverage_cache_bytes,
+            batch_window: config.batch_window,
+            batch_adaptive: config.batch_adaptive,
+            batch_window_ms: config.batch_window_ms,
+            controller: RefCell::new(WindowController::new(
+                config.batch_window,
+                config.batch_p99_target,
+            )),
+            slot_ids: RefCell::new(SlotIdTable::new()),
+            believed: RefCell::new(vec![HashSet::new(); machines]),
+            service_lat: RefCell::new(VecDeque::new()),
+            queue_capacity: config.queue_capacity.max(1),
+            transport: TransportKind::Tcp,
+            heartbeat: config.heartbeat,
+            cost_params,
+            gauge: PressureGauge::new(config.cost_limit, config.brownout),
+            retry_backoff: config.retry_backoff,
+            slot_heat: RefCell::new(HashMap::new()),
+            query_counter: Cell::new(0),
+            respawn: spec,
+            recovery: Cell::new(RecoveryCounters::default()),
+            cache: Cell::new(CacheCounters::default()),
+        })
     }
 
     /// Number of worker machines.
@@ -746,54 +1039,148 @@ impl Cluster {
         Ok(())
     }
 
-    /// Whether machine `m`'s thread has terminated.
+    /// Whether machine `m` is gone: its peer terminated (finished thread,
+    /// exited process) or its link supervisor declared the connection down
+    /// (EOF, reset, framing loss, heartbeat miss).
     fn worker_is_dead(&self, m: usize) -> bool {
-        self.workers.borrow()[m].join.as_ref().is_none_or(|j| j.is_finished())
+        let mut workers = self.workers.borrow_mut();
+        let w = &mut workers[m];
+        w.peer.is_dead() || w.link.is_down()
     }
 
-    /// Tear down and relaunch machine `m` with freshly rebuilt engines.
-    /// Respawned workers keep their link fault injectors (the link
-    /// persists) but never inherit one-shot kill/panic faults.
+    /// Tear down and relaunch machine `m` with freshly rebuilt engines (or
+    /// a freshly respawned process for remote clusters). Respawned workers
+    /// keep their fault-injector Arcs — ordinal state persists across the
+    /// link rebuild — but never inherit one-shot kill/panic faults.
     ///
     /// The replacement starts with a cold coverage cache (the cache lived
-    /// inside the dead thread), so before any retry traffic reaches it the
+    /// inside the dead worker), so before any retry traffic reaches it the
     /// coordinator queues a single `Prewarm` frame listing the hottest
     /// coverage slots by dispatch count — FIFO ordering guarantees the
     /// cache is repopulated before the first re-dispatched query arrives,
     /// instead of every hot slot missing at once (a thundering herd of
     /// cold Dijkstras).
     fn respawn_worker(&self, m: usize) {
-        let engines: Vec<WorkerEngine> =
-            self.assignment.fragments_of(m).iter().map(|&f| self.respawn.build_engine(f)).collect();
-        let (req_tx, req_rx) = crossbeam::channel::bounded(self.queue_capacity);
         let mut workers = self.workers.borrow_mut();
         let w = &mut workers[m];
-        if let Some(join) = w.join.take() {
-            let _ = join.join(); // thread already finished; reap it
+        // Closing first guarantees a TCP worker thread sees EOF and exits,
+        // so the join below cannot hang on a half-dead peer.
+        w.link.close();
+        match &mut w.peer {
+            WorkerPeer::Thread(join) => {
+                if let Some(join) = join.take() {
+                    let _ = join.join(); // thread already finished; reap it
+                }
+            }
+            WorkerPeer::Process(child) => {
+                if let Some(mut c) = child.take() {
+                    let _ = c.kill();
+                    let _ = c.wait();
+                }
+            }
         }
-        let responses = self.resp_tx.with_faults(w.from_faults.clone());
-        let cache_budget = self.cache_budget;
-        let join = std::thread::Builder::new()
-            .name(format!("disks-worker-{m}"))
-            .spawn(move || {
-                worker_loop(m, engines, req_rx, responses, WorkerFaults::default(), cache_budget)
-            })
-            .expect("respawn worker");
-        w.requests = req_tx;
-        w.join = Some(join);
+        let counters = Arc::clone(w.link.counters());
+        if let EngineSource::Remote { listener, commands } = &self.respawn.source {
+            let (link, child) = self
+                .accept_remote_worker(listener, &commands[m], m, counters)
+                .expect("respawn remote worker");
+            w.link = link;
+            w.peer = WorkerPeer::Process(Some(child));
+        } else {
+            let engines: Vec<WorkerEngine> = self
+                .assignment
+                .fragments_of(m)
+                .iter()
+                .map(|&f| self.respawn.build_engine(f))
+                .collect();
+            let (link, join) = spawn_local_worker(
+                m,
+                engines,
+                self.transport,
+                self.heartbeat,
+                self.queue_capacity,
+                self.cache_budget,
+                counters,
+                w.to_faults.clone(),
+                w.from_faults.clone(),
+                w.c2w_pump_faults.clone(),
+                w.w2c_pump_faults.clone(),
+                WorkerFaults::default(),
+                &self.resp_tx,
+            );
+            w.link = link;
+            w.peer = WorkerPeer::Thread(Some(join));
+        }
         if self.cache_budget > 0 {
             let slots = self.hottest_slots(PREWARM_TOP_K);
             if !slots.is_empty() {
                 let num_slots = slots.len() as u64;
                 let frame = encode_frame(&Request::Prewarm { slots, fragments: vec![] });
-                w.to_worker.record_send(frame.len() as u64);
-                let _ = w.requests.send(frame);
+                let _ = w.link.deliver_unfaulted(&frame);
                 let mut c = self.recovery.get();
                 c.prewarm_frames += 1;
                 c.prewarmed_slots += num_slots;
                 self.recovery.set(c);
             }
         }
+    }
+
+    /// Accept the connection of a freshly respawned remote worker on the
+    /// retained listener, polling with the same deterministic-jitter
+    /// backoff narrowed retries use, and verify its hello names machine
+    /// `m` (a stale stream from an earlier incarnation is dropped).
+    fn accept_remote_worker(
+        &self,
+        listener: &TcpListener,
+        command: &RemoteWorkerCommand,
+        m: usize,
+        counters: Arc<LinkCounters>,
+    ) -> io::Result<(Box<dyn Link>, Child)> {
+        let child = command.spawn()?;
+        listener.set_nonblocking(true)?;
+        let deadline = Instant::now() + Duration::from_secs(30);
+        let base = if self.retry_backoff.is_zero() {
+            Duration::from_millis(2)
+        } else {
+            self.retry_backoff
+        };
+        let mut attempt = 1u32;
+        let stream = loop {
+            match listener.accept() {
+                Ok((mut s, _)) => {
+                    s.set_nonblocking(false)?;
+                    let id = framing::read_hello(&mut s, Duration::from_secs(10))?;
+                    if id as usize == m {
+                        break s;
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    if Instant::now() >= deadline {
+                        return Err(io::Error::new(
+                            io::ErrorKind::TimedOut,
+                            "respawned worker never connected",
+                        ));
+                    }
+                    let seed = splitmix64(0x00AC_CE97 ^ ((m as u64) << 32) ^ attempt as u64);
+                    std::thread::sleep(backoff_delay(base, attempt.min(5), seed));
+                    attempt += 1;
+                }
+                Err(e) => return Err(e),
+            }
+        };
+        listener.set_nonblocking(false)?;
+        let link = TcpLink::spawn(
+            stream,
+            m,
+            counters,
+            None,
+            None,
+            self.resp_tx.raw(),
+            Some(Arc::clone(&self.from_workers)),
+            self.heartbeat,
+            self.queue_capacity,
+        )?;
+        Ok((Box::new(link) as Box<dyn Link>, child))
     }
 
     /// The `k` hottest coverage slots by lifetime dispatch count,
@@ -827,49 +1214,25 @@ impl Cluster {
     }
 
     /// Deliver one request frame to machine `m`, respawning it first if its
-    /// thread is dead and routing through the link's fault injector.
+    /// peer is dead or its link is down, and routing through the link's
+    /// fault injector.
     fn send_to_worker(&self, m: usize, frame: &Bytes, respawned: &mut u32) {
         if self.worker_is_dead(m) {
             self.respawn_worker(m);
             *respawned += 1;
         }
-        let frames = {
+        let undelivered = {
             let workers = self.workers.borrow();
-            match &workers[m].to_faults {
-                Some(inj) => match inj.admit(frame.clone()) {
-                    FrameFate::Deliver(frames) => frames,
-                    FrameFate::Dropped(len) => {
-                        workers[m].to_worker.record_send(len);
-                        return;
-                    }
-                },
-                None => vec![frame.clone()],
-            }
+            workers[m].link.deliver(frame, &mut || self.gauge.note_queue_full())
         };
-        for f in frames {
-            let sent = {
-                let workers = self.workers.borrow();
-                workers[m].to_worker.record_send(f.len() as u64);
-                // Bounded queue: fail fast so saturation is observed and
-                // counted, then wait for capacity (the worker always drains,
-                // so the blocking send cannot deadlock).
-                match workers[m].requests.try_send(f.clone()) {
-                    Ok(()) => true,
-                    Err(TrySendError::Full(frame)) => {
-                        self.gauge.note_queue_full();
-                        workers[m].requests.send(frame).is_ok()
-                    }
-                    Err(TrySendError::Disconnected(_)) => false,
-                }
-            };
-            if !sent {
-                // The worker died between the liveness check and the send:
-                // respawn once and re-deliver.
-                self.respawn_worker(m);
-                *respawned += 1;
-                let workers = self.workers.borrow();
-                let _ = workers[m].requests.send(f);
-            }
+        for f in undelivered {
+            // The worker died between the liveness check and the send:
+            // respawn once and re-deliver raw (the delivery attempt already
+            // counted the frame's bytes).
+            self.respawn_worker(m);
+            *respawned += 1;
+            let workers = self.workers.borrow();
+            let _ = workers[m].link.send_raw(f);
         }
     }
 
@@ -951,14 +1314,14 @@ impl Cluster {
     /// cluster's sample ring (for [`Cluster::take_service_latencies`]) and
     /// return them — the adaptive path feeds the same values to the window
     /// controller.
-    fn note_service_latencies(&self, gs: &mut GatherState) -> Vec<Duration> {
+    fn note_service_latencies(&self, gs: &mut GatherState) -> Vec<(Duration, Duration)> {
         let lats = gs.take_latencies();
         let mut ring = self.service_lat.borrow_mut();
-        for l in &lats {
+        for (service, _) in &lats {
             if ring.len() == 4096 {
                 ring.pop_front();
             }
-            ring.push_back(l.as_micros() as u64);
+            ring.push_back(service.as_micros() as u64);
         }
         lats
     }
@@ -998,6 +1361,21 @@ impl Cluster {
         }
     }
 
+    /// Pull one already-queued response frame, charging the consumption
+    /// ledger the straggler drain reconciles against `from_workers`.
+    fn try_recv_response(&self) -> Result<Bytes, TryRecvError> {
+        let frame = self.responses.try_recv()?;
+        self.consumed_responses.set(self.consumed_responses.get() + 1);
+        Ok(frame)
+    }
+
+    /// Blocking variant of [`Cluster::try_recv_response`].
+    fn recv_response_timeout(&self, timeout: Duration) -> Result<Bytes, RecvTimeoutError> {
+        let frame = self.responses.recv_timeout(timeout)?;
+        self.consumed_responses.set(self.consumed_responses.get() + 1);
+        Ok(frame)
+    }
+
     /// Non-blocking drain: flush due retries, then process every response
     /// frame already queued. The adaptive ingress calls this between
     /// admissions to an open window so `SuperPlan::merge` and dispatch of
@@ -1011,7 +1389,7 @@ impl Cluster {
         on_response: &mut dyn FnMut(usize, Response, u64),
     ) -> Result<(), QueryError> {
         self.gather_flush_retries(gs, make_request);
-        while let Ok(frame) = self.responses.try_recv() {
+        while let Ok(frame) = self.try_recv_response() {
             self.gather_process_frame(base, gs, frame, make_request, on_response)?;
         }
         Ok(())
@@ -1120,7 +1498,6 @@ impl Cluster {
                 }
                 payload => {
                     gs.responded[slot][f] = true;
-                    gs.note_answered(slot);
                     if let Response::Results { cost, .. } | Response::TopKResults { cost, .. } =
                         &payload
                     {
@@ -1130,12 +1507,41 @@ impl Cluster {
                             evictions: cost.cache_evictions,
                             bypassed: cost.cache_bypassed,
                         });
+                        // Track the slot's slowest evaluation *before*
+                        // note_answered closes its latency sample.
+                        gs.eval_micros[slot] = gs.eval_micros[slot].max(cost.elapsed_micros);
                     }
+                    gs.note_answered(slot);
                     on_response(slot, payload, bytes);
                 }
             }
         }
         Ok(())
+    }
+
+    /// Attribute one straggler frame drained after a completed gather:
+    /// in-window answers are duplicates (every needed response has already
+    /// been consumed), everything else is out-of-window.
+    fn classify_straggler(frame: Bytes, base: u64, gs: &mut GatherState) {
+        let (n, k) = (gs.n, gs.k);
+        let mut in_window = |qid: u64, fragment: u32| {
+            if qid > base && qid <= base + n as u64 && (fragment as usize) < k {
+                gs.report.duplicate_responses += 1;
+            } else {
+                gs.report.out_of_window_responses += 1;
+            }
+        };
+        match decode_frame::<Response>(frame) {
+            Err(_) => gs.report.corrupt_frames += 1,
+            Ok(Response::BatchResults { base: b, fragment, answers }) => {
+                for i in 0..answers.len() {
+                    in_window(b + 1 + i as u64, fragment);
+                }
+            }
+            Ok(Response::Results { query_id, fragment, .. })
+            | Ok(Response::TopKResults { query_id, fragment, .. })
+            | Ok(Response::Failed { query_id, fragment, .. }) => in_window(query_id, fragment),
+        }
     }
 
     /// Blocking completion of a gather: collect one response per fragment
@@ -1152,34 +1558,35 @@ impl Cluster {
         let (n, k) = (gs.n, gs.k);
         let outcome = loop {
             if gs.missing == 0 {
-                // Drain stragglers already queued (duplicated frames, late
-                // answers landing just after the last needed response) so
-                // duplicate accounting does not depend on how the final
-                // frames interleaved in the channel.
-                while let Ok(frame) = self.responses.try_recv() {
-                    match decode_frame::<Response>(frame) {
-                        Err(_) => gs.report.corrupt_frames += 1,
-                        Ok(Response::BatchResults { base: b, fragment, answers }) => {
-                            for i in 0..answers.len() {
-                                let qid = b + 1 + i as u64;
-                                if qid > base && qid <= base + n as u64 && (fragment as usize) < k {
-                                    gs.report.duplicate_responses += 1;
-                                } else {
-                                    gs.report.out_of_window_responses += 1;
-                                }
-                            }
-                        }
-                        Ok(Response::Results { query_id, fragment, .. })
-                        | Ok(Response::TopKResults { query_id, fragment, .. })
-                        | Ok(Response::Failed { query_id, fragment, .. }) => {
-                            if query_id > base
-                                && query_id <= base + n as u64
-                                && (fragment as usize) < k
-                            {
-                                gs.report.duplicate_responses += 1;
-                            } else {
-                                gs.report.out_of_window_responses += 1;
-                            }
+                // Drain stragglers (duplicated frames, late answers landing
+                // just after the last needed response) so duplicate
+                // accounting does not depend on how the final frames
+                // interleaved in the channel. Draining only already-queued
+                // frames is not enough: under the TCP transport a frame the
+                // worker-side sender has already counted may still be
+                // crossing the socket pumps when the gather completes, so
+                // the drain reconciles against the wire ledger — while
+                // `from_workers` says sent frames remain unconsumed, wait
+                // briefly for them, and forgive whatever never shows up
+                // (dropped on the wire, torn mid-frame, stranded in a dead
+                // worker's egress queue) so no later drain waits on it
+                // again.
+                loop {
+                    while let Ok(frame) = self.try_recv_response() {
+                        Self::classify_straggler(frame, base, gs);
+                    }
+                    let outstanding = self.from_workers.messages().saturating_sub(
+                        self.consumed_responses.get() + self.forgiven_responses.get(),
+                    );
+                    if outstanding == 0 {
+                        break;
+                    }
+                    match self.recv_response_timeout(STRAGGLER_GRACE) {
+                        Ok(frame) => Self::classify_straggler(frame, base, gs),
+                        Err(_) => {
+                            self.forgiven_responses
+                                .set(self.forgiven_responses.get() + outstanding);
+                            break;
                         }
                     }
                 }
@@ -1190,7 +1597,7 @@ impl Cluster {
             // park/unpark round-trip `recv_timeout` pays even when a frame
             // is ready (the machines=2 throughput cliff; see
             // EXPERIMENTS.md).
-            let received = match self.responses.try_recv() {
+            let received = match self.try_recv_response() {
                 Ok(frame) => Ok(frame),
                 Err(TryRecvError::Disconnected) => Err(RecvTimeoutError::Disconnected),
                 Err(TryRecvError::Empty) => {
@@ -1203,7 +1610,7 @@ impl Cluster {
                         .min()
                         .map_or(gs.stall_deadline, |due| due.min(gs.stall_deadline));
                     let timeout = wake.saturating_duration_since(Instant::now());
-                    self.responses.recv_timeout(timeout)
+                    self.recv_response_timeout(timeout)
                 }
             };
             match received {
@@ -1303,7 +1710,7 @@ impl Cluster {
 
     /// Bytes sent over the coordinator→worker and worker→coordinator links.
     fn link_bytes(&self) -> (u64, u64) {
-        let c2w = self.workers.borrow().iter().map(|w| w.to_worker.bytes()).sum();
+        let c2w = self.workers.borrow().iter().map(|w| w.link.counters().bytes()).sum();
         (c2w, self.from_workers.bytes())
     }
 
@@ -1311,7 +1718,7 @@ impl Cluster {
     /// worker→coordinator links — the round-trip economy of batching shows
     /// up here as frames-per-query < 1.
     pub fn link_message_totals(&self) -> (u64, u64) {
-        let c2w = self.workers.borrow().iter().map(|w| w.to_worker.messages()).sum();
+        let c2w = self.workers.borrow().iter().map(|w| w.link.counters().messages()).sum();
         (c2w, self.from_workers.messages())
     }
 
@@ -1409,8 +1816,8 @@ impl Cluster {
             respawns += self.dispatch_window(base + s as u64, &plans[s..end]);
             gs.activate(s, end);
             let mut controller = self.controller.borrow_mut();
-            for l in self.note_service_latencies(&mut gs) {
-                controller.observe(l);
+            for (service, eval) in self.note_service_latencies(&mut gs) {
+                controller.observe(service, eval);
             }
             controller.on_window_closed(end - s, n - end);
             drop(controller);
@@ -1419,8 +1826,8 @@ impl Cluster {
         self.note_respawns(respawns);
         let out = self.gather_finish(base, &mut gs, make_request, on_response);
         let mut controller = self.controller.borrow_mut();
-        for l in self.note_service_latencies(&mut gs) {
-            controller.observe(l);
+        for (service, eval) in self.note_service_latencies(&mut gs) {
+            controller.observe(service, eval);
         }
         (out, respawns)
     }
@@ -2052,18 +2459,43 @@ impl Cluster {
         self.run(&q.to_dfunction())
     }
 
-    /// Shared teardown: signal every worker and join the threads. Safe to
-    /// call twice (join handles are taken).
+    /// Shared teardown: signal every worker, then join threads / reap
+    /// processes. Safe to call twice (join handles and children are taken).
     fn shutdown_inner(&mut self) {
         let frame = encode_frame(&Request::Shutdown);
         let mut workers = self.workers.borrow_mut();
         for w in workers.iter() {
-            let _ = w.requests.send(frame.clone());
+            let _ = w.link.send_raw(frame.clone());
         }
         for w in workers.iter_mut() {
-            if let Some(join) = w.join.take() {
-                let _ = join.join();
+            match &mut w.peer {
+                WorkerPeer::Thread(join) => {
+                    if let Some(join) = join.take() {
+                        let _ = join.join();
+                    }
+                }
+                WorkerPeer::Process(child) => {
+                    if let Some(mut c) = child.take() {
+                        // Give the process a moment to exit on the shutdown
+                        // frame, then force it.
+                        let deadline = Instant::now() + Duration::from_secs(5);
+                        loop {
+                            match c.try_wait() {
+                                Ok(Some(_)) => break,
+                                Ok(None) if Instant::now() < deadline => {
+                                    std::thread::sleep(Duration::from_millis(10));
+                                }
+                                _ => {
+                                    let _ = c.kill();
+                                    let _ = c.wait();
+                                    break;
+                                }
+                            }
+                        }
+                    }
+                }
             }
+            w.link.close();
         }
     }
 

@@ -1,0 +1,228 @@
+//! Length-prefixed stream framing for socket transports.
+//!
+//! The in-process channel transport moves whole [`Bytes`] frames, so it
+//! never needs framing; a TCP stream delivers an arbitrary re-chunking of
+//! the written bytes. This module turns that byte stream back into the
+//! exact frames the wire codec produced:
+//!
+//! * **Wire format** — `[u32 big-endian payload length][payload]`. A length
+//!   of zero is a transport-level **keepalive**: it proves the peer is
+//!   alive between payloads, is never surfaced to the application, and is
+//!   never counted in the link's byte/frame ledger (the ledger measures the
+//!   protocol, not the transport's liveness chatter).
+//! * **Reassembly** — [`FrameAssembler`] accepts chunks at arbitrary byte
+//!   boundaries (fragmented or coalesced) and yields complete frames in
+//!   order. It buffers at most what has actually arrived plus one length
+//!   prefix: a corrupt prefix claiming an absurd length is rejected with a
+//!   typed [`DecodeError::LengthOutOfRange`] *before* any allocation, so a
+//!   malicious or damaged peer cannot trigger an allocation bomb.
+//! * **Hello** — the first payload frame a worker process writes on a fresh
+//!   connection identifies its machine id, letting the coordinator accept
+//!   remote workers in any order.
+
+use std::io::{self, Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+use bytes::Bytes;
+use disks_roadnet::DecodeError;
+
+/// Upper bound on a framed payload. Far above any frame this protocol
+/// produces (the largest response frames are a few MiB of node ids), low
+/// enough that a corrupt length prefix is rejected instead of reserved.
+pub const MAX_FRAME_LEN: usize = 64 << 20;
+
+/// One decoded event of the framed stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StreamEvent {
+    /// A complete payload frame (the bytes the wire codec encoded).
+    Frame(Bytes),
+    /// A zero-length keepalive; transport-level only.
+    Keepalive,
+}
+
+/// Incremental reassembler: feed it chunks as they arrive, drain complete
+/// frames. Never panics on any input byte sequence; the only failure is the
+/// typed over-length rejection, after which the stream is unrecoverable
+/// (framing lost) and the link must be torn down.
+#[derive(Debug, Default)]
+pub struct FrameAssembler {
+    buf: Vec<u8>,
+    pos: usize,
+}
+
+impl FrameAssembler {
+    pub fn new() -> FrameAssembler {
+        FrameAssembler::default()
+    }
+
+    /// Bytes buffered but not yet consumed as events.
+    pub fn pending(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Append one received chunk (any size, including empty).
+    pub fn extend(&mut self, chunk: &[u8]) {
+        // Compact the consumed prefix before growing, so long-lived links
+        // hold only in-flight bytes rather than the whole session history.
+        if self.pos > 0 {
+            self.buf.drain(..self.pos);
+            self.pos = 0;
+        }
+        self.buf.extend_from_slice(chunk);
+    }
+
+    /// The next complete event, `Ok(None)` while more bytes are needed.
+    /// The incompleteness check runs *before* any allocation: a length
+    /// prefix beyond [`MAX_FRAME_LEN`] fails typed with zero bytes
+    /// reserved.
+    pub fn next_event(&mut self) -> Result<Option<StreamEvent>, DecodeError> {
+        let avail = self.buf.len() - self.pos;
+        if avail < 4 {
+            return Ok(None);
+        }
+        let len =
+            u32::from_be_bytes(self.buf[self.pos..self.pos + 4].try_into().expect("4-byte prefix"))
+                as usize;
+        if len == 0 {
+            self.pos += 4;
+            return Ok(Some(StreamEvent::Keepalive));
+        }
+        if len > MAX_FRAME_LEN {
+            return Err(DecodeError::LengthOutOfRange {
+                context: "transport frame length",
+                len: len as u64,
+            });
+        }
+        if avail < 4 + len {
+            return Ok(None);
+        }
+        let start = self.pos + 4;
+        let frame = Bytes::from(self.buf[start..start + len].to_vec());
+        self.pos = start + len;
+        Ok(Some(StreamEvent::Frame(frame)))
+    }
+}
+
+/// Write one framed payload: length prefix then bytes.
+pub fn write_frame(w: &mut impl Write, frame: &[u8]) -> io::Result<()> {
+    w.write_all(&(frame.len() as u32).to_be_bytes())?;
+    w.write_all(frame)
+}
+
+/// Write a zero-length keepalive.
+pub fn write_keepalive(w: &mut impl Write) -> io::Result<()> {
+    w.write_all(&0u32.to_be_bytes())
+}
+
+/// Write the length prefix and only *half* the payload — the
+/// `CutLinkMidFrame` fault's torn write. The peer is left holding an
+/// incomplete frame that can never complete (the caller closes the
+/// connection right after), exercising the mid-frame EOF path.
+pub(crate) fn write_partial_frame(w: &mut impl Write, frame: &[u8]) -> io::Result<()> {
+    w.write_all(&(frame.len() as u32).to_be_bytes())?;
+    w.write_all(&frame[..frame.len() / 2])
+}
+
+/// Magic prefix of a hello frame ("DSKW").
+pub const HELLO_MAGIC: u32 = 0x4453_4B57;
+
+/// Announce this worker's machine id as the connection's first payload
+/// frame.
+pub fn write_hello(stream: &mut TcpStream, machine: u32) -> io::Result<()> {
+    let mut payload = [0u8; 8];
+    payload[..4].copy_from_slice(&HELLO_MAGIC.to_be_bytes());
+    payload[4..].copy_from_slice(&machine.to_be_bytes());
+    write_frame(stream, &payload)
+}
+
+/// Read the peer's hello frame, enforcing `timeout` on the read. The
+/// previous read timeout of the stream is not restored — callers configure
+/// their steady-state timeout right after.
+pub fn read_hello(stream: &mut TcpStream, timeout: Duration) -> io::Result<u32> {
+    stream.set_read_timeout(Some(timeout))?;
+    let mut raw = [0u8; 12];
+    stream.read_exact(&mut raw)?;
+    let len = u32::from_be_bytes(raw[..4].try_into().expect("prefix"));
+    let magic = u32::from_be_bytes(raw[4..8].try_into().expect("magic"));
+    if len != 8 || magic != HELLO_MAGIC {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "bad hello frame"));
+    }
+    Ok(u32::from_be_bytes(raw[8..12].try_into().expect("machine id")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn frame_stream(frames: &[&[u8]]) -> Vec<u8> {
+        let mut out = Vec::new();
+        for f in frames {
+            write_frame(&mut out, f).unwrap();
+        }
+        out
+    }
+
+    #[test]
+    fn reassembles_one_byte_at_a_time() {
+        // An empty payload is inexpressible (len 0 = keepalive), so the
+        // middle event is a keepalive rather than an empty frame.
+        let mut bytes = Vec::new();
+        write_frame(&mut bytes, b"hello").unwrap();
+        write_keepalive(&mut bytes).unwrap();
+        write_frame(&mut bytes, b"worlds!").unwrap();
+
+        let mut asm = FrameAssembler::new();
+        let mut events = Vec::new();
+        for b in &bytes {
+            asm.extend(std::slice::from_ref(b));
+            while let Some(e) = asm.next_event().unwrap() {
+                events.push(e);
+            }
+        }
+        assert_eq!(
+            events,
+            vec![
+                StreamEvent::Frame(Bytes::from(&b"hello"[..])),
+                StreamEvent::Keepalive,
+                StreamEvent::Frame(Bytes::from(&b"worlds!"[..])),
+            ]
+        );
+        assert_eq!(asm.pending(), 0);
+    }
+
+    #[test]
+    fn coalesced_chunk_yields_every_frame() {
+        let bytes = frame_stream(&[b"a", b"bb", b"ccc"]);
+        let mut asm = FrameAssembler::new();
+        asm.extend(&bytes);
+        let mut n = 0;
+        while let Some(e) = asm.next_event().unwrap() {
+            assert!(matches!(e, StreamEvent::Frame(_)));
+            n += 1;
+        }
+        assert_eq!(n, 3);
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_typed_error_not_allocation() {
+        let mut asm = FrameAssembler::new();
+        asm.extend(&(u32::MAX).to_be_bytes());
+        match asm.next_event() {
+            Err(DecodeError::LengthOutOfRange { len, .. }) => {
+                assert_eq!(len, u32::MAX as u64);
+            }
+            other => panic!("expected typed over-length error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn hello_round_trips_over_a_socket() {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let mut client = TcpStream::connect(addr).unwrap();
+        let (mut server, _) = listener.accept().unwrap();
+        write_hello(&mut client, 42).unwrap();
+        assert_eq!(read_hello(&mut server, Duration::from_secs(1)).unwrap(), 42);
+    }
+}

@@ -61,6 +61,7 @@
 pub mod adaptive;
 pub mod cache;
 pub mod cluster;
+pub mod framing;
 pub mod message;
 pub mod overload;
 pub mod scheduler;
@@ -70,10 +71,14 @@ pub mod worker;
 
 pub use adaptive::WindowController;
 pub use cache::{CacheCounters, CoverageCache};
-pub use cluster::{Cluster, ClusterConfig, QueryOutcome};
+pub use cluster::{Cluster, ClusterConfig, QueryOutcome, RemoteWorkerCommand};
+pub use framing::{FrameAssembler, StreamEvent};
 pub use message::{BatchAnswer, Request, Response, WireCost};
 pub use overload::{retry_after, OverloadCounters, PressureGauge};
 pub use scheduler::Assignment;
 pub use stats::{MachineCost, QueryStats, RecoveryCounters};
-pub use transport::{FaultAction, FaultPlan, LinkCounters, LinkDirection, LinkFault, NetworkModel};
+pub use transport::{
+    tcp_worker_endpoint, FaultAction, FaultPlan, HeartbeatConfig, LinkCounters, LinkDirection,
+    LinkFault, LinkSender, NetworkModel, TcpWorkerEndpoint, TransportKind,
+};
 pub use worker::WorkerFaults;

@@ -1,28 +1,45 @@
-//! Simulated network links with exact byte accounting and deterministic
-//! fault injection.
+//! Network links with exact byte accounting and deterministic fault
+//! injection, behind a transport seam.
 //!
-//! Every coordinator↔worker link is a crossbeam channel of encoded frames
-//! plus an atomic byte/message counter. There are deliberately **no**
-//! worker↔worker links anywhere in this crate — the type system enforces the
-//! paper's zero-inter-worker-communication property, and [`QueryStats`]
-//! reports it as a measured 0 rather than an assumption.
+//! Every coordinator↔worker link implements the [`Link`] trait: deliver an
+//! encoded frame through the link's fault injector and byte/frame counters.
+//! Two implementations exist — [`ChannelLink`] (the original in-process
+//! crossbeam pair) and [`TcpLink`] (a real `std::net::TcpStream` with
+//! length-prefixed framing, keepalives, and read-timeout supervision; see
+//! [`crate::framing`]). [`TransportKind`] (env `DISKS_TRANSPORT`) selects
+//! between them. There are deliberately **no** worker↔worker links anywhere
+//! in this crate — the type system enforces the paper's
+//! zero-inter-worker-communication property, and [`QueryStats`] reports it
+//! as a measured 0 rather than an assumption.
 //!
 //! A [`FaultPlan`] attached via [`crate::ClusterConfig`] turns the links
 //! into a lossy wire: frames can be dropped, delayed, duplicated, or
 //! corrupted per link, and a worker can be killed (thread exit) or made to
-//! panic on its nth request. All faults are keyed on deterministic
+//! panic on its nth request. Because injection happens at the [`Link`] seam
+//! (before any socket), the same plan replays identically on both
+//! transports. Two further faults exist only below the seam, on the TCP
+//! pumps: a mid-frame connection cut and a stalled socket that trips the
+//! peer's read timeout ([`FaultPlan::cut_link_mid_frame`],
+//! [`FaultPlan::stall_link`]). All faults are keyed on deterministic
 //! per-link frame counters plus a seed, so every failure scenario replays
 //! identically — the test substrate the recovery machinery is verified
 //! against.
 //!
 //! [`QueryStats`]: crate::stats::QueryStats
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::io::{ErrorKind, Read};
+use std::net::{Shutdown, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
+use std::thread;
 use std::time::Duration;
 
 use bytes::{Bytes, BytesMut};
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use crossbeam::channel::{
+    bounded, unbounded, Receiver, RecvTimeoutError, SendError, Sender, TrySendError,
+};
+
+use crate::framing::{self, FrameAssembler, StreamEvent};
 
 /// Latency/bandwidth model converting message bytes into modeled wire time.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -107,6 +124,15 @@ pub enum FaultAction {
     /// The worker panics while evaluating its nth request's first fragment
     /// task (exercises the `catch_unwind` supervisor).
     PanicWorker,
+    /// TCP-only: the connection is severed while the nth payload frame of
+    /// this direction is mid-write — the length prefix and half the payload
+    /// reach the wire, then the socket hard-closes. The peer sees a torn
+    /// frame followed by EOF.
+    CutLinkMidFrame,
+    /// TCP-only: the sending pump goes silent (no payloads, no keepalives)
+    /// for the given milliseconds before writing the nth payload frame,
+    /// driving the peer's read timeout.
+    StallLinkMillis(u64),
 }
 
 /// Which direction of a coordinator↔worker link a fault applies to.
@@ -195,6 +221,29 @@ impl FaultPlan {
         })
     }
 
+    /// Sever machine `m`'s TCP connection mid-write of the nth payload
+    /// frame in `direction`. No effect on the channel transport.
+    pub fn cut_link_mid_frame(self, m: usize, direction: LinkDirection, nth: u64) -> Self {
+        self.with_fault(LinkFault {
+            machine: m,
+            direction,
+            nth,
+            action: FaultAction::CutLinkMidFrame,
+        })
+    }
+
+    /// Stall machine `m`'s TCP sending pump (no payloads, no keepalives)
+    /// for `millis` before the nth payload frame in `direction`, so the
+    /// peer's read timeout fires. No effect on the channel transport.
+    pub fn stall_link(self, m: usize, direction: LinkDirection, nth: u64, millis: u64) -> Self {
+        self.with_fault(LinkFault {
+            machine: m,
+            direction,
+            nth,
+            action: FaultAction::StallLinkMillis(millis),
+        })
+    }
+
     /// The request ordinal on which worker `m` should crash, if any.
     pub fn kill_request_for(&self, m: usize) -> Option<u64> {
         self.faults
@@ -221,7 +270,13 @@ impl FaultPlan {
             .filter(|f| {
                 f.machine == m
                     && f.direction == direction
-                    && !matches!(f.action, FaultAction::KillWorker | FaultAction::PanicWorker)
+                    && !matches!(
+                        f.action,
+                        FaultAction::KillWorker
+                            | FaultAction::PanicWorker
+                            | FaultAction::CutLinkMidFrame
+                            | FaultAction::StallLinkMillis(_)
+                    )
             })
             .map(|f| (f.nth, f.action))
             .collect();
@@ -233,6 +288,53 @@ impl FaultPlan {
             faults,
             seed: self.seed ^ ((m as u64) << 1) ^ (direction as u64),
         }))
+    }
+
+    /// Materialize the pump-level fault schedule for one direction of
+    /// machine `m`'s TCP link, or `None` when no transport fault targets
+    /// it. These act *below* the [`Link`] seam (on the socket pumps), so
+    /// [`injector_for`](FaultPlan::injector_for) excludes them.
+    pub fn transport_faults_for(
+        &self,
+        m: usize,
+        direction: LinkDirection,
+    ) -> Option<Arc<TransportFaults>> {
+        let faults: Vec<(u64, FaultAction)> = self
+            .faults
+            .iter()
+            .filter(|f| {
+                f.machine == m
+                    && f.direction == direction
+                    && matches!(
+                        f.action,
+                        FaultAction::CutLinkMidFrame | FaultAction::StallLinkMillis(_)
+                    )
+            })
+            .map(|f| (f.nth, f.action))
+            .collect();
+        if faults.is_empty() {
+            return None;
+        }
+        Some(Arc::new(TransportFaults { counter: AtomicU64::new(0), faults }))
+    }
+}
+
+/// Pump-level fault schedule for one direction of one TCP link. The
+/// ordinal counter lives in the `Arc` the cluster holds across reconnects,
+/// so an nth-payload fault fires exactly once even after the link is
+/// rebuilt (a respawned connection does not replay it).
+#[derive(Debug)]
+pub struct TransportFaults {
+    counter: AtomicU64,
+    faults: Vec<(u64, FaultAction)>,
+}
+
+impl TransportFaults {
+    /// The fault scheduled for the next payload write, if any (keepalives
+    /// do not advance the ordinal).
+    pub fn next(&self) -> Option<FaultAction> {
+        let n = self.counter.fetch_add(1, Ordering::Relaxed) + 1;
+        self.faults.iter().find(|(nth, _)| *nth == n).map(|(_, a)| *a)
     }
 }
 
@@ -279,11 +381,14 @@ impl FaultInjector {
                 std::thread::sleep(Duration::from_millis(ms));
                 FrameFate::Deliver(vec![frame])
             }
-            // Worker lifecycle faults are enacted inside the worker loop,
-            // never at the link layer.
-            Some(FaultAction::KillWorker) | Some(FaultAction::PanicWorker) => {
-                FrameFate::Deliver(vec![frame])
-            }
+            // Worker lifecycle faults are enacted inside the worker loop
+            // and transport faults inside the TCP pumps, never at the link
+            // layer ([`FaultPlan::injector_for`] filters both out; this arm
+            // is unreachable but total).
+            Some(FaultAction::KillWorker)
+            | Some(FaultAction::PanicWorker)
+            | Some(FaultAction::CutLinkMidFrame)
+            | Some(FaultAction::StallLinkMillis(_)) => FrameFate::Deliver(vec![frame]),
         }
     }
 }
@@ -312,8 +417,14 @@ impl LinkSender {
                 }
             },
         };
-        for f in frames {
+        // Count every copy before the first enqueue: the receiver may act
+        // on the first copy the instant it lands, and the straggler drain
+        // reconciles its consumption against these counters — a copy
+        // enqueued before its sibling is counted could slip past the drain.
+        for f in &frames {
             self.counters.record(f.len() as u64);
+        }
+        for f in frames {
             if self.tx.send(f).is_err() {
                 return false;
             }
@@ -330,6 +441,19 @@ impl LinkSender {
     pub fn with_faults(&self, faults: Option<Arc<FaultInjector>>) -> LinkSender {
         LinkSender { tx: self.tx.clone(), counters: Arc::clone(&self.counters), faults }
     }
+
+    /// Wrap an arbitrary channel sender in a counted link sender — the TCP
+    /// worker endpoint's egress, counted exactly like the in-process shared
+    /// response channel so the wire ledger is transport-independent.
+    pub fn over(tx: Sender<Bytes>, counters: Arc<LinkCounters>) -> LinkSender {
+        LinkSender { tx, counters, faults: None }
+    }
+
+    /// The raw, uncounted channel sender (TCP ingress pumps forward frames
+    /// that were already counted on the sending side).
+    pub(crate) fn raw(&self) -> Sender<Bytes> {
+        self.tx.clone()
+    }
 }
 
 /// Create a counted link; returns the sender, the raw receiver, and the
@@ -338,6 +462,390 @@ pub fn counted_link() -> (LinkSender, Receiver<Bytes>, Arc<LinkCounters>) {
     let (tx, rx) = unbounded();
     let counters = Arc::new(LinkCounters::default());
     (LinkSender { tx, counters: Arc::clone(&counters), faults: None }, rx, counters)
+}
+
+/// Which wire implementation carries coordinator↔worker frames.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TransportKind {
+    /// In-process crossbeam channels (the original simulated wire).
+    #[default]
+    Channel,
+    /// Loopback `std::net::TcpStream` sockets with length-prefixed framing.
+    Tcp,
+}
+
+impl TransportKind {
+    /// Resolve from `DISKS_TRANSPORT` (`tcp` or `channel`; default
+    /// channel).
+    pub fn from_env() -> TransportKind {
+        match std::env::var("DISKS_TRANSPORT") {
+            Ok(v) if v.trim().eq_ignore_ascii_case("tcp") => TransportKind::Tcp,
+            _ => TransportKind::Channel,
+        }
+    }
+}
+
+fn env_millis(var: &str, default_ms: u64) -> Duration {
+    let ms = std::env::var(var).ok().and_then(|v| v.trim().parse().ok()).unwrap_or(default_ms);
+    Duration::from_millis(ms.max(1))
+}
+
+/// Liveness parameters of a TCP link: how often an idle sending pump emits
+/// a keepalive, and how long a silent peer may stay silent before the
+/// reading pump declares the link stalled. The read timeout must exceed the
+/// interval (with margin for scheduling jitter) or healthy idle links flap.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HeartbeatConfig {
+    /// Keepalive emission period of an idle sender (`DISKS_HEARTBEAT_MS`,
+    /// default 100).
+    pub interval: Duration,
+    /// Read-side silence budget (`DISKS_TCP_READ_TIMEOUT_MS`, default
+    /// 1000).
+    pub read_timeout: Duration,
+}
+
+impl HeartbeatConfig {
+    pub fn from_env() -> HeartbeatConfig {
+        HeartbeatConfig {
+            interval: env_millis("DISKS_HEARTBEAT_MS", 100),
+            read_timeout: env_millis("DISKS_TCP_READ_TIMEOUT_MS", 1000),
+        }
+    }
+}
+
+impl Default for HeartbeatConfig {
+    fn default() -> HeartbeatConfig {
+        HeartbeatConfig::from_env()
+    }
+}
+
+/// One coordinator→worker link: frames go through the fault injector and
+/// byte/frame counters here, identically on every transport, which is what
+/// lets the whole chaos suite run unchanged over channels and sockets.
+///
+/// The three send entry points encode the ledger's exact counting rules:
+/// dispatch/retry traffic is faulted *and* counted ([`Link::deliver`]),
+/// prewarm repair traffic is counted but never faulted
+/// ([`Link::deliver_unfaulted`]), and shutdown is neither
+/// ([`Link::send_raw`]).
+pub trait Link: Send {
+    /// Deliver one frame through faults and counters. `on_full` fires when
+    /// the peer's bounded queue is full before the blocking hand-off (the
+    /// backpressure signal the overload gauge records). Frames the peer
+    /// never accepted (it vanished mid-send) are returned so the caller can
+    /// respawn it and re-deliver them raw — their bytes are already
+    /// counted.
+    fn deliver(&self, frame: &Bytes, on_full: &mut dyn FnMut()) -> Vec<Bytes>;
+
+    /// Hand a frame to the peer without counting or faults.
+    fn send_raw(&self, frame: Bytes) -> bool;
+
+    /// This direction's byte/frame ledger.
+    fn counters(&self) -> &Arc<LinkCounters>;
+
+    /// Whether the transport has observed the link broken or stalled (EOF,
+    /// reset, heartbeat miss). Channel links never report down — thread
+    /// liveness covers them.
+    fn is_down(&self) -> bool;
+
+    /// Tear the link down (wakes any blocked pump; idempotent).
+    fn close(&self);
+
+    /// Counted but unfaulted delivery (the prewarm path: repair traffic is
+    /// part of the wire ledger but never a fault target).
+    fn deliver_unfaulted(&self, frame: &Bytes) -> bool {
+        self.counters().record_send(frame.len() as u64);
+        self.send_raw(frame.clone())
+    }
+}
+
+/// Shared delivery logic of both link kinds: apply the injector, count
+/// every admitted frame, queue with queue-full signalling, and surface
+/// frames the peer never accepted.
+fn deliver_via(
+    tx: &Sender<Bytes>,
+    counters: &LinkCounters,
+    faults: &Option<Arc<FaultInjector>>,
+    frame: &Bytes,
+    on_full: &mut dyn FnMut(),
+) -> Vec<Bytes> {
+    let frames = match faults {
+        None => vec![frame.clone()],
+        Some(inj) => match inj.admit(frame.clone()) {
+            FrameFate::Deliver(frames) => frames,
+            FrameFate::Dropped(len) => {
+                // The wire consumed the dropped frame: counted, not queued.
+                counters.record_send(len);
+                return Vec::new();
+            }
+        },
+    };
+    let mut undelivered = Vec::new();
+    for f in frames {
+        counters.record_send(f.len() as u64);
+        match tx.try_send(f) {
+            Ok(()) => {}
+            Err(TrySendError::Full(f)) => {
+                on_full();
+                if let Err(SendError(f)) = tx.send(f) {
+                    undelivered.push(f);
+                }
+            }
+            Err(TrySendError::Disconnected(f)) => undelivered.push(f),
+        }
+    }
+    undelivered
+}
+
+/// The original in-process transport: a bounded crossbeam channel whose
+/// receiver the worker thread owns.
+pub struct ChannelLink {
+    tx: Sender<Bytes>,
+    counters: Arc<LinkCounters>,
+    faults: Option<Arc<FaultInjector>>,
+}
+
+impl ChannelLink {
+    /// Build the coordinator half over an existing bounded sender.
+    pub fn new(
+        tx: Sender<Bytes>,
+        counters: Arc<LinkCounters>,
+        faults: Option<Arc<FaultInjector>>,
+    ) -> ChannelLink {
+        ChannelLink { tx, counters, faults }
+    }
+}
+
+impl Link for ChannelLink {
+    fn deliver(&self, frame: &Bytes, on_full: &mut dyn FnMut()) -> Vec<Bytes> {
+        deliver_via(&self.tx, &self.counters, &self.faults, frame, on_full)
+    }
+
+    fn send_raw(&self, frame: Bytes) -> bool {
+        self.tx.send(frame).is_ok()
+    }
+
+    fn counters(&self) -> &Arc<LinkCounters> {
+        &self.counters
+    }
+
+    fn is_down(&self) -> bool {
+        false
+    }
+
+    fn close(&self) {}
+}
+
+/// The socket transport's sending pump: drains the link's bounded queue
+/// onto the wire as length-framed payloads, emitting keepalives while
+/// idle and enacting pump-level transport faults. Exits (closing the
+/// socket) on write failure or when the queue disconnects.
+fn egress_pump(
+    mut wire: TcpStream,
+    rx: Receiver<Bytes>,
+    heartbeat: Duration,
+    faults: Option<Arc<TransportFaults>>,
+    down: Arc<AtomicBool>,
+) {
+    loop {
+        match rx.recv_timeout(heartbeat) {
+            Ok(frame) => match faults.as_ref().and_then(|t| t.next()) {
+                Some(FaultAction::CutLinkMidFrame) => {
+                    let _ = framing::write_partial_frame(&mut wire, &frame);
+                    down.store(true, Ordering::Release);
+                    let _ = wire.shutdown(Shutdown::Both);
+                    return;
+                }
+                Some(FaultAction::StallLinkMillis(ms)) => {
+                    // Sleeping here silences keepalives too — exactly the
+                    // stall the peer's read timeout exists to catch.
+                    thread::sleep(Duration::from_millis(ms));
+                    if framing::write_frame(&mut wire, &frame).is_err() {
+                        down.store(true, Ordering::Release);
+                        let _ = wire.shutdown(Shutdown::Both);
+                        return;
+                    }
+                }
+                _ => {
+                    if framing::write_frame(&mut wire, &frame).is_err() {
+                        down.store(true, Ordering::Release);
+                        let _ = wire.shutdown(Shutdown::Both);
+                        return;
+                    }
+                }
+            },
+            Err(RecvTimeoutError::Timeout) => {
+                if framing::write_keepalive(&mut wire).is_err() {
+                    down.store(true, Ordering::Release);
+                    let _ = wire.shutdown(Shutdown::Both);
+                    return;
+                }
+            }
+            Err(RecvTimeoutError::Disconnected) => {
+                // Orderly teardown: the link owner dropped the queue.
+                let _ = wire.shutdown(Shutdown::Both);
+                return;
+            }
+        }
+    }
+}
+
+/// The socket transport's reading pump: reassembles the framed stream and
+/// forwards payload frames into `out`. Exits — marking the link down and
+/// closing the socket — on EOF, reset, read timeout (heartbeat miss), or a
+/// framing error (torn or over-length frame).
+fn ingress_pump(
+    mut wire: TcpStream,
+    out: Sender<Bytes>,
+    received: Option<Arc<LinkCounters>>,
+    down: Arc<AtomicBool>,
+) {
+    let mut asm = FrameAssembler::new();
+    let mut buf = [0u8; 16 * 1024];
+    'link: loop {
+        match wire.read(&mut buf) {
+            Ok(0) => break 'link,
+            Ok(n) => {
+                asm.extend(&buf[..n]);
+                loop {
+                    match asm.next_event() {
+                        Ok(Some(StreamEvent::Frame(f))) => {
+                            if let Some(c) = &received {
+                                c.record_send(f.len() as u64);
+                            }
+                            if out.send(f).is_err() {
+                                break 'link;
+                            }
+                        }
+                        Ok(Some(StreamEvent::Keepalive)) => {}
+                        Ok(None) => break,
+                        Err(_) => break 'link,
+                    }
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(_) => break 'link,
+        }
+    }
+    down.store(true, Ordering::Release);
+    let _ = wire.shutdown(Shutdown::Both);
+}
+
+/// A coordinator→worker link over a real TCP stream. Delivery semantics
+/// (faults, counters, queue-full backpressure) are identical to
+/// [`ChannelLink`] — the socket machinery lives in two pump threads below
+/// the seam. Incoming response frames are forwarded into the cluster's
+/// shared response channel; `received` counters apply only when the sender
+/// could not count them itself (remote worker processes).
+pub struct TcpLink {
+    tx: Sender<Bytes>,
+    counters: Arc<LinkCounters>,
+    faults: Option<Arc<FaultInjector>>,
+    down: Arc<AtomicBool>,
+    stream: TcpStream,
+}
+
+impl TcpLink {
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn spawn(
+        stream: TcpStream,
+        machine: usize,
+        counters: Arc<LinkCounters>,
+        faults: Option<Arc<FaultInjector>>,
+        transport_faults: Option<Arc<TransportFaults>>,
+        responses: Sender<Bytes>,
+        received: Option<Arc<LinkCounters>>,
+        heartbeat: HeartbeatConfig,
+        queue_capacity: usize,
+    ) -> std::io::Result<TcpLink> {
+        stream.set_nodelay(true)?;
+        let (tx, rx) = bounded(queue_capacity.max(1));
+        let down = Arc::new(AtomicBool::new(false));
+        let writer = stream.try_clone()?;
+        let reader = stream.try_clone()?;
+        reader.set_read_timeout(Some(heartbeat.read_timeout))?;
+        let tx_down = Arc::clone(&down);
+        thread::Builder::new()
+            .name(format!("disks-link-tx-{machine}"))
+            .spawn(move || egress_pump(writer, rx, heartbeat.interval, transport_faults, tx_down))
+            .expect("spawn link egress pump");
+        let rx_down = Arc::clone(&down);
+        thread::Builder::new()
+            .name(format!("disks-link-rx-{machine}"))
+            .spawn(move || ingress_pump(reader, responses, received, rx_down))
+            .expect("spawn link ingress pump");
+        Ok(TcpLink { tx, counters, faults, down, stream })
+    }
+}
+
+impl Link for TcpLink {
+    fn deliver(&self, frame: &Bytes, on_full: &mut dyn FnMut()) -> Vec<Bytes> {
+        deliver_via(&self.tx, &self.counters, &self.faults, frame, on_full)
+    }
+
+    fn send_raw(&self, frame: Bytes) -> bool {
+        self.tx.send(frame).is_ok()
+    }
+
+    fn counters(&self) -> &Arc<LinkCounters> {
+        &self.counters
+    }
+
+    fn is_down(&self) -> bool {
+        self.down.load(Ordering::Acquire)
+    }
+
+    fn close(&self) {
+        self.down.store(true, Ordering::Release);
+        let _ = self.stream.shutdown(Shutdown::Both);
+    }
+}
+
+/// The worker's half of a TCP link: a request receiver that feeds the
+/// unchanged `worker_loop`, and an egress sender its counted
+/// [`LinkSender`] wraps (via [`LinkSender::over`]). Its own pump pair
+/// mirrors the coordinator side — keepalives while idle, read-timeout
+/// supervision, socket closed on any failure — so a dead coordinator (or a
+/// cut link) tears the worker down promptly instead of leaving it hung.
+pub struct TcpWorkerEndpoint {
+    pub requests: Receiver<Bytes>,
+    pub egress: Sender<Bytes>,
+}
+
+/// Stand up the worker-side pumps over a connected stream.
+pub fn tcp_worker_endpoint(
+    stream: TcpStream,
+    machine: usize,
+    heartbeat: HeartbeatConfig,
+    transport_faults: Option<Arc<TransportFaults>>,
+) -> std::io::Result<TcpWorkerEndpoint> {
+    stream.set_nodelay(true)?;
+    let reader = stream.try_clone()?;
+    reader.set_read_timeout(Some(heartbeat.read_timeout))?;
+    let writer = stream;
+    let (req_tx, req_rx) = unbounded();
+    let (resp_tx, resp_rx) = unbounded();
+    let down = Arc::new(AtomicBool::new(false));
+    let rx_down = Arc::clone(&down);
+    thread::Builder::new()
+        .name(format!("disks-peer-rx-{machine}"))
+        .spawn(move || ingress_pump(reader, req_tx, None, rx_down))
+        .expect("spawn worker ingress pump");
+    thread::Builder::new()
+        .name(format!("disks-peer-tx-{machine}"))
+        .spawn(move || egress_pump(writer, resp_rx, heartbeat.interval, transport_faults, down))
+        .expect("spawn worker egress pump");
+    Ok(TcpWorkerEndpoint { requests: req_rx, egress: resp_tx })
+}
+
+/// A connected loopback socket pair: (coordinator side, worker side). The
+/// in-process TCP transport runs every link over one of these.
+pub fn loopback_pair() -> std::io::Result<(TcpStream, TcpStream)> {
+    let listener = std::net::TcpListener::bind("127.0.0.1:0")?;
+    let addr = listener.local_addr()?;
+    let worker_side = TcpStream::connect(addr)?;
+    let (coordinator_side, _) = listener.accept()?;
+    Ok((coordinator_side, worker_side))
 }
 
 #[cfg(test)]

@@ -11,7 +11,7 @@ use std::time::Duration;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use disks_cluster::{Cluster, ClusterConfig, FaultPlan, NetworkModel};
+use disks_cluster::{Cluster, ClusterConfig, FaultPlan, NetworkModel, TransportKind};
 use disks_core::{build_all_indexes, CentralizedCoverage, IndexConfig, SgkQuery};
 use disks_partition::{MultilevelPartitioner, Partitioner, Partitioning};
 use disks_roadnet::generator::GridNetworkConfig;
@@ -46,6 +46,16 @@ fn build_cluster(
     cache_bytes: usize,
     kill_at: Option<u64>,
 ) -> Cluster {
+    build_cluster_on(net, p, cache_bytes, kill_at, TransportKind::from_env())
+}
+
+fn build_cluster_on(
+    net: &RoadNetwork,
+    p: &Partitioning,
+    cache_bytes: usize,
+    kill_at: Option<u64>,
+    transport: TransportKind,
+) -> Cluster {
     let indexes = build_all_indexes(net, p, &IndexConfig::unbounded());
     let faults = kill_at.map(|nth| FaultPlan::new(0xCACE).kill_worker(0, nth));
     Cluster::build(
@@ -57,6 +67,7 @@ fn build_cluster(
             deadline: Duration::from_millis(200),
             coverage_cache_bytes: cache_bytes,
             faults,
+            transport,
             ..ClusterConfig::default()
         },
     )
@@ -144,4 +155,44 @@ fn respawned_worker_is_prewarmed_before_retry_traffic() {
     assert_eq!(counters.misses, 2, "pre-warm must absorb the cold re-miss: {counters:?}");
     assert!(counters.hits >= 3, "retried task and run 3 must all hit: {counters:?}");
     cluster.shutdown();
+}
+
+/// The kill → respawn → prewarm machinery is transport-invariant: the same
+/// deterministic kill schedule over an in-process channel link and over a
+/// real TCP link produces *identical* recovery counters (respawns,
+/// pre-warm frames and slots), identical cache counters, identical frame
+/// ledgers, and identical exact answers — the socket adds framing and
+/// keepalives, never protocol behavior.
+#[test]
+fn kill_respawn_prewarm_counters_are_identical_across_transports() {
+    let net = GridNetworkConfig::tiny(0xC01D).generate();
+    let p = MultilevelPartitioner::default().partition(&net, 2);
+    let freqs = net.keyword_frequencies();
+    let kw = KeywordId((0..freqs.len()).max_by_key(|&k| freqs[k]).unwrap() as u32);
+    let q = SgkQuery::new(vec![kw], 6 * net.avg_edge_weight());
+    let mut oracle = CentralizedCoverage::new(&net);
+    let expect = oracle.sgkq(&q).unwrap();
+
+    let run = |transport: TransportKind| {
+        let cluster = build_cluster_on(&net, &p, 64 << 20, Some(2), transport);
+        for i in 0..3 {
+            let outcome =
+                cluster.run_sgkq(&q).unwrap_or_else(|e| panic!("{transport:?} run {i}: {e}"));
+            assert_eq!(outcome.results, expect, "{transport:?} run {i} not exact across respawn");
+        }
+        let recovery = cluster.recovery_counters();
+        let cache = cluster.cache_counters();
+        let ledger = cluster.link_message_totals();
+        cluster.shutdown();
+        (recovery, cache, ledger)
+    };
+
+    let (rc_chan, cache_chan, ledger_chan) = run(TransportKind::Channel);
+    let (rc_tcp, cache_tcp, ledger_tcp) = run(TransportKind::Tcp);
+
+    assert!(rc_chan.respawned_workers >= 1, "kill must have fired: {rc_chan:?}");
+    assert!(rc_chan.prewarm_frames >= 1, "respawn must have been pre-warmed: {rc_chan:?}");
+    assert_eq!(rc_chan, rc_tcp, "recovery counters must be transport-invariant");
+    assert_eq!(cache_chan, cache_tcp, "cache counters must be transport-invariant");
+    assert_eq!(ledger_chan, ledger_tcp, "frame ledgers must be transport-invariant");
 }

@@ -1,0 +1,119 @@
+//! Property tests for the stream framing layer: whatever re-chunking the
+//! kernel applies to a TCP byte stream — one byte at a time, giant
+//! coalesced reads, anything between — the [`FrameAssembler`] must yield
+//! exactly the frames the writer framed, in order, without ever panicking;
+//! and a corrupt length prefix must fail typed *before* any allocation.
+
+use proptest::prelude::*;
+
+use disks_cluster::framing::{write_frame, write_keepalive, FrameAssembler, StreamEvent};
+use disks_roadnet::DecodeError;
+
+/// A frame payload mix spanning the real protocol's range: empty-adjacent
+/// tiny frames through multi-KiB responses.
+fn arb_frames() -> impl Strategy<Value = Vec<Vec<u8>>> {
+    proptest::collection::vec(proptest::collection::vec(any::<u8>(), 1..600), 0..12)
+}
+
+/// Split points for re-chunking a byte stream: a sorted subset of
+/// positions, derived from arbitrary raw indices so shrinking stays
+/// meaningful.
+fn chunk_stream(bytes: &[u8], raw_cuts: &[usize]) -> Vec<Vec<u8>> {
+    let mut cuts: Vec<usize> =
+        raw_cuts.iter().map(|&c| if bytes.is_empty() { 0 } else { c % bytes.len() }).collect();
+    cuts.sort_unstable();
+    cuts.dedup();
+    let mut chunks = Vec::new();
+    let mut start = 0;
+    for &c in &cuts {
+        if c > start {
+            chunks.push(bytes[start..c].to_vec());
+            start = c;
+        }
+    }
+    chunks.push(bytes[start..].to_vec());
+    chunks
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Frames interleaved with keepalives, delivered at arbitrary byte
+    /// boundaries, reassemble to exactly the written sequence.
+    #[test]
+    fn reassembly_is_exact_under_arbitrary_chunking(
+        frames in arb_frames(),
+        keepalive_mask in proptest::collection::vec(any::<bool>(), 0..12),
+        raw_cuts in proptest::collection::vec(any::<usize>(), 0..40),
+    ) {
+        let mut bytes = Vec::new();
+        let mut expected = Vec::new();
+        for (i, f) in frames.iter().enumerate() {
+            if keepalive_mask.get(i).copied().unwrap_or(false) {
+                write_keepalive(&mut bytes).unwrap();
+                expected.push(StreamEvent::Keepalive);
+            }
+            write_frame(&mut bytes, f).unwrap();
+            expected.push(StreamEvent::Frame(bytes::Bytes::from(f.clone())));
+        }
+
+        let mut asm = FrameAssembler::new();
+        let mut events = Vec::new();
+        for chunk in chunk_stream(&bytes, &raw_cuts) {
+            asm.extend(&chunk);
+            while let Some(e) = asm.next_event().unwrap() {
+                events.push(e);
+            }
+        }
+        prop_assert_eq!(events, expected);
+        prop_assert_eq!(asm.pending(), 0, "no bytes may be left behind");
+    }
+
+    /// A length prefix past the frame bound fails with the typed
+    /// [`DecodeError::LengthOutOfRange`] carrying the claimed length —
+    /// never a panic, never an allocation sized by attacker-chosen bytes.
+    /// Valid frames decoded *before* the corruption are unaffected.
+    #[test]
+    fn corrupt_length_prefix_is_typed_error_not_allocation(
+        frames in arb_frames(),
+        excess in 1u64..u64::from(u32::MAX) - (64 << 20),
+        raw_cuts in proptest::collection::vec(any::<usize>(), 0..20),
+    ) {
+        let mut bytes = Vec::new();
+        for f in &frames {
+            write_frame(&mut bytes, f).unwrap();
+        }
+        let bad_len = (64u64 << 20) + excess; // strictly past MAX_FRAME_LEN
+        bytes.extend_from_slice(&(bad_len as u32).to_be_bytes());
+
+        let mut asm = FrameAssembler::new();
+        let mut decoded = 0usize;
+        let mut error = None;
+        for chunk in chunk_stream(&bytes, &raw_cuts) {
+            asm.extend(&chunk);
+            loop {
+                match asm.next_event() {
+                    Ok(Some(StreamEvent::Frame(_))) => decoded += 1,
+                    Ok(Some(StreamEvent::Keepalive)) => {}
+                    Ok(None) => break,
+                    Err(e) => {
+                        error = Some(e);
+                        break;
+                    }
+                }
+            }
+            if error.is_some() {
+                break;
+            }
+        }
+        prop_assert_eq!(decoded, frames.len(), "every good frame decodes before the corruption");
+        match error {
+            Some(DecodeError::LengthOutOfRange { len, .. }) => {
+                prop_assert_eq!(len, bad_len, "the typed error names the claimed length");
+            }
+            other => return Err(TestCaseError::fail(format!(
+                "expected typed over-length error, got {other:?}"
+            ))),
+        }
+    }
+}

@@ -48,6 +48,7 @@
 //! ```
 
 pub mod demo;
+pub mod workload;
 
 pub use disks_baseline as baseline;
 pub use disks_bench as bench;

@@ -1,0 +1,49 @@
+//! Multi-process acceptance: the TCP runner — a real coordinator process
+//! spawning real worker processes over real sockets — produces a transcript
+//! byte-identical to the in-process channel cluster on a 200-query Zipf
+//! workload. The transport is the *only* varied dimension; the shared
+//! `disks::workload` seeds pin everything else.
+
+use std::process::Command;
+
+fn run(mode: &str, extra: &[&str]) -> String {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_disks-coordinator"));
+    cmd.args([
+        "--mode",
+        mode,
+        "--machines",
+        "3",
+        "--fragments",
+        "3",
+        "--seed",
+        "53596",
+        "--query-seed",
+        "24301",
+        "--queries",
+        "200",
+    ])
+    .args(extra);
+    let out = cmd.output().expect("spawn disks-coordinator");
+    assert!(
+        out.status.success(),
+        "disks-coordinator --mode {mode} failed: {}\n{}",
+        out.status,
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8(out.stdout).expect("utf8 transcript")
+}
+
+#[test]
+fn tcp_worker_processes_match_in_process_cluster_byte_for_byte() {
+    let tcp = run("tcp", &["--worker", env!("CARGO_BIN_EXE_disks-worker")]);
+    let local = run("local", &[]);
+    assert_eq!(tcp, local, "multi-process transcript must be byte-identical to in-process");
+    // Sanity on the transcript shape: one line per query plus the digest,
+    // and at least one query with results (the digest isn't vacuous).
+    assert_eq!(tcp.lines().count(), 201);
+    assert!(tcp.lines().last().unwrap().starts_with("digest "));
+    assert!(
+        tcp.lines().any(|l| l.contains(" n=") && !l.contains(" n=0 ")),
+        "workload must produce non-empty answers:\n{tcp}"
+    );
+}
