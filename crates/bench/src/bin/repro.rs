@@ -5,8 +5,8 @@
 //! repro [--scale paper|bench|smoke] [--exp <id>[,<id>...]] [--out DIR]
 //!
 //! ids: tab1 tab2 tab3 fig7 fig8 fig9 fig10 fig11 fig12 fig13 fig14 fig15
-//!      fig16 fig17 comm ablation throughput overload transport topk all
-//!      (default: all)
+//!      fig16 fig17 comm ablation throughput overload transport replication
+//!      topk all (default: all)
 //! ```
 //!
 //! Results are printed and written under `--out` (default `results/`) as
@@ -122,6 +122,7 @@ fn main() {
         "throughput",
         "overload",
         "transport",
+        "replication",
         "topk",
     ]
     .iter()
@@ -324,6 +325,39 @@ fn main() {
                     );
                 }
             }
+            println!();
+        }
+    }
+    if wants("replication") {
+        if let Some(ds) = &aus {
+            let (table, summary) = exp::replication(ds, &params);
+            emit("replication_aus", table);
+            let path = std::path::Path::new(&args.out).join("BENCH_replication.json");
+            if let Err(e) = std::fs::create_dir_all(&args.out)
+                .and_then(|()| std::fs::write(&path, summary.to_json()))
+            {
+                eprintln!("failed to save BENCH_replication.json: {e}");
+            } else {
+                println!("[json] {} ({} replica points)", path.display(), summary.points.len());
+            }
+            // Replication headline: goodput gain from spreading the hottest
+            // fragment across replicas, and the Theorem 6 unbalance trend.
+            if let (Some(g0), Some(g2)) = (summary.goodput_at(0), summary.goodput_at(2)) {
+                if g0 > 0.0 {
+                    println!(
+                        "[replication] hot fragment {} ({:.0}% of compute): \
+                         {:.0} -> {:.0} q/s modeled goodput at 2 replicas ({:.2}x)",
+                        summary.hot_fragment,
+                        100.0 * summary.hot_share,
+                        g0,
+                        g2,
+                        g2 / g0
+                    );
+                }
+            }
+            let us: Vec<String> =
+                summary.points.iter().map(|p| format!("{:.2}", p.unbalance)).collect();
+            println!("[replication] unbalance U by replicas: {}", us.join(" -> "));
             println!();
         }
     }

@@ -81,6 +81,10 @@ pub struct OverloadPoint {
     /// proof that shed queries cost nothing.
     pub frames_on: u64,
     pub frames_off: u64,
+    /// Lifetime Theorem 6 unbalance factor U per mode (max/min observed
+    /// compute across busy machines; 1.0 = balanced).
+    pub unbalance_on: f64,
+    pub unbalance_off: f64,
 }
 
 /// Machine-readable summary of the saturation sweep.
@@ -114,7 +118,8 @@ impl OverloadSummary {
                 "    {{\"load\": {}, \"offered\": {}, \"shed_on\": {}, \"shed_rate_on\": {:.4}, \
                  \"goodput_on\": {:.1}, \"goodput_off\": {:.1}, \"p50_on_micros\": {}, \
                  \"p99_on_micros\": {}, \"p50_off_micros\": {}, \"p99_off_micros\": {}, \
-                 \"frames_on\": {}, \"frames_off\": {}}}{sep}\n",
+                 \"frames_on\": {}, \"frames_off\": {}, \"unbalance_on\": {:.3}, \
+                 \"unbalance_off\": {:.3}}}{sep}\n",
                 p.load,
                 p.offered,
                 p.shed_on,
@@ -126,7 +131,9 @@ impl OverloadSummary {
                 p.p50_off_micros,
                 p.p99_off_micros,
                 p.frames_on,
-                p.frames_off
+                p.frames_off,
+                p.unbalance_on,
+                p.unbalance_off
             ));
         }
         s.push_str("  ]\n}\n");
@@ -273,6 +280,7 @@ pub fn overload(ds: &Dataset, params: &Params) -> (Table, OverloadSummary) {
             "p99 on".into(),
             "p99 off".into(),
             "frames on/off".into(),
+            "U on/off".into(),
         ],
     );
     let mut summary = OverloadSummary {
@@ -297,9 +305,11 @@ pub fn overload(ds: &Dataset, params: &Params) -> (Table, OverloadSummary) {
 
         let on_cluster = build(ds, &partitioning, indexes.clone(), cost_limit);
         let on = measure(&on_cluster, &base_fs, &mixed, load);
+        let unbalance_on = on_cluster.unbalance_factor();
         on_cluster.shutdown();
         let off_cluster = build(ds, &partitioning, indexes.clone(), 0);
         let off = measure(&off_cluster, &base_fs, &mixed, load);
+        let unbalance_off = off_cluster.unbalance_factor();
         off_cluster.shutdown();
 
         // Shedding is deterministic at this calibration: exactly the
@@ -323,6 +333,7 @@ pub fn overload(ds: &Dataset, params: &Params) -> (Table, OverloadSummary) {
             format!("{}us", on.p99_micros),
             format!("{}us", off.p99_micros),
             format!("{}/{}", on.frames, off.frames),
+            format!("{unbalance_on:.2}/{unbalance_off:.2}"),
         ]);
         summary.points.push(OverloadPoint {
             load,
@@ -337,6 +348,8 @@ pub fn overload(ds: &Dataset, params: &Params) -> (Table, OverloadSummary) {
             p99_off_micros: off.p99_micros,
             frames_on: on.frames,
             frames_off: off.frames,
+            unbalance_on,
+            unbalance_off,
         });
     }
     (t, summary)

@@ -93,6 +93,9 @@ pub struct ThroughputPoint {
     /// Sequential warm per-query latency percentiles.
     pub p50_micros: u64,
     pub p99_micros: u64,
+    /// Lifetime Theorem 6 unbalance factor U of the cached cluster
+    /// (max/min observed compute across busy machines; 1.0 = balanced).
+    pub unbalance: f64,
     /// Uncached batch-window sweep at this machine count.
     pub batch_sweep: Vec<BatchSweepPoint>,
     /// Adaptive streaming dispatch at this machine count.
@@ -122,14 +125,15 @@ impl ThroughputSummary {
             s.push_str(&format!(
                 "    {{\"machines\": {}, \"qps_cached\": {:.1}, \"qps_uncached\": {:.1}, \
                  \"qps_batched\": {:.1}, \"cache_hit_rate\": {:.4}, \"p50_micros\": {}, \
-                 \"p99_micros\": {}, \"batch_sweep\": [",
+                 \"p99_micros\": {}, \"unbalance\": {:.3}, \"batch_sweep\": [",
                 p.machines,
                 p.qps_cached,
                 p.qps_uncached,
                 p.qps_batched,
                 p.cache_hit_rate,
                 p.p50_micros,
-                p.p99_micros
+                p.p99_micros,
+                p.unbalance
             ));
             for (j, b) in p.batch_sweep.iter().enumerate() {
                 let bsep = if j + 1 == p.batch_sweep.len() { "" } else { ", " };
@@ -297,6 +301,7 @@ pub fn throughput(ds: &Dataset, params: &Params) -> (Table, ThroughputSummary) {
             "hit rate".into(),
             "p50".into(),
             "p99".into(),
+            "U".into(),
         ],
     );
     let mut summary = ThroughputSummary {
@@ -332,6 +337,7 @@ pub fn throughput(ds: &Dataset, params: &Params) -> (Table, ThroughputSummary) {
                 .map(|f| cached.run(f).expect("latency run").stats.wall_time.as_micros() as u64)
                 .collect(),
         );
+        let unbalance = cached.unbalance_factor();
         cached.shutdown();
 
         // Uncached batch-window sweep — window 1 is the unbatched baseline,
@@ -422,6 +428,7 @@ pub fn throughput(ds: &Dataset, params: &Params) -> (Table, ThroughputSummary) {
             format!("{:.1}%", delta.hit_rate() * 100.0),
             format!("{p50}us"),
             format!("{p99}us"),
+            format!("{unbalance:.2}"),
         ]);
         summary.points.push(ThroughputPoint {
             machines,
@@ -431,6 +438,7 @@ pub fn throughput(ds: &Dataset, params: &Params) -> (Table, ThroughputSummary) {
             cache_hit_rate: delta.hit_rate(),
             p50_micros: p50,
             p99_micros: p99,
+            unbalance,
             batch_sweep,
             adaptive,
         });

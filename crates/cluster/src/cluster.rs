@@ -47,10 +47,10 @@ use crate::adaptive::WindowController;
 use crate::cache::CacheCounters;
 use crate::framing;
 use crate::message::{
-    decode_frame, encode_frame, results_frame_len, BatchAnswer, Request, Response,
+    decode_frame, encode_frame, results_frame_len, BatchAnswer, Request, Response, WireCost,
 };
 use crate::overload::{backoff_delay, splitmix64, OverloadCounters, PressureGauge};
-use crate::scheduler::Assignment;
+use crate::scheduler::{Placement, RoutePolicy};
 use crate::stats::{MachineCost, QueryStats, RecoveryCounters};
 use crate::transport::{
     counted_link, loopback_pair, tcp_worker_endpoint, ChannelLink, FaultInjector, FaultPlan,
@@ -67,6 +67,25 @@ const PREWARM_TOP_K: usize = 8;
 /// sent but that has not yet been consumed (crossing the TCP pumps takes
 /// microseconds; a frame that misses this is lost and gets forgiven).
 const STRAGGLER_GRACE: Duration = Duration::from_millis(25);
+
+/// Admissions between slot-heat decay epochs: every `HEAT_EPOCH` admitted
+/// queries the ledger halves every count (dropping zeros), so heat tracks
+/// recent traffic instead of the whole lifetime.
+const HEAT_EPOCH: u64 = 1024;
+
+/// Hard size cap on the slot-heat ledger: past it, only the hottest
+/// `HEAT_CAP` slots are retained (deterministic rank: count descending,
+/// then slot key), bounding coordinator memory on unbounded slot churn.
+const HEAT_CAP: usize = 4096;
+
+/// Deterministic total order on coverage-slot keys, used to break heat
+/// ties: keyword slots before node slots, then id, then radius.
+fn slot_key(&(term, radius): &(Term, u64)) -> (u8, u64, u64) {
+    match term {
+        Term::Keyword(kw) => (0, kw.0 as u64, radius),
+        Term::Node(n) => (1, n.index() as u64, radius),
+    }
+}
 
 /// Cluster construction parameters.
 #[derive(Debug, Clone)]
@@ -160,6 +179,26 @@ pub struct ClusterConfig {
     /// `DISKS_HEARTBEAT_MS` and `DISKS_TCP_READ_TIMEOUT_MS` (milliseconds;
     /// unset → 100 ms / 1000 ms).
     pub heartbeat: HeartbeatConfig,
+    /// Number of extra engine copies of every fragment hosted on machines
+    /// other than its primary (`DESIGN.md` §6h). `0` disables replication —
+    /// the placement and every transcript degenerate bit-for-bit to the
+    /// single-owner assignment. Capped at `machines - 1`. The default
+    /// honours the `DISKS_REPLICAS` environment variable (a count, or
+    /// `0`/`off`/`false` to disable; unset → 0). Ignored by
+    /// [`Cluster::build_remote`]: remote workers rebuild their own engines
+    /// under the round-robin placement.
+    pub replicas: usize,
+    /// How the coordinator picks among a fragment's replicas per dispatch
+    /// (meaningless while `replicas` is 0). The default honours the
+    /// `DISKS_ROUTE` environment variable (`primary` or `least-loaded`;
+    /// unset → `least-loaded`).
+    pub route: RoutePolicy,
+    /// Per-fragment heat estimates steering replica *placement* (hotter
+    /// fragments claim the idlest machines first); one entry per fragment.
+    /// `None` (the default) treats every fragment as equally hot. Set
+    /// programmatically — e.g. from a profiling run's per-machine compute —
+    /// not from the environment.
+    pub placement_heat: Option<Vec<u64>>,
 }
 
 impl ClusterConfig {
@@ -277,6 +316,32 @@ impl ClusterConfig {
         }
     }
 
+    /// Replica count from `DISKS_REPLICAS` (extra engine copies per
+    /// fragment, or `0`/`off`/`false` to disable replication); disabled
+    /// when unset or unparseable.
+    pub fn replicas_from_env() -> usize {
+        match std::env::var("DISKS_REPLICAS") {
+            Ok(v) => {
+                let v = v.trim();
+                if v.eq_ignore_ascii_case("off") || v.eq_ignore_ascii_case("false") {
+                    0
+                } else {
+                    v.parse().unwrap_or(0)
+                }
+            }
+            Err(_) => 0,
+        }
+    }
+
+    /// Replica routing policy from `DISKS_ROUTE` (`primary` or
+    /// `least-loaded`); least-loaded when unset or unrecognised.
+    pub fn route_from_env() -> RoutePolicy {
+        match std::env::var("DISKS_ROUTE") {
+            Ok(v) if v.trim().eq_ignore_ascii_case("primary") => RoutePolicy::Primary,
+            _ => RoutePolicy::LeastLoaded,
+        }
+    }
+
     /// Retry backoff base from `DISKS_RETRY_BACKOFF` (milliseconds, or
     /// `0`/`off`/`false` for immediate retries); 2 ms when unset or
     /// unparseable.
@@ -317,6 +382,9 @@ impl Default for ClusterConfig {
             queue_capacity: 1024,
             transport: TransportKind::from_env(),
             heartbeat: HeartbeatConfig::from_env(),
+            replicas: Self::replicas_from_env(),
+            route: Self::route_from_env(),
+            placement_heat: None,
         }
     }
 }
@@ -497,6 +565,9 @@ struct GatherReport {
     /// `SlotUnknown` NACKs for elided frames, each repaired by a full-spec
     /// narrowed retry (counted in `retries` too).
     slot_nacks: u32,
+    /// Narrowed retries moved to a *different* replica of their fragment
+    /// (replicated placements only; counted in `retries` too).
+    reroutes: u32,
     degraded: Vec<(usize, u32)>,
     /// Worker coverage-cache activity summed over this gather's responses.
     cache: CacheCounters,
@@ -540,7 +611,7 @@ struct GatherState {
 
 impl GatherState {
     fn new(cluster: &Cluster, n: usize, allow_partial: bool) -> GatherState {
-        let k = cluster.assignment.num_fragments();
+        let k = cluster.placement.num_fragments();
         GatherState {
             n,
             k,
@@ -649,7 +720,28 @@ pub struct Cluster {
     /// in a dead worker's egress queue) — forgiven so no later drain waits
     /// on them again.
     forgiven_responses: Cell<u64>,
-    assignment: Assignment,
+    placement: Placement,
+    /// How the coordinator picks among a fragment's replicas per dispatch.
+    route_policy: RoutePolicy,
+    /// The replica serving each fragment for the in-flight gather, set by
+    /// [`Cluster::route_fragments`] at dispatch time. Gathers never overlap
+    /// on the single-threaded coordinator, so one table suffices; narrowed
+    /// retries rewrite entries when they move to a different replica.
+    route: RefCell<Vec<usize>>,
+    /// Cumulative estimated cost routed to each machine — the deterministic
+    /// load signal `RoutePolicy::LeastLoaded` balances on.
+    route_load: RefCell<Vec<u64>>,
+    /// Per-fragment routing weight (the placement heat, uniform when none
+    /// was given): each routed dispatch charges its target machine the
+    /// fragment's weighted share of the dispatch cost, so hot fragments
+    /// rotate across their replicas instead of pinning to one host.
+    route_weight: Vec<u64>,
+    /// Lifetime worker-reported evaluation time per machine (µs), credited
+    /// to the replica named on each response frame — the observed compute
+    /// behind [`Cluster::unbalance_factor`].
+    compute_micros: RefCell<Vec<u64>>,
+    /// Admissions since build, driving the slot-heat decay epochs.
+    heat_admissions: Cell<u64>,
     network: NetworkModel,
     deadline: Duration,
     max_attempts: u32,
@@ -769,14 +861,20 @@ impl Cluster {
     ) -> Cluster {
         let k = spec.partitioning.num_fragments();
         let machines = config.machines.unwrap_or(k).max(1);
-        let assignment = Assignment::round_robin(k, machines);
+        let uniform_heat = vec![1u64; k];
+        let heat = config.placement_heat.as_deref().unwrap_or(&uniform_heat);
+        assert!(
+            config.placement_heat.is_none() || heat.len() == k,
+            "placement_heat needs one entry per fragment"
+        );
+        let placement = Placement::replicated(k, machines, config.replicas, heat);
         let plan = config.faults;
 
         let (resp_tx, resp_rx, from_workers) = counted_link();
         let mut workers = Vec::with_capacity(machines);
         for m in 0..machines {
             let engines: Vec<WorkerEngine> =
-                assignment.fragments_of(m).iter().map(|&f| spec.build_engine(f)).collect();
+                placement.fragments_of(m).iter().map(|&f| spec.build_engine(f)).collect();
             let counters = Arc::new(LinkCounters::default());
             let to_faults =
                 plan.as_ref().and_then(|p| p.injector_for(m, LinkDirection::CoordinatorToWorker));
@@ -826,7 +924,15 @@ impl Cluster {
             from_workers,
             consumed_responses: Cell::new(0),
             forgiven_responses: Cell::new(0),
-            assignment,
+            route: RefCell::new(
+                (0..k).map(|f| placement.machine_of(FragmentId(f as u32))).collect(),
+            ),
+            route_load: RefCell::new(vec![0; machines]),
+            route_weight: heat.to_vec(),
+            compute_micros: RefCell::new(vec![0; machines]),
+            heat_admissions: Cell::new(0),
+            placement,
+            route_policy: config.route,
             network: config.network,
             deadline: config.deadline,
             max_attempts: config.max_attempts.max(1),
@@ -884,7 +990,10 @@ impl Cluster {
         assert!(config.faults.is_none(), "fault plans require in-process workers");
         let k = partitioning.num_fragments();
         let machines = commands.len().max(1);
-        let assignment = Assignment::round_robin(k, machines);
+        // Remote workers rebuild their own engines from seeds under the
+        // round-robin placement (`workload::machine_engines`), so replication
+        // knobs are ignored here — the placement is always single-owner.
+        let placement = Placement::round_robin(k, machines);
         let (resp_tx, resp_rx, from_workers) = counted_link();
 
         // Launch every worker first, then accept whoever arrives.
@@ -940,7 +1049,15 @@ impl Cluster {
             from_workers,
             consumed_responses: Cell::new(0),
             forgiven_responses: Cell::new(0),
-            assignment,
+            route: RefCell::new(
+                (0..k).map(|f| placement.machine_of(FragmentId(f as u32))).collect(),
+            ),
+            route_load: RefCell::new(vec![0; machines]),
+            route_weight: vec![1; k],
+            compute_micros: RefCell::new(vec![0; machines]),
+            heat_admissions: Cell::new(0),
+            placement,
+            route_policy: config.route,
             network: config.network,
             deadline: config.deadline,
             max_attempts: config.max_attempts.max(1),
@@ -978,9 +1095,26 @@ impl Cluster {
         self.workers.borrow().len()
     }
 
-    /// The fragment → machine assignment in effect.
-    pub fn assignment(&self) -> &Assignment {
-        &self.assignment
+    /// The fragment → machine placement in effect (primaries + replicas).
+    pub fn placement(&self) -> &Placement {
+        &self.placement
+    }
+
+    /// Theorem 6's unbalance factor `U` over the cluster lifetime: the
+    /// maximum / minimum worker-reported evaluation time across busy
+    /// machines, credited per response frame to the replica that served it.
+    /// `1.0` while any busy machine has yet to report work (the per-query
+    /// convention of [`QueryStats::finalize`]).
+    pub fn unbalance_factor(&self) -> f64 {
+        let compute = self.compute_micros.borrow();
+        let busy: Vec<u64> = self.placement.busy_machines().map(|m| compute[m]).collect();
+        let max = busy.iter().copied().max().unwrap_or(0);
+        let min = busy.iter().copied().min().unwrap_or(0);
+        if min == 0 {
+            1.0
+        } else {
+            max as f64 / min as f64
+        }
     }
 
     /// Cumulative recovery events observed over the cluster's lifetime
@@ -1088,7 +1222,7 @@ impl Cluster {
             w.peer = WorkerPeer::Process(Some(child));
         } else {
             let engines: Vec<WorkerEngine> = self
-                .assignment
+                .placement
                 .fragments_of(m)
                 .iter()
                 .map(|&f| self.respawn.build_engine(f))
@@ -1186,23 +1320,39 @@ impl Cluster {
     /// The `k` hottest coverage slots by lifetime dispatch count,
     /// deterministically ordered (count desc, then slot key).
     fn hottest_slots(&self, k: usize) -> Vec<DTerm> {
-        fn key(&(term, radius): &(Term, u64)) -> (u8, u64, u64) {
-            match term {
-                Term::Keyword(kw) => (0, kw.0 as u64, radius),
-                Term::Node(n) => (1, n.index() as u64, radius),
-            }
-        }
         let heat = self.slot_heat.borrow();
         let mut ranked: Vec<(&(Term, u64), &u64)> = heat.iter().collect();
-        ranked.sort_unstable_by(|a, b| b.1.cmp(a.1).then_with(|| key(a.0).cmp(&key(b.0))));
+        ranked
+            .sort_unstable_by(|a, b| b.1.cmp(a.1).then_with(|| slot_key(a.0).cmp(&slot_key(b.0))));
         ranked.into_iter().take(k).map(|(&(term, radius), _)| DTerm { term, radius }).collect()
     }
 
     /// Record a plan's coverage slots in the heat map (admission time).
+    ///
+    /// The ledger is bounded two ways: every [`HEAT_EPOCH`] admissions all
+    /// counts halve (dropping zeros), an exponential decay that keeps heat
+    /// tracking *recent* traffic; and past [`HEAT_CAP`] distinct slots only
+    /// the hottest cap survive, bounding memory under unbounded slot churn.
     fn charge_heat(&self, plan: &QueryPlan) {
         let mut heat = self.slot_heat.borrow_mut();
         for s in plan.slots() {
             *heat.entry((s.term, s.radius)).or_insert(0) += 1;
+        }
+        let admissions = self.heat_admissions.get() + 1;
+        self.heat_admissions.set(admissions);
+        if admissions.is_multiple_of(HEAT_EPOCH) {
+            heat.retain(|_, c| {
+                *c /= 2;
+                *c > 0
+            });
+        }
+        if heat.len() > HEAT_CAP {
+            let mut ranked: Vec<((Term, u64), u64)> = heat.drain().collect();
+            ranked.sort_unstable_by(|a, b| {
+                b.1.cmp(&a.1).then_with(|| slot_key(&a.0).cmp(&slot_key(&b.0)))
+            });
+            ranked.truncate(HEAT_CAP);
+            heat.extend(ranked);
         }
     }
 
@@ -1236,8 +1386,113 @@ impl Cluster {
         }
     }
 
+    /// Choose the serving replica of every fragment for the next dispatch.
+    /// No-op on single-owner placements (the route table stays at the
+    /// primaries). Under [`RoutePolicy::LeastLoaded`] fragments in id order
+    /// each go to their hosting replica with the least cumulative routed
+    /// cost (ties toward the smaller machine id), which is then charged the
+    /// fragment's heat-weighted share of `cost` — a hot fragment's share
+    /// dominates its host's ledger, so consecutive dispatches rotate it
+    /// across its replicas; [`RoutePolicy::Primary`] keeps every fragment
+    /// on its primary (routing inert, replicas idle).
+    fn route_fragments(&self, cost: u64) {
+        if !self.placement.is_replicated() {
+            return;
+        }
+        let k = self.placement.num_fragments();
+        let total_weight = self.route_weight.iter().sum::<u64>().max(1);
+        let mut route = self.route.borrow_mut();
+        let mut load = self.route_load.borrow_mut();
+        for f in 0..k {
+            let m = match self.route_policy {
+                RoutePolicy::Primary => self.placement.machine_of(FragmentId(f as u32)),
+                RoutePolicy::LeastLoaded => self
+                    .placement
+                    .replicas_of(FragmentId(f as u32))
+                    .iter()
+                    .copied()
+                    .min_by_key(|&m| (load[m], m))
+                    .expect("every fragment has at least its primary"),
+            };
+            route[f] = m;
+            let share = (cost as u128 * self.route_weight[f] as u128 / total_weight as u128) as u64;
+            load[m] += share.max(1);
+        }
+    }
+
+    /// Every fragment grouped by its currently routed machine, in
+    /// first-seen machine order — the replicated dispatch shape: one
+    /// request per machine listing exactly the fragments it serves this
+    /// gather (a broadcast with empty fragment lists would make every
+    /// replica answer and flood the coordinator with duplicates).
+    fn routed_groups(&self) -> Vec<(usize, Vec<u32>)> {
+        let route = self.route.borrow();
+        let mut groups: Vec<(usize, Vec<u32>)> = Vec::new();
+        let mut slot = vec![usize::MAX; self.placement.num_machines()];
+        for (f, &m) in route.iter().enumerate() {
+            if slot[m] == usize::MAX {
+                slot[m] = groups.len();
+                groups.push((m, Vec::new()));
+            }
+            groups[slot[m]].1.push(f as u32);
+        }
+        groups
+    }
+
+    /// Group retried fragments by target machine, moving each to a
+    /// *different* replica than the one that just stalled or failed —
+    /// preferring live machines, then least routed load, then the smaller
+    /// id — so a retry completes against a surviving replica immediately
+    /// while the dead machine's respawn proceeds on its own schedule. A
+    /// fragment with no alternative host stays where it is (exactly the
+    /// single-owner behavior).
+    fn reroute(&self, fragments: &[u32], report: &mut GatherReport) -> Vec<(usize, Vec<u32>)> {
+        let mut groups: Vec<(usize, Vec<u32>)> = Vec::new();
+        let mut slot = vec![usize::MAX; self.placement.num_machines()];
+        for &f in fragments {
+            let cur = self.route.borrow()[f as usize];
+            let alt = self
+                .placement
+                .replicas_of(FragmentId(f))
+                .iter()
+                .copied()
+                .filter(|&m| m != cur)
+                .min_by_key(|&m| (self.worker_is_dead(m), self.route_load.borrow()[m], m));
+            let target = match alt {
+                Some(m) => {
+                    self.route.borrow_mut()[f as usize] = m;
+                    report.reroutes += 1;
+                    m
+                }
+                None => cur,
+            };
+            if slot[target] == usize::MAX {
+                slot[target] = groups.len();
+                groups.push((target, Vec::new()));
+            }
+            groups[slot[target]].1.push(f);
+        }
+        groups
+    }
+
+    /// The machine that served a response, from the wire-reported replica
+    /// id — validated against the placement (an out-of-range or
+    /// non-hosting claim falls back to the fragment's primary, so a
+    /// corrupt frame cannot misattribute cost). Identical to the primary
+    /// on single-owner placements.
+    fn serving_machine(&self, fragment: u32, cost: &WireCost) -> usize {
+        let f = FragmentId(fragment);
+        let m = cost.replica as usize;
+        if m < self.placement.num_machines() && self.placement.replicas_of(f).contains(&m) {
+            m
+        } else {
+            self.placement.machine_of(f)
+        }
+    }
+
     /// Re-dispatch narrowed requests for the given fragments of one query
-    /// slot, one request per hosting machine.
+    /// slot, one request per hosting machine. On replicated placements the
+    /// retried fragments are first moved to a different live replica.
     fn redispatch(
         &self,
         slot: usize,
@@ -1245,7 +1500,12 @@ impl Cluster {
         make_request: &dyn Fn(usize, Vec<u32>) -> Request,
         report: &mut GatherReport,
     ) {
-        for (m, frags) in self.assignment.machines_hosting(fragments) {
+        let groups = if self.placement.is_replicated() {
+            self.reroute(fragments, report)
+        } else {
+            self.placement.machines_hosting(fragments)
+        };
+        for (m, frags) in groups {
             let frame = encode_frame(&make_request(slot, frags));
             self.send_to_worker(m, &frame, &mut report.respawned_workers);
             report.retries += 1;
@@ -1470,8 +1730,12 @@ impl Cluster {
                         // about that machine and fall back to full-spec
                         // narrowed re-dispatches through the retry path.
                         gs.report.slot_nacks += 1;
-                        let m = self.assignment.machine_of(FragmentId(fragment));
-                        self.believed.borrow_mut()[m].clear();
+                        // Any replica of the fragment may have served the
+                        // elided frame, so drop beliefs about all of them.
+                        let mut believed = self.believed.borrow_mut();
+                        for &m in self.placement.replicas_of(FragmentId(fragment)) {
+                            believed[m].clear();
+                        }
                     }
                     if !error.is_retryable() {
                         return Err(error);
@@ -1510,6 +1774,11 @@ impl Cluster {
                         // Track the slot's slowest evaluation *before*
                         // note_answered closes its latency sample.
                         gs.eval_micros[slot] = gs.eval_micros[slot].max(cost.elapsed_micros);
+                        // Credit the observed compute to the replica that
+                        // actually served the task — the lifetime signal
+                        // behind the reported unbalance factor U.
+                        let m = self.serving_machine(fragment, cost);
+                        self.compute_micros.borrow_mut()[m] += cost.elapsed_micros;
                     }
                     gs.note_answered(slot);
                     on_response(slot, payload, bytes);
@@ -1694,6 +1963,7 @@ impl Cluster {
         c.corrupt_frames += report.corrupt_frames;
         c.out_of_window_responses += report.out_of_window_responses;
         c.slot_nacks += report.slot_nacks as u64;
+        c.reroutes += report.reroutes as u64;
         self.recovery.set(c);
         let mut cache = self.cache.get();
         cache.absorb(&report.cache);
@@ -1734,22 +2004,42 @@ impl Cluster {
         while s < plans.len() {
             let end = (s + window).min(plans.len());
             let chunk = &plans[s..end];
-            let frame = if chunk.len() >= 2 {
-                encode_frame(&Request::Batch {
-                    base: base + s as u64,
-                    plan: SuperPlan::merge(chunk),
-                    fragments: vec![],
-                })
-            } else {
-                encode_frame(&Request::Evaluate {
-                    query_id: base + 1 + s as u64,
-                    plan: chunk[0].clone(),
-                    fragments: vec![],
-                })
+            let make = |frags: Vec<u32>| {
+                if chunk.len() >= 2 {
+                    Request::Batch {
+                        base: base + s as u64,
+                        plan: SuperPlan::merge(chunk),
+                        fragments: frags,
+                    }
+                } else {
+                    Request::Evaluate {
+                        query_id: base + 1 + s as u64,
+                        plan: chunk[0].clone(),
+                        fragments: frags,
+                    }
+                }
             };
-            for m in self.assignment.busy_machines() {
-                self.send_to_worker(m, &frame, &mut respawns);
-                self.gauge.note_dispatch_frames(1);
+            if self.placement.is_replicated() {
+                // Routed dispatch, one routing decision per window: each
+                // machine gets only its routed fragments (exactly one
+                // replica answers each task), and consecutive windows of a
+                // hot fragment rotate across its replicas — since every
+                // window of the group is dispatched before any gather, the
+                // replicas chew on a skewed stream *concurrently*.
+                let window_cost: u64 =
+                    chunk.iter().map(|p| p.estimated_cost(&self.cost_params)).sum();
+                self.route_fragments(window_cost);
+                for (m, frags) in self.routed_groups() {
+                    let frame = encode_frame(&make(frags));
+                    self.send_to_worker(m, &frame, &mut respawns);
+                    self.gauge.note_dispatch_frames(1);
+                }
+            } else {
+                let frame = encode_frame(&make(vec![]));
+                for m in self.placement.busy_machines() {
+                    self.send_to_worker(m, &frame, &mut respawns);
+                    self.gauge.note_dispatch_frames(1);
+                }
             }
             s = end;
         }
@@ -1843,13 +2133,23 @@ impl Cluster {
     /// repaired by full-spec narrowed retries — see `gather_process_frame`.
     fn dispatch_window(&self, window_base: u64, chunk: &[QueryPlan]) -> u32 {
         let mut respawns = 0u32;
+        // On replicated placements every window ships routed: one frame per
+        // machine listing exactly its routed fragments, the route chosen
+        // fresh per window so hot fragments rotate across their replicas.
+        let targets: Vec<(usize, Vec<u32>)> = if self.placement.is_replicated() {
+            let window_cost: u64 = chunk.iter().map(|p| p.estimated_cost(&self.cost_params)).sum();
+            self.route_fragments(window_cost);
+            self.routed_groups()
+        } else {
+            self.placement.busy_machines().map(|m| (m, Vec::new())).collect()
+        };
         if chunk.len() < 2 {
-            let frame = encode_frame(&Request::Evaluate {
-                query_id: window_base + 1,
-                plan: chunk[0].clone(),
-                fragments: vec![],
-            });
-            for m in self.assignment.busy_machines() {
+            for (m, frags) in targets {
+                let frame = encode_frame(&Request::Evaluate {
+                    query_id: window_base + 1,
+                    plan: chunk[0].clone(),
+                    fragments: frags,
+                });
                 self.send_to_worker(m, &frame, &mut respawns);
                 self.gauge.note_dispatch_frames(1);
             }
@@ -1857,7 +2157,7 @@ impl Cluster {
         }
         let sp = SuperPlan::merge(chunk);
         let mut table = self.slot_ids.borrow_mut();
-        for m in self.assignment.busy_machines() {
+        for (m, frags) in targets {
             let frame = {
                 let mut believed = self.believed.borrow_mut();
                 match sp.try_elide(&mut table, &believed[m]) {
@@ -1871,7 +2171,7 @@ impl Cluster {
                         encode_frame(&Request::BatchRef {
                             base: window_base,
                             plan: elided,
-                            fragments: vec![],
+                            fragments: frags,
                         })
                     }
                     // Over-wide plan (beyond the compact codec's u16/u8
@@ -1879,7 +2179,7 @@ impl Cluster {
                     None => encode_frame(&Request::Batch {
                         base: window_base,
                         plan: sp.clone(),
-                        fragments: vec![],
+                        fragments: frags,
                     }),
                 }
             };
@@ -1937,13 +2237,31 @@ impl Cluster {
 
         let (c2w_before, w2c_before) = self.link_bytes();
 
-        let request =
-            encode_frame(&Request::Evaluate { query_id, plan: plan.clone(), fragments: vec![] });
-        let request_bytes = request.len() as u64;
+        self.route_fragments(cost);
+        let mut request_bytes = 0u64;
         let mut dispatch_respawns = 0u32;
-        for m in self.assignment.busy_machines() {
-            self.send_to_worker(m, &request, &mut dispatch_respawns);
-            self.gauge.note_dispatch_frames(1);
+        if self.placement.is_replicated() {
+            for (m, frags) in self.routed_groups() {
+                let frame = encode_frame(&Request::Evaluate {
+                    query_id,
+                    plan: plan.clone(),
+                    fragments: frags,
+                });
+                request_bytes = request_bytes.max(frame.len() as u64);
+                self.send_to_worker(m, &frame, &mut dispatch_respawns);
+                self.gauge.note_dispatch_frames(1);
+            }
+        } else {
+            let request = encode_frame(&Request::Evaluate {
+                query_id,
+                plan: plan.clone(),
+                fragments: vec![],
+            });
+            request_bytes = request.len() as u64;
+            for m in self.placement.busy_machines() {
+                self.send_to_worker(m, &request, &mut dispatch_respawns);
+                self.gauge.note_dispatch_frames(1);
+            }
         }
         self.note_respawns(dispatch_respawns);
 
@@ -1956,7 +2274,7 @@ impl Cluster {
         };
         let mut on_response = |_: usize, response: Response, bytes: u64| {
             if let Response::Results { fragment, nodes, cost, .. } = response {
-                let m = self.assignment.machine_of(FragmentId(fragment));
+                let m = self.serving_machine(fragment, &cost);
                 per_machine[m].absorb(fragment, &cost, nodes.len() as u64, bytes);
                 results.extend(nodes);
             }
@@ -2264,7 +2582,7 @@ impl Cluster {
         let mut cache_by_slot: Vec<CacheCounters> = vec![CacheCounters::default(); n];
         let mut on_response = |i: usize, response: Response, bytes: u64| {
             if let Response::Results { fragment, nodes, cost, .. } = response {
-                let m = self.assignment.machine_of(FragmentId(fragment));
+                let m = self.serving_machine(fragment, &cost);
                 per_machine[i][m].absorb(fragment, &cost, nodes.len() as u64, bytes);
                 cache_by_slot[i].absorb(&CacheCounters {
                     hits: cost.cache_hits,
@@ -2398,13 +2716,25 @@ impl Cluster {
         self.query_counter.set(query_id);
         let (c2w_before, w2c_before) = self.link_bytes();
 
-        let request =
-            encode_frame(&Request::TopK { query_id, query: q.clone(), fragments: vec![] });
-        let request_bytes = request.len() as u64;
+        self.route_fragments(cost);
+        let mut request_bytes = 0u64;
         let mut dispatch_respawns = 0u32;
-        for m in self.assignment.busy_machines() {
-            self.send_to_worker(m, &request, &mut dispatch_respawns);
-            self.gauge.note_dispatch_frames(1);
+        if self.placement.is_replicated() {
+            for (m, frags) in self.routed_groups() {
+                let frame =
+                    encode_frame(&Request::TopK { query_id, query: q.clone(), fragments: frags });
+                request_bytes = request_bytes.max(frame.len() as u64);
+                self.send_to_worker(m, &frame, &mut dispatch_respawns);
+                self.gauge.note_dispatch_frames(1);
+            }
+        } else {
+            let request =
+                encode_frame(&Request::TopK { query_id, query: q.clone(), fragments: vec![] });
+            request_bytes = request.len() as u64;
+            for m in self.placement.busy_machines() {
+                self.send_to_worker(m, &request, &mut dispatch_respawns);
+                self.gauge.note_dispatch_frames(1);
+            }
         }
         self.note_respawns(dispatch_respawns);
 
@@ -2417,7 +2747,7 @@ impl Cluster {
         };
         let mut on_response = |_: usize, response: Response, bytes: u64| {
             if let Response::TopKResults { fragment, ranked, cost, .. } = response {
-                let m = self.assignment.machine_of(FragmentId(fragment));
+                let m = self.serving_machine(fragment, &cost);
                 per_machine[m].absorb(fragment, &cost, ranked.len() as u64, bytes);
                 lists.push(ranked);
             }
@@ -2841,6 +3171,10 @@ mod tests {
             ClusterConfig {
                 faults: Some(FaultPlan::new(1).kill_worker(0, 1)),
                 deadline: Duration::from_millis(200),
+                // Pinned: this test asserts the respawn-on-retry path, which
+                // the replicated CI lane would bypass by re-routing the
+                // retry to a surviving replica.
+                replicas: 0,
                 ..ClusterConfig::default()
             },
         );

@@ -18,9 +18,16 @@
 //!   [`NetworkModel`] (default: the paper's 100 Mb switch) converts bytes to
 //!   modeled wire time.
 //! * **Load balance** — per-machine task costs and the Theorem 6 unbalance
-//!   factor `U` are measured per query.
+//!   factor `U` are measured per query and over the cluster lifetime
+//!   ([`Cluster::unbalance_factor`]).
 //! * **Task scheduling** — when there are fewer machines than fragments the
 //!   §5.2 strategy applies: an unassigned task goes to an idle machine.
+//!   Beyond the paper, the [`Placement`] layer can host replicas of the
+//!   hottest fragments' engines on extra machines
+//!   ([`ClusterConfig::replicas`], env `DISKS_REPLICAS`) and route each
+//!   per-query fragment evaluation to the least-loaded replica
+//!   ([`ClusterConfig::route`], env `DISKS_ROUTE`); any replica answers the
+//!   same coverage, so results stay byte-identical (`DESIGN.md` §6h).
 //!
 //! Beyond the paper's fault-free setting, the runtime is fault-tolerant:
 //! a deterministic [`FaultPlan`] can drop, delay, duplicate, or corrupt
@@ -75,7 +82,7 @@ pub use cluster::{Cluster, ClusterConfig, QueryOutcome, RemoteWorkerCommand};
 pub use framing::{FrameAssembler, StreamEvent};
 pub use message::{BatchAnswer, Request, Response, WireCost};
 pub use overload::{retry_after, OverloadCounters, PressureGauge};
-pub use scheduler::Assignment;
+pub use scheduler::{Placement, RoutePolicy};
 pub use stats::{MachineCost, QueryStats, RecoveryCounters};
 pub use transport::{
     tcp_worker_endpoint, FaultAction, FaultPlan, HeartbeatConfig, LinkCounters, LinkDirection,

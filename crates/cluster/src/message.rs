@@ -71,6 +71,11 @@ pub struct WireCost {
     /// they were computed; this field just explains why they never became
     /// hits).
     pub cache_bypassed: u64,
+    /// Machine id of the replica that served this task. With replication
+    /// disabled this is always the fragment's primary; with replication on,
+    /// the coordinator uses it to attribute compute to the machine that
+    /// actually did the work rather than the primary it would have guessed.
+    pub replica: u64,
 }
 
 impl From<&QueryCost> for WireCost {
@@ -87,6 +92,7 @@ impl From<&QueryCost> for WireCost {
             cache_evictions: 0,
             batch_shared: 0,
             cache_bypassed: 0,
+            replica: 0,
         }
     }
 }
@@ -146,8 +152,8 @@ impl Decode for BatchAnswer {
     }
 }
 
-/// Encoded size of a [`WireCost`]: eleven fixed-width `u64` fields.
-pub(crate) const WIRE_COST_LEN: u64 = 11 * 8;
+/// Encoded size of a [`WireCost`]: twelve fixed-width `u64` fields.
+pub(crate) const WIRE_COST_LEN: u64 = 12 * 8;
 
 /// Exact encoded size of a [`Response::Results`] frame carrying `n_nodes`
 /// result ids: tag + query id + fragment + length prefix + ids + cost.
@@ -174,6 +180,7 @@ impl Encode for WireCost {
         self.cache_evictions.encode(buf);
         self.batch_shared.encode(buf);
         self.cache_bypassed.encode(buf);
+        self.replica.encode(buf);
     }
 }
 impl Decode for WireCost {
@@ -190,6 +197,7 @@ impl Decode for WireCost {
             cache_evictions: u64::decode(buf)?,
             batch_shared: u64::decode(buf)?,
             cache_bypassed: u64::decode(buf)?,
+            replica: u64::decode(buf)?,
         })
     }
 }
@@ -401,6 +409,7 @@ mod tests {
                 cache_evictions: 9,
                 batch_shared: 10,
                 cache_bypassed: 11,
+                replica: 12,
             },
         };
         let frame = encode_frame(&resp);

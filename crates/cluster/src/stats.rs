@@ -136,6 +136,10 @@ pub struct RecoveryCounters {
     /// references a (typically respawned) worker could not resolve; each is
     /// repaired by a narrowed full-spec re-dispatch counted in `retries`.
     pub slot_nacks: u64,
+    /// Narrowed retries moved to a *different* replica of their fragment
+    /// (replicated placements only — always 0 under `DISKS_REPLICAS=0`);
+    /// each is counted in `retries` too.
+    pub reroutes: u64,
 }
 
 impl QueryStats {

@@ -168,7 +168,6 @@ pub fn worker_loop(
     faults: WorkerFaults,
     cache_budget: usize,
 ) {
-    let _ = machine_id;
     let mut cache = CoverageCache::new(cache_budget);
     // Slot directory for reference elision: global slot id → full spec,
     // taught by the full-spec entries of `BatchRef` frames. Separate from
@@ -202,12 +201,16 @@ pub fn worker_loop(
                         engine.topk_local(&query)
                     }));
                     let frame = match outcome {
-                        Ok(Ok((ranked, cost))) => encode_frame(&Response::TopKResults {
-                            query_id,
-                            fragment,
-                            ranked,
-                            cost: (&cost).into(),
-                        }),
+                        Ok(Ok((ranked, cost))) => {
+                            let mut wire = WireCost::from(&cost);
+                            wire.replica = machine_id as u64;
+                            encode_frame(&Response::TopKResults {
+                                query_id,
+                                fragment,
+                                ranked,
+                                cost: wire,
+                            })
+                        }
                         Ok(Err(e)) => {
                             encode_frame(&Response::Failed { query_id, fragment, error: e })
                         }
@@ -241,6 +244,7 @@ pub fn worker_loop(
                             wire.cache_misses = delta.misses;
                             wire.cache_evictions = delta.evictions;
                             wire.cache_bypassed = delta.bypassed;
+                            wire.replica = machine_id as u64;
                             encode_frame(&Response::Results {
                                 query_id,
                                 fragment,
@@ -287,6 +291,7 @@ pub fn worker_loop(
                 let queries = plan.split();
                 let presets = vec![None; queries.len()];
                 if !answer_batch(
+                    machine_id,
                     &mut engines,
                     &fragments,
                     base,
@@ -315,6 +320,7 @@ pub fn worker_loop(
                     })
                     .collect();
                 if !answer_batch(
+                    machine_id,
                     &mut engines,
                     &fragments,
                     base,
@@ -337,6 +343,7 @@ pub fn worker_loop(
 /// (the `BatchRef` NACK path). Returns `false` when the coordinator is gone.
 #[allow(clippy::too_many_arguments)]
 fn answer_batch(
+    machine_id: usize,
     engines: &mut [WorkerEngine],
     fragments: &[u32],
     base: u64,
@@ -377,6 +384,7 @@ fn answer_batch(
                     wire.cache_evictions = delta.evictions;
                     wire.cache_bypassed = delta.bypassed;
                     wire.batch_shared = store.shared - shared_before;
+                    wire.replica = machine_id as u64;
                     BatchAnswer::Results { nodes, cost: wire }
                 }
                 Ok(Err(e)) => BatchAnswer::Failed(e),

@@ -9,7 +9,7 @@
 //! byte-identical output from the TCP runner and the in-process cluster.
 
 use disks_cluster::worker::WorkerEngine;
-use disks_cluster::Assignment;
+use disks_cluster::Placement;
 use disks_core::{build_all_indexes, FragmentEngine, IndexConfig, SgkQuery};
 use disks_partition::{MultilevelPartitioner, Partitioner, Partitioning};
 use disks_roadnet::generator::GridNetworkConfig;
@@ -30,9 +30,10 @@ pub fn partition(net: &RoadNetwork, fragments: usize) -> Partitioning {
 }
 
 /// The engines machine `m` owns under the cluster's round-robin fragment
-/// assignment — the same assignment `Cluster::build_remote` uses, so a
-/// worker process rebuilds exactly the fragments the coordinator will
-/// address to it.
+/// placement — the same placement `Cluster::build_remote` uses (remote
+/// clusters never replicate: each worker process rebuilds its own engines
+/// from these seeds), so a worker rebuilds exactly the fragments the
+/// coordinator will address to it.
 pub fn machine_engines(
     net: &RoadNetwork,
     p: &Partitioning,
@@ -40,8 +41,8 @@ pub fn machine_engines(
     m: usize,
 ) -> Vec<WorkerEngine> {
     let indexes = build_all_indexes(net, p, &IndexConfig::unbounded());
-    let assignment = Assignment::round_robin(p.num_fragments(), machines);
-    assignment
+    let placement = Placement::round_robin(p.num_fragments(), machines);
+    placement
         .fragments_of(m)
         .iter()
         .map(|&f| {
