@@ -17,6 +17,22 @@
 //! LRU (`worker::BatchStore`): only the first query of a batch to reference
 //! a slot reaches the LRU, so these counters stay exact — intra-batch
 //! re-references are reported separately as `WireCost::batch_shared`.
+//!
+//! Recency is an intrusive doubly-linked list over an arena (O(1) evict,
+//! refresh, and insert), not a timestamp scan. With a heat threshold of 0
+//! the cache is a plain LRU whose eviction order is byte-identical to the
+//! original linear-scan implementation (every touch moves exactly one
+//! entry to the MRU end, so list order *is* timestamp order). A threshold
+//! `T > 0` turns on **heat-aware admission** (DESIGN.md §6i): per-slot
+//! lookup counts decide where an entry enters the recency order —
+//! - a slot looked up `≥ T` times is *hot*: it lives on a separate hot
+//!   list that is only evicted once the cold list is empty, and a resident
+//!   cold entry is promoted the moment its lookups cross the threshold;
+//! - a slot seen only once so far is a *one-shot*: it is admitted at the
+//!   LRU end of the cold list, first in line for eviction, so a stream of
+//!   cold slots cannot flush the warm working set;
+//! - anything in between enters the cold list at the MRU end, exactly
+//!   like a plain LRU insert.
 
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -69,15 +85,80 @@ impl CacheCounters {
     }
 }
 
-struct Entry {
+type Key = (u32, Term, u64);
+
+/// Sentinel for "no neighbour" in the intrusive lists.
+const NONE: u32 = u32::MAX;
+
+struct Node {
+    key: Key,
     coverage: Arc<BitSet>,
     bytes: usize,
-    last_used: u64,
+    prev: u32,
+    next: u32,
+    hot: bool,
+}
+
+/// One recency order: `head` is the MRU end, `tail` the LRU end.
+#[derive(Clone, Copy)]
+struct RecencyList {
+    head: u32,
+    tail: u32,
+}
+
+impl RecencyList {
+    const EMPTY: RecencyList = RecencyList { head: NONE, tail: NONE };
+}
+
+fn unlink(slots: &mut [Node], list: &mut RecencyList, i: u32) {
+    let (p, n) = (slots[i as usize].prev, slots[i as usize].next);
+    if p == NONE {
+        list.head = n;
+    } else {
+        slots[p as usize].next = n;
+    }
+    if n == NONE {
+        list.tail = p;
+    } else {
+        slots[n as usize].prev = p;
+    }
+    slots[i as usize].prev = NONE;
+    slots[i as usize].next = NONE;
+}
+
+fn push_front(slots: &mut [Node], list: &mut RecencyList, i: u32) {
+    slots[i as usize].prev = NONE;
+    slots[i as usize].next = list.head;
+    if list.head != NONE {
+        slots[list.head as usize].prev = i;
+    }
+    list.head = i;
+    if list.tail == NONE {
+        list.tail = i;
+    }
+}
+
+fn push_back(slots: &mut [Node], list: &mut RecencyList, i: u32) {
+    slots[i as usize].next = NONE;
+    slots[i as usize].prev = list.tail;
+    if list.tail != NONE {
+        slots[list.tail as usize].next = i;
+    }
+    list.tail = i;
+    if list.head == NONE {
+        list.head = i;
+    }
 }
 
 /// Fixed per-entry overhead charged on top of the bitset payload (key,
 /// hash-map slot, and entry metadata — an estimate, not an exact count).
 const ENTRY_OVERHEAD: usize = 64;
+
+/// Bound on the lookup-count table: when it grows past this many slots all
+/// counts are halved and zeroes dropped (the same decay shape as the
+/// coordinator's slot-heat epochs), so one-shot churn cannot grow it
+/// without bound. Order-independent, hence deterministic.
+const SEEN_CAP: usize = 8192;
 
 /// A byte-bounded LRU of coverage bitsets. A budget of 0 disables the
 /// cache entirely: every lookup misses without counting, inserts are
@@ -85,20 +166,40 @@ const ENTRY_OVERHEAD: usize = 64;
 pub struct CoverageCache {
     budget_bytes: usize,
     bytes: usize,
-    tick: u64,
-    entries: HashMap<(u32, Term, u64), Entry>,
+    entries: HashMap<Key, u32>,
+    slots: Vec<Node>,
+    free: Vec<u32>,
+    cold: RecencyList,
+    hot: RecencyList,
+    /// Lookups before a slot counts as hot; 0 disables heat admission
+    /// (plain LRU, byte-identical to the historical behaviour).
+    heat_threshold: u32,
+    /// Per-slot lookup counts, maintained only when `heat_threshold > 0`.
+    seen: HashMap<Key, u32>,
     counters: CacheCounters,
 }
 
 impl CoverageCache {
-    /// Create a cache bounded to `budget_bytes` of bitset payload plus
-    /// per-entry overhead. `0` disables caching.
+    /// Create a plain-LRU cache bounded to `budget_bytes` of bitset
+    /// payload plus per-entry overhead. `0` disables caching.
     pub fn new(budget_bytes: usize) -> Self {
+        Self::with_heat(budget_bytes, 0)
+    }
+
+    /// Create a cache with heat-aware admission: slots looked up at least
+    /// `heat_threshold` times resist eviction, one-shot slots are admitted
+    /// at the eviction end. `heat_threshold == 0` is the plain LRU.
+    pub fn with_heat(budget_bytes: usize, heat_threshold: u32) -> Self {
         CoverageCache {
             budget_bytes,
             bytes: 0,
-            tick: 0,
             entries: HashMap::new(),
+            slots: Vec::new(),
+            free: Vec::new(),
+            cold: RecencyList::EMPTY,
+            hot: RecencyList::EMPTY,
+            heat_threshold,
+            seen: HashMap::new(),
             counters: CacheCounters::default(),
         }
     }
@@ -106,6 +207,11 @@ impl CoverageCache {
     /// Whether the cache is a disabled no-op.
     pub fn is_disabled(&self) -> bool {
         self.budget_bytes == 0
+    }
+
+    /// The configured heat-admission threshold (0 = plain LRU).
+    pub fn heat_threshold(&self) -> u32 {
+        self.heat_threshold
     }
 
     /// Lifetime counters.
@@ -127,18 +233,52 @@ impl CoverageCache {
         self.entries.is_empty()
     }
 
+    /// Bump the lookup count for `key`, decaying the table when it
+    /// overflows. Returns the new count.
+    fn note_lookup(&mut self, key: Key) -> u32 {
+        let c = self.seen.entry(key).or_insert(0);
+        *c = c.saturating_add(1);
+        let c = *c;
+        if self.seen.len() > SEEN_CAP {
+            self.seen.retain(|_, n| {
+                *n /= 2;
+                *n > 0
+            });
+        }
+        c
+    }
+
+    fn detach(&mut self, i: u32) {
+        if self.slots[i as usize].hot {
+            unlink(&mut self.slots, &mut self.hot, i);
+        } else {
+            unlink(&mut self.slots, &mut self.cold, i);
+        }
+    }
+
     /// Look up the coverage for `(fragment, term, radius)`, refreshing its
-    /// recency on a hit.
+    /// recency on a hit. With heat admission on, the lookup also counts
+    /// toward the slot's heat, and a resident entry whose count crosses
+    /// the threshold is promoted to the hot list.
     pub fn get(&mut self, fragment: u32, term: Term, radius: u64) -> Option<Arc<BitSet>> {
         if self.is_disabled() {
             return None;
         }
-        self.tick += 1;
-        match self.entries.get_mut(&(fragment, term, radius)) {
-            Some(e) => {
-                e.last_used = self.tick;
+        let key = (fragment, term, radius);
+        let seen = if self.heat_threshold > 0 { self.note_lookup(key) } else { 0 };
+        match self.entries.get(&key).copied() {
+            Some(i) => {
+                self.detach(i);
+                if self.heat_threshold > 0 && seen >= self.heat_threshold {
+                    self.slots[i as usize].hot = true;
+                }
+                if self.slots[i as usize].hot {
+                    push_front(&mut self.slots, &mut self.hot, i);
+                } else {
+                    push_front(&mut self.slots, &mut self.cold, i);
+                }
                 self.counters.hits += 1;
-                Some(e.coverage.clone())
+                Some(self.slots[i as usize].coverage.clone())
             }
             None => {
                 self.counters.misses += 1;
@@ -168,29 +308,55 @@ impl CoverageCache {
         if bytes > self.budget_bytes {
             return;
         }
-        if let Some(old) = self.entries.remove(&(fragment, term, radius)) {
-            self.bytes -= old.bytes;
+        let key = (fragment, term, radius);
+        if let Some(i) = self.entries.remove(&key) {
+            self.detach(i);
+            self.bytes -= self.slots[i as usize].bytes;
+            self.free.push(i);
         }
         while self.bytes + bytes > self.budget_bytes {
             self.evict_lru();
         }
-        self.tick += 1;
+        let i = match self.free.pop() {
+            Some(i) => {
+                self.slots[i as usize] =
+                    Node { key, coverage, bytes, prev: NONE, next: NONE, hot: false };
+                i
+            }
+            None => {
+                let i = self.slots.len() as u32;
+                self.slots.push(Node { key, coverage, bytes, prev: NONE, next: NONE, hot: false });
+                i
+            }
+        };
+        if self.heat_threshold == 0 {
+            push_front(&mut self.slots, &mut self.cold, i);
+        } else {
+            let seen = self.seen.get(&key).copied().unwrap_or(0);
+            if seen >= self.heat_threshold {
+                self.slots[i as usize].hot = true;
+                push_front(&mut self.slots, &mut self.hot, i);
+            } else if seen <= 1 {
+                // One-shot so far: admitted last, first in eviction order.
+                push_back(&mut self.slots, &mut self.cold, i);
+            } else {
+                push_front(&mut self.slots, &mut self.cold, i);
+            }
+        }
         self.bytes += bytes;
-        self.entries
-            .insert((fragment, term, radius), Entry { coverage, bytes, last_used: self.tick });
+        self.entries.insert(key, i);
     }
 
+    /// Evict the cold LRU entry, falling back to the hot LRU only when no
+    /// cold entry remains. O(1): both orders are intrusive lists.
     fn evict_lru(&mut self) {
-        // Linear scan: evictions are rare relative to lookups, and the
-        // entry count at typical budgets stays small.
-        let victim = self
-            .entries
-            .iter()
-            .min_by_key(|(_, e)| e.last_used)
-            .map(|(k, _)| *k)
-            .expect("evict_lru called on empty cache with bytes outstanding");
-        let e = self.entries.remove(&victim).expect("victim present");
-        self.bytes -= e.bytes;
+        let victim = if self.cold.tail != NONE { self.cold.tail } else { self.hot.tail };
+        assert!(victim != NONE, "evict_lru called on empty cache with bytes outstanding");
+        self.detach(victim);
+        let node = &self.slots[victim as usize];
+        self.bytes -= node.bytes;
+        self.entries.remove(&node.key).expect("victim present");
+        self.free.push(victim);
         self.counters.evictions += 1;
     }
 }
@@ -312,5 +478,167 @@ mod tests {
         let mut acc = b;
         acc.absorb(&a);
         assert_eq!(acc, CacheCounters { hits: 7, misses: 4, evictions: 1, bypassed: 5 });
+    }
+
+    /// Reference model of the historical linear-scan implementation:
+    /// timestamped entries, eviction by minimum `last_used`. Ticks are
+    /// unique so the scan never ties — the recency list must reproduce its
+    /// eviction order byte-for-byte at heat threshold 0.
+    struct ScanModel {
+        budget: usize,
+        bytes: usize,
+        tick: u64,
+        entries: HashMap<Key, (Arc<BitSet>, usize, u64)>,
+        counters: CacheCounters,
+    }
+
+    impl ScanModel {
+        fn get(&mut self, key: Key) -> Option<Arc<BitSet>> {
+            self.tick += 1;
+            match self.entries.get_mut(&key) {
+                Some(e) => {
+                    e.2 = self.tick;
+                    self.counters.hits += 1;
+                    Some(e.0.clone())
+                }
+                None => {
+                    self.counters.misses += 1;
+                    None
+                }
+            }
+        }
+
+        fn insert(&mut self, key: Key, coverage: Arc<BitSet>) {
+            if coverage.count() * 4 < ENTRY_OVERHEAD {
+                self.counters.bypassed += 1;
+                return;
+            }
+            let bytes = coverage.memory_bytes() + ENTRY_OVERHEAD;
+            if bytes > self.budget {
+                return;
+            }
+            if let Some(old) = self.entries.remove(&key) {
+                self.bytes -= old.1;
+            }
+            while self.bytes + bytes > self.budget {
+                let victim = *self.entries.iter().min_by_key(|(_, e)| e.2).unwrap().0;
+                let e = self.entries.remove(&victim).unwrap();
+                self.bytes -= e.1;
+                self.counters.evictions += 1;
+            }
+            self.tick += 1;
+            self.bytes += bytes;
+            self.entries.insert(key, (coverage, bytes, self.tick));
+        }
+    }
+
+    #[test]
+    fn recency_list_matches_linear_scan_model() {
+        let one = fat(64, 0).memory_bytes() + ENTRY_OVERHEAD;
+        let budget = 3 * one + one / 2;
+        let mut c = CoverageCache::new(budget);
+        let mut m = ScanModel {
+            budget,
+            bytes: 0,
+            tick: 0,
+            entries: HashMap::new(),
+            counters: CacheCounters::default(),
+        };
+        // Deterministic pseudo-random op stream over 8 keys: lookups and
+        // inserts interleaved, with enough distinct keys to force steady
+        // eviction churn at a 3-entry budget.
+        let mut state = 0x9E37_79B9_u64;
+        for _ in 0..4000 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let k = ((state >> 33) % 8) as u32;
+            let key = (0u32, kw(k), 0u64);
+            if (state >> 7) & 1 == 0 {
+                assert_eq!(c.get(key.0, key.1, key.2).is_some(), m.get(key).is_some());
+            } else {
+                c.insert(key.0, key.1, key.2, fat(64, k as usize));
+                m.insert(key, fat(64, k as usize));
+            }
+            assert_eq!(c.counters(), m.counters);
+            assert_eq!(c.resident_bytes(), m.bytes);
+            assert_eq!(c.len(), m.entries.len());
+        }
+        assert!(c.counters().evictions > 100, "stream must exercise eviction");
+        for k in 0..8u32 {
+            assert_eq!(c.get(0, kw(k), 0).is_some(), m.get((0, kw(k), 0)).is_some());
+        }
+    }
+
+    #[test]
+    fn hot_entries_resist_eviction() {
+        let one = fat(64, 0).memory_bytes() + ENTRY_OVERHEAD;
+        let mut c = CoverageCache::with_heat(2 * one + one / 2, 2);
+        assert_eq!(c.heat_threshold(), 2);
+        // kw1 is looked up twice before its insert → hot on admission.
+        assert!(c.get(0, kw(1), 0).is_none());
+        assert!(c.get(0, kw(1), 0).is_none());
+        c.insert(0, kw(1), 0, fat(64, 1));
+        // kw2 and kw3 are one-shots; admitting kw3 must evict kw2, the
+        // cold entry, even though kw1 is the least recently touched.
+        assert!(c.get(0, kw(2), 0).is_none());
+        c.insert(0, kw(2), 0, fat(64, 2));
+        assert!(c.get(0, kw(3), 0).is_none());
+        c.insert(0, kw(3), 0, fat(64, 3));
+        assert_eq!(c.counters().evictions, 1);
+        assert!(c.get(0, kw(1), 0).is_some(), "hot entry survives");
+        assert!(c.get(0, kw(2), 0).is_none(), "cold entry evicted");
+        assert!(c.get(0, kw(3), 0).is_some());
+    }
+
+    #[test]
+    fn one_shot_slots_are_first_out() {
+        let one = fat(64, 0).memory_bytes() + ENTRY_OVERHEAD;
+        let mut c = CoverageCache::with_heat(2 * one + one / 2, 3);
+        // kw1 reaches two lookups (below the threshold of 3) → admitted at
+        // the cold MRU end like a plain LRU insert.
+        assert!(c.get(0, kw(1), 0).is_none());
+        assert!(c.get(0, kw(1), 0).is_none());
+        c.insert(0, kw(1), 0, fat(64, 1));
+        // kw2 is a one-shot → admitted at the cold LRU end, so it goes
+        // first even though it is the most recently inserted.
+        assert!(c.get(0, kw(2), 0).is_none());
+        c.insert(0, kw(2), 0, fat(64, 2));
+        assert!(c.get(0, kw(3), 0).is_none());
+        c.insert(0, kw(3), 0, fat(64, 3));
+        assert_eq!(c.counters().evictions, 1);
+        assert!(c.get(0, kw(1), 0).is_some(), "warm entry survives the one-shot");
+        assert!(c.get(0, kw(2), 0).is_none(), "one-shot evicted first");
+    }
+
+    #[test]
+    fn resident_entry_promotes_on_crossing_threshold() {
+        let one = fat(64, 0).memory_bytes() + ENTRY_OVERHEAD;
+        let mut c = CoverageCache::with_heat(2 * one + one / 2, 3);
+        assert!(c.get(0, kw(1), 0).is_none());
+        c.insert(0, kw(1), 0, fat(64, 1));
+        // Two hits take kw1's lookups to 3 → promoted to the hot list.
+        assert!(c.get(0, kw(1), 0).is_some());
+        assert!(c.get(0, kw(1), 0).is_some());
+        // A pair of fresh inserts evicts from the cold list only.
+        assert!(c.get(0, kw(2), 0).is_none());
+        c.insert(0, kw(2), 0, fat(64, 2));
+        assert!(c.get(0, kw(3), 0).is_none());
+        c.insert(0, kw(3), 0, fat(64, 3));
+        assert_eq!(c.counters().evictions, 1);
+        assert!(c.get(0, kw(1), 0).is_some(), "promoted entry survives");
+    }
+
+    #[test]
+    fn hot_list_evicts_when_cold_is_empty() {
+        let one = fat(64, 0).memory_bytes() + ENTRY_OVERHEAD;
+        let mut c = CoverageCache::with_heat(2 * one + one / 2, 1);
+        // Threshold 1: every looked-up slot is hot on admission.
+        for k in 1..=3u32 {
+            assert!(c.get(0, kw(k), 0).is_none());
+            c.insert(0, kw(k), 0, fat(64, k as usize));
+        }
+        assert_eq!(c.counters().evictions, 1, "hot LRU evicted once cold is empty");
+        assert!(c.get(0, kw(1), 0).is_none(), "oldest hot entry evicted");
+        assert!(c.get(0, kw(2), 0).is_some());
+        assert!(c.get(0, kw(3), 0).is_some());
     }
 }

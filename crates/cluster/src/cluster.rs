@@ -46,6 +46,7 @@ use disks_roadnet::{NodeId, RoadNetwork, INF};
 use crate::adaptive::WindowController;
 use crate::cache::CacheCounters;
 use crate::framing;
+use crate::heat::HeatSnapshot;
 use crate::message::{
     decode_frame, encode_frame, results_frame_len, BatchAnswer, Request, Response, WireCost,
 };
@@ -80,7 +81,7 @@ const HEAT_CAP: usize = 4096;
 
 /// Deterministic total order on coverage-slot keys, used to break heat
 /// ties: keyword slots before node slots, then id, then radius.
-fn slot_key(&(term, radius): &(Term, u64)) -> (u8, u64, u64) {
+pub(crate) fn slot_key(&(term, radius): &(Term, u64)) -> (u8, u64, u64) {
     match term {
         Term::Keyword(kw) => (0, kw.0 as u64, radius),
         Term::Node(n) => (1, n.index() as u64, radius),
@@ -196,9 +197,17 @@ pub struct ClusterConfig {
     /// Per-fragment heat estimates steering replica *placement* (hotter
     /// fragments claim the idlest machines first); one entry per fragment.
     /// `None` (the default) treats every fragment as equally hot. Set
-    /// programmatically — e.g. from a profiling run's per-machine compute —
-    /// not from the environment.
+    /// programmatically — e.g. from a profiling run's per-machine compute
+    /// or a [`crate::HeatSnapshot`] profile — not from the environment.
     pub placement_heat: Option<Vec<u64>>,
+    /// Heat-aware coverage-cache admission threshold (DESIGN.md §6i):
+    /// slots looked up at least this many times resist eviction, one-shot
+    /// slots are admitted at the eviction end; `0` keeps the plain LRU
+    /// (bit-identical to the pre-layout cache). The default honours the
+    /// `DISKS_CACHE_HEAT` environment variable (a lookup count, or
+    /// `0`/`off`/`false` for plain LRU); unset, it follows `DISKS_LAYOUT`
+    /// — 3 under `workload`, 0 under `static`.
+    pub cache_heat: u32,
 }
 
 impl ClusterConfig {
@@ -342,6 +351,25 @@ impl ClusterConfig {
         }
     }
 
+    /// Cache heat-admission threshold from `DISKS_CACHE_HEAT` (a lookup
+    /// count, or `0`/`off`/`false` for plain LRU). Unset or unparseable,
+    /// the default follows the layout mode: 3 under
+    /// `DISKS_LAYOUT=workload`, 0 (plain LRU) otherwise.
+    pub fn cache_heat_from_env() -> u32 {
+        let default = if disks_core::LayoutMode::from_env().is_workload() { 3 } else { 0 };
+        match std::env::var("DISKS_CACHE_HEAT") {
+            Ok(v) => {
+                let v = v.trim();
+                if v.eq_ignore_ascii_case("off") || v.eq_ignore_ascii_case("false") {
+                    0
+                } else {
+                    v.parse().unwrap_or(default)
+                }
+            }
+            Err(_) => default,
+        }
+    }
+
     /// Retry backoff base from `DISKS_RETRY_BACKOFF` (milliseconds, or
     /// `0`/`off`/`false` for immediate retries); 2 ms when unset or
     /// unparseable.
@@ -385,6 +413,7 @@ impl Default for ClusterConfig {
             replicas: Self::replicas_from_env(),
             route: Self::route_from_env(),
             placement_heat: None,
+            cache_heat: Self::cache_heat_from_env(),
         }
     }
 }
@@ -501,6 +530,7 @@ fn spawn_local_worker(
     heartbeat: HeartbeatConfig,
     queue_capacity: usize,
     cache_budget: usize,
+    cache_heat: u32,
     counters: Arc<LinkCounters>,
     to_faults: Option<Arc<FaultInjector>>,
     from_faults: Option<Arc<FaultInjector>>,
@@ -513,7 +543,15 @@ fn spawn_local_worker(
         std::thread::Builder::new()
             .name(format!("disks-worker-{m}"))
             .spawn(move || {
-                worker_loop(m, engines, requests, responses, worker_faults, cache_budget)
+                worker_loop(
+                    m,
+                    engines,
+                    requests,
+                    responses,
+                    worker_faults,
+                    cache_budget,
+                    cache_heat,
+                )
             })
             .expect("spawn worker")
     };
@@ -758,6 +796,9 @@ pub struct Cluster {
     admission_max_r: u64,
     /// Byte budget handed to each worker's coverage cache (0 = disabled).
     cache_budget: usize,
+    /// Heat-admission threshold of each worker's coverage cache (0 = plain
+    /// LRU; respawn recreates like for like).
+    cache_heat: u32,
     /// Cross-query batching window (≤1 = unbatched dispatch). Under
     /// adaptive batching this is the controller's seed.
     batch_window: usize,
@@ -897,6 +938,7 @@ impl Cluster {
                 config.heartbeat,
                 config.queue_capacity.max(1),
                 config.coverage_cache_bytes,
+                config.cache_heat,
                 counters,
                 to_faults.clone(),
                 from_faults.clone(),
@@ -941,6 +983,7 @@ impl Cluster {
             is_object,
             admission_max_r,
             cache_budget: config.coverage_cache_bytes,
+            cache_heat: config.cache_heat,
             batch_window: config.batch_window,
             batch_adaptive: config.batch_adaptive,
             batch_window_ms: config.batch_window_ms,
@@ -1066,6 +1109,7 @@ impl Cluster {
             is_object,
             admission_max_r: index_config.max_r,
             cache_budget: config.coverage_cache_bytes,
+            cache_heat: config.cache_heat,
             batch_window: config.batch_window,
             batch_adaptive: config.batch_adaptive,
             batch_window_ms: config.batch_window_ms,
@@ -1234,6 +1278,7 @@ impl Cluster {
                 self.heartbeat,
                 self.queue_capacity,
                 self.cache_budget,
+                self.cache_heat,
                 counters,
                 w.to_faults.clone(),
                 w.from_faults.clone(),
@@ -1325,6 +1370,24 @@ impl Cluster {
         ranked
             .sort_unstable_by(|a, b| b.1.cmp(a.1).then_with(|| slot_key(a.0).cmp(&slot_key(b.0))));
         ranked.into_iter().take(k).map(|(&(term, radius), _)| DTerm { term, radius }).collect()
+    }
+
+    /// Export the slot-heat ledger as a portable [`HeatSnapshot`]: every
+    /// tracked `(term, radius)` slot with its lifetime dispatch count,
+    /// hottest first (count descending, ties by the deterministic slot
+    /// key). Feed the snapshot's [`HeatSnapshot::to_profile`] into the
+    /// offline layout pipeline (query-weighted refinement, observed-radius
+    /// split, heat-seeded placement) to re-lay the cluster out around the
+    /// workload it actually served.
+    pub fn heat_snapshot(&self) -> HeatSnapshot {
+        let heat = self.slot_heat.borrow();
+        let mut ranked: Vec<((Term, u64), u64)> = heat.iter().map(|(&k, &v)| (k, v)).collect();
+        ranked.sort_unstable_by(|a, b| {
+            b.1.cmp(&a.1).then_with(|| slot_key(&a.0).cmp(&slot_key(&b.0)))
+        });
+        HeatSnapshot {
+            entries: ranked.into_iter().map(|((term, r), count)| (term, r, count)).collect(),
+        }
     }
 
     /// Record a plan's coverage slots in the heat map (admission time).

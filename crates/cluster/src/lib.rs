@@ -69,6 +69,7 @@ pub mod adaptive;
 pub mod cache;
 pub mod cluster;
 pub mod framing;
+pub mod heat;
 pub mod message;
 pub mod overload;
 pub mod scheduler;
@@ -80,6 +81,7 @@ pub use adaptive::WindowController;
 pub use cache::{CacheCounters, CoverageCache};
 pub use cluster::{Cluster, ClusterConfig, QueryOutcome, RemoteWorkerCommand};
 pub use framing::{FrameAssembler, StreamEvent};
+pub use heat::HeatSnapshot;
 pub use message::{BatchAnswer, Request, Response, WireCost};
 pub use overload::{retry_after, OverloadCounters, PressureGauge};
 pub use scheduler::{Placement, RoutePolicy};

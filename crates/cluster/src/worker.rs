@@ -167,8 +167,9 @@ pub fn worker_loop(
     responses: LinkSender,
     faults: WorkerFaults,
     cache_budget: usize,
+    cache_heat: u32,
 ) {
-    let mut cache = CoverageCache::new(cache_budget);
+    let mut cache = CoverageCache::with_heat(cache_budget, cache_heat);
     // Slot directory for reference elision: global slot id → full spec,
     // taught by the full-spec entries of `BatchRef` frames. Separate from
     // the coverage cache (evicting a coverage only costs a recompute from
@@ -437,7 +438,7 @@ mod tests {
         let (req_tx, req_rx) = unbounded();
         let (resp_tx, resp_rx, counters) = counted_link();
         let handle = std::thread::spawn(move || {
-            worker_loop(0, engines, req_rx, resp_tx, WorkerFaults::default(), 1 << 20)
+            worker_loop(0, engines, req_rx, resp_tx, WorkerFaults::default(), 1 << 20, 0)
         });
 
         let freqs = net.keyword_frequencies();
@@ -486,7 +487,7 @@ mod tests {
         let (req_tx, req_rx) = unbounded();
         let (resp_tx, resp_rx, _) = counted_link();
         let handle = std::thread::spawn(move || {
-            worker_loop(0, engines, req_rx, resp_tx, WorkerFaults::default(), 0)
+            worker_loop(0, engines, req_rx, resp_tx, WorkerFaults::default(), 0, 0)
         });
         let f = DFunction::single(Term::Keyword(KeywordId(0)), 1_000_000_000);
         let plan = QueryPlan::lower(&f);
@@ -518,7 +519,7 @@ mod tests {
         let (req_tx, req_rx) = unbounded();
         let (resp_tx, resp_rx, _) = counted_link();
         let handle = std::thread::spawn(move || {
-            worker_loop(0, engines, req_rx, resp_tx, WorkerFaults::default(), 1 << 20)
+            worker_loop(0, engines, req_rx, resp_tx, WorkerFaults::default(), 1 << 20, 0)
         });
         let freqs = net.keyword_frequencies();
         let top = KeywordId((0..freqs.len()).max_by_key(|&k| freqs[k]).unwrap() as u32);
@@ -563,7 +564,7 @@ mod tests {
         let (req_tx, req_rx) = unbounded();
         let (resp_tx, resp_rx, _) = counted_link();
         let handle = std::thread::spawn(move || {
-            worker_loop(0, engines, req_rx, resp_tx, WorkerFaults::default(), 1 << 20)
+            worker_loop(0, engines, req_rx, resp_tx, WorkerFaults::default(), 1 << 20, 0)
         });
         req_tx.send(Bytes::from_static(&[0xde, 0xad])).unwrap();
         // Worker survives; a valid shutdown still works.
@@ -590,8 +591,9 @@ mod tests {
             .collect();
         let (req_tx, req_rx) = unbounded();
         let (resp_tx, resp_rx, _) = counted_link();
-        let handle =
-            std::thread::spawn(move || worker_loop(0, engines, req_rx, resp_tx, faults, 1 << 20));
+        let handle = std::thread::spawn(move || {
+            worker_loop(0, engines, req_rx, resp_tx, faults, 1 << 20, 0)
+        });
         (req_tx, resp_rx, handle, net)
     }
 

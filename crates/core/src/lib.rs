@@ -32,11 +32,12 @@ pub mod directed;
 pub mod engine;
 pub mod error;
 pub mod index;
+pub mod layout;
 pub mod plan;
 pub mod query;
 pub mod topk;
 
-pub use bilevel::BiLevelIndex;
+pub use bilevel::{observed_split, BiLevelIndex};
 pub use coverage::CentralizedCoverage;
 pub use dfunc::{DFunction, DTerm, SetOp, Term};
 pub use directed::{
@@ -49,6 +50,7 @@ pub use index::{
     build_all_indexes, build_index, build_index_with_threads, build_naive_index, DlScope,
     IndexConfig, IndexStats, NpdIndex,
 };
+pub use layout::LayoutMode;
 pub use plan::{
     CostParams, ElidedSlot, ElidedSuperPlan, QueryPlan, ResolvedBatch, SlotIdTable, SuperPlan,
 };

@@ -1,0 +1,393 @@
+//! Workload-aware layout (DESIGN.md §6i): the query-log profile and the
+//! query-weighted refinement pass.
+//!
+//! Every layout decision upstream of this module — partition boundaries,
+//! the §5.5 bi-level radius split, replica placement, cache admission — is
+//! blind to the workload: it sees the graph and the objects, never the
+//! queries. Theorem 6 says distributed query time is governed by the most
+//! loaded machine, and load is a property of the *query stream*, not the
+//! data. A [`LayoutProfile`] captures the stream's observable shape
+//! (keyword ranks, query radii, query locations) so each layer can trade
+//! its data-only heuristic for a workload-weighted one:
+//!
+//! * [`weighted_cut`] — the edge cut where an edge incident to hot nodes
+//!   (nodes whose keywords are queried often) costs `1 + heat(u) +
+//!   heat(v)` instead of 1. With zero heat everywhere this *is* the plain
+//!   cut-edge count, so the metric degenerates cleanly.
+//! * [`refine_weighted`] — a boundary Fiduccia–Mattheyses pass over an
+//!   existing partitioning that greedily moves nodes to strictly decrease
+//!   the weighted cut under the same node-count balance cap the blind
+//!   partitioner used. Every applied move strictly improves, so the pass
+//!   **never increases** the weighted cut (the proptests pin this).
+//!
+//! The profile is deliberately partition-independent — it records node and
+//! keyword identities, so one profile can evaluate or refine any candidate
+//! partitioning of the same network.
+
+use std::collections::HashMap;
+
+use disks_roadnet::{KeywordId, NodeId, RoadNetwork};
+
+use crate::fragment::Partitioning;
+use crate::multilevel::balance_cap;
+
+/// Diffusion rounds [`MultilevelPartitioner::refine_with_profile`] applies
+/// to the profile's node heat before refining — evaluate a refined
+/// partitioning with [`weighted_cut`] under
+/// [`LayoutProfile::node_heat_diffused`] at the same hop count.
+///
+/// [`MultilevelPartitioner::refine_with_profile`]: crate::MultilevelPartitioner::refine_with_profile
+pub const HEAT_DIFFUSION_HOPS: usize = 3;
+
+/// Aggregated shape of an observed query stream: how often each keyword is
+/// queried, the radius distribution, and (when known) where queries
+/// originate. All counts are weights — replaying a log adds its
+/// multiplicities, merging two profiles is addition.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LayoutProfile {
+    keyword_heat: HashMap<u32, u64>,
+    radii: HashMap<u64, u64>,
+    location_heat: HashMap<u32, u64>,
+}
+
+impl LayoutProfile {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// True when the profile has recorded nothing — consumers fall back to
+    /// their blind defaults.
+    pub fn is_empty(&self) -> bool {
+        self.keyword_heat.is_empty() && self.radii.is_empty() && self.location_heat.is_empty()
+    }
+
+    /// Record `weight` additional queries of keyword `kw`.
+    pub fn record_keyword(&mut self, kw: KeywordId, weight: u64) {
+        if weight > 0 {
+            let c = self.keyword_heat.entry(kw.0).or_insert(0);
+            *c = c.saturating_add(weight);
+        }
+    }
+
+    /// Record `weight` additional queries of radius `r`.
+    pub fn record_radius(&mut self, r: u64, weight: u64) {
+        if weight > 0 {
+            let c = self.radii.entry(r).or_insert(0);
+            *c = c.saturating_add(weight);
+        }
+    }
+
+    /// Record `weight` additional queries anchored at node `n` (e.g. §6
+    /// kNN-style queries with a location; pure SGKQ streams have none).
+    pub fn record_location(&mut self, n: NodeId, weight: u64) {
+        if weight > 0 {
+            let c = self.location_heat.entry(n.0).or_insert(0);
+            *c = c.saturating_add(weight);
+        }
+    }
+
+    /// Record one query: each keyword once, the radius once.
+    pub fn record_query(&mut self, keywords: &[KeywordId], radius: u64) {
+        for &kw in keywords {
+            self.record_keyword(kw, 1);
+        }
+        self.record_radius(radius, 1);
+    }
+
+    /// Total recorded query weight (by radius observations).
+    pub fn total_queries(&self) -> u64 {
+        self.radii.values().sum()
+    }
+
+    /// Keyword heat as `(keyword, weight)`, hottest first (ties toward the
+    /// smaller keyword id) — the profile's notion of keyword rank.
+    pub fn keyword_ranks(&self) -> Vec<(u32, u64)> {
+        let mut v: Vec<(u32, u64)> = self.keyword_heat.iter().map(|(&k, &c)| (k, c)).collect();
+        v.sort_by_key(|&(k, c)| (std::cmp::Reverse(c), k));
+        v
+    }
+
+    /// The observed radius distribution as `(radius, weight)`, ascending.
+    pub fn radius_distribution(&self) -> Vec<(u64, u64)> {
+        let mut v: Vec<(u64, u64)> = self.radii.iter().map(|(&r, &c)| (r, c)).collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// The smallest observed radius `r` such that at least `q` of the
+    /// recorded query weight used radius `≤ r`, or `None` when the profile
+    /// saw no radii. `q` is clamped to `[0, 1]`; the answer is always an
+    /// observed radius, so `q = 1.0` returns the maximum.
+    pub fn radius_quantile(&self, q: f64) -> Option<u64> {
+        let dist = self.radius_distribution();
+        let total: u64 = dist.iter().map(|&(_, c)| c).sum();
+        if total == 0 {
+            return None;
+        }
+        let target = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
+        let mut cum = 0u64;
+        for &(r, c) in &dist {
+            cum += c;
+            if cum >= target {
+                return Some(r);
+            }
+        }
+        dist.last().map(|&(r, _)| r)
+    }
+
+    /// Project the profile onto nodes of `net`: every object node carrying
+    /// a queried keyword receives that keyword's full weight (each query
+    /// runs a coverage Dijkstra from *every* object of its keyword, so a
+    /// node's heat is the query traffic of the keywords it carries), plus
+    /// any direct location weight.
+    pub fn node_heat(&self, net: &RoadNetwork) -> Vec<u64> {
+        let mut heat = vec![0u64; net.num_nodes()];
+        for (&kw, &c) in &self.keyword_heat {
+            for &n in net.nodes_with_keyword(KeywordId(kw)) {
+                heat[n.index()] += c;
+            }
+        }
+        for (&n, &c) in &self.location_heat {
+            if (n as usize) < heat.len() {
+                heat[n as usize] += c;
+            }
+        }
+        heat
+    }
+
+    /// [`node_heat`] diffused `hops` rounds over the graph: each round,
+    /// every node absorbs half its hottest neighbor's heat (keeping its
+    /// own when larger), so heat decays geometrically with hop distance
+    /// from the objects. Object nodes typically hang off the road graph's
+    /// interior while the partitioner cuts between road nodes — a query's
+    /// coverage Dijkstra spends its work *around* its objects, and this is
+    /// what gives the cut edges inside those neighborhoods their weight
+    /// (use [`HEAT_DIFFUSION_HOPS`] to match the refinement pass).
+    ///
+    /// [`node_heat`]: LayoutProfile::node_heat
+    pub fn node_heat_diffused(&self, net: &RoadNetwork, hops: usize) -> Vec<u64> {
+        let mut heat = self.node_heat(net);
+        for _ in 0..hops {
+            let prev = heat.clone();
+            for u in 0..net.num_nodes() {
+                let from_neighbors = net
+                    .neighbors(NodeId(u as u32))
+                    .map(|(v, _)| prev[v.index()] / 2)
+                    .max()
+                    .unwrap_or(0);
+                heat[u] = prev[u].max(from_neighbors);
+            }
+        }
+        heat
+    }
+
+    /// Node heat summed per fragment of `p` — the placement layer's seed
+    /// (`Placement::replicated` heat, router load shares).
+    pub fn fragment_heat(&self, net: &RoadNetwork, p: &Partitioning) -> Vec<u64> {
+        let heat = self.node_heat(net);
+        let mut per = vec![0u64; p.num_fragments()];
+        for (u, &h) in heat.iter().enumerate() {
+            per[p.assignment()[u] as usize] += h;
+        }
+        per
+    }
+}
+
+/// Query-weighted edge cut: each cut edge `(u, v)` costs
+/// `1 + heat[u] + heat[v]`. With `heat ≡ 0` this equals the plain
+/// cut-edge count exactly.
+pub fn weighted_cut(net: &RoadNetwork, p: &Partitioning, node_heat: &[u64]) -> u64 {
+    assert_eq!(node_heat.len(), net.num_nodes(), "one heat entry per node");
+    let mut cut = 0u64;
+    for (a, b, _) in net.edges() {
+        if !p.same_fragment(a, b) {
+            cut += 1 + node_heat[a.index()] + node_heat[b.index()];
+        }
+    }
+    cut
+}
+
+/// Query-weighted boundary refinement over an existing partitioning:
+/// deterministic passes (ascending node order, no RNG) move a boundary
+/// node to the adjacent fragment with the largest strictly positive
+/// weighted gain, under the blind partitioner's node-count balance cap
+/// (`epsilon`) and never emptying a fragment. Each applied move strictly
+/// decreases the weighted cut, so the result's [`weighted_cut`] is never
+/// above the input's.
+pub fn refine_weighted(
+    net: &RoadNetwork,
+    p: &Partitioning,
+    node_heat: &[u64],
+    epsilon: f64,
+    passes: usize,
+) -> Partitioning {
+    let n = net.num_nodes();
+    let k = p.num_fragments();
+    assert_eq!(node_heat.len(), n, "one heat entry per node");
+    let mut assignment = p.assignment().to_vec();
+    if n == 0 || k <= 1 {
+        return Partitioning::from_assignment(net, assignment, k);
+    }
+    let mut sizes = vec![0u64; k];
+    for &a in &assignment {
+        sizes[a as usize] += 1;
+    }
+    let cap = balance_cap(n as u64, k, epsilon);
+    let ew = |u: usize, v: usize| 1 + node_heat[u] + node_heat[v];
+    for _ in 0..passes {
+        let mut moved = 0usize;
+        for u in 0..n {
+            let from = assignment[u] as usize;
+            let mut internal = 0u64;
+            for (v, _) in net.neighbors(NodeId(u as u32)) {
+                if assignment[v.index()] as usize == from {
+                    internal += ew(u, v.index());
+                }
+            }
+            // Small double scan per candidate fragment, as in the blind FM
+            // pass — road-network degrees are tiny.
+            let mut best: Option<(usize, u64)> = None;
+            for (v, _) in net.neighbors(NodeId(u as u32)) {
+                let fv = assignment[v.index()] as usize;
+                if fv == from {
+                    continue;
+                }
+                let mut external = 0u64;
+                for (v2, _) in net.neighbors(NodeId(u as u32)) {
+                    if assignment[v2.index()] as usize == fv {
+                        external += ew(u, v2.index());
+                    }
+                }
+                if external > internal && best.is_none_or(|(_, g)| external - internal > g) {
+                    best = Some((fv, external - internal));
+                }
+            }
+            if let Some((to, _)) = best {
+                if sizes[to] < cap && sizes[from] > 1 {
+                    sizes[from] -= 1;
+                    sizes[to] += 1;
+                    assignment[u] = to as u32;
+                    moved += 1;
+                }
+            }
+        }
+        if moved == 0 {
+            break;
+        }
+    }
+    Partitioning::from_assignment(net, assignment, k)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{MultilevelPartitioner, Partitioner};
+    use disks_roadnet::generator::GridNetworkConfig;
+
+    #[test]
+    fn quantiles_walk_the_observed_distribution() {
+        let mut p = LayoutProfile::new();
+        assert!(p.radius_quantile(0.9).is_none());
+        p.record_radius(10, 5);
+        p.record_radius(20, 4);
+        p.record_radius(40, 1);
+        assert_eq!(p.total_queries(), 10);
+        assert_eq!(p.radius_quantile(0.0), Some(10), "q=0 still needs one observation");
+        assert_eq!(p.radius_quantile(0.5), Some(10));
+        assert_eq!(p.radius_quantile(0.9), Some(20));
+        assert_eq!(p.radius_quantile(0.95), Some(40));
+        assert_eq!(p.radius_quantile(1.0), Some(40));
+    }
+
+    #[test]
+    fn keyword_ranks_order_by_heat_then_id() {
+        let mut p = LayoutProfile::new();
+        p.record_keyword(KeywordId(3), 5);
+        p.record_keyword(KeywordId(1), 7);
+        p.record_keyword(KeywordId(2), 5);
+        assert_eq!(p.keyword_ranks(), vec![(1, 7), (2, 5), (3, 5)]);
+    }
+
+    #[test]
+    fn node_heat_projects_keywords_onto_objects() {
+        let net = GridNetworkConfig::tiny(7).generate();
+        let mut p = LayoutProfile::new();
+        p.record_keyword(KeywordId(0), 3);
+        let heat = p.node_heat(&net);
+        for &n in net.nodes_with_keyword(KeywordId(0)) {
+            assert_eq!(heat[n.index()], 3);
+        }
+        let carriers: std::collections::HashSet<usize> =
+            net.nodes_with_keyword(KeywordId(0)).iter().map(|n| n.index()).collect();
+        for (u, &h) in heat.iter().enumerate() {
+            if !carriers.contains(&u) {
+                assert_eq!(h, 0);
+            }
+        }
+    }
+
+    #[test]
+    fn diffusion_spreads_heat_with_geometric_decay() {
+        let net = GridNetworkConfig::tiny(7).generate();
+        let mut p = LayoutProfile::new();
+        p.record_keyword(KeywordId(0), 8);
+        let base = p.node_heat(&net);
+        let diffused = p.node_heat_diffused(&net, 2);
+        // Diffusion only adds heat, never removes it.
+        for (u, (&b, &d)) in base.iter().zip(&diffused).enumerate() {
+            assert!(d >= b, "node {u}: diffusion lost heat {b} -> {d}");
+        }
+        // Every neighbor of a carrier holds at least half the carrier's
+        // heat after one hop (and two hops reach the next ring at >= 1/4).
+        let one_hop = p.node_heat_diffused(&net, 1);
+        for &n in net.nodes_with_keyword(KeywordId(0)) {
+            for (v, _) in net.neighbors(n) {
+                assert!(one_hop[v.index()] >= base[n.index()] / 2);
+            }
+        }
+        // Zero hops is the identity.
+        assert_eq!(p.node_heat_diffused(&net, 0), base);
+    }
+
+    #[test]
+    fn zero_heat_weighted_cut_is_the_plain_cut() {
+        let net = GridNetworkConfig::tiny(11).generate();
+        let p = MultilevelPartitioner::default().partition(&net, 4);
+        let zero = vec![0u64; net.num_nodes()];
+        assert_eq!(weighted_cut(&net, &p, &zero), p.cut_edges() as u64);
+    }
+
+    #[test]
+    fn refinement_reduces_weighted_cut_and_stays_valid() {
+        let net = GridNetworkConfig::small(13).generate();
+        let blind = MultilevelPartitioner::default().partition(&net, 6);
+        // Heat concentrated on the carriers of two keywords.
+        let mut profile = LayoutProfile::new();
+        profile.record_keyword(KeywordId(0), 50);
+        profile.record_keyword(KeywordId(1), 20);
+        let heat = profile.node_heat(&net);
+        let before = weighted_cut(&net, &blind, &heat);
+        let refined = refine_weighted(&net, &blind, &heat, 0.05, 4);
+        refined.validate(&net).unwrap();
+        assert_eq!(refined.num_fragments(), 6);
+        let after = weighted_cut(&net, &refined, &heat);
+        assert!(after <= before, "weighted cut must not increase: {after} > {before}");
+        // Fragment sizes stay within the blind partitioner's balance cap.
+        let cap = balance_cap(net.num_nodes() as u64, 6, 0.05);
+        for f in refined.fragment_ids() {
+            assert!((refined.nodes(f).len() as u64) <= cap);
+        }
+    }
+
+    #[test]
+    fn fragment_heat_sums_node_heat() {
+        let net = GridNetworkConfig::tiny(17).generate();
+        let p = MultilevelPartitioner::default().partition(&net, 3);
+        let mut profile = LayoutProfile::new();
+        profile.record_keyword(KeywordId(0), 2);
+        profile.record_keyword(KeywordId(1), 9);
+        let per = profile.fragment_heat(&net, &p);
+        assert_eq!(per.len(), 3);
+        assert_eq!(per.iter().sum::<u64>(), profile.node_heat(&net).iter().sum::<u64>());
+    }
+}

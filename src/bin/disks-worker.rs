@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! disks-worker --connect 127.0.0.1:PORT --machine M --machines N \
-//!              --fragments K --seed S [--cache BYTES]
+//!              --fragments K --seed S [--cache BYTES] [--cache-heat N]
 //! ```
 //!
 //! The worker rebuilds its machine's fragment engines deterministically
@@ -20,7 +20,7 @@ use std::time::{Duration, Instant};
 use disks::cluster::framing::write_hello;
 use disks::cluster::worker::worker_loop;
 use disks::cluster::{
-    tcp_worker_endpoint, HeartbeatConfig, LinkCounters, LinkSender, WorkerFaults,
+    tcp_worker_endpoint, ClusterConfig, HeartbeatConfig, LinkCounters, LinkSender, WorkerFaults,
 };
 use disks::workload;
 
@@ -30,7 +30,7 @@ fn main() {
         args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1).cloned())
     };
     let Some(addr) = get("--connect") else {
-        eprintln!("usage: disks-worker --connect ADDR --machine M --machines N --fragments K --seed S [--cache BYTES]");
+        eprintln!("usage: disks-worker --connect ADDR --machine M --machines N --fragments K --seed S [--cache BYTES] [--cache-heat N]");
         exit(2);
     };
     let machine: usize = get("--machine").and_then(|v| v.parse().ok()).unwrap_or(0);
@@ -38,6 +38,12 @@ fn main() {
     let fragments: usize = get("--fragments").and_then(|v| v.parse().ok()).unwrap_or(machines);
     let seed: u64 = get("--seed").and_then(|v| v.parse().ok()).unwrap_or(0xD15C);
     let cache: usize = get("--cache").and_then(|v| v.parse().ok()).unwrap_or(64 << 20);
+    // Heat-admission threshold: flag first, then the same DISKS_CACHE_HEAT /
+    // DISKS_LAYOUT environment defaulting the in-process workers use (the
+    // coordinator's env propagates to spawned worker processes).
+    let cache_heat: u32 = get("--cache-heat")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(ClusterConfig::cache_heat_from_env);
 
     let net = workload::grid_net(seed);
     let p = workload::partition(&net, fragments);
@@ -71,5 +77,13 @@ fn main() {
         }
     };
     let responses = LinkSender::over(endpoint.egress, Arc::new(LinkCounters::default()));
-    worker_loop(machine, engines, endpoint.requests, responses, WorkerFaults::default(), cache);
+    worker_loop(
+        machine,
+        engines,
+        endpoint.requests,
+        responses,
+        WorkerFaults::default(),
+        cache,
+        cache_heat,
+    );
 }
