@@ -13,6 +13,7 @@
 
 mod ablation;
 mod comm;
+mod hedging;
 mod layout;
 mod mix;
 mod overload;
@@ -24,6 +25,7 @@ mod transport;
 
 pub use ablation::{ablation_keyword_aggregation, ablation_minimality, ablation_partitioner};
 pub use comm::comm_contrast;
+pub use hedging::{hedging, HedgingPoint, HedgingSummary};
 pub use layout::{layout, LayoutArm, LayoutSummary};
 pub use mix::{fig16_dfunctions, fig17_rkq, topk_extension};
 pub use overload::{overload, OverloadPoint, OverloadSummary};

@@ -85,6 +85,16 @@ pub struct OverloadPoint {
     /// compute across busy machines; 1.0 = balanced).
     pub unbalance_on: f64,
     pub unbalance_off: f64,
+    /// Health-plane recovery activity summed over both modes' clusters:
+    /// narrowed retries, replica reroutes, speculative hedges (and wins),
+    /// quarantine transitions. Zero on the default environment; nonzero
+    /// under `DISKS_HEDGE` / `DISKS_QUARANTINE` lanes, where it shows
+    /// what recovery contributed to the measured stream.
+    pub retries: u64,
+    pub reroutes: u64,
+    pub hedges: u64,
+    pub hedge_wins: u64,
+    pub quarantines: u64,
 }
 
 /// Machine-readable summary of the saturation sweep.
@@ -119,7 +129,8 @@ impl OverloadSummary {
                  \"goodput_on\": {:.1}, \"goodput_off\": {:.1}, \"p50_on_micros\": {}, \
                  \"p99_on_micros\": {}, \"p50_off_micros\": {}, \"p99_off_micros\": {}, \
                  \"frames_on\": {}, \"frames_off\": {}, \"unbalance_on\": {:.3}, \
-                 \"unbalance_off\": {:.3}}}{sep}\n",
+                 \"unbalance_off\": {:.3}, \"retries\": {}, \"reroutes\": {}, \"hedges\": {}, \
+                 \"hedge_wins\": {}, \"quarantines\": {}}}{sep}\n",
                 p.load,
                 p.offered,
                 p.shed_on,
@@ -133,7 +144,12 @@ impl OverloadSummary {
                 p.frames_on,
                 p.frames_off,
                 p.unbalance_on,
-                p.unbalance_off
+                p.unbalance_off,
+                p.retries,
+                p.reroutes,
+                p.hedges,
+                p.hedge_wins,
+                p.quarantines
             ));
         }
         s.push_str("  ]\n}\n");
@@ -281,6 +297,7 @@ pub fn overload(ds: &Dataset, params: &Params) -> (Table, OverloadSummary) {
             "p99 off".into(),
             "frames on/off".into(),
             "U on/off".into(),
+            "rt/rr/hg/win/quar".into(),
         ],
     );
     let mut summary = OverloadSummary {
@@ -306,10 +323,12 @@ pub fn overload(ds: &Dataset, params: &Params) -> (Table, OverloadSummary) {
         let on_cluster = build(ds, &partitioning, indexes.clone(), cost_limit);
         let on = measure(&on_cluster, &base_fs, &mixed, load);
         let unbalance_on = on_cluster.unbalance_factor();
+        let rc_on = on_cluster.recovery_counters();
         on_cluster.shutdown();
         let off_cluster = build(ds, &partitioning, indexes.clone(), 0);
         let off = measure(&off_cluster, &base_fs, &mixed, load);
         let unbalance_off = off_cluster.unbalance_factor();
+        let rc_off = off_cluster.recovery_counters();
         off_cluster.shutdown();
 
         // Shedding is deterministic at this calibration: exactly the
@@ -334,6 +353,14 @@ pub fn overload(ds: &Dataset, params: &Params) -> (Table, OverloadSummary) {
             format!("{}us", off.p99_micros),
             format!("{}/{}", on.frames, off.frames),
             format!("{unbalance_on:.2}/{unbalance_off:.2}"),
+            format!(
+                "{}/{}/{}/{}/{}",
+                rc_on.retries + rc_off.retries,
+                rc_on.reroutes + rc_off.reroutes,
+                rc_on.hedges + rc_off.hedges,
+                rc_on.hedge_wins + rc_off.hedge_wins,
+                rc_on.quarantines + rc_off.quarantines
+            ),
         ]);
         summary.points.push(OverloadPoint {
             load,
@@ -350,6 +377,11 @@ pub fn overload(ds: &Dataset, params: &Params) -> (Table, OverloadSummary) {
             frames_off: off.frames,
             unbalance_on,
             unbalance_off,
+            retries: rc_on.retries + rc_off.retries,
+            reroutes: rc_on.reroutes + rc_off.reroutes,
+            hedges: rc_on.hedges + rc_off.hedges,
+            hedge_wins: rc_on.hedge_wins + rc_off.hedge_wins,
+            quarantines: rc_on.quarantines + rc_off.quarantines,
         });
     }
     (t, summary)
@@ -412,6 +444,8 @@ mod tests {
         assert!(json.contains("\"cost_limit\""));
         assert!(json.contains("\"shed_rate_on\""));
         assert!(json.contains("\"goodput_on\""));
+        assert!(json.contains("\"hedges\""));
+        assert!(json.contains("\"quarantines\""));
         assert!(json.trim_start().starts_with('{') && json.trim_end().ends_with('}'));
     }
 }

@@ -14,7 +14,7 @@
 //! Besides the [`Table`], the experiment returns a [`ThroughputSummary`]
 //! that `repro` serializes to `results/BENCH_throughput.json`.
 
-use disks_cluster::{Cluster, ClusterConfig, NetworkModel};
+use disks_cluster::{Cluster, ClusterConfig, NetworkModel, RecoveryCounters};
 use disks_core::{build_all_indexes, DFunction, IndexConfig, NpdIndex};
 use disks_partition::{MultilevelPartitioner, Partitioner, Partitioning};
 
@@ -100,6 +100,16 @@ pub struct ThroughputPoint {
     pub batch_sweep: Vec<BatchSweepPoint>,
     /// Adaptive streaming dispatch at this machine count.
     pub adaptive: AdaptivePoint,
+    /// Health-plane recovery activity summed over every cluster built at
+    /// this machine count: replica reroutes, speculative hedges (and the
+    /// subset that won), quarantine transitions. All zero on the default
+    /// (health-off) environment — nonzero under `DISKS_HEDGE` /
+    /// `DISKS_QUARANTINE` lanes, where this column shows what the health
+    /// plane did to the measured numbers.
+    pub reroutes: u64,
+    pub hedges: u64,
+    pub hedge_wins: u64,
+    pub quarantines: u64,
 }
 
 /// Machine-readable summary of the throughput sweep.
@@ -125,7 +135,8 @@ impl ThroughputSummary {
             s.push_str(&format!(
                 "    {{\"machines\": {}, \"qps_cached\": {:.1}, \"qps_uncached\": {:.1}, \
                  \"qps_batched\": {:.1}, \"cache_hit_rate\": {:.4}, \"p50_micros\": {}, \
-                 \"p99_micros\": {}, \"unbalance\": {:.3}, \"batch_sweep\": [",
+                 \"p99_micros\": {}, \"unbalance\": {:.3}, \"reroutes\": {}, \"hedges\": {}, \
+                 \"hedge_wins\": {}, \"quarantines\": {}, \"batch_sweep\": [",
                 p.machines,
                 p.qps_cached,
                 p.qps_uncached,
@@ -133,7 +144,11 @@ impl ThroughputSummary {
                 p.cache_hit_rate,
                 p.p50_micros,
                 p.p99_micros,
-                p.unbalance
+                p.unbalance,
+                p.reroutes,
+                p.hedges,
+                p.hedge_wins,
+                p.quarantines
             ));
             for (j, b) in p.batch_sweep.iter().enumerate() {
                 let bsep = if j + 1 == p.batch_sweep.len() { "" } else { ", " };
@@ -302,6 +317,7 @@ pub fn throughput(ds: &Dataset, params: &Params) -> (Table, ThroughputSummary) {
             "p50".into(),
             "p99".into(),
             "U".into(),
+            "rr/hg/win/quar".into(),
         ],
     );
     let mut summary = ThroughputSummary {
@@ -319,6 +335,9 @@ pub fn throughput(ds: &Dataset, params: &Params) -> (Table, ThroughputSummary) {
         if machines > k {
             continue;
         }
+        // Recovery activity summed over every cluster this point builds
+        // (all zero unless a health-plane lane is active).
+        let mut recov: Vec<RecoveryCounters> = Vec::new();
         // Cached baseline (window 1 — batching off, so the cache column is
         // the cache's contribution alone): one warmup batch fills every
         // worker's cache (the Zipf stream repeats (keyword, radius) slots),
@@ -338,6 +357,7 @@ pub fn throughput(ds: &Dataset, params: &Params) -> (Table, ThroughputSummary) {
                 .collect(),
         );
         let unbalance = cached.unbalance_factor();
+        recov.push(cached.recovery_counters());
         cached.shutdown();
 
         // Uncached batch-window sweep — window 1 is the unbatched baseline,
@@ -347,6 +367,7 @@ pub fn throughput(ds: &Dataset, params: &Params) -> (Table, ThroughputSummary) {
         for &window in &SWEEP_WINDOWS {
             let cluster = build(ds, &partitioning, indexes.clone(), machines, 0, window, false);
             let m = measure(&cluster, &fs);
+            recov.push(cluster.recovery_counters());
             cluster.shutdown();
             batch_sweep.push(BatchSweepPoint {
                 window,
@@ -403,7 +424,9 @@ pub fn throughput(ds: &Dataset, params: &Params) -> (Table, ThroughputSummary) {
             // so trimming the concatenated trace keeps it representative.
             let mut window_trace = cluster.window_trace().split_off(trace_before);
             window_trace.truncate(TRACE_LIMIT);
-            let slot_nacks = cluster.recovery_counters().slot_nacks;
+            let rc = cluster.recovery_counters();
+            let slot_nacks = rc.slot_nacks;
+            recov.push(rc);
             cluster.shutdown();
             AdaptivePoint {
                 qps: m.qps,
@@ -417,6 +440,10 @@ pub fn throughput(ds: &Dataset, params: &Params) -> (Table, ThroughputSummary) {
             }
         };
 
+        let reroutes: u64 = recov.iter().map(|r| r.reroutes).sum();
+        let hedges: u64 = recov.iter().map(|r| r.hedges).sum();
+        let hedge_wins: u64 = recov.iter().map(|r| r.hedge_wins).sum();
+        let quarantines: u64 = recov.iter().map(|r| r.quarantines).sum();
         t.push(vec![
             machines.to_string(),
             crate::report::fmt_duration(elapsed),
@@ -429,6 +456,7 @@ pub fn throughput(ds: &Dataset, params: &Params) -> (Table, ThroughputSummary) {
             format!("{p50}us"),
             format!("{p99}us"),
             format!("{unbalance:.2}"),
+            format!("{reroutes}/{hedges}/{hedge_wins}/{quarantines}"),
         ]);
         summary.points.push(ThroughputPoint {
             machines,
@@ -441,6 +469,10 @@ pub fn throughput(ds: &Dataset, params: &Params) -> (Table, ThroughputSummary) {
             unbalance,
             batch_sweep,
             adaptive,
+            reroutes,
+            hedges,
+            hedge_wins,
+            quarantines,
         });
     }
     (t, summary)
@@ -520,6 +552,8 @@ mod tests {
         assert!(json.contains("\"c2w_bytes_per_query\""));
         assert!(json.contains("\"adaptive\""));
         assert!(json.contains("\"window_trace\""));
+        assert!(json.contains("\"hedges\""));
+        assert!(json.contains("\"quarantines\""));
         assert!(json.trim_start().starts_with('{') && json.trim_end().ends_with('}'));
     }
 }

@@ -46,6 +46,7 @@ use disks_roadnet::{NodeId, RoadNetwork, INF};
 use crate::adaptive::WindowController;
 use crate::cache::CacheCounters;
 use crate::framing;
+use crate::health::{HealthBoard, HealthConfig, HealthDelta, HedgeMode, HEDGE_P99_MULTIPLE};
 use crate::heat::HeatSnapshot;
 use crate::message::{
     decode_frame, encode_frame, results_frame_len, BatchAnswer, Request, Response, WireCost,
@@ -54,9 +55,9 @@ use crate::overload::{backoff_delay, splitmix64, OverloadCounters, PressureGauge
 use crate::scheduler::{Placement, RoutePolicy};
 use crate::stats::{MachineCost, QueryStats, RecoveryCounters};
 use crate::transport::{
-    counted_link, loopback_pair, tcp_worker_endpoint, ChannelLink, FaultInjector, FaultPlan,
-    HeartbeatConfig, Link, LinkCounters, LinkDirection, LinkSender, NetworkModel, TcpLink,
-    TransportFaults, TransportKind,
+    counted_link, epoch_micros, loopback_pair, tcp_worker_endpoint, ChannelLink, FaultInjector,
+    FaultPlan, HeartbeatConfig, Link, LinkCounters, LinkDirection, LinkSender, NetworkModel,
+    TcpLink, TransportFaults, TransportKind,
 };
 use crate::worker::{worker_loop, WorkerEngine, WorkerFaults};
 
@@ -208,6 +209,27 @@ pub struct ClusterConfig {
     /// `0`/`off`/`false` for plain LRU); unset, it follows `DISKS_LAYOUT`
     /// — 3 under `workload`, 0 under `static`.
     pub cache_heat: u32,
+    /// Straggler hedging over replicas (DESIGN.md §6j): when a dispatched
+    /// slot is still missing answers past the hedge deadline, the missing
+    /// fragments are speculatively re-dispatched (narrowed) to a different
+    /// live replica — first answer wins, the loser's late frame dedups as a
+    /// duplicate. [`HedgeMode::Off`] (the default) is bit-identical to the
+    /// pre-health cluster; a no-op without ≥1 replica. The default honours
+    /// the `DISKS_HEDGE` environment variable (`off`/`fixed`/`adaptive`;
+    /// unset → off).
+    pub hedge: HedgeMode,
+    /// Fixed hedge deadline ([`HedgeMode::Fixed`]) or adaptive-mode floor
+    /// ([`HedgeMode::Adaptive`] hedges at `max(this, 4 × evaluation p99)`),
+    /// in milliseconds. The default honours `DISKS_HEDGE_MS` (unset → 50).
+    pub hedge_ms: u64,
+    /// Quarantine with probation (DESIGN.md §6j): machines whose suspicion
+    /// score crosses the health board's threshold are softly removed from
+    /// least-loaded replica selection and probed under jittered backoff
+    /// until reinstated; a fragment with no healthy host degrades to its
+    /// least-suspect replica. Off (the default) is bit-identical to the
+    /// pre-health cluster. The default honours the `DISKS_QUARANTINE`
+    /// environment variable (`0`/`off`/`false` to disable; unset → off).
+    pub quarantine: bool,
 }
 
 impl ClusterConfig {
@@ -387,6 +409,41 @@ impl ClusterConfig {
             Err(_) => DEFAULT,
         }
     }
+
+    /// Hedge mode from `DISKS_HEDGE` (`fixed`, `adaptive`, or
+    /// `0`/`off`/`false` to disable); off when unset or unrecognised.
+    pub fn hedge_from_env() -> HedgeMode {
+        match std::env::var("DISKS_HEDGE") {
+            Ok(v) if v.trim().eq_ignore_ascii_case("fixed") => HedgeMode::Fixed,
+            Ok(v) if v.trim().eq_ignore_ascii_case("adaptive") => HedgeMode::Adaptive,
+            _ => HedgeMode::Off,
+        }
+    }
+
+    /// Hedge deadline / adaptive floor from `DISKS_HEDGE_MS` (milliseconds,
+    /// minimum 1); 50 ms when unset or unparseable.
+    pub fn hedge_ms_from_env() -> u64 {
+        std::env::var("DISKS_HEDGE_MS")
+            .ok()
+            .and_then(|v| v.trim().parse::<u64>().ok())
+            .unwrap_or(50)
+            .max(1)
+    }
+
+    /// Quarantine switch from `DISKS_QUARANTINE` (anything but
+    /// `0`/`off`/`false` enables); off when unset.
+    pub fn quarantine_from_env() -> bool {
+        match std::env::var("DISKS_QUARANTINE") {
+            Ok(v) => {
+                let v = v.trim();
+                !(v.is_empty()
+                    || v == "0"
+                    || v.eq_ignore_ascii_case("off")
+                    || v.eq_ignore_ascii_case("false"))
+            }
+            Err(_) => false,
+        }
+    }
 }
 
 impl Default for ClusterConfig {
@@ -414,6 +471,9 @@ impl Default for ClusterConfig {
             route: Self::route_from_env(),
             placement_heat: None,
             cache_heat: Self::cache_heat_from_env(),
+            hedge: Self::hedge_from_env(),
+            hedge_ms: Self::hedge_ms_from_env(),
+            quarantine: Self::quarantine_from_env(),
         }
     }
 }
@@ -606,6 +666,12 @@ struct GatherReport {
     /// Narrowed retries moved to a *different* replica of their fragment
     /// (replicated placements only; counted in `retries` too).
     reroutes: u32,
+    /// Speculative hedge frames sent for slots outstanding past the hedge
+    /// deadline (`DISKS_HEDGE`; never counted in `retries` — attempts are
+    /// untouched, the original dispatch stays outstanding).
+    hedges: u32,
+    /// Hedged fragments whose first answer came from the hedge target.
+    hedge_wins: u32,
     degraded: Vec<(usize, u32)>,
     /// Worker coverage-cache activity summed over this gather's responses.
     cache: CacheCounters,
@@ -645,6 +711,16 @@ struct GatherState {
     /// Per-slot maximum worker-reported evaluation time (µs) among the
     /// fragments answered so far.
     eval_micros: Vec<u64>,
+    /// Deadline offset after which an outstanding slot is hedged (`None` =
+    /// hedging off or no replicas to hedge onto). Refreshed per adaptive
+    /// window so the adaptive deadline follows the evolving p99.
+    hedge_after: Option<Duration>,
+    /// Per-slot hedge deadline; cleared once the slot hedges (at most one
+    /// hedge per slot) or is disarmed.
+    hedge_at: Vec<Option<Instant>>,
+    /// `(slot, fragment)` → machine the hedge was sent to, for win
+    /// attribution when the first answer lands.
+    hedge_targets: HashMap<(usize, u32), usize>,
 }
 
 impl GatherState {
@@ -668,11 +744,15 @@ impl GatherState {
             dispatched_at: vec![None; n],
             latencies: Vec::new(),
             eval_micros: vec![0; n],
+            hedge_after: cluster.hedge_after(),
+            hedge_at: vec![None; n],
+            hedge_targets: HashMap::new(),
         }
     }
 
     /// Mark slots `[from, to)` dispatched: their fragments join the
-    /// outstanding set and their service-latency clocks start.
+    /// outstanding set, their service-latency clocks start, and (when
+    /// hedging is armed) their hedge deadlines are set.
     fn activate(&mut self, from: usize, to: usize) {
         let now = Instant::now();
         for slot in from..to {
@@ -681,7 +761,17 @@ impl GatherState {
             self.missing += self.k;
             self.missing_by_slot[slot] = self.k;
             self.dispatched_at[slot] = Some(now);
+            self.hedge_at[slot] = self.hedge_after.map(|d| now + d);
         }
+    }
+
+    /// Earliest pending hedge deadline among active slots still missing
+    /// answers (`None` when hedging is off or nothing is armed).
+    fn next_hedge_due(&self) -> Option<Instant> {
+        (0..self.n)
+            .filter(|&s| self.active[s] && self.missing_by_slot[s] > 0)
+            .filter_map(|s| self.hedge_at[s])
+            .min()
     }
 
     /// Record one answered `(slot, fragment)` pair, closing the slot's
@@ -822,6 +912,13 @@ pub struct Cluster {
     /// fragment response) from grouped runs on either dispatch path —
     /// drained by [`Cluster::take_service_latencies`] for benchmarking.
     service_lat: RefCell<VecDeque<u64>>,
+    /// Ring of recent per-query *evaluation* latencies (µs, the
+    /// worker-reported slowest fragment) — the adaptive hedge deadline's
+    /// fixed-window fallback signal. Kept separate from `service_lat`
+    /// deliberately: wire stalls inflate service latency (exactly the tail
+    /// hedging recovers), and feeding recovered tails back into the
+    /// deadline would run it away from the very stall it must beat.
+    eval_lat: RefCell<VecDeque<u64>>,
     /// Capacity of each worker's bounded request queue.
     queue_capacity: usize,
     /// Transport of the worker links (respawn recreates like for like).
@@ -844,6 +941,17 @@ pub struct Cluster {
     recovery: Cell<RecoveryCounters>,
     /// Cumulative coverage-cache counters over the cluster's lifetime.
     cache: Cell<CacheCounters>,
+    /// Straggler-hedging mode (`Off` = bit-identical to no health plane).
+    hedge: HedgeMode,
+    /// Fixed hedge deadline, or the adaptive mode's floor.
+    hedge_floor: Duration,
+    /// Whether quarantine (suspicion-filtered routing + probation probes)
+    /// is enabled.
+    quarantine: bool,
+    /// Per-machine graded health: suspicion scores, quarantine state, and
+    /// probe scheduling. Dormant (never fed or refreshed) unless hedging or
+    /// quarantine is enabled.
+    health: RefCell<HealthBoard>,
 }
 
 impl Cluster {
@@ -994,6 +1102,7 @@ impl Cluster {
             slot_ids: RefCell::new(SlotIdTable::new()),
             believed: RefCell::new(vec![HashSet::new(); machines]),
             service_lat: RefCell::new(VecDeque::new()),
+            eval_lat: RefCell::new(VecDeque::new()),
             queue_capacity: config.queue_capacity.max(1),
             transport: config.transport,
             heartbeat: config.heartbeat,
@@ -1005,6 +1114,16 @@ impl Cluster {
             respawn: spec,
             recovery: Cell::new(RecoveryCounters::default()),
             cache: Cell::new(CacheCounters::default()),
+            hedge: config.hedge,
+            hedge_floor: Duration::from_millis(config.hedge_ms.max(1)),
+            quarantine: config.quarantine,
+            health: RefCell::new(HealthBoard::new(
+                machines,
+                HealthConfig {
+                    expected_interval: config.heartbeat.interval,
+                    ..HealthConfig::default()
+                },
+            )),
         }
     }
 
@@ -1120,6 +1239,7 @@ impl Cluster {
             slot_ids: RefCell::new(SlotIdTable::new()),
             believed: RefCell::new(vec![HashSet::new(); machines]),
             service_lat: RefCell::new(VecDeque::new()),
+            eval_lat: RefCell::new(VecDeque::new()),
             queue_capacity: config.queue_capacity.max(1),
             transport: TransportKind::Tcp,
             heartbeat: config.heartbeat,
@@ -1131,6 +1251,16 @@ impl Cluster {
             respawn: spec,
             recovery: Cell::new(RecoveryCounters::default()),
             cache: Cell::new(CacheCounters::default()),
+            hedge: config.hedge,
+            hedge_floor: Duration::from_millis(config.hedge_ms.max(1)),
+            quarantine: config.quarantine,
+            health: RefCell::new(HealthBoard::new(
+                machines,
+                HealthConfig {
+                    expected_interval: config.heartbeat.interval,
+                    ..HealthConfig::default()
+                },
+            )),
         })
     }
 
@@ -1426,10 +1556,98 @@ impl Cluster {
         plan.slots().iter().any(|s| !heat.contains_key(&(s.term, s.radius)))
     }
 
+    /// Whether the health plane is live: with both knobs off the board is
+    /// never fed, refreshed, or consulted, keeping the default dispatch
+    /// path bit-identical to the pre-health cluster.
+    fn health_active(&self) -> bool {
+        self.quarantine || self.hedge != HedgeMode::Off
+    }
+
+    /// Deadline offset after which an outstanding slot is hedged, or `None`
+    /// when hedging is off or the placement has no replicas to hedge onto.
+    /// Adaptive mode tracks [`HEDGE_P99_MULTIPLE`] × the observed
+    /// evaluation p99 (window controller first, the evaluation-latency ring
+    /// as the fixed-window fallback), floored at `DISKS_HEDGE_MS` — the
+    /// floor also covers the cold start before any p99 exists. Both signals
+    /// are *evaluation* time (worker-reported compute), never end-to-end
+    /// service time: a stalled wire inflates service latency, and a
+    /// deadline fed its own recovered tails would run away past the stall
+    /// it exists to beat.
+    fn hedge_after(&self) -> Option<Duration> {
+        if !self.placement.is_replicated() {
+            return None;
+        }
+        match self.hedge {
+            HedgeMode::Off => None,
+            HedgeMode::Fixed => Some(self.hedge_floor),
+            HedgeMode::Adaptive => {
+                let p99 = self.controller.borrow().p99().or_else(|| {
+                    let ring = self.eval_lat.borrow();
+                    let mut v: Vec<u64> = ring.iter().copied().collect();
+                    if v.is_empty() {
+                        return None;
+                    }
+                    v.sort_unstable();
+                    Some(Duration::from_micros(v[(v.len() - 1) * 99 / 100]))
+                });
+                let adaptive = p99.map_or(Duration::ZERO, |p| p * HEDGE_P99_MULTIPLE);
+                Some(adaptive.max(self.hedge_floor))
+            }
+        }
+    }
+
+    /// One pass of the health plane, piggybacked on gather wakes: fold the
+    /// pump-exported arrival stamps into the board, re-grade every machine
+    /// (folding quarantine/reinstatement transitions into the lifetime
+    /// counters), and probe quarantined machines whose jittered backoff
+    /// expired. No-op unless hedging or quarantine is enabled.
+    fn health_tick(&self, respawned: &mut u32) {
+        if !self.health_active() {
+            return;
+        }
+        let now = epoch_micros();
+        let delta = {
+            let mut board = self.health.borrow_mut();
+            {
+                let workers = self.workers.borrow();
+                for (m, w) in workers.iter().enumerate() {
+                    if let Some(us) = w.link.last_arrival_micros() {
+                        board.observe_arrival(m, us);
+                    }
+                }
+            }
+            board.refresh(now)
+        };
+        if delta != HealthDelta::default() {
+            let mut c = self.recovery.get();
+            c.quarantines += delta.quarantines;
+            c.reinstatements += delta.reinstatements;
+            self.recovery.set(c);
+        }
+        if !self.quarantine {
+            return;
+        }
+        let due = self.health.borrow().due_probes(now);
+        for m in due {
+            // The probe ordinal doubles as the frame nonce and the jitter
+            // seed, so a replayed run probes on an identical schedule.
+            let mut c = self.recovery.get();
+            let nonce = c.probe_frames;
+            c.probe_frames += 1;
+            self.recovery.set(c);
+            let frame = encode_frame(&Request::Probe { nonce });
+            self.send_to_worker(m, &frame, respawned);
+            self.health.borrow_mut().note_probe_sent(m, epoch_micros(), nonce);
+        }
+    }
+
     /// Deliver one request frame to machine `m`, respawning it first if its
     /// peer is dead or its link is down, and routing through the link's
     /// fault injector.
     fn send_to_worker(&self, m: usize, frame: &Bytes, respawned: &mut u32) {
+        if self.health_active() {
+            self.health.borrow_mut().observe_dispatch(m, epoch_micros());
+        }
         if self.worker_is_dead(m) {
             self.respawn_worker(m);
             *respawned += 1;
@@ -1469,6 +1687,26 @@ impl Cluster {
         for f in 0..k {
             let m = match self.route_policy {
                 RoutePolicy::Primary => self.placement.machine_of(FragmentId(f as u32)),
+                // Under quarantine the candidate set is softly filtered:
+                // quarantined replicas are skipped while any healthy host
+                // remains, and a fragment whose every host is quarantined
+                // degrades to the least-suspect one instead of stalling.
+                RoutePolicy::LeastLoaded if self.quarantine => {
+                    let board = self.health.borrow();
+                    let fid = FragmentId(f as u32);
+                    let (cands, degraded) =
+                        self.placement.routable_replicas(fid, &|m| board.is_quarantined(m));
+                    if degraded {
+                        board
+                            .least_suspect(&cands, epoch_micros())
+                            .expect("every fragment has at least its primary")
+                    } else {
+                        cands
+                            .into_iter()
+                            .min_by_key(|&m| (load[m], m))
+                            .expect("every fragment has at least its primary")
+                    }
+                }
                 RoutePolicy::LeastLoaded => self
                     .placement
                     .replicas_of(FragmentId(f as u32))
@@ -1514,13 +1752,25 @@ impl Cluster {
         let mut slot = vec![usize::MAX; self.placement.num_machines()];
         for &f in fragments {
             let cur = self.route.borrow()[f as usize];
-            let alt = self
-                .placement
-                .replicas_of(FragmentId(f))
-                .iter()
-                .copied()
-                .filter(|&m| m != cur)
-                .min_by_key(|&m| (self.worker_is_dead(m), self.route_load.borrow()[m], m));
+            // Rank (not filter) quarantined machines behind healthy ones:
+            // a retry prefers a live un-quarantined replica but still
+            // degrades to a quarantined one over a dead one.
+            let alt = {
+                let board = self.health.borrow();
+                self.placement
+                    .replicas_of(FragmentId(f))
+                    .iter()
+                    .copied()
+                    .filter(|&m| m != cur)
+                    .min_by_key(|&m| {
+                        (
+                            self.worker_is_dead(m),
+                            self.quarantine && board.is_quarantined(m),
+                            self.route_load.borrow()[m],
+                            m,
+                        )
+                    })
+            };
             let target = match alt {
                 Some(m) => {
                     self.route.borrow_mut()[f as usize] = m;
@@ -1640,11 +1890,16 @@ impl Cluster {
     fn note_service_latencies(&self, gs: &mut GatherState) -> Vec<(Duration, Duration)> {
         let lats = gs.take_latencies();
         let mut ring = self.service_lat.borrow_mut();
-        for (service, _) in &lats {
+        let mut evals = self.eval_lat.borrow_mut();
+        for (service, eval) in &lats {
             if ring.len() == 4096 {
                 ring.pop_front();
             }
             ring.push_back(service.as_micros() as u64);
+            if evals.len() == 4096 {
+                evals.pop_front();
+            }
+            evals.push_back(eval.as_micros() as u64);
         }
         lats
     }
@@ -1684,6 +1939,66 @@ impl Cluster {
         }
     }
 
+    /// Fire overdue hedges: every active slot past its hedge deadline with
+    /// answers still missing gets its missing fragments speculatively
+    /// re-dispatched — narrowed, through the same `make_request` shape a
+    /// retry uses — to an alternate live, un-quarantined replica. At most
+    /// one hedge per slot; the original dispatch stays outstanding, the
+    /// retry budget (`attempts`) is untouched, and whichever answer lands
+    /// first wins — the loser is deduped by the `(slot, fragment)`
+    /// responded table or the straggler drain's duplicate accounting.
+    fn gather_flush_hedges(
+        &self,
+        gs: &mut GatherState,
+        make_request: &dyn Fn(usize, Vec<u32>) -> Request,
+    ) {
+        if gs.hedge_after.is_none() {
+            return;
+        }
+        let now = Instant::now();
+        for slot in 0..gs.n {
+            let Some(due) = gs.hedge_at[slot] else { continue };
+            if due > now {
+                continue;
+            }
+            gs.hedge_at[slot] = None;
+            if !gs.active[slot] || gs.missing_by_slot[slot] == 0 {
+                continue;
+            }
+            let mut groups: Vec<(usize, Vec<u32>)> = Vec::new();
+            for f in 0..gs.k {
+                if gs.responded[slot][f] {
+                    continue;
+                }
+                let cur = self.route.borrow()[f];
+                let target = {
+                    let board = self.health.borrow();
+                    self.placement
+                        .replicas_of(FragmentId(f as u32))
+                        .iter()
+                        .copied()
+                        .filter(|&m| {
+                            m != cur && !self.worker_is_dead(m) && !board.is_quarantined(m)
+                        })
+                        .min_by_key(|&m| (self.route_load.borrow()[m], m))
+                };
+                // No alternate live host: the slot falls back to the
+                // ordinary stall-retry path.
+                let Some(m) = target else { continue };
+                gs.hedge_targets.insert((slot, f as u32), m);
+                match groups.iter_mut().find(|(g, _)| *g == m) {
+                    Some((_, frags)) => frags.push(f as u32),
+                    None => groups.push((m, vec![f as u32])),
+                }
+            }
+            for (m, frags) in groups {
+                let frame = encode_frame(&make_request(slot, frags));
+                self.send_to_worker(m, &frame, &mut gs.report.respawned_workers);
+                gs.report.hedges += 1;
+            }
+        }
+    }
+
     /// Pull one already-queued response frame, charging the consumption
     /// ledger the straggler drain reconciles against `from_workers`.
     fn try_recv_response(&self) -> Result<Bytes, TryRecvError> {
@@ -1712,6 +2027,8 @@ impl Cluster {
         on_response: &mut dyn FnMut(usize, Response, u64),
     ) -> Result<(), QueryError> {
         self.gather_flush_retries(gs, make_request);
+        self.health_tick(&mut gs.report.respawned_workers);
+        self.gather_flush_hedges(gs, make_request);
         while let Ok(frame) = self.try_recv_response() {
             self.gather_process_frame(base, gs, frame, make_request, on_response)?;
         }
@@ -1738,6 +2055,15 @@ impl Cluster {
                 return Ok(());
             }
         };
+        // Health-plane traffic: a probe ack is proof of life plus one
+        // probation success, never counted against any query window.
+        if let Response::ProbeAck { machine, .. } = &response {
+            let m = *machine as usize;
+            if m < self.placement.num_machines() {
+                self.health.borrow_mut().note_probe_ack(m, epoch_micros());
+            }
+            return Ok(());
+        }
         // A batch frame expands into one positional answer per member
         // query; each then flows through the same window/dedup/retry
         // machinery as a standalone frame. Per-answer bytes are what the
@@ -1769,6 +2095,7 @@ impl Cluster {
                 | Response::TopKResults { query_id, fragment, .. }
                 | Response::Failed { query_id, fragment, .. } => (*query_id, *fragment),
                 Response::BatchResults { .. } => unreachable!("expanded above"),
+                Response::ProbeAck { .. } => unreachable!("intercepted above"),
             };
             if qid <= base || qid > base + gs.n as u64 || fragment as usize >= gs.k {
                 gs.report.out_of_window_responses += 1;
@@ -1806,6 +2133,10 @@ impl Cluster {
                     if gs.attempts[slot][f] < self.max_attempts {
                         gs.attempts[slot][f] += 1;
                         let retry_index = gs.attempts[slot][f] - 1;
+                        // Once a fragment enters the retry path its hedge
+                        // race is void: a later answer from the old hedge
+                        // target is ordinary recovery, not a win.
+                        gs.hedge_targets.remove(&(slot, fragment));
                         self.schedule_retry(
                             base,
                             slot,
@@ -1842,6 +2173,16 @@ impl Cluster {
                         // behind the reported unbalance factor U.
                         let m = self.serving_machine(fragment, cost);
                         self.compute_micros.borrow_mut()[m] += cost.elapsed_micros;
+                        if self.health_active() {
+                            let mut board = self.health.borrow_mut();
+                            board.observe_arrival(m, epoch_micros());
+                            board.observe_service(m, cost.elapsed_micros);
+                        }
+                        // First answer settles a hedged fragment's race —
+                        // a win iff it came from the hedge target.
+                        if gs.hedge_targets.remove(&(slot, fragment)) == Some(m) {
+                            gs.report.hedge_wins += 1;
+                        }
                     }
                     gs.note_answered(slot);
                     on_response(slot, payload, bytes);
@@ -1853,8 +2194,10 @@ impl Cluster {
 
     /// Attribute one straggler frame drained after a completed gather:
     /// in-window answers are duplicates (every needed response has already
-    /// been consumed), everything else is out-of-window.
-    fn classify_straggler(frame: Bytes, base: u64, gs: &mut GatherState) {
+    /// been consumed), everything else is out-of-window. Probe acks are
+    /// health-plane traffic and fold into the board without touching either
+    /// ledger counter.
+    fn classify_straggler(&self, frame: Bytes, base: u64, gs: &mut GatherState) {
         let (n, k) = (gs.n, gs.k);
         let mut in_window = |qid: u64, fragment: u32| {
             if qid > base && qid <= base + n as u64 && (fragment as usize) < k {
@@ -1865,6 +2208,12 @@ impl Cluster {
         };
         match decode_frame::<Response>(frame) {
             Err(_) => gs.report.corrupt_frames += 1,
+            Ok(Response::ProbeAck { machine, .. }) => {
+                let m = machine as usize;
+                if m < self.placement.num_machines() {
+                    self.health.borrow_mut().note_probe_ack(m, epoch_micros());
+                }
+            }
             Ok(Response::BatchResults { base: b, fragment, answers }) => {
                 for i in 0..answers.len() {
                     in_window(b + 1 + i as u64, fragment);
@@ -1905,7 +2254,7 @@ impl Cluster {
                 // again.
                 loop {
                     while let Ok(frame) = self.try_recv_response() {
-                        Self::classify_straggler(frame, base, gs);
+                        self.classify_straggler(frame, base, gs);
                     }
                     let outstanding = self.from_workers.messages().saturating_sub(
                         self.consumed_responses.get() + self.forgiven_responses.get(),
@@ -1914,7 +2263,7 @@ impl Cluster {
                         break;
                     }
                     match self.recv_response_timeout(STRAGGLER_GRACE) {
-                        Ok(frame) => Self::classify_straggler(frame, base, gs),
+                        Ok(frame) => self.classify_straggler(frame, base, gs),
                         Err(_) => {
                             self.forgiven_responses
                                 .set(self.forgiven_responses.get() + outstanding);
@@ -1925,6 +2274,8 @@ impl Cluster {
                 break Ok(());
             }
             self.gather_flush_retries(gs, make_request);
+            self.health_tick(&mut gs.report.respawned_workers);
+            self.gather_flush_hedges(gs, make_request);
             // Fast path: drain already-queued frames without the
             // park/unpark round-trip `recv_timeout` pays even when a frame
             // is ready (the machines=2 throughput cliff; see
@@ -1933,12 +2284,13 @@ impl Cluster {
                 Ok(frame) => Ok(frame),
                 Err(TryRecvError::Disconnected) => Err(RecvTimeoutError::Disconnected),
                 Err(TryRecvError::Empty) => {
-                    // Wake at whichever comes first: the stall deadline or
-                    // the next scheduled retry.
+                    // Wake at whichever comes first: the stall deadline,
+                    // the next scheduled retry, or the next hedge deadline.
                     let wake = gs
                         .pending_retries
                         .iter()
                         .map(|&(due, _, _)| due)
+                        .chain(gs.next_hedge_due())
                         .min()
                         .map_or(gs.stall_deadline, |due| due.min(gs.stall_deadline));
                     let timeout = wake.saturating_duration_since(Instant::now());
@@ -1993,6 +2345,11 @@ impl Cluster {
                     }
                     for (slot, frags) in retry_by_slot.into_iter().enumerate() {
                         if !frags.is_empty() {
+                            // Retried fragments void their hedge race (see
+                            // the NACK retry path above).
+                            for &f in &frags {
+                                gs.hedge_targets.remove(&(slot, f));
+                            }
                             let retry_index = gs.attempts[slot][frags[0] as usize] - 1;
                             self.schedule_retry(
                                 base,
@@ -2027,6 +2384,8 @@ impl Cluster {
         c.out_of_window_responses += report.out_of_window_responses;
         c.slot_nacks += report.slot_nacks as u64;
         c.reroutes += report.reroutes as u64;
+        c.hedges += report.hedges as u64;
+        c.hedge_wins += report.hedge_wins as u64;
         self.recovery.set(c);
         let mut cache = self.cache.get();
         cache.absorb(&report.cache);
@@ -2167,6 +2526,9 @@ impl Cluster {
                 end += 1;
             }
             respawns += self.dispatch_window(base + s as u64, &plans[s..end]);
+            // Re-derive the adaptive hedge deadline per window so it tracks
+            // the controller's evolving p99 across the stream.
+            gs.hedge_after = self.hedge_after();
             gs.activate(s, end);
             let mut controller = self.controller.borrow_mut();
             for (service, eval) in self.note_service_latencies(&mut gs) {

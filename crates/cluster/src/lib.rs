@@ -69,6 +69,7 @@ pub mod adaptive;
 pub mod cache;
 pub mod cluster;
 pub mod framing;
+pub mod health;
 pub mod heat;
 pub mod message;
 pub mod overload;
@@ -81,13 +82,15 @@ pub use adaptive::WindowController;
 pub use cache::{CacheCounters, CoverageCache};
 pub use cluster::{Cluster, ClusterConfig, QueryOutcome, RemoteWorkerCommand};
 pub use framing::{FrameAssembler, StreamEvent};
+pub use health::{HealthBoard, HealthConfig, HealthState, HedgeMode};
 pub use heat::HeatSnapshot;
 pub use message::{BatchAnswer, Request, Response, WireCost};
 pub use overload::{retry_after, OverloadCounters, PressureGauge};
 pub use scheduler::{Placement, RoutePolicy};
 pub use stats::{MachineCost, QueryStats, RecoveryCounters};
 pub use transport::{
-    tcp_worker_endpoint, FaultAction, FaultPlan, HeartbeatConfig, LinkCounters, LinkDirection,
-    LinkFault, LinkSender, NetworkModel, TcpWorkerEndpoint, TransportKind,
+    tcp_worker_endpoint, FaultAction, FaultPlan, HeartbeatConfig, HeartbeatConfigError,
+    LinkCounters, LinkDirection, LinkFault, LinkSender, NetworkModel, TcpWorkerEndpoint,
+    TransportKind,
 };
 pub use worker::WorkerFaults;

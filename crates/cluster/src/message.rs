@@ -43,6 +43,12 @@ pub enum Request {
     BatchRef { base: u64, plan: ElidedSuperPlan, fragments: Vec<u32> },
     /// Terminate the worker loop.
     Shutdown,
+    /// Health-plane liveness probe of a quarantined machine: the worker
+    /// answers immediately with a [`Response::ProbeAck`] echoing the nonce.
+    /// Probes carry no query work and do not advance the worker's request
+    /// ordinal (fault schedules keyed on "nth request" are unaffected by
+    /// whether quarantine probing is enabled).
+    Probe { nonce: u64 },
 }
 
 /// The encodable subset of [`QueryCost`] shipped back to the coordinator,
@@ -113,6 +119,10 @@ pub enum Response {
     /// its own per-query [`WireCost`] so coordinator-side attribution stays
     /// per-query exact under batching.
     BatchResults { base: u64, fragment: u32, answers: Vec<BatchAnswer> },
+    /// Answer to a [`Request::Probe`]: the machine is alive and draining its
+    /// queue. Not query traffic — the gather loop feeds it straight to the
+    /// health board and never counts it against any query window.
+    ProbeAck { machine: u32, nonce: u64 },
 }
 
 /// One query's outcome inside a [`Response::BatchResults`] frame.
@@ -235,6 +245,10 @@ impl Encode for Request {
                 plan.encode(buf);
                 fragments.encode(buf);
             }
+            Request::Probe { nonce } => {
+                6u8.encode(buf);
+                nonce.encode(buf);
+            }
         }
     }
 }
@@ -263,6 +277,7 @@ impl Decode for Request {
                 plan: ElidedSuperPlan::decode(buf)?,
                 fragments: Vec::decode(buf)?,
             }),
+            6 => Ok(Request::Probe { nonce: u64::decode(buf)? }),
             tag => Err(DecodeError::BadTag { context: "Request", tag }),
         }
     }
@@ -297,6 +312,11 @@ impl Encode for Response {
                 fragment.encode(buf);
                 answers.encode(buf);
             }
+            Response::ProbeAck { machine, nonce } => {
+                4u8.encode(buf);
+                machine.encode(buf);
+                nonce.encode(buf);
+            }
         }
     }
 }
@@ -325,6 +345,7 @@ impl Decode for Response {
                 fragment: u32::decode(buf)?,
                 answers: Vec::decode(buf)?,
             }),
+            4 => Ok(Response::ProbeAck { machine: u32::decode(buf)?, nonce: u64::decode(buf)? }),
             tag => Err(DecodeError::BadTag { context: "Response", tag }),
         }
     }
@@ -458,6 +479,16 @@ mod tests {
         let empty = Request::Prewarm { slots: vec![], fragments: vec![] };
         let frame = encode_frame(&empty);
         assert_eq!(decode_frame::<Request>(frame).unwrap(), empty);
+    }
+
+    #[test]
+    fn probe_round_trip() {
+        let req = Request::Probe { nonce: 0xDEAD_BEEF };
+        let frame = encode_frame(&req);
+        assert_eq!(decode_frame::<Request>(frame).unwrap(), req);
+        let ack = Response::ProbeAck { machine: 3, nonce: 0xDEAD_BEEF };
+        let frame = encode_frame(&ack);
+        assert_eq!(decode_frame::<Response>(frame).unwrap(), ack);
     }
 
     #[test]

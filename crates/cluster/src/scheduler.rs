@@ -142,6 +142,26 @@ impl Placement {
         self.busy.iter().copied()
     }
 
+    /// Replicas of `f` eligible for routing after removing machines the
+    /// `banned` predicate excludes (dead or quarantined hosts). Returns the
+    /// surviving hosts in replica order plus a `degraded` flag: when *every*
+    /// host is banned the full replica set comes back unchanged and the
+    /// caller must degrade gracefully (route to the least-suspect replica)
+    /// rather than leave the fragment unserved.
+    pub fn routable_replicas(
+        &self,
+        f: FragmentId,
+        banned: &dyn Fn(usize) -> bool,
+    ) -> (Vec<usize>, bool) {
+        let all = self.replicas_of(f);
+        let ok: Vec<usize> = all.iter().copied().filter(|&m| !banned(m)).collect();
+        if ok.is_empty() {
+            (all.to_vec(), true)
+        } else {
+            (ok, false)
+        }
+    }
+
     /// Group raw fragment ids by *primary* machine, preserving first-seen
     /// machine order — the shape of a narrowed retry dispatch (one request
     /// per machine listing just its missing fragments). O(n + machines) via
@@ -238,6 +258,18 @@ mod tests {
         for f in 0..3 {
             assert_eq!(a.replicas_of(FragmentId(f)).len(), 2);
         }
+    }
+
+    #[test]
+    fn routable_replicas_filters_bans_and_degrades_when_all_banned() {
+        let a = Placement::replicated(2, 3, 1, &[5, 5]);
+        let hosts = a.replicas_of(FragmentId(0)).to_vec();
+        let (ok, degraded) = a.routable_replicas(FragmentId(0), &|m| m == hosts[0]);
+        assert_eq!(ok, hosts[1..].to_vec());
+        assert!(!degraded);
+        let (all, degraded) = a.routable_replicas(FragmentId(0), &|_| true);
+        assert_eq!(all, hosts, "all banned: full set returned for degraded routing");
+        assert!(degraded);
     }
 
     #[test]

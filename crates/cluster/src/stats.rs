@@ -140,6 +140,24 @@ pub struct RecoveryCounters {
     /// (replicated placements only — always 0 under `DISKS_REPLICAS=0`);
     /// each is counted in `retries` too.
     pub reroutes: u64,
+    /// Speculative hedge frames sent to an alternate replica for slots
+    /// outstanding past the hedge deadline (`DISKS_HEDGE`; always 0 when
+    /// off). Part of the extended coordinator→worker frame ledger:
+    /// `c2w == dispatch + retries + prewarm + hedges + probes`.
+    pub hedges: u64,
+    /// Hedged fragments whose *first* answer came from the hedge target
+    /// (the speculation won; the primary's late frame is deduped by the
+    /// straggler ledger as a duplicate).
+    pub hedge_wins: u64,
+    /// Healthy/Suspect → Quarantined transitions (`DISKS_QUARANTINE`;
+    /// always 0 when off).
+    pub quarantines: u64,
+    /// Quarantined → Healthy reinstatements after probation (consecutive
+    /// probe acks with suspicion back below the suspect threshold).
+    pub reinstatements: u64,
+    /// `Probe` frames sent to quarantined machines (part of the extended
+    /// c2w ledger above).
+    pub probe_frames: u64,
 }
 
 impl QueryStats {

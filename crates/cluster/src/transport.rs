@@ -490,6 +490,49 @@ fn env_millis(var: &str, default_ms: u64) -> Duration {
     Duration::from_millis(ms.max(1))
 }
 
+/// Microseconds elapsed since a lazily-pinned process-wide epoch — the
+/// shared clock behind every health-plane timestamp (pump keepalive
+/// arrivals, suspicion scoring). A plain monotonic counter keeps the pumps'
+/// hot path to one `Instant::elapsed` + one atomic store.
+pub fn epoch_micros() -> u64 {
+    use std::sync::OnceLock;
+    static EPOCH: OnceLock<std::time::Instant> = OnceLock::new();
+    EPOCH.get_or_init(std::time::Instant::now).elapsed().as_micros() as u64
+}
+
+/// A rejected [`HeartbeatConfig`]: zero durations or a read timeout that
+/// does not exceed the keepalive interval (a reader whose silence budget is
+/// at or below the sender's idle cadence flaps healthy links on scheduling
+/// jitter alone).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HeartbeatConfigError {
+    ZeroInterval,
+    ZeroReadTimeout,
+    ReadTimeoutNotAboveInterval { interval: Duration, read_timeout: Duration },
+}
+
+impl std::fmt::Display for HeartbeatConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HeartbeatConfigError::ZeroInterval => {
+                write!(f, "DISKS_HEARTBEAT_MS must be at least 1")
+            }
+            HeartbeatConfigError::ZeroReadTimeout => {
+                write!(f, "DISKS_TCP_READ_TIMEOUT_MS must be at least 1")
+            }
+            HeartbeatConfigError::ReadTimeoutNotAboveInterval { interval, read_timeout } => write!(
+                f,
+                "read timeout {}ms must exceed the keepalive interval {}ms \
+                 (an at-or-below budget flaps healthy idle links)",
+                read_timeout.as_millis(),
+                interval.as_millis()
+            ),
+        }
+    }
+}
+
+impl std::error::Error for HeartbeatConfigError {}
+
 /// Liveness parameters of a TCP link: how often an idle sending pump emits
 /// a keepalive, and how long a silent peer may stay silent before the
 /// reading pump declares the link stalled. The read timeout must exceed the
@@ -505,10 +548,55 @@ pub struct HeartbeatConfig {
 }
 
 impl HeartbeatConfig {
+    /// Validate an interval/read-timeout pair with a typed error instead of
+    /// letting a nonsensical combination silently flap links at runtime.
+    pub fn checked(
+        interval: Duration,
+        read_timeout: Duration,
+    ) -> Result<HeartbeatConfig, HeartbeatConfigError> {
+        if interval.is_zero() {
+            return Err(HeartbeatConfigError::ZeroInterval);
+        }
+        if read_timeout.is_zero() {
+            return Err(HeartbeatConfigError::ZeroReadTimeout);
+        }
+        if read_timeout <= interval {
+            return Err(HeartbeatConfigError::ReadTimeoutNotAboveInterval {
+                interval,
+                read_timeout,
+            });
+        }
+        Ok(HeartbeatConfig { interval, read_timeout })
+    }
+
+    /// Resolve from the environment without clamping, surfacing the typed
+    /// error for callers (the worker binary, tests) that want to reject a
+    /// bad deployment loudly.
+    pub fn try_from_env() -> Result<HeartbeatConfig, HeartbeatConfigError> {
+        Self::checked(
+            env_millis("DISKS_HEARTBEAT_MS", 100),
+            env_millis("DISKS_TCP_READ_TIMEOUT_MS", 1000),
+        )
+    }
+
+    /// Resolve from the environment, clamping any rejected combination back
+    /// to a safe shape (read timeout raised to 10× the interval — the
+    /// default 100ms/1000ms ratio) with a one-line warning, so library
+    /// construction paths (`ClusterConfig::default`) stay infallible.
     pub fn from_env() -> HeartbeatConfig {
-        HeartbeatConfig {
-            interval: env_millis("DISKS_HEARTBEAT_MS", 100),
-            read_timeout: env_millis("DISKS_TCP_READ_TIMEOUT_MS", 1000),
+        match Self::try_from_env() {
+            Ok(cfg) => cfg,
+            Err(e) => {
+                let interval = env_millis("DISKS_HEARTBEAT_MS", 100).max(Duration::from_millis(1));
+                let cfg = HeartbeatConfig { interval, read_timeout: interval * 10 };
+                eprintln!(
+                    "disks: invalid heartbeat config ({e}); clamped to \
+                     interval={}ms read_timeout={}ms",
+                    cfg.interval.as_millis(),
+                    cfg.read_timeout.as_millis()
+                );
+                cfg
+            }
         }
     }
 }
@@ -556,6 +644,17 @@ pub trait Link: Send {
     fn deliver_unfaulted(&self, frame: &Bytes) -> bool {
         self.counters().record_send(frame.len() as u64);
         self.send_raw(frame.clone())
+    }
+
+    /// [`epoch_micros`] timestamp of the most recent proof of life the
+    /// transport itself observed from the peer (keepalives *and* payload
+    /// frames seen by the ingress pump). `None` when the transport has no
+    /// reader of its own (channel links — the coordinator sees every frame
+    /// arrival directly) or nothing has arrived yet. The health layer polls
+    /// this so a worker that is alive-but-slow keeps its suspicion low via
+    /// keepalives even while a big answer is still being computed.
+    fn last_arrival_micros(&self) -> Option<u64> {
+        None
     }
 }
 
@@ -699,6 +798,7 @@ fn ingress_pump(
     out: Sender<Bytes>,
     received: Option<Arc<LinkCounters>>,
     down: Arc<AtomicBool>,
+    arrivals: Option<Arc<AtomicU64>>,
 ) {
     let mut asm = FrameAssembler::new();
     let mut buf = [0u8; 16 * 1024];
@@ -710,6 +810,9 @@ fn ingress_pump(
                 loop {
                     match asm.next_event() {
                         Ok(Some(StreamEvent::Frame(f))) => {
+                            if let Some(a) = &arrivals {
+                                a.store(epoch_micros().max(1), Ordering::Release);
+                            }
                             if let Some(c) = &received {
                                 c.record_send(f.len() as u64);
                             }
@@ -717,7 +820,14 @@ fn ingress_pump(
                                 break 'link;
                             }
                         }
-                        Ok(Some(StreamEvent::Keepalive)) => {}
+                        Ok(Some(StreamEvent::Keepalive)) => {
+                            // Keepalives are the transport's proof of life:
+                            // export the arrival time for the health layer
+                            // (a payload frame counts identically above).
+                            if let Some(a) = &arrivals {
+                                a.store(epoch_micros().max(1), Ordering::Release);
+                            }
+                        }
                         Ok(None) => break,
                         Err(_) => break 'link,
                     }
@@ -743,6 +853,9 @@ pub struct TcpLink {
     faults: Option<Arc<FaultInjector>>,
     down: Arc<AtomicBool>,
     stream: TcpStream,
+    /// Last peer proof-of-life ([`epoch_micros`], 0 = none yet), stored by
+    /// the ingress pump on every keepalive or payload frame.
+    last_arrival: Arc<AtomicU64>,
 }
 
 impl TcpLink {
@@ -770,11 +883,13 @@ impl TcpLink {
             .spawn(move || egress_pump(writer, rx, heartbeat.interval, transport_faults, tx_down))
             .expect("spawn link egress pump");
         let rx_down = Arc::clone(&down);
+        let last_arrival = Arc::new(AtomicU64::new(0));
+        let rx_arrivals = Arc::clone(&last_arrival);
         thread::Builder::new()
             .name(format!("disks-link-rx-{machine}"))
-            .spawn(move || ingress_pump(reader, responses, received, rx_down))
+            .spawn(move || ingress_pump(reader, responses, received, rx_down, Some(rx_arrivals)))
             .expect("spawn link ingress pump");
-        Ok(TcpLink { tx, counters, faults, down, stream })
+        Ok(TcpLink { tx, counters, faults, down, stream, last_arrival })
     }
 }
 
@@ -798,6 +913,13 @@ impl Link for TcpLink {
     fn close(&self) {
         self.down.store(true, Ordering::Release);
         let _ = self.stream.shutdown(Shutdown::Both);
+    }
+
+    fn last_arrival_micros(&self) -> Option<u64> {
+        match self.last_arrival.load(Ordering::Acquire) {
+            0 => None,
+            us => Some(us),
+        }
     }
 }
 
@@ -829,7 +951,7 @@ pub fn tcp_worker_endpoint(
     let rx_down = Arc::clone(&down);
     thread::Builder::new()
         .name(format!("disks-peer-rx-{machine}"))
-        .spawn(move || ingress_pump(reader, req_tx, None, rx_down))
+        .spawn(move || ingress_pump(reader, req_tx, None, rx_down, None))
         .expect("spawn worker ingress pump");
     thread::Builder::new()
         .name(format!("disks-peer-tx-{machine}"))

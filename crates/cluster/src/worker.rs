@@ -182,7 +182,10 @@ pub fn worker_loop(
             Ok(r) => r,
             Err(_) => continue, // malformed frame: drop, as a server would
         };
-        if !matches!(request, Request::Shutdown) {
+        // Probes are health-plane traffic, not work: they do not advance the
+        // request ordinal, so fault schedules keyed on "nth request" replay
+        // identically whether or not quarantine probing is enabled.
+        if !matches!(request, Request::Shutdown | Request::Probe { .. }) {
             request_count += 1;
             if faults.kill_on_request == Some(request_count) {
                 return; // simulated machine crash: no response, thread gone
@@ -191,6 +194,12 @@ pub fn worker_loop(
         let inject_panic = faults.panic_on_request == Some(request_count);
         match request {
             Request::Shutdown => break,
+            Request::Probe { nonce } => {
+                let ack = Response::ProbeAck { machine: machine_id as u32, nonce };
+                if !responses.send(encode_frame(&ack)) {
+                    return; // coordinator gone
+                }
+            }
             Request::TopK { query_id, query, fragments } => {
                 for (i, engine) in hosted(&mut engines, &fragments) {
                     let fragment = engine.fragment().0;

@@ -129,11 +129,14 @@ fn adaptive_matches_fixed_windows_and_oracle_on_zipf_stream() {
     );
 
     // The frame ledger closes on both paths: every coordinator→worker frame
-    // is an initial dispatch, a retry, or a pre-warm.
+    // is an initial dispatch, a retry, a pre-warm, a hedge, or a probe.
     for c in [&adaptive, &fixed] {
         let (c2w_frames, _) = c.link_message_totals();
         let (oc, rc) = (c.overload_counters(), c.recovery_counters());
-        assert_eq!(c2w_frames, oc.dispatch_frames + rc.retries + rc.prewarm_frames);
+        assert_eq!(
+            c2w_frames,
+            oc.dispatch_frames + rc.retries + rc.prewarm_frames + rc.hedges + rc.probe_frames
+        );
     }
 
     adaptive.shutdown();
@@ -205,7 +208,7 @@ fn mid_stream_kill_under_adaptive_batching_nacks_and_repairs() {
     let oc = cluster.overload_counters();
     assert_eq!(
         c2w_frames,
-        oc.dispatch_frames + rc2.retries + rc2.prewarm_frames,
+        oc.dispatch_frames + rc2.retries + rc2.prewarm_frames + rc2.hedges + rc2.probe_frames,
         "frame ledger must reconcile exactly: {oc:?} {rc2:?}"
     );
     cluster.shutdown();

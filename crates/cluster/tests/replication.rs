@@ -196,7 +196,7 @@ fn least_loaded_routing_serves_fragments_off_non_primary_replicas() {
 /// the coordinator→worker frame ledger still closes exactly:
 ///
 /// ```text
-/// c2w frames == dispatch_frames + retries + prewarm_frames
+/// c2w frames == dispatch_frames + retries + prewarm_frames + hedges + probes
 /// ```
 #[test]
 fn killing_hottest_fragment_primary_reroutes_to_surviving_replica() {
@@ -242,12 +242,12 @@ fn killing_hottest_fragment_primary_reroutes_to_surviving_replica() {
 
     // The ledger closes even with re-routed retries in the mix: every
     // coordinator→worker frame is an initial dispatch, a narrowed retry
-    // (re-routed or not), or a pre-warm.
+    // (re-routed or not), a pre-warm, a hedge, or a quarantine probe.
     let oc = cluster.overload_counters();
     let (c2w_frames, _) = cluster.link_message_totals();
     assert_eq!(
         c2w_frames,
-        oc.dispatch_frames + rc.retries + rc.prewarm_frames,
+        oc.dispatch_frames + rc.retries + rc.prewarm_frames + rc.hedges + rc.probe_frames,
         "frame ledger must reconcile exactly: {oc:?} {rc:?}"
     );
 

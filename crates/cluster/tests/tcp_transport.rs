@@ -62,14 +62,15 @@ fn base_config() -> ClusterConfig {
     }
 }
 
-/// Every coordinator→worker frame is an initial dispatch, a retry, or a
-/// pre-warm — on any transport. Keepalives never enter this ledger.
+/// Every coordinator→worker frame is an initial dispatch, a retry, a
+/// pre-warm, a hedge, or a quarantine probe — on any transport. Keepalives
+/// never enter this ledger.
 fn assert_ledger_closes(cluster: &Cluster) {
     let (c2w_frames, _) = cluster.link_message_totals();
     let (oc, rc) = (cluster.overload_counters(), cluster.recovery_counters());
     assert_eq!(
         c2w_frames,
-        oc.dispatch_frames + rc.retries + rc.prewarm_frames,
+        oc.dispatch_frames + rc.retries + rc.prewarm_frames + rc.hedges + rc.probe_frames,
         "frame ledger must reconcile exactly: {oc:?} {rc:?}"
     );
 }
