@@ -108,6 +108,18 @@ pub struct OverloadSummary {
     pub cost_limit: u64,
     /// Radius multiplier of the oversized variants.
     pub oversized_multiplier: u64,
+    /// Observed service time per unit of Theorem 5 estimated cost: the
+    /// median of `wall_micros / estimated_cost` over the sustainable
+    /// queries of the 1× shedding-on stream. Purely observational — how
+    /// many microseconds of wall-clock one cost unit actually buys here.
+    pub service_micros_per_cost: f64,
+    /// The admission budget the observed tail implies: p99 sustainable
+    /// wall-clock at 1× divided by [`Self::service_micros_per_cost`] —
+    /// i.e. the `DISKS_COST_LIMIT` whose admitted queries would stay
+    /// within today's observed tail. Printed by `repro` next to the
+    /// configured budget as a cost-model calibration check; never fed
+    /// back into admission (no behavior change).
+    pub implied_cost_limit: u64,
     pub points: Vec<OverloadPoint>,
 }
 
@@ -121,6 +133,11 @@ impl OverloadSummary {
         s.push_str(&format!("  \"num_keywords\": {},\n", self.num_keywords));
         s.push_str(&format!("  \"cost_limit\": {},\n", self.cost_limit));
         s.push_str(&format!("  \"oversized_multiplier\": {},\n", self.oversized_multiplier));
+        s.push_str(&format!(
+            "  \"service_micros_per_cost\": {:.6},\n",
+            self.service_micros_per_cost
+        ));
+        s.push_str(&format!("  \"implied_cost_limit\": {},\n", self.implied_cost_limit));
         s.push_str("  \"points\": [\n");
         for (i, p) in self.points.iter().enumerate() {
             let sep = if i + 1 == self.points.len() { "" } else { "," };
@@ -188,6 +205,9 @@ struct MeasuredRun {
     p50_micros: u64,
     p99_micros: u64,
     frames: u64,
+    /// Wall micros of the answered *sustainable* queries, in base-stream
+    /// order — the sample the service-per-cost calibration reads at 1×.
+    base_micros: Vec<u64>,
 }
 
 /// Measured passes per load point; the stream outcome is deterministic, so
@@ -209,12 +229,15 @@ fn measure(
         let (frames_after, _) = cluster.link_message_totals();
         let (mut served_base, mut shed) = (0usize, 0usize);
         let mut lat: Vec<u64> = Vec::with_capacity(items.len());
+        let mut base_micros: Vec<u64> = Vec::new();
         for (i, item) in items.iter().enumerate() {
             match item {
                 Ok(o) => {
-                    lat.push(o.stats.wall_time.as_micros() as u64);
+                    let micros = o.stats.wall_time.as_micros() as u64;
+                    lat.push(micros);
                     if i % load == 0 {
                         served_base += 1;
+                        base_micros.push(micros);
                     }
                 }
                 Err(QueryError::Overloaded { .. }) => shed += 1,
@@ -232,6 +255,7 @@ fn measure(
             p50_micros: p50,
             p99_micros: p99,
             frames: frames_after - frames_before,
+            base_micros,
         };
         if best.as_ref().is_none_or(|b| run.goodput > b.goodput) {
             best = Some(run);
@@ -259,7 +283,8 @@ pub fn overload(ds: &Dataset, params: &Params) -> (Table, OverloadSummary) {
         QueryPlan::lower(&SgkQuery::new(q.keywords.clone(), r).to_dfunction())
             .estimated_cost(&cost_params)
     };
-    let cost_limit = base.iter().map(|q| cost_at(q, base_r)).max().expect("non-empty base");
+    let base_costs: Vec<u64> = base.iter().map(|q| cost_at(q, base_r)).collect();
+    let cost_limit = *base_costs.iter().max().expect("non-empty base");
     let oversized_multiplier = OVERSIZED_MULTIPLIERS
         .into_iter()
         .find(|&m| base.iter().all(|q| cost_at(q, m * base_r) > cost_limit))
@@ -306,6 +331,8 @@ pub fn overload(ds: &Dataset, params: &Params) -> (Table, OverloadSummary) {
         num_keywords: params.num_keywords,
         cost_limit,
         oversized_multiplier,
+        service_micros_per_cost: 0.0,
+        implied_cost_limit: 0,
         points: Vec::new(),
     };
 
@@ -322,6 +349,25 @@ pub fn overload(ds: &Dataset, params: &Params) -> (Table, OverloadSummary) {
 
         let on_cluster = build(ds, &partitioning, indexes.clone(), cost_limit);
         let on = measure(&on_cluster, &base_fs, &mixed, load);
+        // Calibration read-out at 1× (every sustainable query answered, no
+        // oversized traffic inflating the queue): the median observed
+        // µs-per-cost-unit, and the budget today's p99 tail corresponds to.
+        // Observational only — admission keeps the configured budget.
+        if load == 1 {
+            assert_eq!(on.base_micros.len(), base_costs.len());
+            let mut ratios: Vec<f64> = on
+                .base_micros
+                .iter()
+                .zip(&base_costs)
+                .map(|(&m, &c)| m as f64 / c.max(1) as f64)
+                .collect();
+            ratios.sort_by(|a, b| a.total_cmp(b));
+            summary.service_micros_per_cost = ratios[ratios.len() / 2];
+            if summary.service_micros_per_cost > 0.0 {
+                summary.implied_cost_limit =
+                    (on.p99_micros as f64 / summary.service_micros_per_cost) as u64;
+            }
+        }
         let unbalance_on = on_cluster.unbalance_factor();
         let rc_on = on_cluster.recovery_counters();
         on_cluster.shutdown();
@@ -402,6 +448,11 @@ mod tests {
         assert_eq!(summary.points.len(), LOADS.len());
         let n = summary.base_queries;
         assert!(summary.cost_limit > 1);
+        // Calibration read-out: positive µs-per-cost and a nonzero implied
+        // budget. No relation to the configured budget is asserted — the
+        // read-out is a consistency check for humans, not a gate.
+        assert!(summary.service_micros_per_cost > 0.0);
+        assert!(summary.implied_cost_limit > 0);
 
         for (p, &load) in summary.points.iter().zip(&LOADS) {
             assert_eq!(p.load, load);
@@ -442,6 +493,8 @@ mod tests {
 
         let json = summary.to_json();
         assert!(json.contains("\"cost_limit\""));
+        assert!(json.contains("\"service_micros_per_cost\""));
+        assert!(json.contains("\"implied_cost_limit\""));
         assert!(json.contains("\"shed_rate_on\""));
         assert!(json.contains("\"goodput_on\""));
         assert!(json.contains("\"hedges\""));

@@ -1,0 +1,346 @@
+//! Intra-worker parallel evaluation sweep — worker thread counts vs
+//! uncached batched-dispatch throughput (`results/BENCH_parallel.json`).
+//!
+//! Each point builds a fresh cluster with
+//! [`ClusterConfig::worker_threads`] pinned to 1, 2 or 4 and pushes the
+//! same batched SGKQ stream through it with the coverage cache disabled,
+//! so slot evaluation — the work the pool parallelizes — carries the
+//! wall-clock. The two-phase compute/commit protocol (DESIGN.md §6k)
+//! guarantees the parallel runs are *value-identical* to serial, and this
+//! experiment re-asserts the visible half of that on every sweep: answers,
+//! wire frames and wire bytes must match across thread counts exactly.
+//!
+//! Reported per point: throughput, speedup over the serial point, pool
+//! busy time (summed per-slot evaluation micros from the
+//! [`disks_cluster::WireCost`] timing plane), pool utilization (busy time
+//! over machines × threads × wall-clock), per-query latency percentiles,
+//! and the per-slot evaluation-latency histogram. Serial workers leave the
+//! histogram empty (they spend no attribution effort on the bit-for-bit
+//! path), so the histogram doubles as proof the pool actually engaged.
+//!
+//! The ≥ 2× speedup acceptance bound at 4 threads is only asserted when
+//! the host has ≥ 4 cores — on smaller runners the sweep still runs and
+//! records honest (≈ 1×) speedups, exercising the parity half alone.
+
+use disks_cluster::message::EVAL_HIST_BUCKETS;
+use disks_cluster::{Cluster, ClusterConfig, NetworkModel, QueryOutcome};
+use disks_core::{build_all_indexes, DFunction, IndexConfig, NpdIndex};
+use disks_partition::{MultilevelPartitioner, Partitioner, Partitioning};
+use disks_roadnet::NodeId;
+
+use crate::datasets::Dataset;
+use crate::params::Params;
+use crate::queries::QueryGenerator;
+use crate::report::Table;
+
+/// Worker thread counts swept. 1 is the serial baseline every other point
+/// must match byte-for-byte on the value plane.
+const THREADS: [usize; 3] = [1, 2, 4];
+
+/// Batched-dispatch window: batch frames carry many distinct slots, which
+/// is exactly the fan-out the evaluation pool spreads across threads.
+const BATCH_WINDOW: usize = 16;
+
+/// Measured passes per point (best-throughput one reported; answers and
+/// wire traffic are deterministic, so reps only de-noise the wall-clock).
+const REPS: usize = 3;
+
+/// One worker-thread-count measurement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParallelPoint {
+    pub threads: usize,
+    /// Batched queries/sec, cache disabled.
+    pub qps: f64,
+    /// `qps / qps(threads=1)`.
+    pub speedup: f64,
+    /// Summed per-slot evaluation micros across workers (timing plane).
+    pub busy_micros: u64,
+    /// `busy_micros / (machines × threads × wall-clock)`: how busy the
+    /// evaluator threads were. Serial workers count whole-frame evaluation
+    /// time as busy; pooled workers sum the per-slot job micros.
+    pub utilization: f64,
+    /// Per-query service latency percentiles over the measured batch (µs).
+    pub p50_micros: u64,
+    pub p99_micros: u64,
+    /// Per-slot evaluation-latency histogram (log2-µs buckets), summed
+    /// across workers. Empty at `threads = 1`.
+    pub eval_hist: [u64; EVAL_HIST_BUCKETS],
+}
+
+/// Machine-readable summary of the thread sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParallelSummary {
+    pub dataset: String,
+    pub queries: usize,
+    pub num_keywords: usize,
+    pub machines: usize,
+    /// Cores the host reported; speedup bounds only bind when ≥ 4.
+    pub host_cores: usize,
+    pub points: Vec<ParallelPoint>,
+}
+
+impl ParallelSummary {
+    /// Hand-formatted JSON (the repo carries no serde; the schema is flat
+    /// enough that formatting by hand keeps the artifact dependency-free).
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{\n");
+        s.push_str(&format!("  \"dataset\": \"{}\",\n", self.dataset));
+        s.push_str(&format!("  \"queries\": {},\n", self.queries));
+        s.push_str(&format!("  \"num_keywords\": {},\n", self.num_keywords));
+        s.push_str(&format!("  \"machines\": {},\n", self.machines));
+        s.push_str(&format!("  \"host_cores\": {},\n", self.host_cores));
+        s.push_str("  \"points\": [\n");
+        for (i, p) in self.points.iter().enumerate() {
+            let sep = if i + 1 == self.points.len() { "" } else { "," };
+            s.push_str(&format!(
+                "    {{\"threads\": {}, \"qps\": {:.1}, \"speedup\": {:.3}, \
+                 \"busy_micros\": {}, \"utilization\": {:.4}, \"p50_micros\": {}, \
+                 \"p99_micros\": {}, \"eval_hist\": [{}]}}{sep}\n",
+                p.threads,
+                p.qps,
+                p.speedup,
+                p.busy_micros,
+                p.utilization,
+                p.p50_micros,
+                p.p99_micros,
+                p.eval_hist.iter().map(u64::to_string).collect::<Vec<_>>().join(", ")
+            ));
+        }
+        s.push_str("  ]\n}\n");
+        s
+    }
+
+    /// The speedup at a given thread count, if swept.
+    pub fn speedup_at(&self, threads: usize) -> Option<f64> {
+        self.points.iter().find(|p| p.threads == threads).map(|p| p.speedup)
+    }
+}
+
+fn build(
+    ds: &Dataset,
+    partitioning: &Partitioning,
+    indexes: Vec<NpdIndex>,
+    machines: usize,
+    threads: usize,
+) -> Cluster {
+    Cluster::build(
+        &ds.net,
+        partitioning,
+        indexes,
+        ClusterConfig {
+            machines: Some(machines),
+            network: NetworkModel::instant(),
+            // Cache off: slot evaluation (the parallelized work) carries
+            // the wall-clock, and the sweep isolates compute scaling.
+            coverage_cache_bytes: 0,
+            // Pinned so DISKS_BATCH* / DISKS_WORKER_THREADS lane variables
+            // cannot change what the sweep measures.
+            batch_window: BATCH_WINDOW,
+            batch_adaptive: false,
+            worker_threads: threads,
+            ..ClusterConfig::default()
+        },
+    )
+}
+
+/// One measured pass: answers, wall-clock, link deltas, and the timing
+/// plane summed over the batch.
+struct MeasuredRun {
+    qps: f64,
+    results: Vec<Vec<NodeId>>,
+    frames: u64,
+    bytes: u64,
+    busy_micros: u64,
+    eval_hist: [u64; EVAL_HIST_BUCKETS],
+    p50_micros: u64,
+    p99_micros: u64,
+}
+
+fn measure_once(cluster: &Cluster, fs: &[DFunction]) -> MeasuredRun {
+    let (fr_before, _) = cluster.link_message_totals();
+    let (c2w_before, w2c_before) = cluster.link_totals();
+    let (outcomes, elapsed) = cluster.run_batched(fs).expect("measured batch");
+    assert_eq!(outcomes.len(), fs.len());
+    let (fr_after, _) = cluster.link_message_totals();
+    let (c2w_after, w2c_after) = cluster.link_totals();
+    let mut busy_micros = 0u64;
+    let mut eval_hist = [0u64; EVAL_HIST_BUCKETS];
+    let mut lat: Vec<u64> = Vec::with_capacity(outcomes.len());
+    for o in &outcomes {
+        busy_micros += o.stats.total_busy_micros();
+        for (d, s) in eval_hist.iter_mut().zip(o.stats.total_eval_hist()) {
+            *d += s;
+        }
+        lat.push(o.stats.wall_time.as_micros() as u64);
+    }
+    lat.sort_unstable();
+    let p50 = lat.get(lat.len() / 2).copied().unwrap_or(0);
+    let p99 =
+        lat.get((lat.len() * 99 / 100).min(lat.len().saturating_sub(1))).copied().unwrap_or(0);
+    MeasuredRun {
+        qps: fs.len() as f64 / elapsed.as_secs_f64().max(1e-9),
+        results: outcomes.into_iter().map(|o: QueryOutcome| o.results).collect(),
+        frames: fr_after - fr_before,
+        bytes: (c2w_after - c2w_before) + (w2c_after - w2c_before),
+        busy_micros,
+        eval_hist,
+        p50_micros: p50,
+        p99_micros: p99,
+    }
+}
+
+/// Worker-thread sweep: serial vs pooled evaluation on the same batched
+/// stream, with value-plane parity asserted across every thread count.
+pub fn parallel(ds: &Dataset, params: &Params) -> (Table, ParallelSummary) {
+    let e = ds.net.avg_edge_weight();
+    let max_r = params.max_r(e);
+    let r = params.r(e).min(max_r);
+    let batch = (params.queries_per_point * 10).max(20);
+    let mut gen = QueryGenerator::new(&ds.net, 0x9A8A);
+    let fs: Vec<DFunction> =
+        gen.sgkq_batch(batch, params.num_keywords, r).iter().map(|q| q.to_dfunction()).collect();
+
+    let k = params.num_fragments;
+    let machines = k.min(4);
+    let partitioning = MultilevelPartitioner::default().partition(&ds.net, k);
+    let indexes = build_all_indexes(&ds.net, &partitioning, &IndexConfig::with_max_r(max_r));
+    let host_cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+
+    let mut t = Table::new(
+        format!(
+            "Parallel eval: batched SGKQ stream of {} queries (#kw={}, w={BATCH_WINDOW}, \
+             {} machines, cache off), {}",
+            fs.len(),
+            params.num_keywords,
+            machines,
+            ds.id.name()
+        ),
+        vec![
+            "threads".into(),
+            "q/s".into(),
+            "speedup".into(),
+            "busy".into(),
+            "util".into(),
+            "p50".into(),
+            "p99".into(),
+        ],
+    );
+    let mut summary = ParallelSummary {
+        dataset: ds.id.name().to_string(),
+        queries: fs.len(),
+        num_keywords: params.num_keywords,
+        machines,
+        host_cores,
+        points: Vec::new(),
+    };
+
+    // (answers, frames, bytes) of the serial point — the value plane every
+    // pooled point must reproduce exactly.
+    let mut value_plane: Option<(Vec<Vec<NodeId>>, u64, u64)> = None;
+    let mut qps_serial = 0.0f64;
+    for &threads in &THREADS {
+        let cluster = build(ds, &partitioning, indexes.clone(), machines, threads);
+        let _ = cluster.run_batched(&fs).expect("warmup batch");
+        let mut best: Option<MeasuredRun> = None;
+        for _ in 0..REPS {
+            let m = measure_once(&cluster, &fs);
+            if best.as_ref().is_none_or(|b| m.qps > b.qps) {
+                best = Some(m);
+            }
+        }
+        let m = best.expect("REPS >= 1");
+        cluster.shutdown();
+
+        // Value-plane parity across thread counts: same answers, same
+        // frames, same bytes — the §6k determinism contract, re-checked on
+        // every sweep (the proptests pin the full per-machine ledger).
+        match &value_plane {
+            None => value_plane = Some((m.results.clone(), m.frames, m.bytes)),
+            Some((results, frames, bytes)) => {
+                assert_eq!(&m.results, results, "threads={threads}: answers diverged");
+                assert_eq!(m.frames, *frames, "threads={threads}: frame count diverged");
+                assert_eq!(m.bytes, *bytes, "threads={threads}: wire bytes diverged");
+            }
+        }
+
+        if threads == 1 {
+            qps_serial = m.qps;
+        }
+        let speedup = if qps_serial > 0.0 { m.qps / qps_serial } else { 0.0 };
+        let capacity_micros =
+            (machines * threads) as f64 * (fs.len() as f64 / m.qps.max(1e-9)) * 1e6;
+        let utilization = m.busy_micros as f64 / capacity_micros.max(1e-9);
+        // Acceptance bound: ≥ 2× at 4 threads — only binding on hosts with
+        // the cores to show it.
+        if threads == 4 && host_cores >= 4 {
+            assert!(
+                speedup >= 2.0,
+                "threads=4 speedup {speedup:.2} below the 2x acceptance bound on a \
+                 {host_cores}-core host"
+            );
+        }
+        t.push(vec![
+            threads.to_string(),
+            format!("{:.0}", m.qps),
+            format!("{speedup:.2}x"),
+            format!("{}us", m.busy_micros),
+            format!("{:.0}%", 100.0 * utilization),
+            format!("{}us", m.p50_micros),
+            format!("{}us", m.p99_micros),
+        ]);
+        summary.points.push(ParallelPoint {
+            threads,
+            qps: m.qps,
+            speedup,
+            busy_micros: m.busy_micros,
+            utilization,
+            p50_micros: m.p50_micros,
+            p99_micros: m.p99_micros,
+            eval_hist: m.eval_hist,
+        });
+    }
+    (t, summary)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datasets::{load, DatasetId, Scale};
+
+    #[test]
+    fn thread_sweep_holds_value_parity_and_reports_pool_timing() {
+        let ds = load(DatasetId::Aus, Scale::Smoke);
+        let params =
+            Params { num_fragments: 4, queries_per_point: 2, num_keywords: 3, ..Params::default() };
+        let (t, summary) = parallel(&ds, &params);
+        assert_eq!(t.rows.len(), THREADS.len());
+        assert_eq!(summary.points.len(), THREADS.len());
+        let serial = &summary.points[0];
+        assert_eq!(serial.threads, 1);
+        assert!((serial.speedup - 1.0).abs() < 1e-9);
+        // Serial workers take the bit-for-bit path: no per-slot
+        // attribution, so the histogram stays empty (busy time still
+        // covers whole-frame evaluation).
+        assert_eq!(serial.eval_hist.iter().sum::<u64>(), 0);
+        assert!(serial.busy_micros > 0);
+        for p in &summary.points {
+            assert!(p.qps > 0.0);
+            assert!(p.p50_micros <= p.p99_micros);
+            if p.threads > 1 {
+                // The pool attributes every evaluated slot: with the cache
+                // off every slot is a store miss, so the histogram must
+                // have recorded entries and busy time must be nonzero.
+                assert!(p.eval_hist.iter().sum::<u64>() > 0, "threads={}: empty hist", p.threads);
+                assert!(p.busy_micros > 0, "threads={}: no busy time", p.threads);
+                assert!(p.utilization > 0.0 && p.utilization <= 1.0 + 1e-9);
+            }
+        }
+        let json = summary.to_json();
+        assert!(json.contains("\"host_cores\""));
+        assert!(json.contains("\"speedup\""));
+        assert!(json.contains("\"busy_micros\""));
+        assert!(json.contains("\"utilization\""));
+        assert!(json.contains("\"eval_hist\""));
+        assert!(json.trim_start().starts_with('{') && json.trim_end().ends_with('}'));
+    }
+}

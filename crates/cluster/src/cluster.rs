@@ -230,6 +230,14 @@ pub struct ClusterConfig {
     /// pre-health cluster. The default honours the `DISKS_QUARANTINE`
     /// environment variable (`0`/`off`/`false` to disable; unset → off).
     pub quarantine: bool,
+    /// Evaluator threads per worker (DESIGN.md §6k): `1` (the default) is
+    /// the classic sequential worker, bit-for-bit; `n > 1` fans the
+    /// distinct coverage slots of each frame across `n - 1` helper threads
+    /// plus the worker thread, then commits serially — answers, cache/LRU
+    /// ledgers, and wire bytes are identical to `1` at any thread count.
+    /// The default honours the `DISKS_WORKER_THREADS` environment variable
+    /// (a count, or `0`/`off`/`false` for sequential; unset → 1).
+    pub worker_threads: usize,
 }
 
 impl ClusterConfig {
@@ -444,6 +452,23 @@ impl ClusterConfig {
             Err(_) => false,
         }
     }
+
+    /// Evaluator threads per worker from `DISKS_WORKER_THREADS` (a count,
+    /// or `0`/`off`/`false` for the sequential worker); 1 when unset or
+    /// unparseable.
+    pub fn worker_threads_from_env() -> usize {
+        match std::env::var("DISKS_WORKER_THREADS") {
+            Ok(v) => {
+                let v = v.trim();
+                if v.eq_ignore_ascii_case("off") || v.eq_ignore_ascii_case("false") {
+                    1
+                } else {
+                    v.parse().unwrap_or(1).max(1)
+                }
+            }
+            Err(_) => 1,
+        }
+    }
 }
 
 impl Default for ClusterConfig {
@@ -474,6 +499,7 @@ impl Default for ClusterConfig {
             hedge: Self::hedge_from_env(),
             hedge_ms: Self::hedge_ms_from_env(),
             quarantine: Self::quarantine_from_env(),
+            worker_threads: Self::worker_threads_from_env(),
         }
     }
 }
@@ -591,6 +617,7 @@ fn spawn_local_worker(
     queue_capacity: usize,
     cache_budget: usize,
     cache_heat: u32,
+    worker_threads: usize,
     counters: Arc<LinkCounters>,
     to_faults: Option<Arc<FaultInjector>>,
     from_faults: Option<Arc<FaultInjector>>,
@@ -611,6 +638,7 @@ fn spawn_local_worker(
                     worker_faults,
                     cache_budget,
                     cache_heat,
+                    worker_threads,
                 )
             })
             .expect("spawn worker")
@@ -889,6 +917,9 @@ pub struct Cluster {
     /// Heat-admission threshold of each worker's coverage cache (0 = plain
     /// LRU; respawn recreates like for like).
     cache_heat: u32,
+    /// Evaluator threads per worker (1 = sequential; respawn recreates
+    /// like for like).
+    worker_threads: usize,
     /// Cross-query batching window (≤1 = unbatched dispatch). Under
     /// adaptive batching this is the controller's seed.
     batch_window: usize,
@@ -1047,6 +1078,7 @@ impl Cluster {
                 config.queue_capacity.max(1),
                 config.coverage_cache_bytes,
                 config.cache_heat,
+                config.worker_threads.max(1),
                 counters,
                 to_faults.clone(),
                 from_faults.clone(),
@@ -1092,6 +1124,7 @@ impl Cluster {
             admission_max_r,
             cache_budget: config.coverage_cache_bytes,
             cache_heat: config.cache_heat,
+            worker_threads: config.worker_threads.max(1),
             batch_window: config.batch_window,
             batch_adaptive: config.batch_adaptive,
             batch_window_ms: config.batch_window_ms,
@@ -1229,6 +1262,7 @@ impl Cluster {
             admission_max_r: index_config.max_r,
             cache_budget: config.coverage_cache_bytes,
             cache_heat: config.cache_heat,
+            worker_threads: config.worker_threads.max(1),
             batch_window: config.batch_window,
             batch_adaptive: config.batch_adaptive,
             batch_window_ms: config.batch_window_ms,
@@ -1409,6 +1443,7 @@ impl Cluster {
                 self.queue_capacity,
                 self.cache_budget,
                 self.cache_heat,
+                self.worker_threads,
                 counters,
                 w.to_faults.clone(),
                 w.from_faults.clone(),

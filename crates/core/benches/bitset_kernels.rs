@@ -1,0 +1,107 @@
+//! Bitset combine-stage microbench: the word-wise ∪ / ∩ / − kernels and the
+//! short-circuit probes (`intersects`, `popcount`) that back the
+//! D-function operator chains.
+//!
+//! These are the per-slot "second step" loops every query pays after its
+//! coverages are in hand, serial and parallel alike — the parallel
+//! evaluation pool (DESIGN.md §6k) changes who computes coverages, not how
+//! they combine, so this is the fixed per-query floor the thread pool
+//! amortises the Dijkstra cost against.
+//!
+//! Run with: `cargo bench -p disks-core --bench bitset_kernels`
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use disks_core::bitset::{kernels, BitSet};
+
+/// Deterministic pseudo-random words (splitmix64) so densities are stable
+/// across runs without pulling in an RNG.
+fn words(n: usize, seed: u64, keep_every: u64) -> Vec<u64> {
+    let mut state = seed;
+    (0..n)
+        .map(|i| {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            // Sparse variant: most words zero, mimicking a small coverage
+            // inside a large fragment.
+            if keep_every > 1 && !(i as u64).is_multiple_of(keep_every) {
+                0
+            } else {
+                z
+            }
+        })
+        .collect()
+}
+
+fn bench_word_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bitset_kernels");
+    group.sample_size(20);
+    // Fragment sizes in words: 1 Ki words = 64 Ki nodes covers the bench
+    // presets; 16 Ki words = 1 Mi nodes is BRI-scale.
+    for &nwords in &[1usize << 10, 1 << 14] {
+        let a = words(nwords, 0xA11CE, 1);
+        let sparse = words(nwords, 0xB0B, 16);
+        group.bench_with_input(BenchmarkId::new("or_into", nwords), &nwords, |b, _| {
+            let mut dst = a.clone();
+            b.iter(|| {
+                kernels::or_into(&mut dst, &sparse);
+                black_box(dst[0])
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("and_into", nwords), &nwords, |b, _| {
+            let mut dst = a.clone();
+            b.iter(|| {
+                let alive = kernels::and_into(&mut dst, &a);
+                black_box(alive)
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("andnot_into", nwords), &nwords, |b, _| {
+            let mut dst = a.clone();
+            b.iter(|| {
+                let alive = kernels::andnot_into(&mut dst, &sparse);
+                black_box(alive)
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("intersects", nwords), &nwords, |b, _| {
+            b.iter(|| black_box(kernels::intersects(&a, &sparse)));
+        });
+        group.bench_with_input(BenchmarkId::new("popcount", nwords), &nwords, |b, _| {
+            b.iter(|| black_box(kernels::popcount(&a)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_bitset_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bitset_ops");
+    group.sample_size(20);
+    let nbits = 1usize << 20;
+    let mut dense = BitSet::new(nbits);
+    let mut sparse = BitSet::new(nbits);
+    for i in (0..nbits).step_by(3) {
+        dense.insert(i);
+    }
+    for i in (0..nbits).step_by(97) {
+        sparse.insert(i);
+    }
+    group.bench_with_input(BenchmarkId::new("union_with", nbits), &nbits, |b, _| {
+        let mut dst = dense.clone();
+        b.iter(|| {
+            dst.union_with(&sparse);
+            black_box(dst.is_empty())
+        });
+    });
+    group.bench_with_input(BenchmarkId::new("intersect_with", nbits), &nbits, |b, _| {
+        let mut dst = dense.clone();
+        b.iter(|| black_box(dst.intersect_with(&sparse)));
+    });
+    group.bench_with_input(BenchmarkId::new("count", nbits), &nbits, |b, _| {
+        b.iter(|| black_box(dense.count()));
+    });
+    group.finish();
+}
+
+criterion_group!(bitsets, bench_word_kernels, bench_bitset_ops);
+criterion_main!(bitsets);

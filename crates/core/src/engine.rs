@@ -276,6 +276,25 @@ impl FragmentEngine {
         term: Term,
         radius: u64,
     ) -> Result<(Arc<BitSet>, QueryCost), QueryError> {
+        // Split borrows: the search mutates `ws` while reading `self`'s CSR.
+        let mut ws = std::mem::replace(&mut self.ws, DijkstraWorkspace::new(0));
+        let out = self.coverage_with(&mut ws, term, radius);
+        self.ws = ws;
+        out
+    }
+
+    /// [`Self::coverage`] against a caller-owned workspace: the engine is
+    /// only *read*, so independent slots of a batch can be evaluated
+    /// concurrently from one shared engine, each thread bringing its own
+    /// [`DijkstraWorkspace`]. Identical result and cost accounting to
+    /// [`Self::coverage`] (which delegates here with the resident
+    /// workspace).
+    pub fn coverage_with(
+        &self,
+        ws: &mut DijkstraWorkspace,
+        term: Term,
+        radius: u64,
+    ) -> Result<(Arc<BitSet>, QueryCost), QueryError> {
         debug_assert!(
             radius <= self.max_r,
             "radius {radius} exceeds index maxR {} — admission should have rejected this query",
@@ -321,13 +340,10 @@ impl FragmentEngine {
             }
         }
         let mut cov = BitSet::new(self.globals.len());
-        // Split borrows: the search mutates `ws` while reading `self`'s CSR.
-        let mut ws = std::mem::replace(&mut self.ws, DijkstraWorkspace::new(0));
-        let stats = ws.run(&*self, &seeds, radius, |n, _| {
+        let stats = ws.run(self, &seeds, radius, |n, _| {
             cov.insert(n as usize);
             Control::Continue
         });
-        self.ws = ws;
         cost.settled = stats.settled;
         cost.pushed = stats.pushed;
         cost.coverage_nodes = cov.count();
@@ -482,6 +498,25 @@ impl FragmentEngine {
         plan: &QueryPlan,
         store: &mut dyn CoverageStore,
     ) -> Result<(Vec<NodeId>, QueryCost), QueryError> {
+        self.evaluate_plan_prefetched(plan, store, &HashMap::new())
+    }
+
+    /// [`Self::evaluate_plan_with_cache`] with a table of already-computed
+    /// coverages (the commit half of the worker pool's two-phase protocol).
+    ///
+    /// For every store miss the slot is first looked up in `prefetched`;
+    /// present entries stand in for the Dijkstra the serial path would run
+    /// right here — same coverage, same recorded cost — and are offered to
+    /// `store` exactly as a fresh computation would be, so cache admissions,
+    /// evictions, and counters replay in serial order. Absent slots (a
+    /// predicted hit evicted mid-frame, or a slot whose parallel evaluation
+    /// panicked) fall back to the in-place serial computation.
+    pub fn evaluate_plan_prefetched(
+        &mut self,
+        plan: &QueryPlan,
+        store: &mut dyn CoverageStore,
+        prefetched: &HashMap<(Term, u64), (Arc<BitSet>, QueryCost)>,
+    ) -> Result<(Vec<NodeId>, QueryCost), QueryError> {
         let start = std::time::Instant::now();
         let mut total = QueryCost { beta: self.sc_size, ..QueryCost::default() };
         let mut coverages: Vec<Arc<BitSet>> = Vec::with_capacity(plan.num_slots());
@@ -501,7 +536,10 @@ impl FragmentEngine {
                 coverages.push(hit);
                 continue;
             }
-            let (cov, cost) = self.coverage(slot.term, slot.radius)?;
+            let (cov, cost) = match prefetched.get(&(slot.term, slot.radius)) {
+                Some((cov, cost)) => (Arc::clone(cov), cost.clone()),
+                None => self.coverage(slot.term, slot.radius)?,
+            };
             store.store(slot, &cov);
             total.absorb(&cost);
             coverages.push(cov);

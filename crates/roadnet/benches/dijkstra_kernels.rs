@@ -1,0 +1,84 @@
+//! Bounded-search kernel microbench: Dial bucket queue vs packed-key binary
+//! heap vs wide tuple heap on identical bounded multi-source searches.
+//!
+//! `DijkstraWorkspace::run` dispatches on the bound alone (`kernel_for`);
+//! this bench uses the explicit `run_with` seam to pit all three kernels
+//! against each other at production-like radii, where every kernel is valid
+//! (bound < 2^16 so Dial applies). The ISSUE target is Dial ≥ 1.2× the
+//! tuple-heap baseline on bounded coverage-style searches; the vendored
+//! criterion stub prints median wall-clock per iteration so the ratio can be
+//! read straight off the output.
+//!
+//! Run with: `cargo bench -p disks-roadnet --bench dijkstra_kernels`
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use disks_roadnet::dijkstra::{Control, DijkstraWorkspace, Kernel};
+use disks_roadnet::generator::GridNetworkConfig;
+use disks_roadnet::RoadNetwork;
+
+/// Deterministic source set spread across the network: coverage searches in
+/// the engine start from an object's junctions, so plain node ids are a fair
+/// stand-in.
+fn sources(net: &RoadNetwork, n: usize) -> Vec<(u32, u64)> {
+    let total = net.num_nodes() as u32;
+    (0..n).map(|i| ((i as u32).wrapping_mul(2_654_435_761) % total, 0u64)).collect()
+}
+
+fn bench_kernels(c: &mut Criterion) {
+    let net = GridNetworkConfig::bri_like(0xBE7C).generate();
+    let srcs = sources(&net, 16);
+    let mut ws = DijkstraWorkspace::new(net.num_nodes());
+
+    let mut group = c.benchmark_group("bounded_search");
+    group.sample_size(20);
+    // Production-like slot radii: a few tens of average edge lengths, all
+    // comfortably under the Dial cutoff (2^16).
+    for bound in [2_000u64, 8_000, 32_000] {
+        for kernel in [Kernel::Dial, Kernel::PackedHeap, Kernel::WideHeap] {
+            let label = match kernel {
+                Kernel::Dial => "dial",
+                Kernel::PackedHeap => "packed_heap",
+                Kernel::WideHeap => "wide_heap",
+            };
+            group.bench_with_input(BenchmarkId::new(label, bound), &bound, |b, &bound| {
+                b.iter(|| {
+                    let mut settled = 0usize;
+                    let stats = ws.run_with(kernel, &net, &srcs, bound, |node, dist| {
+                        settled += 1;
+                        black_box((node, dist));
+                        Control::Continue
+                    });
+                    black_box((settled, stats.settled, stats.pushed))
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+/// Unbounded-ish searches (bound ≥ 2^32): only the wide tuple heap applies;
+/// benchmarked alone as the reference point the packed heap is replacing on
+/// the 2^16..2^32 range.
+fn bench_wide_reference(c: &mut Criterion) {
+    let net = GridNetworkConfig::small(0xBE7C).generate();
+    let srcs = sources(&net, 4);
+    let mut ws = DijkstraWorkspace::new(net.num_nodes());
+
+    let mut group = c.benchmark_group("unbounded_search");
+    group.sample_size(10);
+    for kernel in [Kernel::PackedHeap, Kernel::WideHeap] {
+        let label = if kernel == Kernel::PackedHeap { "packed_heap" } else { "wide_heap" };
+        // Largest bound both kernels accept: exercises full-network settles.
+        let bound = (1u64 << 32) - 1;
+        group.bench_with_input(BenchmarkId::new(label, "full"), &bound, |b, &bound| {
+            b.iter(|| {
+                let stats = ws.run_with(kernel, &net, &srcs, bound, |_, _| Control::Continue);
+                black_box((stats.settled, stats.pushed))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(kernels, bench_kernels, bench_wide_reference);
+criterion_main!(kernels);

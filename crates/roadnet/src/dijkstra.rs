@@ -46,17 +46,69 @@ pub struct SearchStats {
     pub pushed: usize,
 }
 
+/// Largest `bound + 1` for which the Dial bucket-queue fast path is used.
+///
+/// Every production coverage search is bounded by its slot radius, which the
+/// bench datasets keep well under this (radii are a few tens of average edge
+/// lengths); the bucket array costs 24 bytes per distance unit and is reused
+/// across runs, so the cap bounds workspace memory at ~1.5 MiB worst case.
+const DIAL_MAX_BUCKETS: usize = 1 << 16;
+
+/// The queue kernel behind a bounded search (see [`DijkstraWorkspace`]).
+/// [`DijkstraWorkspace::run`] picks one from the bound alone; benchmarks
+/// pit them against each other explicitly via
+/// [`DijkstraWorkspace::run_with`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Kernel {
+    /// Dial bucket queue (`bound < 2^16`).
+    Dial,
+    /// Binary heap over packed `(dist << 32) | node` keys (`bound < 2^32`).
+    PackedHeap,
+    /// Binary heap over `(u64, u32)` tuples (any bound).
+    WideHeap,
+}
+
+/// The kernel [`DijkstraWorkspace::run`] selects for `bound` —
+/// deterministic and bound-only, so serial and parallel evaluations of the
+/// same slot always take the same code path.
+pub fn kernel_for(bound: u64) -> Kernel {
+    if (bound as usize) < DIAL_MAX_BUCKETS {
+        Kernel::Dial
+    } else if bound < (1 << 32) {
+        Kernel::PackedHeap
+    } else {
+        Kernel::WideHeap
+    }
+}
+
 /// A reusable single-source / multi-source Dijkstra workspace.
 ///
 /// Distances are valid only for nodes whose stamp equals the current epoch;
 /// `reset` is O(1) (bumps the epoch) except on epoch wrap, where it clears in
 /// O(n) (happens once every ~4 billion runs).
+///
+/// Three kernels sit behind [`DijkstraWorkspace::run`], picked by the search
+/// bound alone (so the choice is deterministic for a given slot):
+///
+/// * `bound < DIAL_MAX_BUCKETS`: a Dial bucket queue — O(1) decrease-key and
+///   pop, no comparisons. Settles in nondecreasing distance order like the
+///   heaps, but breaks equal-distance ties in bucket (LIFO) order rather
+///   than node-id order, so `pushed` may differ from the heap kernels —
+///   deterministically — while the settled set and distances are identical.
+/// * `bound < 2^32`: a binary heap over packed `(dist << 32) | node` u64
+///   keys — same pop order as the tuple heap (distance, then node id) with
+///   half the key width and cheaper comparisons.
+/// * otherwise (unbounded searches): the original `(u64, u32)` tuple heap.
 #[derive(Debug)]
 pub struct DijkstraWorkspace {
     dist: Vec<u64>,
     stamp: Vec<u32>,
     epoch: u32,
     heap: BinaryHeap<Reverse<(u64, u32)>>,
+    packed: BinaryHeap<Reverse<u64>>,
+    /// Dial buckets indexed by distance; all empty between runs (the run
+    /// either drains them or sweeps the touched range on early stop).
+    buckets: Vec<Vec<u32>>,
 }
 
 impl DijkstraWorkspace {
@@ -67,6 +119,8 @@ impl DijkstraWorkspace {
             stamp: vec![0; num_nodes],
             epoch: 0,
             heap: BinaryHeap::new(),
+            packed: BinaryHeap::new(),
+            buckets: Vec::new(),
         }
     }
 
@@ -80,6 +134,7 @@ impl DijkstraWorkspace {
 
     fn begin_epoch(&mut self) {
         self.heap.clear();
+        self.packed.clear();
         if self.epoch == u32::MAX {
             self.stamp.fill(0);
             self.epoch = 1;
@@ -119,10 +174,178 @@ impl DijkstraWorkspace {
         graph: &G,
         sources: &[(u32, u64)],
         bound: u64,
-        mut on_settle: impl FnMut(u32, u64) -> Control,
+        on_settle: impl FnMut(u32, u64) -> Control,
+    ) -> SearchStats {
+        self.run_with(kernel_for(bound), graph, sources, bound, on_settle)
+    }
+
+    /// [`Self::run`] with an explicitly chosen kernel — the benchmark seam
+    /// for pitting the kernels against each other on identical searches.
+    /// The caller owns the validity contract [`kernel_for`] encodes:
+    /// `Dial` requires `bound < 2^16`, `PackedHeap` requires
+    /// `bound < 2^32`.
+    pub fn run_with<G: Graph + ?Sized>(
+        &mut self,
+        kernel: Kernel,
+        graph: &G,
+        sources: &[(u32, u64)],
+        bound: u64,
+        on_settle: impl FnMut(u32, u64) -> Control,
     ) -> SearchStats {
         self.ensure_capacity(graph.num_nodes());
         self.begin_epoch();
+        match kernel {
+            Kernel::Dial => {
+                assert!((bound as usize) < DIAL_MAX_BUCKETS, "Dial needs bound < 2^16");
+                self.run_dial(graph, sources, bound, on_settle)
+            }
+            Kernel::PackedHeap => {
+                assert!(bound < (1 << 32), "PackedHeap needs bound < 2^32");
+                self.run_packed(graph, sources, bound, on_settle)
+            }
+            Kernel::WideHeap => self.run_wide(graph, sources, bound, on_settle),
+        }
+    }
+
+    /// Dial bucket-queue kernel: one bucket per distance unit, drained in
+    /// order. Entries carry no distance (the bucket index is the distance);
+    /// staleness is detected by comparing against the settled distance.
+    fn run_dial<G: Graph + ?Sized>(
+        &mut self,
+        graph: &G,
+        sources: &[(u32, u64)],
+        bound: u64,
+        mut on_settle: impl FnMut(u32, u64) -> Control,
+    ) -> SearchStats {
+        let nb = bound as usize + 1;
+        if self.buckets.len() < nb {
+            self.buckets.resize_with(nb, Vec::new);
+        }
+        let mut stats = SearchStats::default();
+        let mut remaining = 0usize; // queued entries, stale included
+        let mut lo = nb; // lowest touched bucket
+        let mut hi = 0usize; // highest touched bucket
+        for &(s, d0) in sources {
+            if d0 <= bound && d0 < self.current_dist(s) {
+                self.set_dist(s, d0);
+                self.buckets[d0 as usize].push(s);
+                stats.pushed += 1;
+                remaining += 1;
+                lo = lo.min(d0 as usize);
+                hi = hi.max(d0 as usize);
+            }
+        }
+        let mut i = lo;
+        let mut stopped = false;
+        while remaining > 0 {
+            // Non-negative weights mean every queued entry sits at >= i, so
+            // the scan never restarts.
+            while self.buckets[i].is_empty() {
+                i += 1;
+            }
+            let u = self.buckets[i].pop().expect("non-empty bucket");
+            remaining -= 1;
+            let d = i as u64;
+            if d > self.current_dist(u) {
+                continue; // stale entry — u settled at a smaller distance
+            }
+            stats.settled += 1;
+            match on_settle(u, d) {
+                Control::Stop => {
+                    stopped = true;
+                    break;
+                }
+                Control::SkipNeighbors => continue,
+                Control::Continue => {}
+            }
+            // Relax in place: split borrows so the adjacency closure can
+            // update the distance arrays without a temporary allocation.
+            let (dist, stamp, buckets) = (&mut self.dist, &mut self.stamp, &mut self.buckets);
+            let epoch = self.epoch;
+            let pushed = &mut stats.pushed;
+            graph.for_each_neighbor(u, &mut |v, w| {
+                let nd = d + u64::from(w);
+                if nd <= bound {
+                    let vi = v as usize;
+                    let cur = if stamp[vi] == epoch { dist[vi] } else { INF };
+                    if nd < cur {
+                        dist[vi] = nd;
+                        stamp[vi] = epoch;
+                        buckets[nd as usize].push(v);
+                        *pushed += 1;
+                        remaining += 1;
+                        hi = hi.max(nd as usize);
+                    }
+                }
+            });
+        }
+        // Leave every bucket empty for the next run: a completed search
+        // drained them all; an early stop sweeps the still-touched range.
+        if stopped && remaining > 0 {
+            for b in &mut self.buckets[i..=hi] {
+                b.clear();
+            }
+        }
+        stats
+    }
+
+    /// Binary-heap kernel over packed `(dist << 32) | node` keys — valid
+    /// whenever `bound < 2^32`, with pop order identical to the tuple heap.
+    fn run_packed<G: Graph + ?Sized>(
+        &mut self,
+        graph: &G,
+        sources: &[(u32, u64)],
+        bound: u64,
+        mut on_settle: impl FnMut(u32, u64) -> Control,
+    ) -> SearchStats {
+        let mut stats = SearchStats::default();
+        for &(s, d0) in sources {
+            if d0 <= bound && d0 < self.current_dist(s) {
+                self.set_dist(s, d0);
+                self.packed.push(Reverse((d0 << 32) | u64::from(s)));
+                stats.pushed += 1;
+            }
+        }
+        while let Some(Reverse(key)) = self.packed.pop() {
+            let (d, u) = (key >> 32, key as u32);
+            if d > self.current_dist(u) {
+                continue; // stale heap entry
+            }
+            stats.settled += 1;
+            match on_settle(u, d) {
+                Control::Stop => break,
+                Control::SkipNeighbors => continue,
+                Control::Continue => {}
+            }
+            let (dist, stamp, packed) = (&mut self.dist, &mut self.stamp, &mut self.packed);
+            let epoch = self.epoch;
+            let pushed = &mut stats.pushed;
+            graph.for_each_neighbor(u, &mut |v, w| {
+                let nd = d + u64::from(w);
+                if nd <= bound {
+                    let vi = v as usize;
+                    let cur = if stamp[vi] == epoch { dist[vi] } else { INF };
+                    if nd < cur {
+                        dist[vi] = nd;
+                        stamp[vi] = epoch;
+                        packed.push(Reverse((nd << 32) | u64::from(v)));
+                        *pushed += 1;
+                    }
+                }
+            });
+        }
+        stats
+    }
+
+    /// Tuple-heap kernel for unbounded (or absurdly wide) searches, where
+    /// distances may not fit in 32 bits.
+    fn run_wide<G: Graph + ?Sized>(
+        &mut self,
+        graph: &G,
+        sources: &[(u32, u64)],
+        bound: u64,
+        mut on_settle: impl FnMut(u32, u64) -> Control,
+    ) -> SearchStats {
         let mut stats = SearchStats::default();
         for &(s, d0) in sources {
             if d0 <= bound && d0 < self.current_dist(s) {
@@ -419,5 +642,144 @@ mod tests {
         let stats = ws.run(&g, &[(names["A"].0, 0)], INF - 1, |_, _| Control::Continue);
         assert_eq!(stats.settled, 5);
         assert!(stats.pushed >= 5);
+    }
+
+    /// Collect the settled (node, dist) set for one bound on one kernel by
+    /// forcing the dispatch with an artificial bound.
+    fn settled_at_bound(
+        ws: &mut DijkstraWorkspace,
+        g: &impl Graph,
+        sources: &[(u32, u64)],
+        bound: u64,
+    ) -> Vec<(u32, u64)> {
+        let mut out = Vec::new();
+        ws.run(g, sources, bound, |n, d| {
+            out.push((n, d));
+            Control::Continue
+        });
+        out.sort_unstable();
+        out
+    }
+
+    /// A deterministic pseudo-random sparse graph large enough that the
+    /// three kernels genuinely diverge in traversal order.
+    fn lcg_network(nodes: usize, edges: usize) -> crate::RoadNetwork {
+        use crate::graph::RoadNetworkBuilder;
+        let mut b = RoadNetworkBuilder::new();
+        let ids: Vec<_> = (0..nodes).map(|i| b.add_node(i as f32, 0.0, &[])).collect();
+        let mut state = 0x1234_5678_9abc_def0u64;
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state >> 33
+        };
+        let mut added = 0;
+        while added < edges {
+            let u = (next() as usize) % nodes;
+            let v = (next() as usize) % nodes;
+            let w = (next() % 50 + 1) as u32;
+            if u != v && b.add_edge(ids[u], ids[v], w).is_ok() {
+                added += 1;
+            }
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn dial_packed_and_wide_kernels_agree_on_settled_sets() {
+        let g = lcg_network(200, 600);
+        let mut ws = DijkstraWorkspace::new(g.num_nodes());
+        let sources = [(0u32, 0u64), (17, 3), (42, 11)];
+        for bound in [0u64, 1, 7, 40, 200, 1000] {
+            // `bound` < DIAL_MAX_BUCKETS dispatches to the Dial kernel; the
+            // heap kernels are reached through private entry points here so
+            // the same bound exercises all three.
+            ws.begin_epoch();
+            let dial = {
+                let mut out = Vec::new();
+                ws.ensure_capacity(g.num_nodes());
+                ws.run_dial(&g, &sources, bound, |n, d| {
+                    out.push((n, d));
+                    Control::Continue
+                });
+                out.sort_unstable();
+                out
+            };
+            ws.begin_epoch();
+            let packed = {
+                let mut out = Vec::new();
+                ws.run_packed(&g, &sources, bound, |n, d| {
+                    out.push((n, d));
+                    Control::Continue
+                });
+                out.sort_unstable();
+                out
+            };
+            ws.begin_epoch();
+            let wide = {
+                let mut out = Vec::new();
+                ws.run_wide(&g, &sources, bound, |n, d| {
+                    out.push((n, d));
+                    Control::Continue
+                });
+                out.sort_unstable();
+                out
+            };
+            assert_eq!(dial, packed, "dial vs packed at bound {bound}");
+            assert_eq!(packed, wide, "packed vs wide at bound {bound}");
+        }
+    }
+
+    #[test]
+    fn packed_heap_matches_wide_heap_pushed_exactly() {
+        // The packed key orders by (dist, node) exactly like the tuple heap,
+        // so even tie-dependent stats must match between the two heap paths.
+        let g = lcg_network(150, 400);
+        let mut ws = DijkstraWorkspace::new(g.num_nodes());
+        for bound in [5u64, 33, 250, 4000] {
+            ws.begin_epoch();
+            let p = ws.run_packed(&g, &[(3, 0), (99, 2)], bound, |_, _| Control::Continue);
+            ws.begin_epoch();
+            let w = ws.run_wide(&g, &[(3, 0), (99, 2)], bound, |_, _| Control::Continue);
+            assert_eq!(p, w, "packed vs wide stats at bound {bound}");
+        }
+    }
+
+    #[test]
+    fn dial_early_stop_leaves_workspace_clean() {
+        let g = lcg_network(100, 300);
+        let mut ws = DijkstraWorkspace::new(g.num_nodes());
+        // Stop mid-search (Dial path), then verify a fresh bounded run still
+        // produces the exact settled set — stale bucket entries would
+        // corrupt it.
+        let mut seen = 0;
+        ws.run(&g, &[(0, 0)], 500, |_, _| {
+            seen += 1;
+            if seen == 3 {
+                Control::Stop
+            } else {
+                Control::Continue
+            }
+        });
+        let after = settled_at_bound(&mut ws, &g, &[(0, 0)], 120);
+        ws.begin_epoch();
+        let mut reference = Vec::new();
+        ws.run_wide(&g, &[(0, 0)], 120, |n, d| {
+            reference.push((n, d));
+            Control::Continue
+        });
+        reference.sort_unstable();
+        assert_eq!(after, reference);
+    }
+
+    #[test]
+    fn dial_settle_order_is_nondecreasing() {
+        let g = lcg_network(120, 350);
+        let mut ws = DijkstraWorkspace::new(g.num_nodes());
+        let mut last = 0u64;
+        ws.run(&g, &[(0, 0), (60, 5)], 800, |_, d| {
+            assert!(d >= last, "settle order regressed: {d} after {last}");
+            last = d;
+            Control::Continue
+        });
     }
 }

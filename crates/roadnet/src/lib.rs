@@ -28,7 +28,7 @@ pub mod io;
 pub mod vocab;
 pub mod zipf;
 
-pub use dijkstra::{DijkstraWorkspace, Graph};
+pub use dijkstra::{kernel_for, DijkstraWorkspace, Graph, Kernel};
 pub use error::{DecodeError, RoadNetError};
 pub use graph::{NodeId, RoadNetwork, RoadNetworkBuilder, Weight};
 pub use vocab::{KeywordId, Vocabulary};

@@ -34,12 +34,17 @@ fn main() {
     let query_seed: u64 = get("--query-seed").and_then(|v| v.parse().ok()).unwrap_or(0x5EED);
     let queries: usize = get("--queries").and_then(|v| v.parse().ok()).unwrap_or(200);
     let cache: usize = get("--cache").and_then(|v| v.parse().ok()).unwrap_or(64 << 20);
+    let threads: usize = get("--threads")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(ClusterConfig::worker_threads_from_env)
+        .max(1);
 
     let net = workload::grid_net(seed);
     let p = workload::partition(&net, fragments);
     let config = ClusterConfig {
         machines: Some(machines),
         coverage_cache_bytes: cache,
+        worker_threads: threads,
         ..ClusterConfig::default()
     };
 
@@ -73,6 +78,8 @@ fn main() {
                         &seed.to_string(),
                         "--cache",
                         &cache.to_string(),
+                        "--threads",
+                        &threads.to_string(),
                     ]
                     .iter()
                     .map(|s| s.to_string())

@@ -3,6 +3,7 @@
 //! ```text
 //! disks-worker --connect 127.0.0.1:PORT --machine M --machines N \
 //!              --fragments K --seed S [--cache BYTES] [--cache-heat N]
+//!              [--threads T]
 //! ```
 //!
 //! The worker rebuilds its machine's fragment engines deterministically
@@ -30,7 +31,7 @@ fn main() {
         args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1).cloned())
     };
     let Some(addr) = get("--connect") else {
-        eprintln!("usage: disks-worker --connect ADDR --machine M --machines N --fragments K --seed S [--cache BYTES] [--cache-heat N]");
+        eprintln!("usage: disks-worker --connect ADDR --machine M --machines N --fragments K --seed S [--cache BYTES] [--cache-heat N] [--threads T]");
         exit(2);
     };
     let machine: usize = get("--machine").and_then(|v| v.parse().ok()).unwrap_or(0);
@@ -44,6 +45,12 @@ fn main() {
     let cache_heat: u32 = get("--cache-heat")
         .and_then(|v| v.parse().ok())
         .unwrap_or_else(ClusterConfig::cache_heat_from_env);
+    // Evaluator threads: flag first, then the same DISKS_WORKER_THREADS
+    // defaulting the in-process workers use.
+    let threads: usize = get("--threads")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(ClusterConfig::worker_threads_from_env)
+        .max(1);
 
     let net = workload::grid_net(seed);
     let p = workload::partition(&net, fragments);
@@ -85,5 +92,6 @@ fn main() {
         WorkerFaults::default(),
         cache,
         cache_heat,
+        threads,
     );
 }
